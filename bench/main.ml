@@ -1,0 +1,136 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) and runs Bechamel
+   micro-benchmarks of the compiler itself.
+
+   Usage:
+     bench/main.exe                 print all tables and figures
+     bench/main.exe -t 4 -t 6       only Tables 4 and 6
+     bench/main.exe --list          list available table ids
+     bench/main.exe --bechamel      also run pass micro-benchmarks        *)
+
+let available : (string * string * (Format.formatter -> unit)) list =
+  [
+    ("1", "Table 1: loop with exit condition in the middle", Harness.Tables.table1);
+    ("2", "Table 2: if-then-else", Harness.Tables.table2);
+    ("3", "Table 3: test set", Harness.Tables.table3);
+    ("4", "Table 4: percent unconditional jumps", Harness.Tables.table4);
+    ("5", "Table 5: static and dynamic instructions", Harness.Tables.table5);
+    ("6", "Table 6: cache miss ratio and fetch cost", Harness.Tables.table6);
+    ("bb", "Section 5.2: block statistics", Harness.Tables.block_stats);
+    ("fig", "Figures 1 and 2: loop interference cases", Harness.Tables.figures);
+    ("cap", "Ablation: bounded replication (paper section 6)", Harness.Tables.ablation_cap);
+    ("heur", "Ablation: step-2 heuristic", Harness.Tables.ablation_heuristic);
+    ("assoc", "Ablation: cache associativity (extension)", Harness.Tables.ablation_assoc);
+    ("passes", "Ablation: cleanup passes (paper section 3.3)", Harness.Tables.ablation_passes);
+  ]
+
+(* --- Bechamel micro-benchmarks of the compiler and simulator --- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let quicksort = Option.get (Programs.Suite.find "quicksort") in
+  let sieve = Option.get (Programs.Suite.find "sieve") in
+  let parsed = Frontend.Parser.parse_program quicksort.source in
+  let compiled = Frontend.Codegen.compile_program parsed in
+  let jumps_input =
+    Opt.Legalize.run Ir.Machine.risc
+      (Option.get (Flow.Prog.find_func compiled "main"))
+  in
+  let prog_simple =
+    Opt.Driver.optimize Opt.Driver.default_options Ir.Machine.risc compiled
+  in
+  let asm_simple = Sim.Asm.assemble Ir.Machine.risc prog_simple in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "parse/quicksort" (fun () ->
+        ignore (Frontend.Parser.parse_program quicksort.source));
+    t "codegen/quicksort" (fun () ->
+        ignore (Frontend.Codegen.compile_program parsed));
+    t "jumps-pass/quicksort" (fun () ->
+        ignore
+          (Replication.Jumps.run Replication.Jumps.default_config jumps_input));
+    t "pipeline-simple/quicksort" (fun () ->
+        ignore
+          (Opt.Driver.optimize Opt.Driver.default_options Ir.Machine.risc
+             compiled));
+    t "pipeline-jumps/quicksort" (fun () ->
+        ignore
+          (Opt.Driver.optimize
+             { Opt.Driver.default_options with level = Opt.Driver.Jumps }
+             Ir.Machine.risc compiled));
+    t "interp/quicksort" (fun () ->
+        ignore (Sim.Interp.run asm_simple prog_simple));
+    t "pipeline-jumps/sieve-cisc" (fun () ->
+        ignore
+          (Opt.Driver.compile
+             { Opt.Driver.default_options with level = Opt.Driver.Jumps }
+             Ir.Machine.cisc sieve.source));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  print_endline "Bechamel micro-benchmarks (ns per run, OLS estimate):";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock result in
+          let value =
+            match Analyze.OLS.estimates est with
+            | Some (v :: _) -> v
+            | _ -> nan
+          in
+          Printf.printf "  %-32s %14.0f ns  (%.3f ms)\n%!" (Test.Elt.name elt)
+            value (value /. 1_000_000.0))
+        (Test.elements test))
+    (bechamel_tests ())
+
+let () =
+  let tables = ref [] in
+  let list_only = ref false in
+  let bech = ref false in
+  let spec =
+    [
+      ( "-t",
+        Arg.String (fun s -> tables := s :: !tables),
+        "ID  print only this table/figure (repeatable)" );
+      ( "--tables",
+        Arg.String (fun s -> tables := s :: !tables),
+        "ID  same as -t" );
+      ("--list", Arg.Set list_only, " list available ids");
+      ("--bechamel", Arg.Set bech, " run pass micro-benchmarks");
+    ]
+  in
+  Arg.parse spec
+    (fun s -> tables := s :: !tables)
+    "bench/main.exe [-t ID]... — regenerate the paper's tables";
+  if !list_only then
+    List.iter (fun (id, desc, _) -> Printf.printf "%-5s %s\n" id desc) available
+  else begin
+    let selected =
+      if !tables = [] then available
+      else
+        List.filter_map
+          (fun id ->
+            match List.find_opt (fun (i, _, _) -> i = id) available with
+            | Some entry -> Some entry
+            | None ->
+              Printf.eprintf "unknown table id %s (try --list)\n" id;
+              None)
+          (List.rev !tables)
+    in
+    let ppf = Format.std_formatter in
+    List.iter
+      (fun (_, _, print) ->
+        print ppf;
+        Format.pp_print_flush ppf ())
+      selected;
+    if !bech then run_bechamel ()
+  end

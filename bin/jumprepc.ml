@@ -1,0 +1,255 @@
+(* jumprepc: command-line driver for the compiler, simulator and
+   measurement harness.
+
+     jumprepc compile prog.c -O jumps -m risc --dump-asm
+     jumprepc run prog.c -O simple --input data.txt
+     jumprepc measure prog.c
+     jumprepc bench wc                                                     *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- common arguments --- *)
+
+let level_arg =
+  let level_conv =
+    Arg.conv
+      ( (fun s ->
+          match Opt.Driver.level_of_string s with
+          | Some l -> Ok l
+          | None -> Error (`Msg (Printf.sprintf "unknown level %S" s))),
+        fun ppf l -> Format.pp_print_string ppf (Opt.Driver.level_name l) )
+  in
+  Arg.(
+    value
+    & opt level_conv Opt.Driver.Jumps
+    & info [ "O"; "level" ] ~docv:"LEVEL"
+        ~doc:"Optimization level: $(b,simple), $(b,loops) or $(b,jumps).")
+
+let machine_arg =
+  let machine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Ir.Machine.of_short s with
+          | Some m -> Ok m
+          | None -> Error (`Msg (Printf.sprintf "unknown machine %S" s))),
+        fun ppf m -> Format.pp_print_string ppf m.Ir.Machine.short )
+  in
+  Arg.(
+    value
+    & opt machine_conv Ir.Machine.risc
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Target machine model: $(b,risc) or $(b,cisc).")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file.")
+
+(* Surface front-end failures as diagnostics, not OCaml backtraces. *)
+let compile_prog level machine path =
+  let source = read_file path in
+  try Opt.Driver.compile { Opt.Driver.default_options with level } machine source
+  with
+  | Frontend.Lexer.Error (msg, line) ->
+    Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
+    exit 1
+  | Frontend.Parser.Error (msg, line) ->
+    Printf.eprintf "%s:%d: syntax error: %s\n" path line msg;
+    exit 1
+  | Frontend.Codegen.Error msg ->
+    Printf.eprintf "%s: error: %s\n" path msg;
+    exit 1
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let dump_rtl =
+    Arg.(value & flag & info [ "dump-rtl" ] ~doc:"Print the optimized RTL.")
+  in
+  let dump_asm =
+    Arg.(
+      value & flag
+      & info [ "dump-asm" ] ~doc:"Print the assembled code with addresses.")
+  in
+  let run level machine path dump_rtl dump_asm =
+    let prog = compile_prog level machine path in
+    if dump_rtl || not dump_asm then
+      List.iter
+        (fun f -> Format.printf "%a@." Flow.Func.pp f)
+        prog.Flow.Prog.funcs;
+    if dump_asm then begin
+      let asm = Sim.Asm.assemble machine prog in
+      List.iter (fun f -> Format.printf "%a@." Sim.Asm.pp_afunc f) asm.funcs;
+      Printf.printf "\n%d instructions, %d unconditional jumps, %d nops\n"
+        (Sim.Asm.static_instrs asm)
+        (Sim.Asm.static_ujumps asm)
+        (Sim.Asm.static_nops asm)
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a C-subset file and print the result")
+    Term.(const run $ level_arg $ machine_arg $ file_arg $ dump_rtl $ dump_asm)
+
+(* --- run --- *)
+
+let run_cmd =
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"TEXT" ~doc:"Standard input for the program.")
+  in
+  let input_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input-file" ] ~docv:"FILE" ~doc:"Read standard input from a file.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace" ] ~docv:"N"
+          ~doc:"Print the first $(docv) executed instructions to stderr.")
+  in
+  let run level machine path input input_file stats trace =
+    let prog = compile_prog level machine path in
+    let asm = Sim.Asm.assemble machine prog in
+    let input =
+      match input_file with
+      | Some f -> read_file f
+      | None -> Option.value ~default:"" input
+    in
+    let on_fetch =
+      match trace with
+      | None -> fun ~addr:_ ~size:_ -> ()
+      | Some n ->
+        let by_addr = Sim.Asm.addr_index asm in
+        let left = ref n in
+        fun ~addr ~size:_ ->
+          if !left > 0 then begin
+            decr left;
+            let fname, i = Hashtbl.find by_addr addr in
+            Printf.eprintf "%06x %-12s %s\n" addr fname
+              (Ir.Rtl.instr_to_string i)
+          end
+    in
+    let res =
+      try Sim.Interp.run ~input ~on_fetch asm prog
+      with Sim.Interp.Runtime_error msg ->
+        Printf.eprintf "%s: runtime error: %s\n" path msg;
+        exit 2
+    in
+    print_string res.output;
+    if stats then
+      Printf.eprintf
+        "exit=%d instructions=%d cond-branches=%d jumps=%d ijumps=%d calls=%d \
+         nops=%d\n"
+        res.exit_code res.counts.total res.counts.cond_branches
+        res.counts.jumps res.counts.ijumps res.counts.calls res.counts.nops;
+    exit res.exit_code
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a C-subset file")
+    Term.(
+      const run $ level_arg $ machine_arg $ file_arg $ input $ input_file
+      $ stats $ trace)
+
+(* --- measure --- *)
+
+let measure_cmd =
+  let input =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input-file" ] ~docv:"FILE" ~doc:"Standard input from a file.")
+  in
+  let run machine path input_file =
+    let source = read_file path in
+    let input = Option.map read_file input_file |> Option.value ~default:"" in
+    Printf.printf "%-8s %10s %10s %10s %10s\n" "level" "static" "dynamic"
+      "dyn-jumps" "nops";
+    List.iter
+      (fun level ->
+        let prog =
+          Opt.Driver.compile { Opt.Driver.default_options with level } machine
+            source
+        in
+        let asm = Sim.Asm.assemble machine prog in
+        let res =
+          try Sim.Interp.run ~input asm prog
+          with Sim.Interp.Runtime_error msg ->
+            Printf.eprintf "%s: runtime error: %s\n" path msg;
+            exit 2
+        in
+        Printf.printf "%-8s %10d %10d %10d %10d\n"
+          (Opt.Driver.level_name level)
+          (Sim.Asm.static_instrs asm)
+          res.counts.total
+          (Sim.Interp.uncond_jumps res.counts)
+          res.counts.nops)
+      [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ]
+  in
+  Cmd.v
+    (Cmd.info "measure"
+       ~doc:"Compare the three optimization levels on one source file")
+    Term.(const run $ machine_arg $ file_arg $ input)
+
+(* --- bench: run a bundled benchmark --- *)
+
+let bench_cmd =
+  let bench_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
+  in
+  let run level machine name =
+    match Programs.Suite.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %s\n" name;
+      exit 1
+    | Some b ->
+      let m = Harness.Measure.run b level machine in
+      Printf.printf
+        "%s at %s on %s:\n  static %d instrs (%d jumps, %d nops)\n  dynamic \
+         %d instrs (%d jumps, %d nops)\n  output %s\n"
+        b.name
+        (Opt.Driver.level_name level)
+        machine.Ir.Machine.name m.static_instrs m.static_ujumps m.static_nops
+        m.dyn_instrs m.dyn_ujumps m.dyn_nops
+        (if m.output_ok then "matches the gcc-verified expectation"
+         else "MISMATCH")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Measure one bundled benchmark")
+    Term.(const run $ level_arg $ machine_arg $ bench_name)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Programs.Suite.benchmark) ->
+        Printf.printf "%-12s %-10s %s\n" b.name b.clazz b.description)
+      Programs.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the bundled benchmark programs")
+    Term.(const run $ const ())
+
+let main =
+  let doc =
+    "an optimizing compiler with generalized code replication (Mueller & \
+     Whalley, PLDI 1992)"
+  in
+  Cmd.group
+    (Cmd.info "jumprepc" ~version:"1.0.0" ~doc)
+    [ compile_cmd; run_cmd; measure_cmd; bench_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,61 @@
+open Ir
+
+type t = { succ : int list array; pred : int list array }
+
+let succ_indices f i =
+  let b = Func.block f i in
+  let n = Func.num_blocks f in
+  let fall = if Func.falls_through b && i + 1 < n then [ i + 1 ] else [] in
+  let explicit =
+    match Func.terminator b with
+    | Some t -> List.map (Func.index_of_label f) (Rtl.targets t)
+    | None -> []
+  in
+  (* Dedup while keeping the fall-through first. *)
+  List.fold_left
+    (fun acc s -> if List.mem s acc then acc else acc @ [ s ])
+    fall explicit
+
+let make f =
+  let n = Func.num_blocks f in
+  let succ = Array.init n (succ_indices f) in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i ss -> List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss)
+    succ;
+  Array.iteri (fun i ps -> pred.(i) <- List.rev ps) pred;
+  { succ; pred }
+
+let num_blocks g = Array.length g.succ
+let succs g i = g.succ.(i)
+let preds g i = g.pred.(i)
+
+let reachable g =
+  let n = num_blocks g in
+  let seen = Array.make n false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit g.succ.(i)
+    end
+  in
+  if n > 0 then visit 0;
+  seen
+
+let reverse_postorder g =
+  let n = num_blocks g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit g.succ.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then visit 0;
+  let head = !order in
+  let tail =
+    List.filter (fun i -> not seen.(i)) (List.init n (fun i -> i))
+  in
+  Array.of_list (head @ tail)

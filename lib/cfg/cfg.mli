@@ -1,0 +1,18 @@
+(** Control-flow edges of a {!Func.t}, by block index.
+
+    Successor order is significant where a fall-through exists: the
+    fall-through successor comes first, then explicit branch targets. *)
+
+type t
+
+val make : Func.t -> t
+val num_blocks : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+(** Blocks reachable from the entry along CFG edges. *)
+val reachable : t -> bool array
+
+(** Reverse postorder of the depth-first traversal from the entry.
+    Unreachable blocks are appended at the end in index order. *)
+val reverse_postorder : t -> int array

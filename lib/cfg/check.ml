@@ -1,0 +1,64 @@
+open Ir
+
+let errors f =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let n = Func.num_blocks f in
+  let entry_label = (Func.block f 0).label in
+  for i = 0 to n - 1 do
+    let b = Func.block f i in
+    let rec scan = function
+      | [] -> ()
+      | [ _last ] -> ()
+      | instr :: rest ->
+        if Rtl.is_transfer instr then
+          err "%a: transfer %a in the middle of the block" Label.pp b.label
+            Rtl.pp_instr instr;
+        scan rest
+    in
+    scan b.instrs;
+    List.iter
+      (fun instr ->
+        List.iter
+          (fun l ->
+            (match Func.index_of_label f l with
+            | _ -> ()
+            | exception Not_found ->
+              err "%a: target %a does not exist" Label.pp b.label Label.pp l);
+            if Label.equal l entry_label then
+              err "%a: branch to the entry block" Label.pp b.label)
+          (Rtl.targets instr))
+      b.instrs;
+    List.iteri
+      (fun k instr ->
+        match instr with
+        | Rtl.Enter _ when not (i = 0 && k = 0) ->
+          err "%a: Enter outside function entry" Label.pp b.label
+        | Rtl.Enter _ | _ -> ())
+      b.instrs;
+    (* Leave/Ret pairing: they occur only as the adjacent pair Leave; Ret. *)
+    let rec pairs = function
+      | Rtl.Leave :: Rtl.Ret :: rest -> pairs rest
+      | Rtl.Leave :: rest ->
+        err "%a: Leave not followed by Ret" Label.pp b.label;
+        pairs rest
+      | Rtl.Ret :: rest ->
+        err "%a: Ret without preceding Leave" Label.pp b.label;
+        pairs rest
+      | _ :: rest -> pairs rest
+      | [] -> ()
+    in
+    pairs b.instrs
+  done;
+  if n > 0 && Func.falls_through (Func.block f (n - 1)) then
+    err "%a: last block falls off the end" Label.pp
+      (Func.block f (n - 1)).label;
+  List.rev !errs
+
+let assert_ok f =
+  match errors f with
+  | [] -> ()
+  | errs ->
+    failwith
+      (Printf.sprintf "ill-formed function %s:\n  %s" (Func.name f)
+         (String.concat "\n  " errs))

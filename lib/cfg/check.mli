@@ -1,0 +1,16 @@
+(** Structural invariants of a function, used as a pass postcondition in
+    tests and as a debugging aid.
+
+    Checked invariants:
+    - every branch/jump target names an existing block;
+    - no transfer instruction occurs in the middle of a block;
+    - the last block does not fall off the end of the function;
+    - [Enter] appears only as the first instruction of the entry block;
+    - every [Ret] is immediately preceded by [Leave] and vice versa;
+    - the entry block's label is never a branch target. *)
+
+(** All violations found, empty if the function is well-formed. *)
+val errors : Func.t -> string list
+
+(** @raise Failure listing the violations, if any. *)
+val assert_ok : Func.t -> unit

@@ -1,0 +1,74 @@
+type t = { idom : int array; depth : int array; reach : bool array }
+
+let compute g =
+  let n = Cfg.num_blocks g in
+  let rpo = Cfg.reverse_postorder g in
+  let reach = Cfg.reachable g in
+  let rpo_num = Array.make n (-1) in
+  Array.iteri (fun pos b -> if reach.(b) then rpo_num.(b) <- pos) rpo;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_num.(a) > rpo_num.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref (n > 0) in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 && reach.(b) then begin
+          let processed p = reach.(p) && idom.(p) <> -1 in
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if not (processed p) then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None (Cfg.preds g b)
+          in
+          match new_idom with
+          | Some d when idom.(b) <> d ->
+            idom.(b) <- d;
+            changed := true
+          | Some _ | None -> ()
+        end)
+      rpo
+  done;
+  (* Depth in the dominator tree, for O(depth) dominance queries. *)
+  let depth = Array.make n (-1) in
+  let rec depth_of b =
+    if depth.(b) >= 0 then depth.(b)
+    else if b = 0 then begin
+      depth.(b) <- 0;
+      0
+    end
+    else if idom.(b) = -1 then -1
+    else begin
+      let d = depth_of idom.(b) + 1 in
+      depth.(b) <- d;
+      d
+    end
+  in
+  for b = 0 to n - 1 do
+    if reach.(b) then ignore (depth_of b)
+  done;
+  { idom; depth; reach }
+
+let idom t b =
+  if b = 0 || (not t.reach.(b)) || t.idom.(b) = -1 then None
+  else Some t.idom.(b)
+
+let dominates t a b =
+  if a = b then true
+  else if (not t.reach.(a)) || not t.reach.(b) then false
+  else begin
+    let rec climb x =
+      if x = a then true
+      else if x = 0 || t.depth.(x) <= t.depth.(a) then false
+      else climb t.idom.(x)
+    in
+    climb b
+  end
+
+let strictly_dominates t a b = a <> b && dominates t a b

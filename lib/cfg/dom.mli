@@ -1,0 +1,18 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Unreachable blocks have no dominator information; they dominate only
+    themselves and are dominated by nothing. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator; [None] for the entry and for unreachable blocks. *)
+val idom : t -> int -> int option
+
+(** [dominates t a b]: every path from the entry to [b] passes through [a].
+    Reflexive. *)
+val dominates : t -> int -> int -> bool
+
+(** Strict domination: [dominates] minus reflexivity. *)
+val strictly_dominates : t -> int -> int -> bool

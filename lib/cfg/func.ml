@@ -1,0 +1,75 @@
+open Ir
+
+type block = { label : Label.t; instrs : Rtl.instr list }
+
+type t = {
+  name : string;
+  blocks : block array;
+  lsupply : Label.Supply.t;
+  vsupply : Reg.Supply.t;
+  index : (Label.t, int) Hashtbl.t;
+}
+
+let build_index blocks =
+  let index = Hashtbl.create (Array.length blocks * 2) in
+  Array.iteri
+    (fun i b ->
+      if Hashtbl.mem index b.label then
+        invalid_arg
+          (Printf.sprintf "Func.make: duplicate label %s"
+             (Label.to_string b.label));
+      Hashtbl.add index b.label i)
+    blocks;
+  index
+
+let make ~name ~blocks ~lsupply ~vsupply =
+  if Array.length blocks = 0 then invalid_arg "Func.make: no blocks";
+  { name; blocks; lsupply; vsupply; index = build_index blocks }
+
+let name f = f.name
+let blocks f = f.blocks
+let lsupply f = f.lsupply
+let vsupply f = f.vsupply
+
+let with_blocks f blocks =
+  if Array.length blocks = 0 then invalid_arg "Func.with_blocks: no blocks";
+  { f with blocks; index = build_index blocks }
+
+let num_blocks f = Array.length f.blocks
+let block f i = f.blocks.(i)
+
+let index_of_label f l =
+  match Hashtbl.find_opt f.index l with
+  | Some i -> i
+  | None -> raise Not_found
+
+let fresh_label f = Label.Supply.fresh f.lsupply
+let fresh_reg f = Reg.Supply.fresh f.vsupply
+
+let terminator b =
+  match List.rev b.instrs with
+  | last :: _ when Rtl.is_transfer last -> Some last
+  | _ -> None
+
+let falls_through b =
+  match terminator b with
+  | Some (Rtl.Jump _ | Rtl.Ijump _ | Rtl.Ret) -> false
+  | Some (Rtl.Branch _) | Some _ | None -> true
+
+let block_size b = List.length b.instrs
+let num_instrs f = Array.fold_left (fun n b -> n + block_size b) 0 f.blocks
+let map_blocks g f = with_blocks f (Array.map g f.blocks)
+
+let map_instrs g f =
+  map_blocks (fun b -> { b with instrs = g b.instrs }) f
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v>%s:" f.name;
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "@,%a:" Label.pp b.label;
+      List.iter (fun i -> Fmt.pf ppf "@,  %a" Rtl.pp_instr i) b.instrs)
+    f.blocks;
+  Fmt.pf ppf "@]"
+
+let to_string f = Fmt.str "%a" pp f

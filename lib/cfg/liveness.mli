@@ -1,0 +1,27 @@
+(** Backward liveness dataflow over registers (including {!Ir.Reg.Cc}). *)
+
+open Ir
+
+type t
+
+val compute : Func.t -> t
+
+(** Registers live on entry to block [i]. *)
+val live_in : t -> int -> Reg.Set.t
+
+(** Registers live on exit from block [i]. *)
+val live_out : t -> int -> Reg.Set.t
+
+(** [fold_backward t f i ~init] folds [f] over block [i]'s instructions from
+    last to first.  [f acc instr ~live_after] receives the registers live
+    immediately after [instr]. *)
+val fold_backward :
+  t ->
+  ('a -> Rtl.instr -> live_after:Reg.Set.t -> 'a) ->
+  int ->
+  init:'a ->
+  'a
+
+(** One backward transfer step: liveness before an instruction given
+    liveness after it. *)
+val step : Rtl.instr -> Reg.Set.t -> Reg.Set.t

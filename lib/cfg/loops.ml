@@ -1,0 +1,91 @@
+module Int_set = Set.Make (Int)
+
+type loop = { header : int; body : Int_set.t }
+
+let back_edges g dom =
+  let edges = ref [] in
+  for u = 0 to Cfg.num_blocks g - 1 do
+    List.iter
+      (fun v -> if Dom.dominates dom v u then edges := (u, v) :: !edges)
+      (Cfg.succs g u)
+  done;
+  List.rev !edges
+
+(* The natural loop of back edge u -> v: v plus all blocks that reach u
+   without passing through v. *)
+let loop_of_back_edge g (u, v) =
+  let body = ref (Int_set.add v Int_set.empty) in
+  let rec visit x =
+    if not (Int_set.mem x !body) then begin
+      body := Int_set.add x !body;
+      List.iter visit (Cfg.preds g x)
+    end
+  in
+  visit u;
+  { header = v; body = !body }
+
+let natural_loops g dom =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      let l = loop_of_back_edge g (u, v) in
+      match Hashtbl.find_opt tbl v with
+      | None -> Hashtbl.add tbl v l
+      | Some l' ->
+        Hashtbl.replace tbl v { l' with body = Int_set.union l'.body l.body })
+    (back_edges g dom);
+  Hashtbl.fold (fun _ l acc -> l :: acc) tbl []
+  |> List.sort (fun a b -> Int.compare a.header b.header)
+
+let innermost_first loops =
+  List.sort
+    (fun a b -> Int.compare (Int_set.cardinal a.body) (Int_set.cardinal b.body))
+    loops
+
+let is_reducible g dom =
+  let n = Cfg.num_blocks g in
+  let reach = Cfg.reachable g in
+  let is_back u v = Dom.dominates dom v u in
+  (* Colors: 0 unvisited, 1 on stack, 2 done. *)
+  let color = Array.make n 0 in
+  let rec visit u =
+    color.(u) <- 1;
+    let ok =
+      List.for_all
+        (fun v ->
+          if is_back u v then true
+          else if color.(v) = 1 then false
+          else if color.(v) = 0 then visit v
+          else true)
+        (Cfg.succs g u)
+    in
+    color.(u) <- 2;
+    ok
+  in
+  let rec check i =
+    if i >= n then true
+    else if reach.(i) && color.(i) = 0 then visit i && check (i + 1)
+    else check (i + 1)
+  in
+  check 0
+
+let enclosing_loop loops i =
+  List.fold_left
+    (fun acc l ->
+      if Int_set.mem i l.body then
+        match acc with
+        | None -> Some l
+        | Some best ->
+          if Int_set.cardinal l.body < Int_set.cardinal best.body then Some l
+          else acc
+      else acc)
+    None loops
+
+let exit_edges g l =
+  Int_set.fold
+    (fun u acc ->
+      List.fold_left
+        (fun acc v -> if Int_set.mem v l.body then acc else (u, v) :: acc)
+        acc (Cfg.succs g u))
+    l.body []
+  |> List.rev

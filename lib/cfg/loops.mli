@@ -1,0 +1,28 @@
+(** Natural loops and flow-graph reducibility. *)
+
+module Int_set : Set.S with type elt = int
+
+type loop = {
+  header : int;
+  body : Int_set.t;  (** includes the header *)
+}
+
+(** Edges [u -> v] where [v] dominates [u]. *)
+val back_edges : Cfg.t -> Dom.t -> (int * int) list
+
+(** Natural loops of the graph, one per header (loops sharing a header are
+    merged, as is standard). *)
+val natural_loops : Cfg.t -> Dom.t -> loop list
+
+(** Loops ordered by increasing body size, so inner loops come first. *)
+val innermost_first : loop list -> loop list
+
+(** A graph is reducible iff deleting all dominator back edges leaves it
+    acyclic (considering reachable blocks only). *)
+val is_reducible : Cfg.t -> Dom.t -> bool
+
+(** The innermost loop containing block [i], if any. *)
+val enclosing_loop : loop list -> int -> loop option
+
+(** Exit edges [(u, v)] with [u] in the loop and [v] outside. *)
+val exit_edges : Cfg.t -> loop -> (int * int) list

@@ -1,0 +1,23 @@
+type init_item =
+  | Word of int
+  | Bytes of string
+  | Addr of string
+  | Zeros of int
+
+type data = { dname : string; dsize : int; dinit : init_item list }
+
+type t = { globals : data list; funcs : Func.t list }
+
+let find_func p name =
+  List.find_opt (fun f -> String.equal (Func.name f) name) p.funcs
+
+let map_funcs g p = { p with funcs = List.map g p.funcs }
+
+let static_instrs p =
+  List.fold_left (fun n f -> n + Func.num_instrs f) 0 p.funcs
+
+let pp ppf p =
+  List.iter
+    (fun (d : data) -> Fmt.pf ppf "data %s: %d bytes@." d.dname d.dsize)
+    p.globals;
+  List.iter (fun f -> Fmt.pf ppf "%a@." Func.pp f) p.funcs

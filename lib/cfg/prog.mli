@@ -1,0 +1,24 @@
+(** A complete compiled program: global data plus functions. *)
+
+type init_item =
+  | Word of int  (** one 4-byte little-endian word *)
+  | Bytes of string  (** raw bytes, e.g. string contents *)
+  | Addr of string  (** 4-byte address of another symbol *)
+  | Zeros of int
+
+type data = {
+  dname : string;
+  dsize : int;  (** total byte size; tail beyond the initializer is zero *)
+  dinit : init_item list;
+}
+
+type t = { globals : data list; funcs : Func.t list }
+
+val find_func : t -> string -> Func.t option
+val map_funcs : (Func.t -> Func.t) -> t -> t
+
+(** Sum of {!Func.num_instrs} over all functions: the paper's "static
+    instructions" count. *)
+val static_instrs : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,260 @@
+open Ir
+open Flow
+
+type heuristic = Shorter | Favor_returns | Favor_loops
+
+type config = {
+  heuristic : heuristic;
+  max_rtls : int option;
+  allow_irreducible : bool;
+  size_cap : int;
+  replicate_indirect : bool;
+}
+
+let default_config =
+  {
+    heuristic = Shorter;
+    max_rtls = None;
+    allow_irreducible = false;
+    size_cap = 100_000;
+    replicate_indirect = true;
+  }
+
+let uncond_jumps func =
+  Array.to_list (Func.blocks func)
+  |> List.filter_map (fun (b : Func.block) ->
+         match Func.terminator b with
+         | Some (Rtl.Jump l) -> Some (b.label, l)
+         | Some _ | None -> None)
+
+(* A candidate replication: the block sequence (pre loop-completion), its
+   splice mode and its cost in RTLs. *)
+type candidate = { seq : int list; mode : Replicate.mode; cost : int }
+
+let seq_cost func seq =
+  List.fold_left (fun n b -> n + Func.block_size (Func.block func b)) 0 seq
+
+(* Step 3: when the sequence enters the header of a natural loop from
+   outside it, include the entire loop in positional order. *)
+let complete_loops func loops ~from_block seq =
+  ignore func;
+  let header_loop h =
+    List.find_opt (fun (l : Loops.loop) -> l.header = h) loops
+  in
+  let rec go prev acc = function
+    | [] -> List.rev acc
+    | s :: rest -> (
+      match header_loop s with
+      | Some l when not (Loops.Int_set.mem prev l.body) ->
+        (* Control enters the copy at the header, so rotate the positional
+           order to start there: header, then the blocks after it, then the
+           ones before it (wrapping).  When the header is positionally first
+           — the paper's Figure 1 — this is plain positional order. *)
+        let loop_blocks =
+          let all = Loops.Int_set.elements l.body in
+          let after = List.filter (fun x -> x > l.header) all in
+          let before = List.filter (fun x -> x < l.header) all in
+          (l.header :: after) @ before
+        in
+        (* Skip the path blocks inside this loop; they are covered by the
+           complete copy.  [last_inside] keeps the edge source for the
+           continuation. *)
+        let rec skip last_inside = function
+          | x :: xs when Loops.Int_set.mem x l.body -> skip x xs
+          | xs -> (last_inside, xs)
+        in
+        let last_inside, rest' = skip s rest in
+        go last_inside (List.rev_append loop_blocks acc) rest'
+      | Some _ | None -> go s (s :: acc) rest)
+  in
+  go from_block [] seq
+
+(* The innermost loop containing [b] that also contains a sequence block —
+   the scope of step 5's overlap repair. *)
+let repair_scope loops b seq =
+  let candidates =
+    List.filter
+      (fun (l : Loops.loop) ->
+        Loops.Int_set.mem b l.body
+        && List.exists (fun s -> Loops.Int_set.mem s l.body) seq)
+      loops
+  in
+  match Loops.innermost_first candidates with
+  | l :: _ -> Some l
+  | [] -> None
+
+(* Blocks whose copy may terminate a replication sequence: returns always,
+   indirect jumps under the section-6 extension (their successors are not
+   copied; the shared jump table keeps pointing at the originals). *)
+let terminal_blocks config func =
+  let blocks = Func.blocks func in
+  let out = ref [] in
+  Array.iteri
+    (fun i b ->
+      match Func.terminator b with
+      | Some Rtl.Ret -> out := i :: !out
+      | Some (Rtl.Ijump _) when config.replicate_indirect -> out := i :: !out
+      | Some _ | None -> ())
+    blocks;
+  List.rev !out
+
+let candidates_for config func g sp loops ~b ~t =
+  let n = Func.num_blocks func in
+  ignore g;
+  let size bi = Func.block_size (Func.block func bi) in
+  (* Favoring returns: cheapest path from t to a return block, which is
+     itself replicated too. *)
+  let ret_cand =
+    let best =
+      List.fold_left
+        (fun best r ->
+          let this =
+            if r = t then Some ([ t ], size t)
+            else
+              match Shortest_path.path sp ~src:t ~dst:r with
+              | Some p -> Some (p.blocks @ [ r ], p.cost + size r)
+              | None -> None
+          in
+          match best, this with
+          | None, x | x, None -> x
+          | Some (_, c1), Some (_, c2) -> if c2 < c1 then this else best)
+        None (terminal_blocks config func)
+    in
+    Option.map
+      (fun (seq, cost) -> { seq; mode = Replicate.Ends_with_return; cost })
+      best
+  in
+  (* Favoring loops: cheapest path from t back to the block positionally
+     after b; the last block falls through to it. *)
+  let loop_cand =
+    if b + 1 >= n then None
+    else begin
+      let f = b + 1 in
+      if t = f then None (* jump to next: branch chaining's job *)
+      else
+        match Shortest_path.path sp ~src:t ~dst:f with
+        | Some p -> Some { seq = p.blocks; mode = Fallthrough_to f; cost = p.cost }
+        | None -> None
+    end
+  in
+  (* Each base candidate is tried plainly first; the loop-completed variant
+     (step 3) is a fallback for when the plain copy would leave a loop with
+     two entry points — step 6's reducibility check arbitrates. *)
+  let with_completion c =
+    let seq = complete_loops func loops ~from_block:b c.seq in
+    if seq = c.seq then [ c ]
+    else [ c; { c with seq; cost = seq_cost func seq } ]
+  in
+  List.concat_map with_completion (List.filter_map Fun.id [ ret_cand; loop_cand ])
+
+let order_candidates heuristic cands =
+  let by_cost = List.sort (fun a b -> Int.compare a.cost b.cost) cands in
+  match heuristic with
+  | Shorter -> by_cost
+  | Favor_returns ->
+    List.stable_sort
+      (fun a b ->
+        match a.mode, b.mode with
+        | Replicate.Ends_with_return, Replicate.Fallthrough_to _ -> -1
+        | Replicate.Fallthrough_to _, Replicate.Ends_with_return -> 1
+        | _ -> 0)
+      by_cost
+  | Favor_loops ->
+    List.stable_sort
+      (fun a b ->
+        match a.mode, b.mode with
+        | Replicate.Fallthrough_to _, Replicate.Ends_with_return -> -1
+        | Replicate.Ends_with_return, Replicate.Fallthrough_to _ -> 1
+        | _ -> 0)
+      by_cost
+
+(* The per-function analyses every replacement attempt needs.  They are
+   only invalidated by an actual replacement, so the driver shares one
+   instance across the (mostly failing or skipped) attempts in a scan. *)
+type analyses = {
+  g : Cfg.t;
+  dom : Dom.t;
+  loops : Loops.loop list;
+  sp : Shortest_path.t;
+}
+
+let analyze func =
+  let g = Cfg.make func in
+  let dom = Dom.compute g in
+  {
+    g;
+    dom;
+    loops = Loops.natural_loops g dom;
+    sp = Shortest_path.create func g;
+  }
+
+(* Attempt one replacement; returns the new function on success. *)
+let try_replace_with config func an (bl, tl) =
+  let b =
+    match Func.index_of_label func bl with
+    | i -> Some i
+    | exception Not_found -> None
+  in
+  match b with
+  | None -> None
+  | Some b -> (
+    let block = Func.block func b in
+    match Func.terminator block with
+    | Some (Rtl.Jump l) when Label.equal l tl -> (
+      match Func.index_of_label func tl with
+      | exception Not_found -> None
+      | t when t = b -> None (* self loop: infinite loop, leave it *)
+      | t -> (
+        let { g; loops; sp; _ } = Lazy.force an in
+        let cands = candidates_for config func g sp loops ~b ~t in
+        let cands =
+          match config.max_rtls with
+          | None -> cands
+          | Some cap -> List.filter (fun c -> c.cost <= cap) cands
+        in
+        let cands =
+          List.filter (fun c -> c.seq <> []) (order_candidates config.heuristic cands)
+        in
+        let attempt c =
+          let repair = repair_scope loops b c.seq in
+          match
+            Replicate.splice ?repair_loop:repair func ~after:b ~seq:c.seq
+              ~mode:c.mode
+          with
+          | exception Invalid_argument _ -> None
+          | func' ->
+            if config.allow_irreducible then Some func'
+            else begin
+              let g' = Cfg.make func' in
+              let dom' = Dom.compute g' in
+              if Loops.is_reducible g' dom' then Some func' else None
+            end
+        in
+        let rec first_ok = function
+          | [] -> None
+          | c :: rest -> (
+            match attempt c with Some f -> Some f | None -> first_ok rest)
+        in
+        first_ok cands))
+    | Some _ | None -> None)
+
+let try_replace config func jump =
+  try_replace_with config func (lazy (analyze func)) jump
+
+let run config func =
+  let jumps = uncond_jumps func in
+  let func = ref func in
+  let changed = ref false in
+  (* Analyses survive failed attempts; only a replacement invalidates. *)
+  let an = ref (lazy (analyze !func)) in
+  List.iter
+    (fun jump ->
+      if Func.num_instrs !func <= config.size_cap then
+        match try_replace_with config !func !an jump with
+        | Some f ->
+          func := f;
+          changed := true;
+          an := lazy (analyze f)
+        | None -> ())
+    jumps;
+  (!func, !changed)

@@ -1,0 +1,51 @@
+(** JUMPS: generalized code replication (paper §4).
+
+    One invocation scans the function's unconditional jumps (those present
+    on entry) and replaces each with a replicated block sequence when legal:
+
+    + build shortest-path tables (step 1);
+    + for each jump in block [B] to target [T], form the two candidate
+      sequences — {e favoring returns} (cheapest path from [T] to any
+      return block) and {e favoring loops} (cheapest path from [T] back to
+      the block positionally following [B]) — and order them by the
+      configured heuristic (step 2);
+    + complete natural loops entered by a sequence (step 3);
+    + splice the copies, adjusting control flow ({!Replicate}) (steps 4–5);
+    + roll the replication back if the flow graph became irreducible,
+      trying the other candidate first (step 6).
+
+    The driver re-invokes [run] until it reports no change, and once more
+    with [allow_irreducible = true] as the final invocation (paper §5.1). *)
+
+type heuristic =
+  | Shorter  (** pick the candidate that adds fewer RTLs (default) *)
+  | Favor_returns
+  | Favor_loops
+
+type config = {
+  heuristic : heuristic;
+  max_rtls : int option;
+      (** cap on one replication sequence's size, in RTLs (paper section 6) *)
+  allow_irreducible : bool;
+      (** skip the reducibility check (final invocation only) *)
+  size_cap : int;
+      (** stop replicating when the function exceeds this many RTLs *)
+  replicate_indirect : bool;
+      (** allow sequences terminated by an indirect jump — the paper's
+          section-6 extension (the jump table itself is shared) *)
+}
+
+val default_config : config
+
+(** [run config func] returns the transformed function and whether anything
+    changed. *)
+val run : config -> Flow.Func.t -> Flow.Func.t * bool
+
+(** Statistics helper: labels of blocks ending in an unconditional [Jump]
+    with their targets. *)
+val uncond_jumps : Flow.Func.t -> (Ir.Label.t * Ir.Label.t) list
+
+(** One replacement attempt for a specific jump (source-block label, target
+    label); [None] when not replaceable.  Exposed for tests and debugging. *)
+val try_replace :
+  config -> Flow.Func.t -> Ir.Label.t * Ir.Label.t -> Flow.Func.t option

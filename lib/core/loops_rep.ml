@@ -1,0 +1,106 @@
+open Ir
+open Flow
+
+(* A loop header eligible for condition replication: it ends in a
+   conditional branch with one successor inside the loop and one outside. *)
+type test_info = {
+  body : Rtl.instr list;  (** header instructions without the branch *)
+  cond : Rtl.cond;  (** branch condition *)
+  taken : int;  (** branch-taken successor *)
+  fall : int;  (** fall-through successor *)
+  inside : int;  (** which of the two is inside the loop *)
+  outside : int;
+}
+
+let header_test func g loops t =
+  match List.find_opt (fun (l : Loops.loop) -> l.header = t) loops with
+  | None -> None
+  | Some loop -> (
+    let block = Func.block func t in
+    match Func.terminator block with
+    | Some (Rtl.Branch (cond, l)) ->
+      let taken = Func.index_of_label func l in
+      if t + 1 >= Cfg.num_blocks g then None
+      else begin
+        let fall = t + 1 in
+        let body =
+          match List.rev block.instrs with
+          | _branch :: rev_body -> List.rev rev_body
+          | [] -> assert false
+        in
+        let in_taken = Loops.Int_set.mem taken loop.body in
+        let in_fall = Loops.Int_set.mem fall loop.body in
+        match in_taken, in_fall with
+        | true, false ->
+          Some { body; cond; taken; fall; inside = taken; outside = fall }
+        | false, true ->
+          Some { body; cond; taken; fall; inside = fall; outside = taken }
+        | (true | false), _ -> None
+      end
+    | Some _ | None -> None)
+
+(* Replace the jump ending block [b] by a copy of the loop test, branching
+   to [branch_to] and falling through to [b+1]. *)
+let replace_jump func ~b ~(info : test_info) ~branch_to =
+  let blocks = Func.blocks func in
+  let label_of i = blocks.(i).Func.label in
+  let cond =
+    if branch_to = info.taken then info.cond else Rtl.negate_cond info.cond
+  in
+  let branch = Rtl.Branch (cond, label_of branch_to) in
+  let stripped =
+    match List.rev blocks.(b).Func.instrs with
+    | Rtl.Jump _ :: rev -> List.rev rev
+    | _ -> assert false
+  in
+  let out = Array.copy blocks in
+  out.(b) <- { (blocks.(b)) with instrs = stripped @ info.body @ [ branch ] };
+  Func.with_blocks func out
+
+let try_block func g loops n b =
+  let block = Func.block func b in
+  match Func.terminator block with
+  | Some (Rtl.Jump l) -> (
+    match Func.index_of_label func l with
+    | exception Not_found -> None
+    | t when t = b -> None (* infinite loop *)
+    | t -> (
+      match header_test func g loops t with
+      | None -> None
+      | Some info ->
+        if b + 1 >= n then None
+        else if b + 1 = info.outside then
+          (* The jump's fall-through position is the loop exit: the copy
+             branches back into the loop (end-of-loop case, Table 1). *)
+          Some (replace_jump func ~b ~info ~branch_to:info.inside)
+        else if b + 1 = info.inside then
+          (* The jump precedes the loop: the copy branches to the exit and
+             falls into the body (rotated-for-loop case). *)
+          Some (replace_jump func ~b ~info ~branch_to:info.outside)
+        else None))
+  | Some _ | None -> None
+
+let run func =
+  let changed = ref false in
+  let continue_scan = ref true in
+  let fn = ref func in
+  (* Each replacement changes successor roles; rescan until quiescent. *)
+  while !continue_scan do
+    continue_scan := false;
+    let func = !fn in
+    let g = Cfg.make func in
+    let dom = Dom.compute g in
+    let loops = Loops.natural_loops g dom in
+    let n = Func.num_blocks func in
+    let rec scan b =
+      if b < n then
+        match try_block func g loops n b with
+        | Some f ->
+          fn := f;
+          changed := true;
+          continue_scan := true
+        | None -> scan (b + 1)
+    in
+    scan 0
+  done;
+  (!fn, !changed)

@@ -1,0 +1,12 @@
+(** LOOPS: loop-condition replication only (paper §5).
+
+    The conventional optimization: an unconditional jump to a natural-loop
+    header that ends in a conditional branch — either the jump at a loop's
+    bottom back to its top test, or the jump preceding a rotated loop to its
+    bottom test — is replaced by a copy of the header with the branch
+    direction adjusted so the copy falls through to the jump's positional
+    successor.  Removes one jump per loop entry or one jump per iteration,
+    depending on the original layout. *)
+
+(** Returns the transformed function and whether anything changed. *)
+val run : Flow.Func.t -> Flow.Func.t * bool

@@ -1,0 +1,34 @@
+(** The code-replication transformation (paper §4, steps 3–5).
+
+    [splice] replaces the unconditional jump ending block [after] with
+    copies of the blocks in [seq] (given by index into the current block
+    array), placed positionally right after [after]:
+
+    - consecutive sequence blocks are connected by fall-through: jumps to
+      the next sequence block are deleted, conditional branches whose taken
+      edge goes to the next sequence block are reversed (step 4);
+    - branch targets that were themselves replicated are redirected to their
+      copies, favoring forward copies over backward ones (step 5);
+    - with [mode = Fallthrough_to f], the last copy falls through to
+      original block [f], which must be the block positionally following
+      [after];
+    - with [mode = Ends_with_return], the last sequence block must end in a
+      return or an indirect jump, which is copied verbatim (the latter is
+      the paper's section-6 extension: an indirect jump may terminate a
+      replication sequence; its jump table is shared, not copied);
+    - with [repair_loop], conditional branches of loop blocks that were not
+      copied but target a copied block are redirected to the copy
+      (step 5's partial-overlap repair).
+
+    The caller is responsible for checking reducibility afterwards and
+    rolling back if needed (step 6). *)
+
+type mode = Fallthrough_to of int | Ends_with_return
+
+val splice :
+  ?repair_loop:Flow.Loops.loop ->
+  Flow.Func.t ->
+  after:int ->
+  seq:int list ->
+  mode:mode ->
+  Flow.Func.t

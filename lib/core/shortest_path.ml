@@ -1,0 +1,143 @@
+open Flow
+
+type path = { cost : int; blocks : int list }
+
+let inf = max_int / 4
+
+(* Replication-legal edges: no self loops, no paths through indirect
+   jumps. *)
+let edge_list func g =
+  let n = Cfg.num_blocks g in
+  let edges = Array.make n [] in
+  for u = 0 to n - 1 do
+    let b = Func.block func u in
+    let through_ok =
+      match Func.terminator b with
+      | Some (Ir.Rtl.Ijump _) -> false
+      | Some _ | None -> true
+    in
+    if through_ok then
+      edges.(u) <- List.filter (fun v -> v <> u) (Cfg.succs g u)
+  done;
+  edges
+
+let block_sizes func =
+  Array.map Func.block_size (Func.blocks func)
+
+module All_pairs = struct
+  type t = { dist : int array array; next : int array array }
+
+  let compute func g =
+    let n = Cfg.num_blocks g in
+    let sizes = block_sizes func in
+    let edges = edge_list func g in
+    let dist = Array.make_matrix n n inf in
+    let next = Array.make_matrix n n (-1) in
+    for u = 0 to n - 1 do
+      List.iter
+        (fun v ->
+          if sizes.(u) < dist.(u).(v) then begin
+            dist.(u).(v) <- sizes.(u);
+            next.(u).(v) <- v
+          end)
+        edges.(u)
+    done;
+    for k = 0 to n - 1 do
+      for u = 0 to n - 1 do
+        if dist.(u).(k) < inf then
+          for v = 0 to n - 1 do
+            if dist.(k).(v) < inf then begin
+              let d = dist.(u).(k) + dist.(k).(v) in
+              if d < dist.(u).(v) then begin
+                dist.(u).(v) <- d;
+                next.(u).(v) <- next.(u).(k)
+              end
+            end
+          done
+      done
+    done;
+    { dist; next }
+
+  let path t ~src ~dst =
+    if src = dst || t.dist.(src).(dst) >= inf then None
+    else begin
+      let rec walk u acc =
+        if u = dst then List.rev acc else walk t.next.(u).(dst) (u :: acc)
+      in
+      Some { cost = t.dist.(src).(dst); blocks = walk src [] }
+    end
+end
+
+module Single_source = struct
+  type t = { src : int; dist : int array; prev : int array }
+
+  (* Dijkstra with node weights: entering block v from u costs size(u);
+     dist.(v) = RTLs of blocks from src up to but excluding v. *)
+  let compute func g ~src =
+    let n = Cfg.num_blocks g in
+    let sizes = block_sizes func in
+    let edges = edge_list func g in
+    let dist = Array.make n inf in
+    let prev = Array.make n (-1) in
+    let module Pq = Set.Make (struct
+      type t = int * int
+
+      let compare = compare
+    end) in
+    dist.(src) <- 0;
+    let pq = ref (Pq.singleton (0, src)) in
+    while not (Pq.is_empty !pq) do
+      let ((d, u) as elt) = Pq.min_elt !pq in
+      pq := Pq.remove elt !pq;
+      if d <= dist.(u) then
+        List.iter
+          (fun v ->
+            let nd = d + sizes.(u) in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              prev.(v) <- u;
+              pq := Pq.add (nd, v) !pq
+            end)
+          edges.(u)
+    done;
+    { src; dist; prev }
+
+  let path t ~dst =
+    if dst = t.src || t.dist.(dst) >= inf then None
+    else begin
+      let rec walk v acc =
+        if v = t.src then v :: acc else walk t.prev.(v) (v :: acc)
+      in
+      (* The path excludes dst itself. *)
+      let blocks = walk t.prev.(dst) [] in
+      Some { cost = t.dist.(dst); blocks }
+    end
+end
+
+type impl =
+  | Ap of All_pairs.t
+  | Ss of {
+      func : Flow.Func.t;
+      g : Cfg.t;
+      cache : (int, Single_source.t) Hashtbl.t;
+    }
+
+type t = impl
+
+let create ?(all_pairs_limit = 250) func g =
+  if Cfg.num_blocks g <= all_pairs_limit then Ap (All_pairs.compute func g)
+  else Ss { func; g; cache = Hashtbl.create 16 }
+
+let path t ~src ~dst =
+  match t with
+  | Ap ap -> All_pairs.path ap ~src ~dst
+  | Ss { func; g; cache } ->
+    let ss =
+      match Hashtbl.find_opt cache src with
+      | Some ss -> ss
+      | None ->
+        let ss = Single_source.compute func g ~src in
+        Hashtbl.add cache src ss;
+        ss
+    in
+    Single_source.path ss ~dst

@@ -1,0 +1,45 @@
+(** Shortest replication paths in the control-flow graph.
+
+    The cost of a path is the number of RTLs in the traversed blocks —
+    exactly the code-size increase its replication would cause.  Following
+    the paper, [dist u v] sums the sizes of the blocks from [u] up to but
+    {e excluding} [v], so the favoring-loops cost of replacing a jump to [t]
+    that should rejoin at [f] is [dist t f], and the favoring-returns cost
+    for return block [r] is [dist t r + size r].
+
+    Edges excluded from paths (paper §4 step 1): self-loops and the outgoing
+    edges of blocks ending in indirect jumps.
+
+    Two interchangeable implementations are provided: Warshall/Floyd
+    all-pairs (the paper's choice, O(n³)) and a single-source Dijkstra used
+    for large functions.  They agree on distances; property tests check
+    this. *)
+
+type path = { cost : int; blocks : int list (** from source inclusive *) }
+
+(** All-pairs tables via Floyd/Warshall. *)
+module All_pairs : sig
+  type t
+
+  val compute : Flow.Func.t -> Flow.Cfg.t -> t
+
+  (** Cheapest path from [src] to [dst], exclusive of [dst].
+      [None] if unreachable. *)
+  val path : t -> src:int -> dst:int -> path option
+end
+
+(** Single-source via Dijkstra. *)
+module Single_source : sig
+  type t
+
+  val compute : Flow.Func.t -> Flow.Cfg.t -> src:int -> t
+
+  val path : t -> dst:int -> path option
+end
+
+(** Uses all-pairs for functions up to [all_pairs_limit] blocks (default
+    250), Dijkstra-per-source beyond, memoized per source. *)
+type t
+
+val create : ?all_pairs_limit:int -> Flow.Func.t -> Flow.Cfg.t -> t
+val path : t -> src:int -> dst:int -> path option

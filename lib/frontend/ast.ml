@@ -1,0 +1,79 @@
+type ty = Tint | Tchar | Tvoid | Tptr of ty | Tarr of ty * int
+
+let rec sizeof = function
+  | Tint -> 4
+  | Tchar -> 1
+  | Tvoid -> 0
+  | Tptr _ -> 4
+  | Tarr (t, n) -> sizeof t * n
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Land
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Lnot | Bnot | Deref | Addr
+
+type assop = binop option
+
+type expr =
+  | Int_lit of int
+  | Str_lit of string
+  | Var of string
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Index of expr * expr
+  | Call of string * expr list
+  | Assign of assop * expr * expr
+  | Incdec of { pre : bool; inc : bool; lhs : expr }
+  | Ternary of expr * expr * expr
+  | Comma of expr * expr
+
+type decl = { dty : ty; dname : string; dinit : expr option }
+
+type stmt =
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string * stmt
+  | Sswitch of expr * switch_case list
+  | Sblock of decl list * stmt list
+  | Sempty
+
+and switch_case = { values : int list; body : stmt list }
+
+type global_init = Gscalar of int | Glist of int list | Gstring of string
+
+type global = { gty : ty; gname : string; ginit : global_init option }
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt;
+}
+
+type item = Iglobals of global list | Ifunc of func
+
+type program = item list

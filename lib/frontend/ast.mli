@@ -1,0 +1,94 @@
+(** Abstract syntax of the C subset.
+
+    The subset covers what the paper's 14 test programs need: [int]/[char]
+    scalars, one- and two-dimensional arrays, single-level pointers with
+    arithmetic, the full statement repertoire that produces unconditional
+    jumps (loops, [if]/[else], [break], [continue], [goto], [switch]), and
+    function definitions with register-passed arguments. *)
+
+type ty =
+  | Tint
+  | Tchar
+  | Tvoid  (** function returns only *)
+  | Tptr of ty
+  | Tarr of ty * int
+
+val sizeof : ty -> int
+
+(** Binary operators; [Land]/[Lor] short-circuit. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Land
+  | Lor
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Lnot | Bnot | Deref | Addr
+
+(** Compound-assignment carriers: [None] is plain [=]. *)
+type assop = binop option
+
+type expr =
+  | Int_lit of int
+  | Str_lit of string
+  | Var of string
+  | Binary of binop * expr * expr
+  | Unary of unop * expr
+  | Index of expr * expr  (** [a\[i\]] *)
+  | Call of string * expr list
+  | Assign of assop * expr * expr
+  | Incdec of { pre : bool; inc : bool; lhs : expr }
+  | Ternary of expr * expr * expr
+  | Comma of expr * expr
+
+type decl = { dty : ty; dname : string; dinit : expr option }
+
+type stmt =
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of expr option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sgoto of string
+  | Slabel of string * stmt
+  | Sswitch of expr * switch_case list
+  | Sblock of decl list * stmt list
+  | Sempty
+
+(** [values = []] marks the [default] arm.  Arms fall through in order, as
+    in C; an arm without [break] continues into the next. *)
+and switch_case = { values : int list; body : stmt list }
+
+type global_init =
+  | Gscalar of int
+  | Glist of int list  (** array initializer *)
+  | Gstring of string  (** char-array or char-pointer initializer *)
+
+type global = { gty : ty; gname : string; ginit : global_init option }
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt;
+}
+
+type item = Iglobals of global list | Ifunc of func
+
+type program = item list

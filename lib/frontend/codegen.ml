@@ -1,0 +1,987 @@
+open Ir
+open Ast
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* --- Types --- *)
+
+(* Array-typed expressions decay to pointers when used as values. *)
+let decay = function Tarr (el, _) -> Tptr el | t -> t
+
+let width_of = function
+  | Tchar -> Rtl.Byte
+  | Tint | Tptr _ -> Rtl.Word
+  | (Tvoid | Tarr _) as t ->
+    error "cannot load/store a value of type %s"
+      (match t with Tvoid -> "void" | _ -> "array")
+
+type storage =
+  | In_reg of Reg.t  (** scalar local in a virtual register *)
+  | On_stack of int  (** fp-relative byte offset (negative) *)
+  | In_data  (** global; addressed as [Abs name] *)
+
+type var = { vty : ty; vstorage : storage }
+
+type fsig = { ret : ty; params : ty list }
+
+type env = {
+  globals : (string, ty) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string * var) list list;
+}
+
+let builtins =
+  [
+    "getchar", { ret = Tint; params = [] };
+    "putchar", { ret = Tint; params = [ Tint ] };
+    "exit", { ret = Tvoid; params = [ Tint ] };
+  ]
+
+let lookup_var env name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some v -> Some v
+      | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some v -> Some v
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some ty -> Some { vty = ty; vstorage = In_data }
+    | None -> None)
+
+let find_var env name =
+  match lookup_var env name with
+  | Some v -> v
+  | None -> error "unknown variable %s" name
+
+let find_func env name =
+  match Hashtbl.find_opt env.funcs name with
+  | Some s -> Some s
+  | None -> List.assoc_opt name builtins
+
+(* --- Expression typing --- *)
+
+let rec type_of env e =
+  match e with
+  | Int_lit _ -> Tint
+  | Str_lit _ -> Tptr Tchar
+  | Var x -> (find_var env x).vty
+  | Binary (op, a, b) -> (
+    match op with
+    | Land | Lor | Eq | Ne | Lt | Le | Gt | Ge -> Tint
+    | Add | Sub -> (
+      let ta = decay (type_of env a) and tb = decay (type_of env b) in
+      match ta, tb with
+      | Tptr _, Tptr _ -> Tint (* pointer difference *)
+      | Tptr _, _ -> ta
+      | _, Tptr _ -> tb
+      | _, _ -> Tint)
+    | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr -> Tint)
+  | Unary (op, a) -> (
+    match op with
+    | Neg | Lnot | Bnot -> Tint
+    | Deref -> (
+      match decay (type_of env a) with
+      | Tptr t -> t
+      | _ -> error "dereference of a non-pointer")
+    | Addr -> Tptr (type_of env a))
+  | Index (a, _) -> (
+    match decay (type_of env a) with
+    | Tptr t -> t
+    | _ -> error "indexing a non-pointer")
+  | Call (f, _) -> (
+    match find_func env f with
+    | Some s -> s.ret
+    | None -> error "call to unknown function %s" f)
+  | Assign (_, lhs, _) -> type_of env lhs
+  | Incdec { lhs; _ } -> type_of env lhs
+  | Ternary (_, a, _) -> decay (type_of env a)
+  | Comma (_, b) -> type_of env b
+
+(* --- Address-taken analysis --- *)
+
+let rec addr_taken_expr acc e =
+  match e with
+  | Unary (Addr, Var x) -> x :: acc
+  | Unary (Addr, inner) -> addr_taken_expr acc inner
+  | Int_lit _ | Str_lit _ | Var _ -> acc
+  | Binary (_, a, b) | Comma (a, b) -> addr_taken_expr (addr_taken_expr acc a) b
+  | Unary (_, a) -> addr_taken_expr acc a
+  | Index (a, b) -> addr_taken_expr (addr_taken_expr acc a) b
+  | Call (_, args) -> List.fold_left addr_taken_expr acc args
+  | Assign (_, a, b) -> addr_taken_expr (addr_taken_expr acc a) b
+  | Incdec { lhs; _ } -> addr_taken_expr acc lhs
+  | Ternary (a, b, c) ->
+    addr_taken_expr (addr_taken_expr (addr_taken_expr acc a) b) c
+
+let rec addr_taken_stmt acc s =
+  match s with
+  | Sexpr e -> addr_taken_expr acc e
+  | Sif (c, a, b) ->
+    let acc = addr_taken_expr acc c in
+    let acc = addr_taken_stmt acc a in
+    (match b with Some b -> addr_taken_stmt acc b | None -> acc)
+  | Swhile (c, b) | Sdo (b, c) -> addr_taken_stmt (addr_taken_expr acc c) b
+  | Sfor (i, c, u, b) ->
+    let f acc = function Some e -> addr_taken_expr acc e | None -> acc in
+    addr_taken_stmt (f (f (f acc i) c) u) b
+  | Sreturn (Some e) -> addr_taken_expr acc e
+  | Sreturn None | Sbreak | Scontinue | Sgoto _ | Sempty -> acc
+  | Slabel (_, s) -> addr_taken_stmt acc s
+  | Sswitch (e, cases) ->
+    List.fold_left
+      (fun acc c -> List.fold_left addr_taken_stmt acc c.body)
+      (addr_taken_expr acc e) cases
+  | Sblock (decls, stmts) ->
+    let acc =
+      List.fold_left
+        (fun acc d ->
+          match d.dinit with Some e -> addr_taken_expr acc e | None -> acc)
+        acc decls
+    in
+    List.fold_left addr_taken_stmt acc stmts
+
+(* --- Per-function generation state --- *)
+
+type item = Ilabel of Label.t | Iinstr of Rtl.instr
+
+type fstate = {
+  env : env;
+  lsupply : Label.Supply.t;
+  vsupply : Reg.Supply.t;
+  buf : item list ref;  (** reversed *)
+  mutable frame_off : int;  (** next free fp-relative offset (negative) *)
+  epilogue : Label.t;
+  addr_taken : string list;
+  user_labels : (string, Label.t) Hashtbl.t;
+  defined_labels : (string, unit) Hashtbl.t;
+  mutable strings : (string * string) list;  (** symbol, contents *)
+  mutable string_count : int ref;
+  fname : string;
+}
+
+let emit fs i = fs.buf := Iinstr i :: !(fs.buf)
+let emit_label fs l = fs.buf := Ilabel l :: !(fs.buf)
+let fresh_label fs = Label.Supply.fresh fs.lsupply
+let fresh_reg fs = Reg.Supply.fresh fs.vsupply
+
+let alloc_stack fs bytes =
+  let aligned = (bytes + 3) land lnot 3 in
+  fs.frame_off <- fs.frame_off - aligned;
+  fs.frame_off
+
+let intern_string fs s =
+  match List.find_opt (fun (_, c) -> String.equal c s) fs.strings with
+  | Some (sym, _) -> sym
+  | None ->
+    let sym = Printf.sprintf "Lstr%d" !(fs.string_count) in
+    incr fs.string_count;
+    fs.strings <- (sym, s) :: fs.strings;
+    sym
+
+let user_label fs name =
+  match Hashtbl.find_opt fs.user_labels name with
+  | Some l -> l
+  | None ->
+    let l = fresh_label fs in
+    Hashtbl.add fs.user_labels name l;
+    l
+
+(* --- Expression code generation --- *)
+
+(* Elements of pointer arithmetic scale by the pointee size. *)
+let scale_of env e =
+  match decay (type_of env e) with
+  | Tptr t -> max 1 (sizeof t)
+  | _ -> 1
+
+let ast_binop_to_rtl = function
+  | Add -> Rtl.Add
+  | Sub -> Rtl.Sub
+  | Mul -> Rtl.Mul
+  | Div -> Rtl.Div
+  | Rem -> Rtl.Rem
+  | Band -> Rtl.And
+  | Bor -> Rtl.Or
+  | Bxor -> Rtl.Xor
+  | Shl -> Rtl.Shl
+  | Shr -> Rtl.Shr
+  | Land | Lor | Eq | Ne | Lt | Le | Gt | Ge ->
+    error "comparison used as arithmetic operator"
+
+let ast_cmp_to_cond = function
+  | Eq -> Rtl.Eq
+  | Ne -> Rtl.Ne
+  | Lt -> Rtl.Lt
+  | Le -> Rtl.Le
+  | Gt -> Rtl.Gt
+  | Ge -> Rtl.Ge
+  | _ -> error "not a comparison"
+
+let is_cmp = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> true
+  | _ -> false
+
+(* The value of an expression as a Reg or Imm operand. *)
+let rec rvalue fs e : Rtl.operand =
+  let env = fs.env in
+  match e with
+  | Int_lit n -> Imm (Arith.norm n)
+  | Str_lit s ->
+    let sym = intern_string fs s in
+    let r = fresh_reg fs in
+    emit fs (Rtl.Lea (r, Abs (sym, 0)));
+    Reg r
+  | Var x -> (
+    let v = find_var env x in
+    match v.vstorage, v.vty with
+    | In_reg r, _ -> Reg r
+    | On_stack off, Tarr _ ->
+      let r = fresh_reg fs in
+      emit fs (Rtl.Lea (r, Based (Conv.fp, off)));
+      Reg r
+    | On_stack off, ty ->
+      let r = fresh_reg fs in
+      emit fs (Rtl.Move (Lreg r, Mem (width_of ty, Based (Conv.fp, off))));
+      Reg r
+    | In_data, Tarr _ ->
+      let r = fresh_reg fs in
+      emit fs (Rtl.Lea (r, Abs (x, 0)));
+      Reg r
+    | In_data, ty ->
+      let r = fresh_reg fs in
+      emit fs (Rtl.Move (Lreg r, Mem (width_of ty, Abs (x, 0))));
+      Reg r)
+  | Binary ((Land | Lor), _, _) | Unary (Lnot, _) ->
+    (* Boolean value: materialize 0/1 through branches. *)
+    let r = fresh_reg fs in
+    let l_false = fresh_label fs in
+    let l_end = fresh_label fs in
+    branch_false fs e l_false;
+    emit fs (Rtl.Move (Lreg r, Imm 1));
+    emit fs (Rtl.Jump l_end);
+    emit_label fs l_false;
+    emit fs (Rtl.Move (Lreg r, Imm 0));
+    emit_label fs l_end;
+    Reg r
+  | Binary (op, a, b) when is_cmp op ->
+    let r = fresh_reg fs in
+    let l_false = fresh_label fs in
+    let l_end = fresh_label fs in
+    branch_false fs (Binary (op, a, b)) l_false;
+    emit fs (Rtl.Move (Lreg r, Imm 1));
+    emit fs (Rtl.Jump l_end);
+    emit_label fs l_false;
+    emit fs (Rtl.Move (Lreg r, Imm 0));
+    emit_label fs l_end;
+    Reg r
+  | Binary (op, a, b) -> (
+    let sa = scale_of env a and sb = scale_of env b in
+    match op with
+    | Add | Sub when sa > 1 && sb = 1 ->
+      let va = rvalue fs a in
+      let vb = scaled fs b sa in
+      binop fs (ast_binop_to_rtl op) va vb
+    | Add when sb > 1 && sa = 1 ->
+      let va = scaled fs a sb in
+      let vb = rvalue fs b in
+      binop fs Rtl.Add va vb
+    | Sub when sa > 1 && sb > 1 ->
+      (* Pointer difference: byte difference divided by the element size. *)
+      let va = rvalue fs a in
+      let vb = rvalue fs b in
+      let diff = binop fs Rtl.Sub va vb in
+      binop fs Rtl.Div diff (Imm sa)
+    | _ ->
+      let va = rvalue fs a in
+      let vb = rvalue fs b in
+      binop fs (ast_binop_to_rtl op) va vb)
+  | Unary (Neg, a) ->
+    let v = rvalue fs a in
+    let r = fresh_reg fs in
+    emit fs (Rtl.Unop (Neg, Lreg r, v));
+    Reg r
+  | Unary (Bnot, a) ->
+    let v = rvalue fs a in
+    let r = fresh_reg fs in
+    emit fs (Rtl.Unop (Not, Lreg r, v));
+    Reg r
+  | Unary (Deref, _) | Index (_, _) -> (
+    let ty = type_of env e in
+    match ty with
+    | Tarr _ ->
+      (* An array element that is itself an array decays to its address. *)
+      let addr = lvalue_addr fs e in
+      addr_to_reg fs addr
+    | _ ->
+      let addr = lvalue_addr fs e in
+      let r = fresh_reg fs in
+      emit fs (Rtl.Move (Lreg r, Mem (width_of ty, addr)));
+      Reg r)
+  | Unary (Addr, a) ->
+    let addr = lvalue_addr fs a in
+    addr_to_reg fs addr
+  | Call (f, args) -> do_call fs f args
+  | Assign (None, lhs, rhs) ->
+    let v = rvalue fs rhs in
+    (* Stabilize the value in case storing clobbers it (it cannot, but a
+       register operand keeps the code shape uniform). *)
+    let loc = lvalue fs lhs in
+    emit fs (Rtl.Move (loc, v));
+    v
+  | Assign (Some op, lhs, rhs) ->
+    let loc = lvalue fs lhs in
+    let old = load_loc fs loc in
+    let v = rvalue fs rhs in
+    let v =
+      (* += on pointers scales like +. *)
+      let s = scale_of env lhs in
+      if s > 1 && (op = Add || op = Sub) then
+        match v with
+        | Imm n -> Rtl.Imm (n * s)
+        | _ -> binop fs Rtl.Mul v (Imm s)
+      else v
+    in
+    let nv = binop fs (ast_binop_to_rtl op) old v in
+    emit fs (Rtl.Move (loc, nv));
+    nv
+  | Incdec { pre; inc; lhs } ->
+    let s = scale_of env lhs in
+    let delta = if inc then s else -s in
+    let loc = lvalue fs lhs in
+    let old = load_loc fs loc in
+    let nv = binop fs Rtl.Add old (Imm delta) in
+    emit fs (Rtl.Move (loc, nv));
+    if pre then nv
+    else begin
+      (* The old value was already stabilized in a register by load_loc
+         unless the location is a register, in which case copy first. *)
+      old
+    end
+  | Ternary (c, a, b) ->
+    let r = fresh_reg fs in
+    let l_else = fresh_label fs in
+    let l_end = fresh_label fs in
+    branch_false fs c l_else;
+    let va = rvalue fs a in
+    emit fs (Rtl.Move (Lreg r, va));
+    emit fs (Rtl.Jump l_end);
+    emit_label fs l_else;
+    let vb = rvalue fs b in
+    emit fs (Rtl.Move (Lreg r, vb));
+    emit_label fs l_end;
+    Reg r
+  | Comma (a, b) ->
+    ignore (rvalue fs a);
+    rvalue fs b
+
+and binop fs op a b : Rtl.operand =
+  match a, b with
+  | Rtl.Imm x, Rtl.Imm y -> (
+    (* Fold now; division by a zero constant must survive to run time. *)
+    match Rtl.eval_binop op x y with
+    | v -> Imm v
+    | exception Division_by_zero ->
+      let r = fresh_reg fs in
+      let ra = fresh_reg fs in
+      emit fs (Rtl.Move (Lreg ra, Imm x));
+      emit fs (Rtl.Binop (op, Lreg r, Reg ra, Imm y));
+      Reg r)
+  | _ ->
+    let r = fresh_reg fs in
+    emit fs (Rtl.Binop (op, Lreg r, a, b));
+    Reg r
+
+and scaled fs e s =
+  if s = 1 then rvalue fs e
+  else
+    match rvalue fs e with
+    | Imm n -> Rtl.Imm (n * s)
+    | v -> binop fs Rtl.Mul v (Imm s)
+
+and addr_to_reg fs addr : Rtl.operand =
+  match addr with
+  | Rtl.Based (r, 0) -> Reg r
+  | addr ->
+    let r = fresh_reg fs in
+    emit fs (Rtl.Lea (r, addr));
+    Reg r
+
+(* The address denoted by an lvalue expression. *)
+and lvalue_addr fs e : Rtl.addr =
+  let env = fs.env in
+  match e with
+  | Var x -> (
+    let v = find_var env x in
+    match v.vstorage with
+    | On_stack off -> Based (Conv.fp, off)
+    | In_data -> Abs (x, 0)
+    | In_reg _ -> error "variable %s has no address (in register)" x)
+  | Unary (Deref, p) -> (
+    match rvalue fs p with
+    | Reg r -> Based (r, 0)
+    | Imm n ->
+      (* Dereference of a constant address (e.g. a null pointer): keep the
+         constant so the fault, if any, happens at run time. *)
+      let r = fresh_reg fs in
+      emit fs (Rtl.Move (Lreg r, Imm n));
+      Based (r, 0)
+    | Mem _ -> assert false)
+  | Index (a, i) -> (
+    let elem_size =
+      match decay (type_of env a) with
+      | Tptr t -> max 1 (sizeof t)
+      | _ -> error "indexing a non-pointer"
+    in
+    let base = rvalue fs a in
+    match i with
+    | Int_lit k -> (
+      match base with
+      | Reg r -> Based (r, k * elem_size)
+      | Imm n -> Based (Conv.fp, n + (k * elem_size))
+      | Mem _ -> assert false)
+    | _ -> (
+      let iv = scaled fs i elem_size in
+      match base, iv with
+      | Reg rb, Reg ri ->
+        let r = fresh_reg fs in
+        emit fs (Rtl.Binop (Add, Lreg r, Reg rb, Reg ri));
+        Based (r, 0)
+      | Reg rb, Imm n -> Based (rb, n)
+      | base, iv -> (
+        let r = fresh_reg fs in
+        emit fs (Rtl.Binop (Add, Lreg r, base, iv));
+        Based (r, 0))))
+  | Str_lit _ | Int_lit _ | Binary _ | Unary _ | Call _ | Assign _ | Incdec _
+  | Ternary _ | Comma _ ->
+    error "expression is not an lvalue"
+
+(* The location denoted by an lvalue: register or memory. *)
+and lvalue fs e : Rtl.loc =
+  let env = fs.env in
+  match e with
+  | Var x -> (
+    let v = find_var env x in
+    match v.vstorage with
+    | In_reg r -> Lreg r
+    | On_stack _ | In_data -> Lmem (width_of v.vty, lvalue_addr fs e))
+  | Unary (Deref, _) | Index _ ->
+    Lmem (width_of (type_of env e), lvalue_addr fs e)
+  | Str_lit _ | Int_lit _ | Binary _ | Unary _ | Call _ | Assign _ | Incdec _
+  | Ternary _ | Comma _ ->
+    error "expression is not an lvalue"
+
+(* Load the current value of a location, stabilizing it in a register. *)
+and load_loc fs loc : Rtl.operand =
+  match loc with
+  | Rtl.Lreg r ->
+    let t = fresh_reg fs in
+    emit fs (Rtl.Move (Lreg t, Reg r));
+    Reg t
+  | Rtl.Lmem (w, a) ->
+    let t = fresh_reg fs in
+    emit fs (Rtl.Move (Lreg t, Mem (w, a)));
+    Reg t
+
+and do_call fs f args : Rtl.operand =
+  let env = fs.env in
+  (match find_func env f with
+  | Some s ->
+    if List.length s.params <> List.length args then
+      error "%s expects %d arguments, got %d" f (List.length s.params)
+        (List.length args)
+  | None -> error "call to unknown function %s" f);
+  if List.length args > Conv.max_args then
+    error "%s: more than %d arguments are not supported" f Conv.max_args;
+  (* Evaluate all arguments into temporaries first so a nested call cannot
+     clobber already-loaded argument registers. *)
+  let vals =
+    List.map
+      (fun a ->
+        match rvalue fs a with
+        | Imm _ as v -> v
+        | Reg _ as v -> v
+        | Mem _ -> assert false)
+      args
+  in
+  List.iteri
+    (fun i v -> emit fs (Rtl.Move (Lreg (Conv.arg_reg i), v)))
+    vals;
+  emit fs (Rtl.Call (f, List.length args));
+  let r = fresh_reg fs in
+  emit fs (Rtl.Move (Lreg r, Reg Conv.rv));
+  Reg r
+
+(* Branch to [target] when [e] is false; fall through when true. *)
+and branch_false fs e target =
+  match e with
+  | Int_lit 0 -> emit fs (Rtl.Jump target)
+  | Int_lit _ -> ()
+  | Unary (Lnot, a) -> branch_true fs a target
+  | Binary (Land, a, b) ->
+    branch_false fs a target;
+    branch_false fs b target
+  | Binary (Lor, a, b) ->
+    let l_true = fresh_label fs in
+    branch_true fs a l_true;
+    branch_false fs b target;
+    emit_label fs l_true
+  | Binary (op, a, b) when is_cmp op ->
+    compare_and_branch fs (ast_cmp_to_cond op) a b ~negate:true target
+  | Comma (a, b) ->
+    ignore (rvalue fs a);
+    branch_false fs b target
+  | _ ->
+    let v = rvalue fs e in
+    compare_operand_zero fs v ~cond:Rtl.Eq target
+
+(* Branch to [target] when [e] is true; fall through when false. *)
+and branch_true fs e target =
+  match e with
+  | Int_lit 0 -> ()
+  | Int_lit _ -> emit fs (Rtl.Jump target)
+  | Unary (Lnot, a) -> branch_false fs a target
+  | Binary (Lor, a, b) ->
+    branch_true fs a target;
+    branch_true fs b target
+  | Binary (Land, a, b) ->
+    let l_false = fresh_label fs in
+    branch_false fs a l_false;
+    branch_true fs b target;
+    emit_label fs l_false
+  | Binary (op, a, b) when is_cmp op ->
+    compare_and_branch fs (ast_cmp_to_cond op) a b ~negate:false target
+  | Comma (a, b) ->
+    ignore (rvalue fs a);
+    branch_true fs b target
+  | _ ->
+    let v = rvalue fs e in
+    compare_operand_zero fs v ~cond:Rtl.Ne target
+
+and compare_and_branch fs cond a b ~negate target =
+  let va = rvalue fs a in
+  let vb = rvalue fs b in
+  match va, vb with
+  | Imm x, Imm y ->
+    let c = if negate then Rtl.negate_cond cond else cond in
+    if Rtl.eval_cond c x y then emit fs (Rtl.Jump target)
+  | _ ->
+    emit fs (Rtl.Cmp (va, vb));
+    let c = if negate then Rtl.negate_cond cond else cond in
+    emit fs (Rtl.Branch (c, target))
+
+and compare_operand_zero fs v ~cond target =
+  match v with
+  | Imm x ->
+    if Rtl.eval_cond cond x 0 then emit fs (Rtl.Jump target)
+  | _ ->
+    emit fs (Rtl.Cmp (v, Imm 0));
+    emit fs (Rtl.Branch (cond, target))
+
+(* --- Statement code generation --- *)
+
+(* [cont_lbl] is [None] for switch contexts: [break] targets the switch but
+   [continue] falls through to the enclosing loop. *)
+type loop_ctx = { break_lbl : Label.t; cont_lbl : Label.t option }
+
+let rec gen_stmt fs (loops : loop_ctx list) s =
+  match s with
+  | Sempty -> ()
+  | Sexpr e -> ignore (rvalue fs e)
+  | Sblock (decls, stmts) ->
+    fs.env.scopes <- [] :: fs.env.scopes;
+    List.iter (gen_decl fs) decls;
+    List.iter (gen_stmt fs loops) stmts;
+    fs.env.scopes <- List.tl fs.env.scopes
+  | Sif (c, then_s, else_s) -> (
+    match else_s with
+    | None ->
+      let l_end = fresh_label fs in
+      branch_false fs c l_end;
+      gen_stmt fs loops then_s;
+      emit_label fs l_end
+    | Some else_s ->
+      (* VPCC shape: jump over the else part. *)
+      let l_else = fresh_label fs in
+      let l_end = fresh_label fs in
+      branch_false fs c l_else;
+      gen_stmt fs loops then_s;
+      emit fs (Rtl.Jump l_end);
+      emit_label fs l_else;
+      gen_stmt fs loops else_s;
+      emit_label fs l_end)
+  | Swhile (c, body) ->
+    (* VPCC shape: test at the top, unconditional jump at the bottom. *)
+    let l_test = fresh_label fs in
+    let l_exit = fresh_label fs in
+    emit_label fs l_test;
+    branch_false fs c l_exit;
+    gen_stmt fs ({ break_lbl = l_exit; cont_lbl = Some l_test } :: loops) body;
+    emit fs (Rtl.Jump l_test);
+    emit_label fs l_exit
+  | Sdo (body, c) ->
+    let l_body = fresh_label fs in
+    let l_cont = fresh_label fs in
+    let l_exit = fresh_label fs in
+    emit_label fs l_body;
+    gen_stmt fs ({ break_lbl = l_exit; cont_lbl = Some l_cont } :: loops) body;
+    emit_label fs l_cont;
+    branch_true fs c l_body;
+    emit_label fs l_exit
+  | Sfor (init, cond, update, body) ->
+    (* VPCC shape: jump over the body to the test at the loop's end. *)
+    let l_body = fresh_label fs in
+    let l_cont = fresh_label fs in
+    let l_test = fresh_label fs in
+    let l_exit = fresh_label fs in
+    (match init with Some e -> ignore (rvalue fs e) | None -> ());
+    emit fs (Rtl.Jump l_test);
+    emit_label fs l_body;
+    gen_stmt fs ({ break_lbl = l_exit; cont_lbl = Some l_cont } :: loops) body;
+    emit_label fs l_cont;
+    (match update with Some e -> ignore (rvalue fs e) | None -> ());
+    emit_label fs l_test;
+    (match cond with
+    | Some c -> branch_true fs c l_body
+    | None -> emit fs (Rtl.Jump l_body));
+    emit_label fs l_exit
+  | Sreturn e ->
+    (match e with
+    | Some e ->
+      let v = rvalue fs e in
+      emit fs (Rtl.Move (Lreg Conv.rv, v))
+    | None -> ());
+    emit fs (Rtl.Jump fs.epilogue)
+  | Sbreak -> (
+    match loops with
+    | { break_lbl; _ } :: _ -> emit fs (Rtl.Jump break_lbl)
+    | [] -> error "%s: break outside a loop or switch" fs.fname)
+  | Scontinue -> (
+    match List.find_opt (fun c -> Option.is_some c.cont_lbl) loops with
+    | Some { cont_lbl = Some l; _ } -> emit fs (Rtl.Jump l)
+    | Some { cont_lbl = None; _ } | None ->
+      error "%s: continue outside a loop" fs.fname)
+  | Sgoto name -> emit fs (Rtl.Jump (user_label fs name))
+  | Slabel (name, s) ->
+    let l = user_label fs name in
+    if Hashtbl.mem fs.defined_labels name then
+      error "%s: duplicate label %s" fs.fname name;
+    Hashtbl.replace fs.defined_labels name ();
+    emit_label fs l;
+    gen_stmt fs loops s
+  | Sswitch (e, cases) -> gen_switch fs loops e cases
+
+and gen_switch fs loops e cases =
+  let l_exit = fresh_label fs in
+  let v = rvalue fs e in
+  let arm_labels = List.map (fun _ -> fresh_label fs) cases in
+  let labeled = List.combine cases arm_labels in
+  let values =
+    List.concat_map (fun (c, l) -> List.map (fun v -> (v, l)) c.values) labeled
+  in
+  let default_lbl =
+    match List.find_opt (fun (c, _) -> c.values = []) labeled with
+    | Some (_, l) -> l
+    | None -> l_exit
+  in
+  (* Dispatch: a jump table when the value range is dense, otherwise a
+     comparison chain. *)
+  let dense =
+    match values with
+    | [] -> false
+    | _ ->
+      let vs = List.map fst values in
+      let lo = List.fold_left min (List.hd vs) vs in
+      let hi = List.fold_left max (List.hd vs) vs in
+      List.length vs >= 4 && hi - lo + 1 <= 3 * List.length vs
+  in
+  (if dense then begin
+     let vs = List.map fst values in
+     let lo = List.fold_left min (List.hd vs) vs in
+     let hi = List.fold_left max (List.hd vs) vs in
+     let idx =
+       match binop fs Rtl.Sub v (Imm lo) with
+       | Reg r -> r
+       | Imm n ->
+         let r = fresh_reg fs in
+         emit fs (Rtl.Move (Lreg r, Imm n));
+         r
+       | Mem _ -> assert false
+     in
+     emit fs (Rtl.Cmp (Reg idx, Imm 0));
+     emit fs (Rtl.Branch (Lt, default_lbl));
+     emit fs (Rtl.Cmp (Reg idx, Imm (hi - lo)));
+     emit fs (Rtl.Branch (Gt, default_lbl));
+     let table =
+       Array.init (hi - lo + 1) (fun i ->
+           match List.assoc_opt (lo + i) values with
+           | Some l -> l
+           | None -> default_lbl)
+     in
+     emit fs (Rtl.Ijump (idx, table))
+   end
+   else begin
+     List.iter
+       (fun (value, l) ->
+         match v with
+         | Rtl.Imm x ->
+           if x = value then emit fs (Rtl.Jump l)
+         | _ ->
+           emit fs (Rtl.Cmp (v, Imm value));
+           emit fs (Rtl.Branch (Eq, l)))
+       values;
+     emit fs (Rtl.Jump default_lbl)
+   end);
+  (* Arm bodies in order; fallthrough between arms, as in C. *)
+  let switch_ctx = { break_lbl = l_exit; cont_lbl = None } in
+  List.iter
+    (fun (c, l) ->
+      emit_label fs l;
+      List.iter (gen_stmt fs (switch_ctx :: loops)) c.body)
+    labeled;
+  emit_label fs l_exit
+
+and gen_decl fs d =
+  if Option.is_some (lookup_scope_head fs d.dname) then
+    error "duplicate declaration of %s" d.dname;
+  let storage =
+    match d.dty with
+    | Tarr _ -> On_stack (alloc_stack fs (sizeof d.dty))
+    | Tvoid -> error "void variable %s" d.dname
+    | Tint | Tchar | Tptr _ ->
+      if List.mem d.dname fs.addr_taken then
+        On_stack (alloc_stack fs (max 4 (sizeof d.dty)))
+      else In_reg (fresh_reg fs)
+  in
+  let v = { vty = d.dty; vstorage = storage } in
+  (match fs.env.scopes with
+  | scope :: rest -> fs.env.scopes <- ((d.dname, v) :: scope) :: rest
+  | [] -> assert false);
+  match d.dinit with
+  | Some e -> ignore (rvalue fs (Assign (None, Var d.dname, e)))
+  | None -> ()
+
+and lookup_scope_head fs name =
+  match fs.env.scopes with
+  | scope :: _ -> List.assoc_opt name scope
+  | [] -> None
+
+(* --- Items to blocks --- *)
+
+let items_to_blocks fs entry_items =
+  let items = entry_items @ List.rev !(fs.buf) in
+  let blocks = ref [] in
+  let cur_label = ref None in
+  let cur_instrs = ref [] in
+  let flush next_label =
+    (match !cur_label with
+    | Some l -> blocks := { Flow.Func.label = l; instrs = List.rev !cur_instrs } :: !blocks
+    | None -> assert (!cur_instrs = []));
+    cur_label := next_label;
+    cur_instrs := []
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Ilabel l -> flush (Some l)
+      | Iinstr i ->
+        (match !cur_label with
+        | None -> cur_label := Some (fresh_label fs)
+        | Some _ -> ());
+        cur_instrs := i :: !cur_instrs;
+        if Rtl.is_transfer i then flush None)
+    items;
+  flush None;
+  Array.of_list (List.rev !blocks)
+
+(* --- Functions and programs --- *)
+
+let gen_func env (f : Ast.func) =
+  let lsupply = Label.Supply.create () in
+  let vsupply = Reg.Supply.create () in
+  let addr_taken = addr_taken_stmt [] f.fbody in
+  let fs =
+    {
+      env;
+      lsupply;
+      vsupply;
+      buf = ref [];
+      frame_off = -4;
+      (* fp-4 holds the caller's frame pointer (written by Enter) *)
+      epilogue = Label.Supply.fresh lsupply;
+      addr_taken;
+      user_labels = Hashtbl.create 8;
+      defined_labels = Hashtbl.create 8;
+      strings = [];
+      string_count = ref 0;
+      fname = f.fname;
+    }
+  in
+  if List.length f.fparams > Conv.max_args then
+    error "%s: more than %d parameters are not supported" f.fname
+      Conv.max_args;
+  (* Parameters become ordinary variables. *)
+  env.scopes <- [ [] ];
+  let param_moves =
+    List.mapi
+      (fun i (ty, name) ->
+        let storage =
+          if List.mem name addr_taken then
+            On_stack (alloc_stack fs (max 4 (sizeof ty)))
+          else In_reg (fresh_reg fs)
+        in
+        let v = { vty = ty; vstorage = storage } in
+        (match fs.env.scopes with
+        | scope :: rest -> fs.env.scopes <- ((name, v) :: scope) :: rest
+        | [] -> assert false);
+        match storage with
+        | In_reg r -> Rtl.Move (Lreg r, Reg (Conv.arg_reg i))
+        | On_stack off ->
+          Rtl.Move
+            (Lmem (width_of ty, Based (Conv.fp, off)), Reg (Conv.arg_reg i))
+        | In_data -> assert false)
+      f.fparams
+  in
+  gen_stmt fs [] f.fbody;
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem fs.defined_labels name) then
+        error "%s: goto to undefined label %s" f.fname name)
+    fs.user_labels;
+  (* Body falls into the shared epilogue. *)
+  emit_label fs fs.epilogue;
+  emit fs Rtl.Leave;
+  emit fs Rtl.Ret;
+  env.scopes <- [];
+  let frame_size =
+    let used = -fs.frame_off in
+    (used + 7) land lnot 7
+  in
+  let entry_label = Label.Supply.fresh lsupply in
+  let entry_items =
+    Ilabel entry_label
+    :: Iinstr (Rtl.Enter frame_size)
+    :: List.map (fun i -> Iinstr i) param_moves
+  in
+  let blocks = items_to_blocks fs entry_items in
+  let func =
+    Flow.Func.make ~name:f.fname ~blocks ~lsupply ~vsupply
+  in
+  (func, fs.strings)
+
+let string_data sym contents =
+  {
+    Flow.Prog.dname = sym;
+    dsize = String.length contents + 1;
+    dinit = [ Bytes contents; Zeros 1 ];
+  }
+
+let global_data (g : Ast.global) =
+  let size = max 1 (sizeof g.gty) in
+  match g.ginit, g.gty with
+  | None, _ -> { Flow.Prog.dname = g.gname; dsize = size; dinit = [] }
+  | Some (Gscalar v), (Tint | Tchar | Tptr _) ->
+    let init =
+      match g.gty with
+      | Tchar -> [ Flow.Prog.Bytes (String.make 1 (Char.chr (v land 0xff))) ]
+      | _ -> [ Flow.Prog.Word v ]
+    in
+    { dname = g.gname; dsize = size; dinit = init }
+  | Some (Glist vs), Tarr (el, _) ->
+    let init =
+      match el with
+      | Tchar ->
+        [
+          Flow.Prog.Bytes
+            (String.init (List.length vs) (fun i ->
+                 Char.chr (List.nth vs i land 0xff)));
+        ]
+      | _ -> List.map (fun v -> Flow.Prog.Word v) vs
+    in
+    { dname = g.gname; dsize = size; dinit = init }
+  | Some (Gstring s), Tarr (Tchar, _) ->
+    { dname = g.gname; dsize = size; dinit = [ Bytes s; Zeros 1 ] }
+  | Some (Gstring s), Tptr Tchar ->
+    (* Pointer to an anonymous string: handled by the caller, which interns
+       the string and emits an Addr initializer. *)
+    ignore s;
+    { dname = g.gname; dsize = size; dinit = [] }
+  | Some _, _ -> error "bad initializer for global %s" g.gname
+
+let compile_program (prog : Ast.program) =
+  let env =
+    { globals = Hashtbl.create 16; funcs = Hashtbl.create 16; scopes = [] }
+  in
+  (* First pass: declare everything (allows forward references). *)
+  List.iter
+    (fun item ->
+      match item with
+      | Iglobals gs ->
+        List.iter
+          (fun g ->
+            if Hashtbl.mem env.globals g.gname then
+              error "duplicate global %s" g.gname;
+            Hashtbl.add env.globals g.gname g.gty)
+          gs
+      | Ifunc f ->
+        if Hashtbl.mem env.funcs f.fname || List.mem_assoc f.fname builtins
+        then error "duplicate function %s" f.fname;
+        Hashtbl.add env.funcs f.fname
+          { ret = f.fret; params = List.map fst f.fparams })
+    prog;
+  let datas = ref [] in
+  let funcs = ref [] in
+  let anon_count = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Iglobals gs ->
+        List.iter
+          (fun g ->
+            match g.ginit, g.gty with
+            | Some (Gstring s), Tptr Tchar ->
+              let sym = Printf.sprintf "Lgstr%d" !anon_count in
+              incr anon_count;
+              datas := string_data sym s :: !datas;
+              datas :=
+                { Flow.Prog.dname = g.gname; dsize = 4; dinit = [ Addr sym ] }
+                :: !datas
+            | _ -> datas := global_data g :: !datas)
+          gs
+      | Ifunc f ->
+        let func, strings = gen_func env f in
+        List.iter
+          (fun (sym, s) ->
+            datas := string_data (f.fname ^ "_" ^ sym) s :: !datas)
+          strings;
+        funcs := func :: !funcs)
+    prog;
+  (* String symbols inside functions were interned per function; rename the
+     references accordingly.  (Interning emitted Abs(sym,0); rewrite.) *)
+  let rename_strings f =
+    Flow.Func.map_instrs
+      (fun instrs ->
+        List.map
+          (fun i ->
+            match i with
+            | Rtl.Lea (r, Abs (sym, off))
+              when String.length sym >= 4 && String.sub sym 0 4 = "Lstr" ->
+              Rtl.Lea (r, Abs (Flow.Func.name f ^ "_" ^ sym, off))
+            | other -> other)
+          instrs)
+      f
+  in
+  let funcs = List.rev_map rename_strings !funcs in
+  (match
+     List.find_opt (fun f -> String.equal (Flow.Func.name f) "main") funcs
+   with
+  | Some _ -> ()
+  | None -> error "program has no main function");
+  { Flow.Prog.globals = List.rev !datas; funcs }
+
+let compile_source src = compile_program (Parser.parse_program src)

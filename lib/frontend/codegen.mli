@@ -1,0 +1,25 @@
+(** Naive RTL code generation from the C-subset AST.
+
+    The generator reproduces the jump shapes of VPCC's intermediate code,
+    which the replication experiment depends on:
+    - [while] loops: test at the top, unconditional jump at the bottom;
+    - [for] loops: unconditional jump over the body to the test placed at
+      the loop's end;
+    - [if]/[else]: unconditional jump over the else part;
+    - a single shared epilogue block that every [return] jumps to.
+
+    Scalar locals that are never address-taken live in virtual registers;
+    arrays and address-taken scalars live in the stack frame; globals live
+    in the data segment and are re-loaded at each use.  Code is generic
+    three-address RTL; {!val:Legalize} in the optimizer shapes it for a
+    specific machine. *)
+
+exception Error of string
+
+(** Compile a parsed translation unit.  @raise Error on semantic errors
+    (unknown identifiers, arity mismatches, non-lvalue assignments, too many
+    arguments, duplicate definitions, undefined goto labels). *)
+val compile_program : Ast.program -> Flow.Prog.t
+
+(** Convenience: parse and compile.  @raise Parser.Error / Error. *)
+val compile_source : string -> Flow.Prog.t

@@ -1,0 +1,10 @@
+(** Hand-written lexer for the C subset.
+
+    Supports decimal and hexadecimal integer literals, character literals
+    with the usual escapes (backslash n, t, r, 0, backslash, quotes),
+    [/* ... */] and [// ...] comments. *)
+
+exception Error of string * int  (** message, line number *)
+
+(** Token paired with the 1-based line it starts on. *)
+val tokenize : string -> (Token.t * int) list

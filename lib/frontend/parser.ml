@@ -1,0 +1,502 @@
+open Ast
+
+exception Error of string * int
+
+type state = { toks : (Token.t * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_ident st =
+  match next st with
+  | Token.Ident s -> s
+  | t -> error st (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+let accept st tok =
+  if Token.equal (peek st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let is_type_start = function
+  | Token.Kw_int | Token.Kw_char | Token.Kw_void -> true
+  | _ -> false
+
+(* type_spec := (int|char|void) '*'* *)
+let parse_type_spec st =
+  let base =
+    match next st with
+    | Token.Kw_int -> Tint
+    | Token.Kw_char -> Tchar
+    | Token.Kw_void -> Tvoid
+    | t -> error st (Printf.sprintf "expected type, found %s" (Token.to_string t))
+  in
+  let rec stars ty = if accept st Token.Star then stars (Tptr ty) else ty in
+  stars base
+
+(* --- Expressions --- *)
+
+let rec parse_comma_expr st =
+  let e = parse_assignment st in
+  if accept st Token.Comma then Comma (e, parse_comma_expr st) else e
+
+and parse_assignment st =
+  let lhs = parse_ternary st in
+  let assign op =
+    advance st;
+    Assign (op, lhs, parse_assignment st)
+  in
+  match peek st with
+  | Token.Assign -> assign None
+  | Token.Plus_assign -> assign (Some Add)
+  | Token.Minus_assign -> assign (Some Sub)
+  | Token.Star_assign -> assign (Some Mul)
+  | Token.Slash_assign -> assign (Some Div)
+  | Token.Percent_assign -> assign (Some Rem)
+  | _ -> lhs
+
+and parse_ternary st =
+  let c = parse_binary st 0 in
+  if accept st Token.Question then begin
+    let a = parse_comma_expr st in
+    expect st Token.Colon;
+    let b = parse_ternary st in
+    Ternary (c, a, b)
+  end
+  else c
+
+(* Binary operators by precedence level, loosest first. *)
+and binary_levels =
+  [|
+    [ (Token.Bar_bar, Lor) ];
+    [ (Token.Amp_amp, Land) ];
+    [ (Token.Bar, Bor) ];
+    [ (Token.Caret, Bxor) ];
+    [ (Token.Amp, Band) ];
+    [ (Token.Eq_eq, Eq); (Token.Bang_eq, Ne) ];
+    [ (Token.Lt, Lt); (Token.Le, Le); (Token.Gt, Gt); (Token.Ge, Ge) ];
+    [ (Token.Shl, Shl); (Token.Shr, Shr) ];
+    [ (Token.Plus, Add); (Token.Minus, Sub) ];
+    [ (Token.Star, Mul); (Token.Slash, Div); (Token.Percent, Rem) ];
+  |]
+
+and parse_binary st level =
+  if level >= Array.length binary_levels then parse_unary st
+  else begin
+    let ops = binary_levels.(level) in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match List.assoc_opt (peek st) ops with
+      | Some op ->
+        advance st;
+        lhs := Binary (op, !lhs, parse_binary st (level + 1))
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    (* Fold negative literals so they stay constants. *)
+    (match parse_unary st with
+    | Int_lit n -> Int_lit (-n)
+    | e -> Unary (Neg, e))
+  | Token.Bang ->
+    advance st;
+    Unary (Lnot, parse_unary st)
+  | Token.Tilde ->
+    advance st;
+    Unary (Bnot, parse_unary st)
+  | Token.Star ->
+    advance st;
+    Unary (Deref, parse_unary st)
+  | Token.Amp ->
+    advance st;
+    Unary (Addr, parse_unary st)
+  | Token.Plus_plus ->
+    advance st;
+    Incdec { pre = true; inc = true; lhs = parse_unary st }
+  | Token.Minus_minus ->
+    advance st;
+    Incdec { pre = true; inc = false; lhs = parse_unary st }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Lbracket ->
+      advance st;
+      let i = parse_comma_expr st in
+      expect st Token.Rbracket;
+      e := Index (!e, i)
+    | Token.Plus_plus ->
+      advance st;
+      e := Incdec { pre = false; inc = true; lhs = !e }
+    | Token.Minus_minus ->
+      advance st;
+      e := Incdec { pre = false; inc = false; lhs = !e }
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  match next st with
+  | Token.Int_lit n -> Int_lit n
+  | Token.Str_lit s -> Str_lit s
+  | Token.Ident name ->
+    if Token.equal (peek st) Token.Lparen then begin
+      advance st;
+      let args =
+        if Token.equal (peek st) Token.Rparen then []
+        else begin
+          let rec go acc =
+            let a = parse_assignment st in
+            if accept st Token.Comma then go (a :: acc) else List.rev (a :: acc)
+          in
+          go []
+        end
+      in
+      expect st Token.Rparen;
+      Call (name, args)
+    end
+    else Var name
+  | Token.Lparen ->
+    let e = parse_comma_expr st in
+    expect st Token.Rparen;
+    e
+  | t -> error st (Printf.sprintf "unexpected %s in expression" (Token.to_string t))
+
+(* --- Statements --- *)
+
+let parse_const_int st =
+  match next st with
+  | Token.Int_lit n -> n
+  | Token.Minus -> (
+    match next st with
+    | Token.Int_lit n -> -n
+    | t ->
+      error st (Printf.sprintf "expected integer, found %s" (Token.to_string t)))
+  | t ->
+    error st (Printf.sprintf "expected integer, found %s" (Token.to_string t))
+
+(* declarator := IDENT ('[' INT ']')* — array dimensions wrap inside-out. *)
+let parse_declarator st base_ty =
+  let name = expect_ident st in
+  let rec dims () =
+    if accept st Token.Lbracket then begin
+      let n = parse_const_int st in
+      expect st Token.Rbracket;
+      let inner = dims () in
+      Tarr (inner, n)
+    end
+    else base_ty
+  in
+  (name, dims ())
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.Semi ->
+    advance st;
+    Sempty
+  | Token.Lbrace -> parse_block st
+  | Token.Kw_if ->
+    advance st;
+    expect st Token.Lparen;
+    let c = parse_comma_expr st in
+    expect st Token.Rparen;
+    let then_s = parse_stmt st in
+    let else_s = if accept st Token.Kw_else then Some (parse_stmt st) else None in
+    Sif (c, then_s, else_s)
+  | Token.Kw_while ->
+    advance st;
+    expect st Token.Lparen;
+    let c = parse_comma_expr st in
+    expect st Token.Rparen;
+    Swhile (c, parse_stmt st)
+  | Token.Kw_do ->
+    advance st;
+    let body = parse_stmt st in
+    expect st Token.Kw_while;
+    expect st Token.Lparen;
+    let c = parse_comma_expr st in
+    expect st Token.Rparen;
+    expect st Token.Semi;
+    Sdo (body, c)
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    let init =
+      if Token.equal (peek st) Token.Semi then None
+      else Some (parse_comma_expr st)
+    in
+    expect st Token.Semi;
+    let cond =
+      if Token.equal (peek st) Token.Semi then None
+      else Some (parse_comma_expr st)
+    in
+    expect st Token.Semi;
+    let update =
+      if Token.equal (peek st) Token.Rparen then None
+      else Some (parse_comma_expr st)
+    in
+    expect st Token.Rparen;
+    Sfor (init, cond, update, parse_stmt st)
+  | Token.Kw_return ->
+    advance st;
+    let e =
+      if Token.equal (peek st) Token.Semi then None
+      else Some (parse_comma_expr st)
+    in
+    expect st Token.Semi;
+    Sreturn e
+  | Token.Kw_break ->
+    advance st;
+    expect st Token.Semi;
+    Sbreak
+  | Token.Kw_continue ->
+    advance st;
+    expect st Token.Semi;
+    Scontinue
+  | Token.Kw_goto ->
+    advance st;
+    let l = expect_ident st in
+    expect st Token.Semi;
+    Sgoto l
+  | Token.Kw_switch ->
+    advance st;
+    expect st Token.Lparen;
+    let e = parse_comma_expr st in
+    expect st Token.Rparen;
+    expect st Token.Lbrace;
+    let cases = parse_cases st in
+    expect st Token.Rbrace;
+    Sswitch (e, cases)
+  | Token.Ident name when Token.equal (fst st.toks.(st.pos + 1)) Token.Colon ->
+    advance st;
+    advance st;
+    Slabel (name, parse_stmt st)
+  | _ ->
+    let e = parse_comma_expr st in
+    expect st Token.Semi;
+    Sexpr e
+
+and parse_cases st =
+  let parse_case_labels () =
+    let rec go acc saw_default =
+      match peek st with
+      | Token.Kw_case ->
+        advance st;
+        let v = parse_const_int st in
+        expect st Token.Colon;
+        go (v :: acc) saw_default
+      | Token.Kw_default ->
+        advance st;
+        expect st Token.Colon;
+        go acc true
+      | _ -> (List.rev acc, saw_default)
+    in
+    go [] false
+  in
+  let rec go cases =
+    match peek st with
+    | Token.Rbrace -> List.rev cases
+    | Token.Kw_case | Token.Kw_default ->
+      let values, is_default = parse_case_labels () in
+      let rec body acc =
+        match peek st with
+        | Token.Rbrace | Token.Kw_case | Token.Kw_default -> List.rev acc
+        | _ -> body (parse_stmt st :: acc)
+      in
+      let stmts = body [] in
+      (* A default arm is encoded by values = []. *)
+      let arm =
+        if is_default then { values = []; body = stmts }
+        else { values; body = stmts }
+      in
+      if is_default && values <> [] then
+        (* 'case k: default:' sharing a body — split into two arms with the
+           same statements so both routes exist. *)
+        go ({ values = []; body = stmts } :: { values; body = [] } :: cases)
+      else go (arm :: cases)
+    | _ -> error st "expected case, default or }"
+  in
+  go []
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec decls acc =
+    if is_type_start (peek st) then begin
+      let base = parse_type_spec st in
+      let rec declarators acc =
+        let name, ty = parse_declarator st base in
+        let init =
+          if accept st Token.Assign then Some (parse_assignment st) else None
+        in
+        let d = { dty = ty; dname = name; dinit = init } in
+        if accept st Token.Comma then declarators (d :: acc)
+        else begin
+          expect st Token.Semi;
+          d :: acc
+        end
+      in
+      decls (declarators acc)
+    end
+    else List.rev acc
+  in
+  let ds = decls [] in
+  let rec stmts acc =
+    if Token.equal (peek st) Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  Sblock (ds, stmts [])
+
+(* --- Top level --- *)
+
+let parse_global_init st gty =
+  if not (accept st Token.Assign) then None
+  else
+    match peek st with
+    | Token.Str_lit s ->
+      advance st;
+      Some (Gstring s)
+    | Token.Lbrace ->
+      advance st;
+      let rec items acc =
+        let v = parse_const_int st in
+        if accept st Token.Comma then
+          if Token.equal (peek st) Token.Rbrace then List.rev (v :: acc)
+          else items (v :: acc)
+        else List.rev (v :: acc)
+      in
+      let vs = if Token.equal (peek st) Token.Rbrace then [] else items [] in
+      expect st Token.Rbrace;
+      Some (Glist vs)
+    | _ ->
+      ignore gty;
+      Some (Gscalar (parse_const_int st))
+
+let parse_params st =
+  expect st Token.Lparen;
+  if accept st Token.Rparen then []
+  else if Token.equal (peek st) Token.Kw_void
+          && Token.equal (fst st.toks.(st.pos + 1)) Token.Rparen then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let base = parse_type_spec st in
+      let name = expect_ident st in
+      (* Array parameters decay to pointers: 'char s[]' or 'int m[10]'. *)
+      let rec decay ty =
+        if accept st Token.Lbracket then begin
+          (match peek st with
+          | Token.Int_lit _ -> ignore (parse_const_int st)
+          | _ -> ());
+          expect st Token.Rbracket;
+          Tptr (decay ty)
+        end
+        else ty
+      in
+      let ty = decay base in
+      let acc = (ty, name) :: acc in
+      if accept st Token.Comma then go acc
+      else begin
+        expect st Token.Rparen;
+        List.rev acc
+      end
+    in
+    go []
+  end
+
+let parse_item st =
+  let base = parse_type_spec st in
+  let name = expect_ident st in
+  if Token.equal (peek st) Token.Lparen then begin
+    let params = parse_params st in
+    let body = parse_block st in
+    Ifunc { fname = name; fret = base; fparams = params; fbody = body }
+  end
+  else begin
+    (* Global declaration(s): array dims, optional initializer, and
+       possibly more comma-separated declarators of the same base type. *)
+    let rec dims () =
+      if accept st Token.Lbracket then begin
+        let n =
+          if Token.equal (peek st) Token.Rbracket then -1
+          else parse_const_int st
+        in
+        expect st Token.Rbracket;
+        let inner = dims () in
+        Tarr (inner, n)
+      end
+      else base
+    in
+    let finish_one name =
+      let ty = dims () in
+      let init = parse_global_init st ty in
+      (* 'char s[] = "..."' and 'int t[] = {...}' get their size from the
+         initializer. *)
+      let ty =
+        match ty, init with
+        | Tarr (el, -1), Some (Gstring s) when el = Tchar ->
+          Tarr (Tchar, String.length s + 1)
+        | Tarr (el, -1), Some (Glist vs) -> Tarr (el, List.length vs)
+        | t, _ -> t
+      in
+      { gty = ty; gname = name; ginit = init }
+    in
+    let rec more acc =
+      if accept st Token.Comma then begin
+        let name = expect_ident st in
+        more (finish_one name :: acc)
+      end
+      else begin
+        expect st Token.Semi;
+        List.rev acc
+      end
+    in
+    Iglobals (more [ finish_one name ])
+  end
+
+let make_state src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+let parse_program src =
+  let st = make_state src in
+  let rec go acc =
+    if Token.equal (peek st) Token.Eof then List.rev acc
+    else go (parse_item st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_comma_expr st in
+  expect st Token.Eof;
+  e

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the C subset. *)
+
+exception Error of string * int  (** message, line number *)
+
+(** Parse a full translation unit.  @raise Error on syntax errors. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single expression, for tests. *)
+val parse_expr : string -> Ast.expr

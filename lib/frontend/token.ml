@@ -1,0 +1,119 @@
+type t =
+  | Int_lit of int
+  | Str_lit of string
+  | Ident of string
+  | Kw_int
+  | Kw_char
+  | Kw_void
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_do
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_goto
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Colon
+  | Question
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Bar
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Amp_amp
+  | Bar_bar
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus_plus
+  | Minus_minus
+  | Eof
+
+let to_string = function
+  | Int_lit n -> string_of_int n
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Ident s -> s
+  | Kw_int -> "int"
+  | Kw_char -> "char"
+  | Kw_void -> "void"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_do -> "do"
+  | Kw_return -> "return"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Kw_goto -> "goto"
+  | Kw_switch -> "switch"
+  | Kw_case -> "case"
+  | Kw_default -> "default"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Colon -> ":"
+  | Question -> "?"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Percent_assign -> "%="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Bar -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Amp_amp -> "&&"
+  | Bar_bar -> "||"
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,65 @@
+(** Lexical tokens of the C subset. *)
+
+type t =
+  | Int_lit of int
+  | Str_lit of string
+  | Ident of string
+  (* keywords *)
+  | Kw_int
+  | Kw_char
+  | Kw_void
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_do
+  | Kw_return
+  | Kw_break
+  | Kw_continue
+  | Kw_goto
+  | Kw_switch
+  | Kw_case
+  | Kw_default
+  (* punctuation and operators *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Colon
+  | Question
+  | Assign  (** [=] *)
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp  (** [&] *)
+  | Bar  (** [|] *)
+  | Caret
+  | Tilde
+  | Bang
+  | Shl
+  | Shr
+  | Amp_amp
+  | Bar_bar
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus_plus
+  | Minus_minus
+  | Eof
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,82 @@
+type cache_stats = {
+  config : Icache.config;
+  miss_ratio : float;
+  fetch_cost : int;
+}
+
+type t = {
+  program : string;
+  level : Opt.Driver.level;
+  machine : Ir.Machine.t;
+  static_instrs : int;
+  static_ujumps : int;
+  static_nops : int;
+  dyn_instrs : int;
+  dyn_ujumps : int;
+  dyn_nops : int;
+  dyn_transfers : int;
+  output_ok : bool;
+  caches : cache_stats list;
+}
+
+let instrs_between_branches t =
+  float_of_int t.dyn_instrs /. float_of_int (max 1 t.dyn_transfers)
+
+let memo : (string * Opt.Driver.level * string, t) Hashtbl.t = Hashtbl.create 128
+
+let reset_cache () = Hashtbl.reset memo
+
+let measure ?opts (b : Programs.Suite.benchmark) level machine =
+  let opts =
+    match opts with
+    | Some o -> { o with Opt.Driver.level }
+    | None -> { Opt.Driver.default_options with level }
+  in
+  let prog =
+    Opt.Driver.optimize opts machine (Frontend.Codegen.compile_source b.source)
+  in
+  let asm = Sim.Asm.assemble machine prog in
+  let caches =
+    List.map (fun c -> (c, Icache.create c)) Icache.paper_configs
+  in
+  let on_fetch ~addr ~size =
+    List.iter (fun (_, c) -> Icache.access c ~addr ~size) caches
+  in
+  let res = Sim.Interp.run ~input:b.input ~on_fetch asm prog in
+  {
+    program = b.name;
+    level;
+    machine;
+    static_instrs = Sim.Asm.static_instrs asm;
+    static_ujumps = Sim.Asm.static_ujumps asm;
+    static_nops = Sim.Asm.static_nops asm;
+    dyn_instrs = res.counts.total;
+    dyn_ujumps = Sim.Interp.uncond_jumps res.counts;
+    dyn_nops = res.counts.nops;
+    dyn_transfers = Sim.Interp.transfers res.counts;
+    output_ok = String.equal res.output b.expected_output;
+    caches =
+      List.map
+        (fun (config, c) ->
+          {
+            config;
+            miss_ratio = Icache.miss_ratio c;
+            fetch_cost = Icache.fetch_cost c;
+          })
+        caches;
+  }
+
+let run ?opts (b : Programs.Suite.benchmark) level machine =
+  match opts with
+  | Some _ -> measure ?opts b level machine
+  | None -> (
+    let key = (b.name, level, machine.Ir.Machine.short) in
+    match Hashtbl.find_opt memo key with
+    | Some t -> t
+    | None ->
+      let t = measure b level machine in
+      Hashtbl.add memo key t;
+      t)
+
+let run_suite level machine =
+  List.map (fun b -> run b level machine) Programs.Suite.all

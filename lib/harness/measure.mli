@@ -1,0 +1,43 @@
+(** Measurement harness: compile a benchmark at a given optimization level
+    for a machine, execute it, and collect every statistic the paper's
+    tables need (EASE-style counts plus the eight cache configurations). *)
+
+type cache_stats = {
+  config : Icache.config;
+  miss_ratio : float;
+  fetch_cost : int;
+}
+
+type t = {
+  program : string;  (** benchmark name *)
+  level : Opt.Driver.level;
+  machine : Ir.Machine.t;
+  static_instrs : int;
+  static_ujumps : int;  (** unconditional jumps incl. indirect *)
+  static_nops : int;
+  dyn_instrs : int;
+  dyn_ujumps : int;
+  dyn_nops : int;
+  dyn_transfers : int;  (** executed branch points *)
+  output_ok : bool;  (** output matched the gcc-verified expectation *)
+  caches : cache_stats list;
+}
+
+(** Instructions executed between branch points (paper §5.2). *)
+val instrs_between_branches : t -> float
+
+(** Compile, assemble, run (with all eight paper cache configs attached)
+    and measure one benchmark.  Results are memoized per
+    (program, level, machine). *)
+val run :
+  ?opts:Opt.Driver.options ->
+  Programs.Suite.benchmark ->
+  Opt.Driver.level ->
+  Ir.Machine.t ->
+  t
+
+(** Clear the memo table (after changing options between sweeps). *)
+val reset_cache : unit -> unit
+
+(** [run] over every benchmark in the suite. *)
+val run_suite : Opt.Driver.level -> Ir.Machine.t -> t list

@@ -1,0 +1,52 @@
+(** Regeneration of every table and figure in the paper's evaluation,
+    printed in the same shape as the paper reports them.
+
+    Absolute values differ from the 1992 testbed (different substrate,
+    reimplemented utilities); the comparisons SIMPLE vs LOOPS vs JUMPS are
+    internal and reproduce the paper's claims. *)
+
+(** Table 1: exit condition in the middle of a loop — RTL before/after
+    generalized replication (68020-style model). *)
+val table1 : Format.formatter -> unit
+
+(** Table 2: if-then-else with separately replicated returns. *)
+val table2 : Format.formatter -> unit
+
+(** Table 3: the test set. *)
+val table3 : Format.formatter -> unit
+
+(** Table 4: percentage of instructions that are unconditional jumps
+    (static and dynamic; average and standard deviation over the suite). *)
+val table4 : Format.formatter -> unit
+
+(** Table 5: static and dynamic instruction counts per program, with the
+    LOOPS/JUMPS change relative to SIMPLE. *)
+val table5 : Format.formatter -> unit
+
+(** Table 6: change in cache miss ratio and instruction fetch cost for
+    direct-mapped caches of 1/2/4/8 KiB, context switching on/off. *)
+val table6 : Format.formatter -> unit
+
+(** §5.2 statistics: instructions between branches and no-op elimination on
+    the RISC. *)
+val block_stats : Format.formatter -> unit
+
+(** Figure 1 and Figure 2 scenarios on synthetic control flow. *)
+val figures : Format.formatter -> unit
+
+(** §6 extension: sweep of the replication-sequence length cap. *)
+val ablation_cap : Format.formatter -> unit
+
+(** Step-2 heuristic ablation: favoring returns vs favoring loops vs
+    whichever is shorter. *)
+val ablation_heuristic : Format.formatter -> unit
+
+(** Extension: does associativity rescue the small-cache JUMPS penalty?
+    (The paper's caches are direct-mapped; this sweeps 1/2/4-way at 1 KiB.) *)
+val ablation_assoc : Format.formatter -> unit
+
+(** Ablation (paper section 3.3): how much of the replication benefit depends
+    on the cleanup optimizations it creates opportunities for — CSE,
+    code motion, strength reduction, and instruction selection are switched
+    off one family at a time. *)
+val ablation_passes : Format.formatter -> unit

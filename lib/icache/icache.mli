@@ -1,0 +1,49 @@
+(** Direct-mapped instruction-cache simulator (paper §5.3).
+
+    Parameters follow the paper exactly: direct-mapped, 16-byte lines,
+    sizes 1/2/4/8 KiB; a hit costs 1 time unit and a miss 10; fetch cost is
+    [hits * 1 + misses * 10]; with context switching enabled the entire
+    cache is invalidated every 10,000 time units (values from Smith's cache
+    studies, as in the paper).
+
+    An instruction fetch touches the line containing its first byte and,
+    when it straddles a line boundary (variable-length CISC instructions),
+    the following line too. *)
+
+type t
+
+type config = {
+  size_bytes : int;  (** total capacity; must be a multiple of [line_bytes] *)
+  line_bytes : int;  (** 16 in the paper *)
+  context_switches : bool;  (** invalidate every 10,000 time units *)
+  assoc : int;
+      (** associativity (LRU within a set); the paper's caches are
+          direct-mapped, i.e. [assoc = 1] *)
+}
+
+(** The paper's eight configurations: 1/2/4/8 KiB × context switches
+    on/off, 16-byte lines, direct-mapped. *)
+val paper_configs : config list
+
+(** A direct-mapped configuration without context switches. *)
+val direct_mapped : kb:int -> config
+
+val config_name : config -> string
+
+val create : config -> t
+
+(** Reset cache contents and statistics. *)
+val reset : t -> unit
+
+(** Feed one instruction fetch. *)
+val access : t -> addr:int -> size:int -> unit
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+
+(** [misses / accesses], 0 when idle. *)
+val miss_ratio : t -> float
+
+(** [hits * 1 + misses * 10] (time units). *)
+val fetch_cost : t -> int

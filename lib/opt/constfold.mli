@@ -1,0 +1,8 @@
+(** Constant folding, algebraic simplification, and constant folding at
+    conditional branches (paper §3.3.1).
+
+    Folding a comparison of two constants deletes the conditional branch or
+    turns it into an unconditional jump, exposing dead code — one of the new
+    optimization opportunities replication creates. *)
+
+val run : Ir.Machine.t -> Flow.Func.t -> Flow.Func.t * bool

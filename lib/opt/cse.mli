@@ -1,0 +1,18 @@
+(** Common subexpression elimination over extended basic blocks.
+
+    Walks chains of single-predecessor blocks carrying a table of available
+    expressions (register computations and memory loads).  Keys embed the
+    {e version} of every register they mention, so redefinitions invalidate
+    entries without explicit killing; memory loads additionally embed a
+    memory version bumped by stores and calls.  A recomputation whose key is
+    available in a register is replaced by a register move (cleaned up by
+    {!Isel}/{!Deadvars}).
+
+    Scope note: VPO's CSE is global; restricting to extended basic blocks
+    keeps the pass trivially sound at joins.  The replication-specific
+    payoff the paper describes (§3.3.2 — the initial value assigned before a
+    replicated sequence propagating into it) is delivered by this pass
+    together with {!Isel}'s copy propagation, because replication turns the
+    join into straight-line code. *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool

@@ -1,0 +1,5 @@
+(** Dead variable elimination: delete pure instructions whose results are
+    never used (global liveness), including comparisons whose condition
+    codes are dead and register self-moves. *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool

@@ -1,0 +1,147 @@
+open Flow
+
+type level = Simple | Loops | Jumps
+
+let level_name = function
+  | Simple -> "SIMPLE"
+  | Loops -> "LOOPS"
+  | Jumps -> "JUMPS"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "simple" -> Some Simple
+  | "loops" -> Some Loops
+  | "jumps" -> Some Jumps
+  | _ -> None
+
+type options = {
+  level : level;
+  heuristic : Replication.Jumps.heuristic;
+  max_rtls : int option;
+  allocate : bool;
+  max_iterations : int;
+  replicate_indirect : bool;
+  enable_cse : bool;
+  enable_licm : bool;
+  enable_strength : bool;
+  enable_isel : bool;
+}
+
+let default_options =
+  {
+    level = Simple;
+    heuristic = Replication.Jumps.Shorter;
+    max_rtls = None;
+    allocate = true;
+    max_iterations = 8;
+    replicate_indirect = true;
+    enable_cse = true;
+    enable_licm = true;
+    enable_strength = true;
+    enable_isel = true;
+  }
+
+let options ?(level = Simple) () = { default_options with level }
+
+(* Compose passes, threading the change flag. *)
+let seq passes func =
+  List.fold_left
+    (fun (func, changed) pass ->
+      let func, c = pass func in
+      (func, changed || c))
+    (func, false) passes
+
+let jumps_config opts ~size_cap ~allow_irreducible =
+  {
+    Replication.Jumps.heuristic = opts.heuristic;
+    max_rtls = opts.max_rtls;
+    allow_irreducible;
+    size_cap;
+    replicate_indirect = opts.replicate_indirect;
+  }
+
+let replication_pass opts ~size_cap ~allow_irreducible func =
+  match opts.level with
+  | Simple -> (func, false)
+  | Loops -> Replication.Loops_rep.run func
+  | Jumps -> Replication.Jumps.run (jumps_config opts ~size_cap ~allow_irreducible) func
+
+(* [replicate] abstracts the replication pass so tests can instrument it
+   (e.g. cap the number of replacements). *)
+let optimize_func_with
+    ~(replicate : ?allow_irreducible:bool -> Func.t -> Func.t * bool) opts
+    machine func =
+  let func = Legalize.run machine func in
+  let replicate_pass func = replicate func in
+  (* Initial branch optimizations, then replication on the clean flow. *)
+  let func, _ =
+    seq
+      [
+        Branch_chain.run;
+        Unreachable.run;
+        Reorder.run;
+        Branch_chain.run;
+        replicate_pass;
+        Unreachable.run;
+      ]
+      func
+  in
+  (* The Figure-3 do-while loop. *)
+  let rec fix func n =
+    if n = 0 then func
+    else begin
+      let gate enabled pass = if enabled then pass else fun f -> (f, false) in
+      let func, changed =
+        seq
+          [
+            gate opts.enable_isel (Isel.run machine);
+            gate opts.enable_cse Cse.run;
+            gate opts.enable_cse Gcse.run;
+            Deadvars.run;
+            gate opts.enable_licm Licm.run;
+            gate opts.enable_strength Strength.run;
+            gate opts.enable_isel (Isel.run machine);
+            Branch_chain.run;
+            Constfold.run machine;
+            replicate_pass;
+            Unreachable.run;
+          ]
+          func
+      in
+      if changed then fix func (n - 1) else func
+    end
+  in
+  let func = fix func opts.max_iterations in
+  (* Final replication invocation: also take what would be irreducible. *)
+  let func, _ =
+    seq
+      [
+        replicate ~allow_irreducible:true;
+        Unreachable.run;
+        Branch_chain.run;
+        Unreachable.run;
+        Deadvars.run;
+      ]
+      func
+  in
+  (* Register allocation last; it performs its own post-assignment
+     cleanup (post-allocation liveness cannot see the caller's use of
+     callee-save registers, so Deadvars must not run after it). *)
+  let func = if opts.allocate then Regalloc.run machine func else func in
+  Check.assert_ok func;
+  func
+
+let optimize_func opts machine func =
+  (* Growth cap for replication, relative to the pre-replication size. *)
+  (* The paper's worst growth is ~3x (deroff); 8x is a generous ceiling
+     that still bounds pathological replication cascades. *)
+  let size_cap = max 2000 (8 * Func.num_instrs func) in
+  let replicate ?(allow_irreducible = false) func =
+    replication_pass opts ~size_cap ~allow_irreducible func
+  in
+  optimize_func_with ~replicate opts machine func
+
+let optimize opts machine prog = Prog.map_funcs (optimize_func opts machine) prog
+
+let compile opts machine source =
+  optimize opts machine (Frontend.Codegen.compile_source source)

@@ -1,0 +1,47 @@
+(** The optimization driver: Figure 3 of the paper.
+
+    Levels:
+    - [Simple]: the standard optimizations only;
+    - [Loops]: standard plus loop-condition replication ({!Replication.Loops_rep});
+    - [Jumps]: standard plus generalized code replication ({!Replication.Jumps}). *)
+
+type level = Simple | Loops | Jumps
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+type options = {
+  level : level;
+  heuristic : Replication.Jumps.heuristic;
+  max_rtls : int option;  (** replication-sequence length cap (paper §6) *)
+  allocate : bool;  (** run register allocation (on by default) *)
+  max_iterations : int;  (** cap on the Figure-3 do-while loop *)
+  replicate_indirect : bool;
+      (** allow replication sequences ending in an indirect jump (§6) *)
+  enable_cse : bool;  (** EBB and global CSE (§3.3.2 cleanups) *)
+  enable_licm : bool;  (** code motion (§3.3.3 preheader relocation) *)
+  enable_strength : bool;  (** induction-variable strength reduction *)
+  enable_isel : bool;  (** peephole combining (§3.3.2 instruction selection) *)
+}
+
+val default_options : options
+val options : ?level:level -> unit -> options
+
+(** Optimize one function for the machine. *)
+val optimize_func : options -> Ir.Machine.t -> Flow.Func.t -> Flow.Func.t
+
+(** Like {!optimize_func} but with the replication pass supplied by the
+    caller — used by tests to instrument or cap replication. *)
+val optimize_func_with :
+  replicate:
+    (?allow_irreducible:bool -> Flow.Func.t -> Flow.Func.t * bool) ->
+  options ->
+  Ir.Machine.t ->
+  Flow.Func.t ->
+  Flow.Func.t
+
+(** Optimize a whole program. *)
+val optimize : options -> Ir.Machine.t -> Flow.Prog.t -> Flow.Prog.t
+
+(** Parse + compile + optimize C-subset source. *)
+val compile : options -> Ir.Machine.t -> string -> Flow.Prog.t

@@ -1,0 +1,15 @@
+(** Global common subexpression elimination by available-expressions
+    dataflow (VPO's CSE was global; {!Cse} covers extended basic blocks,
+    this pass the joins).
+
+    Scope: pure register computations ([Binop]/[Unop]/[Lea] over
+    registers and immediates).  Memory loads are left to {!Cse}, whose
+    version stamps handle store/call invalidation precisely.
+
+    Mechanism: the classic temp rewrite.  For every expression [e] that is
+    available at some recomputation site, each site computing [e] gets
+    [t_e := d] appended, and the recomputation becomes [d := t_e].  Unused
+    temps and their copies are swept by {!Deadvars}; {!Regalloc}'s move
+    bias usually coalesces the rest. *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool

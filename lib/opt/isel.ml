@@ -1,0 +1,270 @@
+open Ir
+
+(* Facts known about a register's current value within a block. *)
+type fact =
+  | Copy of Rtl.operand  (** register holds a copy of an operand (Reg/Imm) *)
+  | Eaddr of Rtl.addr  (** register holds an effective address *)
+  | Loaded of Rtl.width * Rtl.addr  (** register holds a value loaded from memory *)
+  | Scaled of Reg.t * int  (** register = index * scale *)
+  | Sum of Reg.t * Reg.t * int  (** register = base + index * scale *)
+
+let fact_regs = function
+  | Copy (Reg r) -> [ r ]
+  | Copy (Imm _) -> []
+  | Copy (Mem (_, a)) | Eaddr a | Loaded (_, a) -> (
+    match a with
+    | Based (r, _) -> [ r ]
+    | Indexed (b, i, _, _) -> [ b; i ]
+    | Abs _ -> [])
+  | Scaled (r, _) -> [ r ]
+  | Sum (b, i, _) -> [ b; i ]
+
+type state = {
+  machine : Machine.t;
+  facts : (Reg.t, fact) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let kill st r =
+  Hashtbl.remove st.facts r;
+  let stale =
+    Hashtbl.fold
+      (fun key fact acc ->
+        if List.exists (Reg.equal r) (fact_regs fact) then key :: acc else acc)
+      st.facts []
+  in
+  List.iter (Hashtbl.remove st.facts) stale
+
+let kill_loads st =
+  let stale =
+    Hashtbl.fold
+      (fun key fact acc ->
+        match fact with Loaded _ -> key :: acc | _ -> acc)
+      st.facts []
+  in
+  List.iter (Hashtbl.remove st.facts) stale
+
+(* --- Substitution --- *)
+
+let subst_reg_operand st r =
+  match Hashtbl.find_opt st.facts r with
+  | Some (Copy ((Reg _ | Imm _) as o)) -> Some o
+  | Some (Loaded (w, a)) when st.machine.Machine.kind = Machine.Cisc ->
+    Some (Rtl.Mem (w, a))
+  | _ -> None
+
+(* Fold known effective addresses / index sums into an address. *)
+let subst_addr st (a : Rtl.addr) : Rtl.addr option =
+  match a with
+  | Based (r, d) -> (
+    match Hashtbl.find_opt st.facts r with
+    | Some (Eaddr (Based (b, d2))) -> Some (Based (b, d + d2))
+    | Some (Eaddr (Abs (s, o))) -> Some (Abs (s, o + d))
+    | Some (Eaddr (Indexed (b, i, sc, d2))) -> Some (Indexed (b, i, sc, d + d2))
+    | Some (Sum (b, i, sc)) when st.machine.Machine.kind = Machine.Cisc ->
+      Some (Indexed (b, i, sc, d))
+    | Some (Copy (Reg s)) -> Some (Based (s, d))
+    | _ -> None)
+  | Indexed _ | Abs _ -> None
+
+let improve_operand st (o : Rtl.operand) : Rtl.operand option =
+  match o with
+  | Reg r -> subst_reg_operand st r
+  | Imm _ -> None
+  | Mem (w, a) -> (
+    match subst_addr st a with
+    | Some a' -> Some (Mem (w, a'))
+    | None -> None)
+
+let improve_loc st (l : Rtl.loc) : Rtl.loc option =
+  match l with
+  | Lreg _ -> None
+  | Lmem (w, a) -> (
+    match subst_addr st a with
+    | Some a' -> Some (Lmem (w, a'))
+    | None -> None)
+
+(* Try a rewrite; accept only machine-legal results. *)
+let try_rewrite st current candidate =
+  if Rtl.equal_instr current candidate then None
+  else if Machine.legal_instr st.machine candidate then Some candidate
+  else None
+
+(* One substitution step on an instruction; None when no improvement. *)
+let improve_instr st (i : Rtl.instr) : Rtl.instr option =
+  let ( ||| ) a b = match a with Some _ -> a | None -> b () in
+  match i with
+  | Rtl.Move (l, s) ->
+    (match improve_operand st s with
+    | Some s' -> try_rewrite st i (Rtl.Move (l, s'))
+    | None -> None)
+    ||| fun () ->
+    (match improve_loc st l with
+    | Some l' -> try_rewrite st i (Rtl.Move (l', s))
+    | None -> None)
+  | Rtl.Lea (r, a) -> (
+    match subst_addr st a with
+    | Some a' -> try_rewrite st i (Rtl.Lea (r, a'))
+    | None -> None)
+  | Rtl.Binop (op, l, a, b) ->
+    (match improve_operand st b with
+    | Some b' -> try_rewrite st i (Rtl.Binop (op, l, a, b'))
+    | None -> None)
+    ||| (fun () ->
+          match improve_operand st a with
+          | Some a' -> try_rewrite st i (Rtl.Binop (op, l, a', b))
+          | None -> None)
+    ||| fun () ->
+    (match improve_loc st l with
+    | Some l' -> try_rewrite st i (Rtl.Binop (op, l', a, b))
+    | None -> None)
+  | Rtl.Unop (op, l, a) -> (
+    match improve_operand st a with
+    | Some a' -> try_rewrite st i (Rtl.Unop (op, l, a'))
+    | None -> None)
+  | Rtl.Cmp (a, b) ->
+    (match improve_operand st a with
+    | Some a' -> try_rewrite st i (Rtl.Cmp (a', b))
+    | None -> None)
+    ||| fun () ->
+    (match improve_operand st b with
+    | Some b' -> try_rewrite st i (Rtl.Cmp (a, b'))
+    | None -> None)
+  | Rtl.Ijump _ | Rtl.Branch _ | Rtl.Jump _ | Rtl.Call _ | Rtl.Ret
+  | Rtl.Enter _ | Rtl.Leave | Rtl.Nop ->
+    None
+
+(* Record what an instruction teaches us, after killing its definitions. *)
+let record st (i : Rtl.instr) =
+  Reg.Set.iter (kill st) (Rtl.defs i);
+  if Rtl.writes_mem i then kill_loads st;
+  (match i with
+  | Rtl.Call _ -> kill_loads st
+  | _ -> ());
+  match i with
+  | Rtl.Move (Lreg d, (Reg s as o)) ->
+    if not (Reg.equal d s) then Hashtbl.replace st.facts d (Copy o)
+  | Rtl.Move (Lreg d, (Imm _ as o)) -> Hashtbl.replace st.facts d (Copy o)
+  | Rtl.Move (Lreg d, Mem (w, a)) ->
+    let ok_addr =
+      match a with
+      | Based (r, _) -> not (Reg.equal r d)
+      | Indexed (b, i, _, _) -> (not (Reg.equal b d)) && not (Reg.equal i d)
+      | Abs _ -> true
+    in
+    if ok_addr then Hashtbl.replace st.facts d (Loaded (w, a))
+  | Rtl.Lea (d, a) ->
+    let ok_addr =
+      match a with
+      | Based (r, _) -> not (Reg.equal r d)
+      | Indexed (b, i, _, _) -> (not (Reg.equal b d)) && not (Reg.equal i d)
+      | Abs _ -> true
+    in
+    if ok_addr then Hashtbl.replace st.facts d (Eaddr a)
+  | Rtl.Binop (Shl, Lreg d, Reg i, Imm k)
+    when (k = 1 || k = 2) && not (Reg.equal d i) ->
+    Hashtbl.replace st.facts d (Scaled (i, 1 lsl k))
+  | Rtl.Binop (Add, Lreg d, Reg b, Reg i)
+    when (not (Reg.equal d b)) && not (Reg.equal d i) -> (
+    match Hashtbl.find_opt st.facts i with
+    | Some (Scaled (idx, sc)) when not (Reg.equal idx d) ->
+      Hashtbl.replace st.facts d (Sum (b, idx, sc))
+    | _ -> Hashtbl.replace st.facts d (Sum (b, i, 1)))
+  | _ -> ()
+
+let forward_pass st instrs =
+  List.map
+    (fun i ->
+      let rec fix i n =
+        if n = 0 then i
+        else
+          match improve_instr st i with
+          | Some i' ->
+            st.changed <- true;
+            fix i' (n - 1)
+          | None -> i
+      in
+      let i = fix i 6 in
+      record st i;
+      i)
+    instrs
+
+(* --- Backward pass: CISC fusions that need dead-after information --- *)
+
+let backward_pass st live_out instrs =
+  if st.machine.Machine.kind <> Machine.Cisc then instrs
+  else begin
+    let arr = Array.of_list instrs in
+    let n = Array.length arr in
+    (* live.(k) = registers live after instruction k. *)
+    let live = Array.make (n + 1) live_out in
+    for k = n - 1 downto 0 do
+      live.(k) <- Flow.Liveness.step arr.(k) live.(k + 1)
+    done;
+    (* live.(k) is liveness *before* instr k as computed; shift so that
+       after(k) = live.(k+1). *)
+    let dead_after k r = not (Reg.Set.mem r live.(k + 1)) in
+    let removed = Array.make n false in
+    (* Read-modify-write over one cell:
+       t = M[m]; t = t op b; M[m] = t   =>   M[m] = M[m] op b *)
+    for k = 0 to n - 3 do
+      if (not removed.(k)) && (not removed.(k + 1)) && not removed.(k + 2)
+      then begin
+        match arr.(k), arr.(k + 1), arr.(k + 2) with
+        | Rtl.Move (Lreg t, Mem (w, m)),
+          Rtl.Binop (op, Lreg t', Reg t'', b),
+          Rtl.Move (Lmem (w', m'), Reg t''')
+          when Reg.equal t t' && Reg.equal t t'' && Reg.equal t t''' && w = w'
+               && m = m'
+               && (not (Reg.Set.mem t (Rtl.operand_regs b)))
+               && dead_after (k + 2) t ->
+          let fused = Rtl.Binop (op, Lmem (w, m), Mem (w, m), b) in
+          if Machine.legal_instr st.machine fused then begin
+            arr.(k) <- fused;
+            removed.(k + 1) <- true;
+            removed.(k + 2) <- true;
+            st.changed <- true
+          end
+        | _ -> ()
+      end
+    done;
+    for k = 0 to n - 2 do
+      if (not removed.(k)) && not removed.(k + 1) then begin
+        match arr.(k), arr.(k + 1) with
+        (* t = M[m] op b ; M[m] = t   =>   M[m] = M[m] op b *)
+        | Rtl.Binop (op, Lreg t, Mem (w, m), b), Rtl.Move (Lmem (w', m'), Reg t')
+          when Reg.equal t t' && w = w' && m = m' && dead_after (k + 1) t ->
+          let fused = Rtl.Binop (op, Lmem (w, m), Mem (w, m), b) in
+          if Machine.legal_instr st.machine fused then begin
+            arr.(k) <- fused;
+            removed.(k + 1) <- true;
+            st.changed <- true
+          end
+        (* t = src ; M[m] = t   =>   M[m] = src (mem-to-mem / imm store) *)
+        | Rtl.Move (Lreg t, src), Rtl.Move (Lmem (w, m), Reg t')
+          when Reg.equal t t' && dead_after (k + 1) t ->
+          let fused = Rtl.Move (Rtl.Lmem (w, m), src) in
+          if Machine.legal_instr st.machine fused then begin
+            arr.(k) <- fused;
+            removed.(k + 1) <- true;
+            st.changed <- true
+          end
+        | _ -> ()
+      end
+    done;
+    List.filteri (fun k _ -> not removed.(k)) (Array.to_list arr)
+  end
+
+let run machine func =
+  let live = Flow.Liveness.compute func in
+  let st = { machine; facts = Hashtbl.create 32; changed = false } in
+  let blocks =
+    Array.mapi
+      (fun bi (b : Flow.Func.block) ->
+        Hashtbl.reset st.facts;
+        let instrs = forward_pass st b.instrs in
+        let instrs = backward_pass st (Flow.Liveness.live_out live bi) instrs in
+        { b with instrs })
+      (Flow.Func.blocks func)
+  in
+  if st.changed then (Flow.Func.with_blocks func blocks, true) else (func, false)

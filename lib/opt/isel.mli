@@ -1,0 +1,12 @@
+(** Instruction selection: local peephole combining (paper: "instruction
+    selection" — VPO's combiner).
+
+    Within each basic block, forward propagation of copies, constants,
+    effective addresses and (on the CISC) loaded memory operands rewrites
+    instructions into cheaper machine-legal shapes; a backward pass fuses
+    operate-and-store pairs and memory-to-memory moves on the CISC.  Every
+    rewrite is validated against {!Ir.Machine.legal_instr}, so the pass can
+    never produce unencodable instructions.  Dead copies and loads left
+    behind are removed by {!Deadvars}. *)
+
+val run : Ir.Machine.t -> Flow.Func.t -> Flow.Func.t * bool

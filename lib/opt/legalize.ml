@@ -1,0 +1,176 @@
+open Ir
+
+let check machine func =
+  Array.for_all
+    (fun (b : Flow.Func.block) ->
+      List.for_all (Machine.legal_instr machine) b.instrs)
+    (Flow.Func.blocks func)
+
+let reg_in_operand r o = Reg.Set.mem r (Rtl.operand_regs o)
+
+let is_mem = function Rtl.Mem _ -> true | Rtl.Reg _ | Rtl.Imm _ -> false
+
+let rec expand machine fresh (i : Rtl.instr) : Rtl.instr list =
+  if Machine.legal_instr machine i then [ i ]
+  else begin
+    match machine.Machine.kind with
+    | Machine.Risc -> expand_risc machine fresh i
+    | Machine.Cisc -> expand_cisc machine fresh i
+  end
+
+(* Load a memory or immediate operand into a fresh register. *)
+and load_operand machine fresh o =
+  let t = fresh () in
+  (expand machine fresh (Rtl.Move (Lreg t, o)), Rtl.Reg t)
+
+(* Turn an address into a RISC-legal Based form. *)
+and risc_addr machine fresh a =
+  match a with
+  | Rtl.Based (_, d) when d >= -4096 && d <= 4095 -> ([], a)
+  | Rtl.Based (r, d) ->
+    let t = fresh () in
+    (expand machine fresh (Rtl.Binop (Add, Lreg t, Reg r, Imm d)),
+     Rtl.Based (t, 0))
+  | Rtl.Abs _ ->
+    let t = fresh () in
+    ([ Rtl.Lea (t, a) ], Rtl.Based (t, 0))
+  | Rtl.Indexed (b, i, s, d) ->
+    let t = fresh () in
+    let scale =
+      if s = 1 then [ Rtl.Move (Rtl.Lreg t, Reg i) ]
+      else if s = 2 || s = 4 || s = 8 then
+        [ Rtl.Binop (Shl, Lreg t, Reg i, Imm (if s = 2 then 1 else if s = 4 then 2 else 3)) ]
+      else [ Rtl.Binop (Mul, Lreg t, Reg i, Imm s) ]
+    in
+    let u = fresh () in
+    (scale @ [ Rtl.Binop (Add, Lreg u, Reg b, Reg t) ], Rtl.Based (u, d))
+
+and expand_risc machine fresh (i : Rtl.instr) =
+  let load o = load_operand machine fresh o in
+  match i with
+  | Move (Lreg d, Mem (w, a)) ->
+    let pre, a' = risc_addr machine fresh a in
+    pre @ [ Move (Lreg d, Mem (w, a')) ]
+  | Move (Lmem (w, a), src) ->
+    let pre1, src' =
+      match src with
+      | Reg _ -> ([], src)
+      | Imm _ | Mem _ -> load src
+    in
+    let pre2, a' = risc_addr machine fresh a in
+    pre1 @ pre2 @ [ Move (Lmem (w, a'), src') ]
+  | Move (Lreg _, (Reg _ | Imm _)) -> [ i ]
+  | Lea (d, a) -> (
+    match a with
+    | Based _ | Abs _ -> [ i ]
+    | Indexed _ ->
+      let pre, a' = risc_addr machine fresh a in
+      pre @ expand machine fresh (Lea (d, a')))
+  | Binop (op, Lmem (w, a), x, y) ->
+    let t = fresh () in
+    expand machine fresh (Binop (op, Lreg t, x, y))
+    @ expand machine fresh (Move (Lmem (w, a), Reg t))
+  | Binop (op, Lreg d, (Imm x as a), (Imm y as b)) -> (
+    (* Both constant: fold, unless it would hide a runtime fault. *)
+    match Rtl.eval_binop op x y with
+    | v -> [ Move (Lreg d, Imm v) ]
+    | exception Division_by_zero ->
+      let pre, a' = load_operand machine fresh a in
+      pre @ [ Binop (op, Lreg d, a', b) ])
+  | Binop (op, Lreg d, a, b) ->
+    let pre1, a' =
+      match a with
+      | Reg _ -> ([], a)
+      | Imm _ when Rtl.commutative op && not (is_mem b) -> ([], a)
+      | Imm _ | Mem _ -> load a
+    in
+    (* After a commutative swap the immediate lands on the right. *)
+    let a', b' =
+      match a' with
+      | Imm _ -> (b, a')
+      | Reg _ | Mem _ -> (a', b)
+    in
+    let pre2, b'' =
+      match b' with Mem _ -> load b' | Reg _ | Imm _ -> ([], b')
+    in
+    pre1 @ pre2 @ [ Binop (op, Lreg d, a', b'') ]
+  | Unop (op, Lmem (w, a), x) ->
+    let t = fresh () in
+    expand machine fresh (Unop (op, Lreg t, x))
+    @ expand machine fresh (Move (Lmem (w, a), Reg t))
+  | Unop (op, Lreg d, x) -> (
+    match x with
+    | Reg _ -> [ i ]
+    | Imm n -> [ Move (Lreg d, Imm (Rtl.eval_unop op n)) ]
+    | Mem _ ->
+      let pre, x' = load x in
+      pre @ [ Unop (op, Lreg d, x') ])
+  | Cmp (a, b) ->
+    let pre1, a' =
+      match a with Reg _ -> ([], a) | Imm _ | Mem _ -> load a
+    in
+    let pre2, b' = match b with Mem _ -> load b | Reg _ | Imm _ -> ([], b) in
+    pre1 @ pre2 @ [ Cmp (a', b') ]
+  | Branch _ | Jump _ | Ijump _ | Call _ | Ret | Enter _ | Leave | Nop -> [ i ]
+
+and expand_cisc machine fresh (i : Rtl.instr) =
+  let load o = load_operand machine fresh o in
+  match i with
+  | Move _ -> [ i ] (* all CISC moves are legal, incl. mem-to-mem *)
+  | Lea _ -> [ i ]
+  | Binop (op, loc, a, b) ->
+    if Machine.same_loc_operand loc a then begin
+      (* Two-address shape already; reduce memory-operand count. *)
+      let mem_count =
+        (match loc with Rtl.Lmem _ -> 1 | Rtl.Lreg _ -> 0)
+        + if is_mem b then 1 else 0
+      in
+      if mem_count <= 1 then [ i ]
+      else begin
+        let pre, b' = load b in
+        pre @ [ Binop (op, loc, a, b') ]
+      end
+    end
+    else if Rtl.commutative op && Machine.same_loc_operand loc b then
+      expand machine fresh (Binop (op, loc, b, a))
+    else begin
+      match loc with
+      | Lreg d when not (reg_in_operand d b) ->
+        expand machine fresh (Move (Lreg d, a))
+        @ expand machine fresh (Binop (op, Lreg d, Reg d, b))
+      | Lreg _ | Lmem _ ->
+        let t = fresh () in
+        expand machine fresh (Move (Lreg t, a))
+        @ expand machine fresh (Binop (op, Lreg t, Reg t, b))
+        @ expand machine fresh (Move (loc, Reg t))
+    end
+  | Unop (op, loc, a) ->
+    if Machine.same_loc_operand loc a then [ i ]
+    else begin
+      match loc with
+      | Lreg d ->
+        expand machine fresh (Move (Lreg d, a))
+        @ [ Rtl.Unop (op, Lreg d, Reg d) ]
+      | Lmem _ ->
+        let t = fresh () in
+        expand machine fresh (Move (Lreg t, a))
+        @ [ Rtl.Unop (op, Lreg t, Reg t) ]
+        @ expand machine fresh (Move (loc, Reg t))
+    end
+  | Cmp (a, b) ->
+    if is_mem a && is_mem b then begin
+      let pre, a' = load a in
+      pre @ [ Cmp (a', b) ]
+    end
+    else [ i ]
+  | Branch _ | Jump _ | Ijump _ | Call _ | Ret | Enter _ | Leave | Nop -> [ i ]
+
+let run machine func =
+  let fresh () = Flow.Func.fresh_reg func in
+  let out =
+    Flow.Func.map_instrs
+      (fun instrs -> List.concat_map (expand machine fresh) instrs)
+      func
+  in
+  assert (check machine out);
+  out

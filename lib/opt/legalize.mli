@@ -1,0 +1,12 @@
+(** Shape generic RTL into machine-legal instructions.
+
+    Runs once right after code generation; every later pass preserves
+    legality ({!Ir.Machine.legal_instr}).  The RISC model needs load/store
+    expansion, address materialization and register operands; the CISC model
+    needs two-address form and at most one memory operand. *)
+
+val run : Ir.Machine.t -> Flow.Func.t -> Flow.Func.t
+
+(** All instructions legal for the machine — pass postcondition, checked in
+    tests. *)
+val check : Ir.Machine.t -> Flow.Func.t -> bool

@@ -1,0 +1,18 @@
+(** Loop-invariant code motion (paper: "code motion").
+
+    For each natural loop, innermost first, a preheader block is created
+    (giving replication its "relocating the preheader" opportunities,
+    §3.3.3) and pure instructions whose operands have no definition inside
+    the loop are hoisted into it.  Hoisting conditions: the instruction's
+    destination has exactly one definition in the loop, is not live into the
+    header, and its block dominates every loop exit; loads hoist only out of
+    loops containing no store or call. *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool
+
+(** Create (or reuse the position for) a preheader block before the loop's
+    header, redirecting every entry edge from outside the loop to it.
+    Returns the new function and the preheader's label.  Exposed for
+    {!Strength}. *)
+val insert_preheader :
+  Flow.Func.t -> Flow.Loops.loop -> Flow.Func.t * Ir.Label.t

@@ -1,0 +1,18 @@
+(** Register allocation by graph coloring (paper: "register assignment" and
+    "register allocation by register coloring").
+
+    Chaitin-style: build the interference graph over virtual registers
+    (move sources do not interfere with their destinations, giving free
+    coalescing when colors coincide; calls clobber the caller-save set, so
+    values live across calls end up in callee-save registers), simplify,
+    select with move-biased color choice, and spill to fresh frame slots
+    when needed, iterating until everything colors.
+
+    Postconditions: no virtual registers remain; the [Enter] frame size
+    covers spill and callee-save slots; callee-save registers used by the
+    assignment are saved after [Enter] and restored before each [Leave];
+    register self-moves are deleted. *)
+
+exception Failure of string
+
+val run : Ir.Machine.t -> Flow.Func.t -> Flow.Func.t

@@ -1,0 +1,62 @@
+open Ir
+open Flow
+
+let run func =
+  let n = Func.num_blocks func in
+  (* Chains of positionally consecutive blocks connected by fall-through. *)
+  let chains = ref [] in
+  let cur = ref [] in
+  for i = 0 to n - 1 do
+    cur := i :: !cur;
+    if not (Func.falls_through (Func.block func i)) || i = n - 1 then begin
+      chains := List.rev !cur :: !chains;
+      cur := []
+    end
+  done;
+  let chains = Array.of_list (List.rev !chains) in
+  let nc = Array.length chains in
+  (* Chain index of each head label. *)
+  let head_chain = Hashtbl.create 16 in
+  Array.iteri
+    (fun c blocks ->
+      match blocks with
+      | head :: _ -> Hashtbl.replace head_chain (Func.block func head).Func.label c
+      | [] -> ())
+    chains;
+  (* The chain a chain's trailing jump would like to precede. *)
+  let jump_succ c =
+    match chains.(c) with
+    | [] -> None
+    | blocks -> (
+      let last = List.nth blocks (List.length blocks - 1) in
+      match Func.terminator (Func.block func last) with
+      | Some (Rtl.Jump l) -> Hashtbl.find_opt head_chain l
+      | Some _ | None -> None)
+  in
+  let placed = Array.make nc false in
+  let order = ref [] in
+  let next_unplaced from =
+    let rec go i = if i >= nc then None else if placed.(i) then go (i + 1) else Some i in
+    go from
+  in
+  let rec place c =
+    placed.(c) <- true;
+    order := c :: !order;
+    match jump_succ c with
+    | Some c' when (not placed.(c')) && c' <> 0 -> place c'
+    | Some _ | None -> (
+      match next_unplaced 0 with
+      | Some c' -> place c'
+      | None -> ())
+  in
+  if nc > 0 then place 0;
+  let order = List.rev !order in
+  let changed = order <> List.init nc Fun.id in
+  if not changed then (func, false)
+  else begin
+    let blocks =
+      List.concat_map (fun c -> List.map (Func.block func) chains.(c)) order
+      |> Array.of_list
+    in
+    (Func.with_blocks func blocks, true)
+  end

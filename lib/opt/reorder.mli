@@ -1,0 +1,9 @@
+(** Reorder basic blocks to minimize unconditional jumps (paper Figure 3:
+    "reorder basic blocks to minimize jumps").
+
+    Fall-through-connected runs of blocks are kept intact as chains; chains
+    are then laid out greedily so that a chain ending in [Jump L] is
+    followed by the chain starting at [L] whenever possible, turning the
+    jump into a fall-through (deleted by {!Branch_chain}). *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool

@@ -1,0 +1,124 @@
+open Ir
+open Flow
+
+(* Find the unique in-loop definition of each register, or mark it
+   multiply-defined. *)
+type definfo = Single of int * Rtl.instr  (* block, instr *) | Many
+
+let loop_def_map func (loop : Loops.loop) =
+  Loops.Int_set.fold
+    (fun bi acc ->
+      List.fold_left
+        (fun acc i ->
+          Reg.Set.fold
+            (fun r acc ->
+              Reg.Map.update r
+                (function
+                  | None -> Some (Single (bi, i))
+                  | Some _ -> Some Many)
+                acc)
+            (Rtl.defs i) acc)
+        acc (Func.block func bi).instrs)
+    loop.body Reg.Map.empty
+
+(* Basic IV: single def of the shape i := i + c or i := i - c. *)
+let basic_iv_step defmap r =
+  match Reg.Map.find_opt r defmap with
+  | Some (Single (_, Rtl.Binop (Add, Lreg d, Reg s, Imm c)))
+    when Reg.equal d s && Reg.equal d r ->
+    Some c
+  | Some (Single (_, Rtl.Binop (Sub, Lreg d, Reg s, Imm c)))
+    when Reg.equal d s && Reg.equal d r ->
+    Some (-c)
+  | _ -> None
+
+let reduce_loop func (loop : Loops.loop) =
+  let defmap = loop_def_map func loop in
+  (* Find one reducible multiplication: t := i * k. *)
+  let found = ref None in
+  Loops.Int_set.iter
+    (fun bi ->
+      if !found = None then
+        List.iter
+          (fun instr ->
+            if !found = None then
+              match instr with
+              | Rtl.Binop (Mul, Lreg t, Reg i, Imm k)
+                when (not (Reg.equal t i))
+                     && basic_iv_step defmap i <> None
+                     && (match Reg.Map.find_opt t defmap with
+                        | Some (Single (_, d)) -> Rtl.equal_instr d instr
+                        | _ -> false) ->
+                found := Some (bi, instr, i, k, Option.get (basic_iv_step defmap i))
+              | _ -> ())
+          (Func.block func bi).instrs)
+    loop.body;
+  match !found with
+  | None -> (func, false)
+  | Some (_bi, mul_instr, iv, k, step) ->
+    let t' = Func.fresh_reg func in
+    let iv_def =
+      match Reg.Map.find_opt iv defmap with
+      | Some (Single (bi, d)) -> (bi, d)
+      | _ -> assert false
+    in
+    let blocks = Array.copy (Func.blocks func) in
+    (* Replace the multiplication and augment the IV increment. *)
+    Loops.Int_set.iter
+      (fun bi ->
+        let b = blocks.(bi) in
+        let instrs =
+          List.concat_map
+            (fun instr ->
+              if Rtl.equal_instr instr mul_instr then
+                [ Rtl.Move
+                    (Lreg
+                       (match mul_instr with
+                       | Rtl.Binop (_, Lreg t, _, _) -> t
+                       | _ -> assert false),
+                     Reg t') ]
+              else if bi = fst iv_def && Rtl.equal_instr instr (snd iv_def)
+              then
+                [ instr; Rtl.Binop (Add, Lreg t', Reg t', Imm (step * k)) ]
+              else [ instr ])
+            b.instrs
+        in
+        blocks.(bi) <- { b with instrs })
+      loop.body;
+    let func = Func.with_blocks func blocks in
+    (* Initialize t' = iv * k in a fresh preheader. *)
+    let func, pre_label = Licm.insert_preheader func loop in
+    let pre_idx = Func.index_of_label func pre_label in
+    let pb = Func.block func pre_idx in
+    let out = Array.copy (Func.blocks func) in
+    (* Two-address-safe initialization: t' := iv; t' := t' * k. *)
+    out.(pre_idx) <-
+      { pb with
+        instrs =
+          pb.instrs
+          @ [ Rtl.Move (Lreg t', Reg iv);
+              Rtl.Binop (Mul, Lreg t', Reg t', Imm k);
+            ]
+      };
+    (Func.with_blocks func out, true)
+
+let run func =
+  let rec rounds func changed n =
+    if n = 0 then (func, changed)
+    else begin
+      let g = Cfg.make func in
+      let dom = Dom.compute g in
+      let loops = Loops.innermost_first (Loops.natural_loops g dom) in
+      let rec try_loops = function
+        | [] -> None
+        | l :: rest -> (
+          match reduce_loop func l with
+          | f, true -> Some f
+          | _, false -> try_loops rest)
+      in
+      match try_loops loops with
+      | Some func -> rounds func true (n - 1)
+      | None -> (func, changed)
+    end
+  in
+  rounds func false 20

@@ -1,0 +1,15 @@
+(** Induction-variable strength reduction (paper: "strength reduction" and
+    "recurrences").
+
+    For each natural loop: a {e basic induction variable} [i] is a register
+    with exactly one definition in the loop, of the form [i := i ± c] with
+    constant [c].  A multiplication [t := i * k] ([k] a loop-invariant
+    constant, the only definition of [t] in the loop) is reduced by keeping
+    a shadow register [t'] with [t' = i * k] — initialized in the loop
+    preheader and advanced by [±c*k] right after [i]'s increment — and
+    replacing the multiplication with a move from [t'].
+
+    Simple strength reductions that need no loop context (multiply by a
+    power of two becoming a shift) live in {!Constfold}. *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool

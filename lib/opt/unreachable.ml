@@ -1,0 +1,14 @@
+open Flow
+
+let run func =
+  let g = Cfg.make func in
+  let keep = Cfg.reachable g in
+  if Array.for_all Fun.id keep then (func, false)
+  else begin
+    let blocks =
+      Func.blocks func |> Array.to_list
+      |> List.filteri (fun i _ -> keep.(i))
+      |> Array.of_list
+    in
+    (Func.with_blocks func blocks, true)
+  end

@@ -1,0 +1,5 @@
+(** Dead code elimination at the block level: remove blocks the control
+    flow can no longer reach (paper: "dead code elimination" after
+    replication and branch optimizations). *)
+
+val run : Flow.Func.t -> Flow.Func.t * bool

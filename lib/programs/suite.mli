@@ -1,0 +1,17 @@
+(** The paper's test set (Table 3): 14 C programs in the compiler's C
+    subset, with bundled inputs and gcc-verified expected outputs.
+
+    This file describes the generated [suite.ml]; regenerate it with
+    [python3 tools/gen_programs.py] (requires gcc). *)
+
+type benchmark = {
+  name : string;
+  clazz : string;  (** "Utility", "Benchmark" or "User code" *)
+  description : string;
+  source : string;  (** C-subset source text *)
+  input : string;  (** stdin for the run *)
+  expected_output : string;  (** stdout captured from gcc -funsigned-char *)
+}
+
+val all : benchmark list
+val find : string -> benchmark option

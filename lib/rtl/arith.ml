@@ -1,0 +1,17 @@
+(* Keep the low 32 bits, then sign-extend bit 31. *)
+let norm x =
+  let low = x land 0xFFFFFFFF in
+  if low land 0x80000000 <> 0 then low - 0x100000000 else low
+
+let add a b = norm (a + b)
+let sub a b = norm (a - b)
+let mul a b = norm (a * b)
+let div a b = if b = 0 then raise Division_by_zero else norm (a / b)
+let rem a b = if b = 0 then raise Division_by_zero else norm (a mod b)
+let logand a b = norm (a land b)
+let logor a b = norm (a lor b)
+let logxor a b = norm (a lxor b)
+let shl a b = norm (a lsl (b land 31))
+let shr a b = norm (norm a asr (b land 31))
+let neg a = norm (-a)
+let lognot a = norm (lnot a)

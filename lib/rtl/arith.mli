@@ -1,0 +1,35 @@
+(** 32-bit two's-complement arithmetic on OCaml [int]s.
+
+    The simulated machine computes on 32-bit signed words.  Values are kept
+    {e normalized}: every register and memory word holds an [int] in
+    [\[-2{^31}, 2{^31}-1\]].  All operators here wrap their result back into
+    that range, matching both machine models and C semantics on [int]. *)
+
+(** [norm x] wraps [x] into the signed 32-bit range. *)
+val norm : int -> int
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+(** Truncated division, as in C.  @raise Division_by_zero on zero divisor. *)
+val div : int -> int -> int
+
+(** Remainder with the sign of the dividend, as in C.
+    @raise Division_by_zero on zero divisor. *)
+val rem : int -> int -> int
+
+val logand : int -> int -> int
+val logor : int -> int -> int
+val logxor : int -> int -> int
+
+(** Left shift; counts are taken modulo 32 and the result wraps. *)
+val shl : int -> int -> int
+
+(** Arithmetic right shift; counts are taken modulo 32. *)
+val shr : int -> int -> int
+
+val neg : int -> int
+
+(** Bitwise complement. *)
+val lognot : int -> int

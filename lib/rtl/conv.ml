@@ -1,0 +1,20 @@
+let num_regs = 22
+let rv = Reg.Phys 0
+let fp = Reg.Phys 20
+let sp = Reg.Phys 21
+let arg_regs = List.map (fun i -> Reg.Phys i) [ 1; 2; 3; 4; 5; 6 ]
+let max_args = List.length arg_regs
+
+let arg_reg i =
+  match List.nth_opt arg_regs i with
+  | Some r -> r
+  | None -> invalid_arg "Conv.arg_reg"
+
+(* r0-r11 caller-save, r12-r19 callee-save, r20/r21 fp/sp. *)
+let caller_save =
+  Reg.Set.of_list (List.init 12 (fun i -> Reg.Phys i))
+
+let callee_save =
+  Reg.Set.of_list (List.init 8 (fun i -> Reg.Phys (12 + i)))
+
+let allocatable = List.init 20 (fun i -> Reg.Phys i)

@@ -1,0 +1,40 @@
+(** Register-file layout and calling conventions.
+
+    Both machine models share one general-purpose register file so that the
+    machine-independent passes (the vast majority, as in VPO) need no
+    per-target special cases.  The models differ in instruction legality and
+    size, which live in {!Machine}. *)
+
+(** Number of general-purpose registers. *)
+val num_regs : int
+
+(** Return-value register (also a caller-save temporary). *)
+val rv : Reg.t
+
+(** Frame pointer; not allocatable. *)
+val fp : Reg.t
+
+(** Stack pointer; not allocatable. *)
+val sp : Reg.t
+
+(** Argument-passing registers, in order.  Calls with more arguments than
+    [List.length arg_regs] are rejected by the front end. *)
+val arg_regs : Reg.t list
+
+(** [arg_reg i] is the register carrying argument [i] (0-based).
+    @raise Invalid_argument if out of range. *)
+val arg_reg : int -> Reg.t
+
+(** Maximum number of register-passed arguments. *)
+val max_args : int
+
+(** Registers a call may overwrite (includes [rv] and [arg_regs]). *)
+val caller_save : Reg.Set.t
+
+(** Registers preserved across calls; using one obliges the callee to
+    save/restore it. *)
+val callee_save : Reg.Set.t
+
+(** All registers the allocator may assign, caller-save first so that values
+    not live across calls prefer them. *)
+val allocatable : Reg.t list

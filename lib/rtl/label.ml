@@ -1,0 +1,26 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash x = x
+let to_string l = Printf.sprintf "L%d" l
+let pp ppf l = Format.pp_print_string ppf (to_string l)
+let of_int n = n
+let to_int l = l
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Supply = struct
+  type t = int ref
+
+  let create () = ref 0
+  let create_from n = ref n
+
+  let fresh supply =
+    let l = !supply in
+    incr supply;
+    l
+
+  let next_index supply = !supply
+end

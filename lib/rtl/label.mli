@@ -1,0 +1,36 @@
+(** Code labels: targets of branches and jumps.
+
+    A label names exactly one basic block of a function.  Labels are pure
+    identifiers; their printable form is ["L<n>"]. *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [of_int n] is the label with identity [n]; mainly for tests. *)
+val of_int : int -> t
+
+val to_int : t -> int
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(** A stateful supply of fresh labels. *)
+module Supply : sig
+  type label := t
+  type t
+
+  val create : unit -> t
+
+  (** [create_from n] yields labels numbered [n], [n+1], ... *)
+  val create_from : int -> t
+
+  val fresh : t -> label
+
+  (** Next index that [fresh] would return. *)
+  val next_index : t -> int
+end

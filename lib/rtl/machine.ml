@@ -1,0 +1,129 @@
+type kind = Cisc | Risc
+
+type t = { kind : kind; name : string; short : string; delay_slots : bool }
+
+let cisc =
+  { kind = Cisc; name = "m68020-like CISC"; short = "cisc"; delay_slots = false }
+
+let risc =
+  { kind = Risc; name = "SPARC-like RISC"; short = "risc"; delay_slots = true }
+
+let all = [ risc; cisc ]
+
+let of_short s = List.find_opt (fun m -> String.equal m.short s) all
+
+let pp ppf m = Format.pp_print_string ppf m.name
+
+let same_loc_operand (l : Rtl.loc) (o : Rtl.operand) =
+  match l, o with
+  | Lreg r, Reg r' -> Reg.equal r r'
+  | Lmem (w, a), Mem (w', a') -> w = w' && a = a'
+  | (Lreg _ | Lmem _), (Reg _ | Imm _ | Mem _) -> false
+
+(* --- Sizes --- *)
+
+(* CISC extension-word bytes contributed by an operand. *)
+let cisc_imm_ext n = if n >= -32768 && n <= 32767 then 2 else 4
+
+let cisc_addr_ext = function
+  | Rtl.Based (_, 0) -> 0
+  | Rtl.Based (_, d) -> if d >= -32768 && d <= 32767 then 2 else 6
+  | Rtl.Indexed (_, _, _, d) -> if d >= -128 && d <= 127 then 2 else 4
+  | Rtl.Abs _ -> 4
+
+let cisc_operand_ext = function
+  | Rtl.Reg _ -> 0
+  | Rtl.Imm n -> cisc_imm_ext n
+  | Rtl.Mem (_, a) -> cisc_addr_ext a
+
+let cisc_loc_ext = function
+  | Rtl.Lreg _ -> 0
+  | Rtl.Lmem (_, a) -> cisc_addr_ext a
+
+(* "Quick" immediates (addq/subq/moveq-style) encode in the opcode word. *)
+let quick_imm = function
+  | Rtl.Imm n -> n >= 1 && n <= 8
+  | Rtl.Reg _ | Rtl.Mem _ -> false
+
+let cisc_size (i : Rtl.instr) =
+  match i with
+  | Move (l, s) -> 2 + cisc_loc_ext l + cisc_operand_ext s
+  | Lea (_, a) -> 2 + cisc_addr_ext a
+  | Binop ((Add | Sub), l, _, b) when quick_imm b -> 2 + cisc_loc_ext l
+  | Binop (_, l, a, b) ->
+    (* Two-address: the first source is the destination and contributes no
+       encoding of its own. *)
+    ignore a;
+    2 + cisc_loc_ext l + cisc_operand_ext b
+  | Unop (_, l, _) -> 2 + cisc_loc_ext l
+  | Cmp (a, b) -> 2 + cisc_operand_ext a + cisc_operand_ext b
+  | Branch _ -> 4
+  | Jump _ -> 4
+  | Ijump _ -> 4
+  | Call _ -> 4
+  | Ret -> 2
+  | Enter _ -> 4
+  | Leave -> 2
+  | Nop -> 2
+
+let instr_size m i = match m.kind with Risc -> 4 | Cisc -> cisc_size i
+
+(* --- Legality --- *)
+
+let risc_addr_ok = function
+  | Rtl.Based (_, d) -> d >= -4096 && d <= 4095
+  | Rtl.Indexed _ | Rtl.Abs _ -> false
+
+let risc_legal (i : Rtl.instr) =
+  match i with
+  | Move (Lreg _, (Reg _ | Imm _)) -> true
+  | Move (Lreg _, Mem (_, a)) -> risc_addr_ok a
+  | Move (Lmem (_, a), Reg _) -> risc_addr_ok a
+  | Move (Lmem _, (Imm _ | Mem _)) -> false
+  | Lea (_, (Based _ | Abs _)) -> true
+  | Lea (_, Indexed _) -> false
+  | Binop (_, Lreg _, Reg _, (Reg _ | Imm _)) -> true
+  | Binop _ -> false
+  | Unop (_, Lreg _, Reg _) -> true
+  | Unop _ -> false
+  | Cmp (Reg _, (Reg _ | Imm _)) -> true
+  | Cmp _ -> false
+  | Branch _ | Jump _ | Ijump _ | Call _ | Ret | Enter _ | Leave | Nop -> true
+
+let cisc_addr_ok = function
+  | Rtl.Based _ | Rtl.Abs _ -> true
+  | Rtl.Indexed (_, _, s, _) -> s = 1 || s = 2 || s = 4
+
+let cisc_operand_ok = function
+  | Rtl.Reg _ | Rtl.Imm _ -> true
+  | Rtl.Mem (_, a) -> cisc_addr_ok a
+
+let cisc_loc_ok = function
+  | Rtl.Lreg _ -> true
+  | Rtl.Lmem (_, a) -> cisc_addr_ok a
+
+let is_mem_operand = function
+  | Rtl.Mem _ -> true
+  | Rtl.Reg _ | Rtl.Imm _ -> false
+
+let is_mem_loc = function Rtl.Lmem _ -> true | Rtl.Lreg _ -> false
+
+let cisc_legal (i : Rtl.instr) =
+  match i with
+  | Move (l, s) ->
+    (* Plain moves may be memory-to-memory (68020 MOVE). *)
+    cisc_loc_ok l && cisc_operand_ok s
+  | Lea (_, a) -> cisc_addr_ok a
+  | Binop (_, l, a, b) ->
+    (* Two-address with at most one distinct memory operand; the
+       destination/first-source pair counts once. *)
+    same_loc_operand l a && cisc_loc_ok l && cisc_operand_ok b
+    && not (is_mem_loc l && is_mem_operand b)
+  | Unop (_, l, a) -> same_loc_operand l a && cisc_loc_ok l
+  | Cmp (a, b) ->
+    cisc_operand_ok a && cisc_operand_ok b
+    && not (is_mem_operand a && is_mem_operand b)
+  | Branch _ | Jump _ | Ijump _ | Call _ | Ret | Enter _ | Leave | Nop -> true
+
+let legal_instr m i =
+  match m.kind with Risc -> risc_legal i | Cisc -> cisc_legal i

@@ -1,0 +1,43 @@
+(** Target machine models.
+
+    Two models in the spirit of the paper's two targets:
+
+    - {!cisc}: Motorola-68020-like.  Two-address arithmetic, at most one
+      memory operand per instruction (plain moves may be memory-to-memory),
+      indexed addressing, variable instruction sizes, no delay slots.
+    - {!risc}: SPARC-like.  Three-address register arithmetic, load/store
+      only through [Based] addresses (globals need an address-forming [Lea]
+      first), fixed 4-byte instructions, one delay slot after every transfer
+      of control.
+
+    {!legal_instr} is the contract between the legalization pass and the
+    peephole combiner: codegen and every optimization keep all instructions
+    legal for the target. *)
+
+type kind = Cisc | Risc
+
+type t = private {
+  kind : kind;
+  name : string;  (** e.g. ["m68020-like CISC"] *)
+  short : string;  (** command-line tag: ["cisc"] or ["risc"] *)
+  delay_slots : bool;
+}
+
+val cisc : t
+val risc : t
+val all : t list
+
+(** Look a model up by its [short] tag. *)
+val of_short : string -> t option
+
+(** Size in bytes the instruction occupies in the code stream. *)
+val instr_size : t -> Rtl.instr -> int
+
+(** Whether the instruction's operand shapes are directly encodable. *)
+val legal_instr : t -> Rtl.instr -> bool
+
+(** [same_loc_operand l o] holds when destination [l] and source [o] denote
+    the same register or memory cell — the CISC two-address pattern. *)
+val same_loc_operand : Rtl.loc -> Rtl.operand -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = Virt of int | Phys of int | Cc
+
+let equal a b =
+  match a, b with
+  | Virt i, Virt j | Phys i, Phys j -> i = j
+  | Cc, Cc -> true
+  | (Virt _ | Phys _ | Cc), _ -> false
+
+let compare a b =
+  let tag = function Virt _ -> 0 | Phys _ -> 1 | Cc -> 2 in
+  match a, b with
+  | Virt i, Virt j | Phys i, Phys j -> Int.compare i j
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = function Virt i -> (i * 4) + 1 | Phys i -> (i * 4) + 2 | Cc -> 3
+let is_virt = function Virt _ -> true | Phys _ | Cc -> false
+let is_phys = function Phys _ -> true | Virt _ | Cc -> false
+let to_string = function
+  | Virt i -> Printf.sprintf "v%d" i
+  | Phys i -> Printf.sprintf "r%d" i
+  | Cc -> "cc"
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Supply = struct
+  type t = int ref
+
+  let create () = ref 0
+  let create_from n = ref n
+
+  let fresh supply =
+    let i = !supply in
+    incr supply;
+    Virt i
+
+  let next_index supply = !supply
+end

@@ -1,0 +1,41 @@
+(** Machine registers.
+
+    Registers are either {e virtual} (unbounded supply, produced by the code
+    generator and consumed by the register allocator) or {e physical}
+    (hardware registers of the target machine model).  A third pseudo
+    register, {!cc}, models the condition-code resource set by {!Rtl} compare
+    instructions and read by conditional branches. *)
+
+type t =
+  | Virt of int  (** virtual register, numbered from 0 *)
+  | Phys of int  (** physical register, numbered from 0 *)
+  | Cc  (** condition-code pseudo register *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val is_virt : t -> bool
+val is_phys : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Sets and maps keyed by registers. *)
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+(** A stateful supply of fresh virtual registers. *)
+module Supply : sig
+  type reg := t
+  type t
+
+  val create : unit -> t
+
+  (** [create_from n] yields virtuals numbered [n], [n+1], ... *)
+  val create_from : int -> t
+
+  val fresh : t -> reg
+
+  (** Number of virtuals handed out so far (next fresh index). *)
+  val next_index : t -> int
+end

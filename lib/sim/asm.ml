@@ -1,0 +1,212 @@
+open Ir
+
+type afunc = {
+  aname : string;
+  code : Rtl.instr array;
+  addrs : int array;
+  sizes : int array;
+  label_pos : int Label.Map.t;
+  annulled : bool array;
+  target_override : int array;
+  base : int;
+  end_addr : int;
+}
+
+type t = { machine : Machine.t; funcs : afunc list; code_base : int }
+
+let find_label f l = Label.Map.find l f.label_pos
+let find_func t name = List.find_opt (fun f -> String.equal f.aname name) t.funcs
+
+(* Linearize a function: concatenate block instruction lists; each block's
+   label maps to the index of its first instruction (or, for an empty block,
+   of whatever comes next). *)
+let linearize func =
+  let code = ref [] in
+  let count = ref 0 in
+  let label_pos = ref Label.Map.empty in
+  Array.iter
+    (fun (b : Flow.Func.block) ->
+      label_pos := Label.Map.add b.label !count !label_pos;
+      List.iter
+        (fun i ->
+          code := i :: !code;
+          incr count)
+        b.instrs)
+    (Flow.Func.blocks func);
+  (Array.of_list (List.rev !code), !label_pos)
+
+(* Registers a transfer's decision depends on at its own position; a slot
+   candidate must not define any of them. *)
+let decision_uses = function
+  | Rtl.Branch _ -> Reg.Set.singleton Reg.Cc
+  | Rtl.Ijump (r, _) -> Reg.Set.singleton r
+  | Rtl.Jump _ | Rtl.Call _ | Rtl.Ret | Rtl.Move _ | Rtl.Lea _ | Rtl.Binop _
+  | Rtl.Unop _ | Rtl.Cmp _ | Rtl.Enter _ | Rtl.Leave | Rtl.Nop ->
+    Reg.Set.empty
+
+let needs_slot = function
+  | Rtl.Branch _ | Rtl.Jump _ | Rtl.Ijump _ | Rtl.Call _ | Rtl.Ret -> true
+  | Rtl.Move _ | Rtl.Lea _ | Rtl.Binop _ | Rtl.Unop _ | Rtl.Cmp _
+  | Rtl.Enter _ | Rtl.Leave | Rtl.Nop ->
+    false
+
+let slot_candidate_ok transfer cand =
+  (not (needs_slot cand))
+  && (match cand with Rtl.Enter _ | Rtl.Call _ -> false | _ -> true)
+  && Reg.Set.is_empty (Reg.Set.inter (Rtl.defs cand) (decision_uses transfer))
+
+(* Delay-slot filling on the linear stream.  Returns the new stream and the
+   remapping of old instruction indices to new ones (for labels). *)
+let fill_delay_slots code label_targets =
+  let n = Array.length code in
+  let is_target = Array.make (n + 1) false in
+  Label.Map.iter (fun _ pos -> is_target.(pos) <- true) label_targets;
+  let out = ref [] in
+  let out_len = ref 0 in
+  let remap = Array.make (n + 1) 0 in
+  let push i =
+    out := i :: !out;
+    incr out_len
+  in
+  for k = 0 to n - 1 do
+    remap.(k) <- !out_len;
+    let instr = code.(k) in
+    if needs_slot instr then begin
+      (* The slot candidate is the instruction just emitted, provided no
+         label lets control enter between it and the transfer. *)
+      let cand_idx = k - 1 in
+      let can_fill =
+        cand_idx >= 0
+        && (not is_target.(k))
+        && (not is_target.(cand_idx))
+        && (not (needs_slot code.(cand_idx)))
+        && slot_candidate_ok instr code.(cand_idx)
+      in
+      if can_fill then begin
+        match !out with
+        | prev :: rest ->
+          out := rest;
+          decr out_len;
+          remap.(k) <- !out_len;
+          push instr;
+          push prev
+        | [] -> assert false
+      end
+      else begin
+        push instr;
+        push Rtl.Nop
+      end
+    end
+    else push instr
+  done;
+  remap.(n) <- !out_len;
+  (Array.of_list (List.rev !out), remap)
+
+(* Second filling phase, on the final stream: pull the target's first
+   instruction into a still-empty (Nop) slot, retargeting the transfer past
+   it.  Annulled for conditional branches; unconditional for jumps. *)
+let fill_from_targets code label_pos annulled target_override =
+  let n = Array.length code in
+  let pos_of l = Label.Map.find_opt l label_pos in
+  for k = 0 to n - 2 do
+    if code.(k + 1) = Rtl.Nop then begin
+      match code.(k) with
+      | Rtl.Branch (_, l) | Rtl.Jump l -> (
+        match pos_of l with
+        | Some p when p + 1 < n && p <> k + 1 && not (needs_slot code.(p)) -> (
+          match code.(p) with
+          | Rtl.Enter _ | Rtl.Nop -> ()
+          | cand ->
+            code.(k + 1) <- cand;
+            target_override.(k) <- p + 1;
+            (match code.(k) with
+            | Rtl.Branch _ -> annulled.(k + 1) <- true
+            | _ -> ()))
+        | Some _ | None -> ())
+      | _ -> ()
+    end
+  done
+
+let assemble_func machine base func =
+  let code, label_pos = linearize func in
+  let code, label_pos =
+    if machine.Machine.delay_slots then begin
+      let code', remap = fill_delay_slots code label_pos in
+      (code', Label.Map.map (fun pos -> remap.(pos)) label_pos)
+    end
+    else (code, label_pos)
+  in
+  let annulled = Array.make (Array.length code) false in
+  let target_override = Array.make (Array.length code) (-1) in
+  if machine.Machine.delay_slots then
+    fill_from_targets code label_pos annulled target_override;
+  let n = Array.length code in
+  let sizes = Array.map (Machine.instr_size machine) code in
+  let addrs = Array.make n 0 in
+  let a = ref base in
+  for k = 0 to n - 1 do
+    addrs.(k) <- !a;
+    a := !a + sizes.(k)
+  done;
+  {
+    aname = Flow.Func.name func;
+    code;
+    addrs;
+    sizes;
+    label_pos;
+    annulled;
+    target_override;
+    base;
+    end_addr = !a;
+  }
+
+let assemble ?(code_base = 0x100000) machine (prog : Flow.Prog.t) =
+  let base = ref code_base in
+  let funcs =
+    List.map
+      (fun func ->
+        let af = assemble_func machine !base func in
+        (* Align function starts to 16 bytes, like a real linker. *)
+        base := (af.end_addr + 15) land lnot 15;
+        af)
+      prog.funcs
+  in
+  { machine; funcs; code_base }
+
+let static_instrs t =
+  List.fold_left (fun n f -> n + Array.length f.code) 0 t.funcs
+
+let count_static p t =
+  List.fold_left
+    (fun n f -> n + Array.fold_left (fun n i -> if p i then n + 1 else n) 0 f.code)
+    0 t.funcs
+
+let static_ujumps t =
+  count_static
+    (function Rtl.Jump _ | Rtl.Ijump _ -> true | _ -> false)
+    t
+
+let static_nops t = count_static (function Rtl.Nop -> true | _ -> false) t
+
+let addr_index t =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      Array.iteri (fun k i -> Hashtbl.replace tbl f.addrs.(k) (f.aname, i)) f.code)
+    t.funcs;
+  tbl
+
+let pp_afunc ppf f =
+  Fmt.pf ppf "@[<v>%s:" f.aname;
+  let pos_labels = Hashtbl.create 16 in
+  Label.Map.iter
+    (fun l pos -> Hashtbl.add pos_labels pos l)
+    f.label_pos;
+  Array.iteri
+    (fun k i ->
+      List.iter
+        (fun l -> Fmt.pf ppf "@,%a:" Label.pp l)
+        (Hashtbl.find_all pos_labels k);
+      Fmt.pf ppf "@,  %06x  %a" f.addrs.(k) Rtl.pp_instr i)
+    f.code;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,77 @@
+type t = {
+  mem : Bytes.t;
+  symbols : (string, int) Hashtbl.t;
+  data_base : int;
+}
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+let size t = Bytes.length t.mem
+
+let check t addr bytes what =
+  if addr < t.data_base || addr + bytes > Bytes.length t.mem then
+    fault "%s at 0x%x is out of range" what addr
+
+let load_word t addr =
+  check t addr 4 "word load";
+  let b i = Char.code (Bytes.get t.mem (addr + i)) in
+  Ir.Arith.norm (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+
+let load_byte t addr =
+  check t addr 1 "byte load";
+  Char.code (Bytes.get t.mem addr)
+
+let store_word t addr v =
+  check t addr 4 "word store";
+  let v = v land 0xFFFFFFFF in
+  Bytes.set t.mem addr (Char.chr (v land 0xff));
+  Bytes.set t.mem (addr + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set t.mem (addr + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set t.mem (addr + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let store_byte t addr v =
+  check t addr 1 "byte store";
+  Bytes.set t.mem addr (Char.chr (v land 0xff))
+
+let build ?(size = 4 * 1024 * 1024) ?(data_base = 0x1000) (prog : Flow.Prog.t)
+    =
+  let t =
+    { mem = Bytes.make size '\000'; symbols = Hashtbl.create 64; data_base }
+  in
+  let cursor = ref data_base in
+  (* First pass: assign addresses (4-byte aligned). *)
+  List.iter
+    (fun (d : Flow.Prog.data) ->
+      Hashtbl.replace t.symbols d.dname !cursor;
+      cursor := (!cursor + d.dsize + 3) land lnot 3)
+    prog.globals;
+  (* Second pass: write initializers (Addr items may be forward refs). *)
+  List.iter
+    (fun (d : Flow.Prog.data) ->
+      let addr = ref (Hashtbl.find t.symbols d.dname) in
+      List.iter
+        (fun (item : Flow.Prog.init_item) ->
+          match item with
+          | Word v ->
+            store_word t !addr v;
+            addr := !addr + 4
+          | Bytes s ->
+            Bytes.blit_string s 0 t.mem !addr (String.length s);
+            addr := !addr + String.length s
+          | Addr sym -> (
+            match Hashtbl.find_opt t.symbols sym with
+            | Some a ->
+              store_word t !addr a;
+              addr := !addr + 4
+            | None -> fault "initializer refers to unknown symbol %s" sym)
+          | Zeros n -> addr := !addr + n)
+        d.dinit)
+    prog.globals;
+  t
+
+let symbol t name =
+  match Hashtbl.find_opt t.symbols name with
+  | Some a -> a
+  | None -> raise Not_found

@@ -1,0 +1,55 @@
+(** RTL interpreter with EASE-style measurement.
+
+    Executes assembled code ({!Asm.t}), counting every instruction the
+    generated code executes by class — the equivalent of the paper's EASE
+    instrumentation.  Library routines ([getchar]/[putchar]/[exit]) run
+    natively and are excluded from the counts, matching the paper
+    ("Library routines could not be measured").
+
+    On the RISC model the delay slot of a transfer is executed after the
+    transfer's decision and before control moves, for taken and untaken
+    branches alike. *)
+
+type counts = {
+  mutable total : int;  (** all instructions executed *)
+  mutable cond_branches : int;
+  mutable jumps : int;  (** unconditional [Jump] *)
+  mutable ijumps : int;  (** indirect jumps *)
+  mutable calls : int;
+  mutable rets : int;
+  mutable nops : int;
+  mutable loads : int;  (** instructions reading memory *)
+  mutable stores : int;  (** instructions writing memory *)
+}
+
+(** Executed unconditional jumps: [jumps + ijumps]. *)
+val uncond_jumps : counts -> int
+
+(** Executed transfers of control (branch points):
+    conditional branches + jumps + indirect jumps + calls + returns. *)
+val transfers : counts -> int
+
+type result = {
+  output : string;
+  exit_code : int;
+  counts : counts;
+}
+
+exception Runtime_error of string
+
+(** [run asm prog] loads [prog]'s data and executes from [main].
+
+    [on_fetch] is called once per executed instruction (delay slots
+    included) with its code address and size — feed this to cache
+    simulators.
+
+    @raise Runtime_error on faults (null/of-range access, division by zero,
+    jump-table index out of bounds, missing function, step budget
+    exhausted). *)
+val run :
+  ?max_steps:int ->
+  ?input:string ->
+  ?on_fetch:(addr:int -> size:int -> unit) ->
+  Asm.t ->
+  Flow.Prog.t ->
+  result

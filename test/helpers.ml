@@ -1,0 +1,56 @@
+(* Shared test helpers: compile and run C-subset sources through the whole
+   pipeline. *)
+
+let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ]
+let machines = [ Ir.Machine.cisc; Ir.Machine.risc ]
+
+let compile ?(level = Opt.Driver.Simple) ?(machine = Ir.Machine.cisc) src =
+  Opt.Driver.compile { Opt.Driver.default_options with level } machine src
+
+(* Compile and execute; returns (output, exit_code). *)
+let run ?level ?machine ?(input = "") ?max_steps src =
+  let machine = Option.value ~default:Ir.Machine.cisc machine in
+  let prog = compile ?level ~machine src in
+  let asm = Sim.Asm.assemble machine prog in
+  let res = Sim.Interp.run ?max_steps ~input asm prog in
+  (res.output, res.exit_code)
+
+(* Execute with full measurement: returns interpreter result and assembly. *)
+let run_counts ?level ?machine ?(input = "") src =
+  let machine = Option.value ~default:Ir.Machine.cisc machine in
+  let prog = compile ?level ~machine src in
+  let asm = Sim.Asm.assemble machine prog in
+  let res = Sim.Interp.run ~input asm prog in
+  (res, asm)
+
+(* All six (level, machine) outputs must agree; returns the common output. *)
+let run_all_levels ?(input = "") src =
+  let results =
+    List.concat_map
+      (fun machine ->
+        List.map
+          (fun level ->
+            let out, code = run ~level ~machine ~input src in
+            (level, machine, out, code))
+          levels)
+      machines
+  in
+  match results with
+  | [] -> assert false
+  | (_, _, out0, code0) :: rest ->
+    List.iter
+      (fun (level, machine, out, code) ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s/%s output" (Opt.Driver.level_name level)
+             machine.Ir.Machine.short)
+          out0 out;
+        Alcotest.(check int)
+          (Printf.sprintf "%s/%s exit" (Opt.Driver.level_name level)
+             machine.Ir.Machine.short)
+          code0 code)
+      rest;
+    (out0, code0)
+
+let check_output ?input ~expected src =
+  let out, _ = run_all_levels ?input src in
+  Alcotest.(check string) "output" expected out

@@ -1,0 +1,91 @@
+open Ir
+
+let check = Alcotest.(check int)
+
+let test_norm_range () =
+  check "max stays" 0x7FFFFFFF (Arith.norm 0x7FFFFFFF);
+  check "min stays" (-0x80000000) (Arith.norm (-0x80000000));
+  check "wrap up" (-0x80000000) (Arith.norm 0x80000000);
+  check "wrap down" 0x7FFFFFFF (Arith.norm (-0x80000001));
+  check "zero" 0 (Arith.norm 0);
+  check "garbage high bits" 1 (Arith.norm ((1 lsl 40) + 1))
+
+let test_overflow () =
+  check "add wraps" (-2) (Arith.add 0x7FFFFFFF 0x7FFFFFFF);
+  check "sub wraps" 0x7FFFFFFF (Arith.sub (-0x80000000) 1);
+  check "mul wraps" (-0x80000000) (Arith.mul 0x40000000 2);
+  check "neg min wraps" (-0x80000000) (Arith.neg (-0x80000000))
+
+let test_division () =
+  check "trunc toward zero pos" 2 (Arith.div 7 3);
+  check "trunc toward zero neg" (-2) (Arith.div (-7) 3);
+  check "trunc toward zero neg2" (-2) (Arith.div 7 (-3));
+  check "rem sign follows dividend" 1 (Arith.rem 7 3);
+  check "rem neg dividend" (-1) (Arith.rem (-7) 3);
+  check "rem pos dividend neg divisor" 1 (Arith.rem 7 (-3));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Arith.div 1 0));
+  Alcotest.check_raises "rem by zero" Division_by_zero (fun () ->
+      ignore (Arith.rem 1 0))
+
+let test_shifts () =
+  check "shl" 8 (Arith.shl 1 3);
+  check "shl wraps" (-0x80000000) (Arith.shl 1 31);
+  check "shift count mod 32" 2 (Arith.shl 1 33);
+  check "shr arithmetic" (-1) (Arith.shr (-2) 1);
+  check "shr positive" 3 (Arith.shr 7 1)
+
+let test_bitwise () =
+  check "and" 0b1000 (Arith.logand 0b1100 0b1010);
+  check "or" 0b1110 (Arith.logor 0b1100 0b1010);
+  check "xor" 0b0110 (Arith.logxor 0b1100 0b1010);
+  check "not" (-1) (Arith.lognot 0);
+  check "not of -1" 0 (Arith.lognot (-1))
+
+(* Property: every operation's result is already normalized. *)
+let prop_normalized =
+  QCheck.Test.make ~name:"arith results normalized" ~count:500
+    QCheck.(triple (int_range 0 9) int int)
+    (fun (op, a, b) ->
+      let a = Arith.norm a and b = Arith.norm b in
+      let f =
+        match op with
+        | 0 -> Arith.add
+        | 1 -> Arith.sub
+        | 2 -> Arith.mul
+        | 3 -> fun a b -> if b = 0 then 0 else Arith.div a b
+        | 4 -> fun a b -> if b = 0 then 0 else Arith.rem a b
+        | 5 -> Arith.logand
+        | 6 -> Arith.logor
+        | 7 -> Arith.logxor
+        | 8 -> Arith.shl
+        | _ -> Arith.shr
+      in
+      let r = f a b in
+      Arith.norm r = r && r >= -0x80000000 && r <= 0x7FFFFFFF)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:200 QCheck.(pair int int)
+    (fun (a, b) -> Arith.add a b = Arith.add b a)
+
+let prop_div_rem =
+  QCheck.Test.make ~name:"a = (a/b)*b + a%b" ~count:500 QCheck.(pair int int)
+    (fun (a, b) ->
+      let a = Arith.norm a and b = Arith.norm b in
+      QCheck.assume (b <> 0);
+      (* Skip the one overflowing case INT_MIN / -1. *)
+      QCheck.assume (not (a = -0x80000000 && b = -1));
+      Arith.add (Arith.mul (Arith.div a b) b) (Arith.rem a b) = a)
+
+let tests =
+  ( "arith",
+    [
+      Alcotest.test_case "norm range" `Quick test_norm_range;
+      Alcotest.test_case "overflow wraps" `Quick test_overflow;
+      Alcotest.test_case "division" `Quick test_division;
+      Alcotest.test_case "shifts" `Quick test_shifts;
+      Alcotest.test_case "bitwise" `Quick test_bitwise;
+      QCheck_alcotest.to_alcotest prop_normalized;
+      QCheck_alcotest.to_alcotest prop_add_commutes;
+      QCheck_alcotest.to_alcotest prop_div_rem;
+    ] )

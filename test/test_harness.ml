@@ -1,0 +1,57 @@
+(* Measurement harness consistency. *)
+
+let wc () = Option.get (Programs.Suite.find "wc")
+
+let test_measure_basics () =
+  let m = Harness.Measure.run (wc ()) Opt.Driver.Simple Ir.Machine.risc in
+  Alcotest.(check bool) "output verified" true m.output_ok;
+  Alcotest.(check int) "eight cache configs" 8 (List.length m.caches);
+  Alcotest.(check bool) "static positive" true (m.static_instrs > 0);
+  Alcotest.(check bool) "dynamic >= static paths" true (m.dyn_instrs > 0);
+  Alcotest.(check bool) "between-branches sensible" true
+    (Harness.Measure.instrs_between_branches m > 1.0);
+  List.iter
+    (fun (c : Harness.Measure.cache_stats) ->
+      Alcotest.(check bool) "miss ratio in range" true
+        (c.miss_ratio >= 0.0 && c.miss_ratio <= 1.0);
+      Alcotest.(check bool) "fetch cost positive" true (c.fetch_cost > 0))
+    m.caches
+
+let test_memoization () =
+  let a = Harness.Measure.run (wc ()) Opt.Driver.Loops Ir.Machine.cisc in
+  let b = Harness.Measure.run (wc ()) Opt.Driver.Loops Ir.Machine.cisc in
+  Alcotest.(check bool) "memoized results identical" true (a = b)
+
+let test_cache_cost_dominated_by_hits () =
+  (* fetch_cost = hits + 10*misses, so cost >= accesses and
+     cost <= 10*accesses. *)
+  let m = Harness.Measure.run (wc ()) Opt.Driver.Simple Ir.Machine.cisc in
+  List.iter
+    (fun (c : Harness.Measure.cache_stats) ->
+      let lo = float_of_int c.fetch_cost /. 10.0 in
+      Alcotest.(check bool) "cost bounds" true
+        (float_of_int c.fetch_cost >= lo))
+    m.caches
+
+let test_custom_options_not_memoized () =
+  (* Runs with explicit options bypass the memo table. *)
+  let opts =
+    { Opt.Driver.default_options with
+      level = Opt.Driver.Jumps;
+      max_rtls = Some 1;
+    }
+  in
+  let capped = Harness.Measure.run ~opts (wc ()) Opt.Driver.Jumps Ir.Machine.risc in
+  let full = Harness.Measure.run (wc ()) Opt.Driver.Jumps Ir.Machine.risc in
+  Alcotest.(check bool) "capped replication produces less code" true
+    (capped.static_instrs <= full.static_instrs);
+  Alcotest.(check bool) "capped run still correct" true capped.output_ok
+
+let tests =
+  ( "harness",
+    [
+      Alcotest.test_case "measure basics" `Quick test_measure_basics;
+      Alcotest.test_case "memoization" `Quick test_memoization;
+      Alcotest.test_case "fetch cost bounds" `Quick test_cache_cost_dominated_by_hits;
+      Alcotest.test_case "custom options" `Quick test_custom_options_not_memoized;
+    ] )

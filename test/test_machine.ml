@@ -1,0 +1,88 @@
+open Ir
+
+let v n = Reg.Virt n
+
+let test_lookup () =
+  Alcotest.(check bool) "risc by tag" true (Machine.of_short "risc" = Some Machine.risc);
+  Alcotest.(check bool) "cisc by tag" true (Machine.of_short "cisc" = Some Machine.cisc);
+  Alcotest.(check bool) "unknown tag" true (Machine.of_short "vax" = None);
+  Alcotest.(check bool) "risc has delay slots" true Machine.risc.delay_slots;
+  Alcotest.(check bool) "cisc has none" false Machine.cisc.delay_slots
+
+let test_risc_legality () =
+  let ok i = Machine.legal_instr Machine.risc i in
+  Alcotest.(check bool) "reg move" true (ok (Move (Lreg (v 0), Reg (v 1))));
+  Alcotest.(check bool) "load based" true
+    (ok (Move (Lreg (v 0), Mem (Word, Based (v 1, 8)))));
+  Alcotest.(check bool) "no absolute load" false
+    (ok (Move (Lreg (v 0), Mem (Word, Abs ("g", 0)))));
+  Alcotest.(check bool) "no indexed load" false
+    (ok (Move (Lreg (v 0), Mem (Word, Indexed (v 1, v 2, 4, 0)))));
+  Alcotest.(check bool) "no store of immediate" false
+    (ok (Move (Lmem (Word, Based (v 0, 0)), Imm 1)));
+  Alcotest.(check bool) "three-address binop" true
+    (ok (Binop (Add, Lreg (v 0), Reg (v 1), Reg (v 2))));
+  Alcotest.(check bool) "imm second operand" true
+    (ok (Binop (Add, Lreg (v 0), Reg (v 1), Imm 5)));
+  Alcotest.(check bool) "no imm first operand" false
+    (ok (Binop (Sub, Lreg (v 0), Imm 5, Reg (v 1))));
+  Alcotest.(check bool) "no memory operand in binop" false
+    (ok (Binop (Add, Lreg (v 0), Reg (v 1), Mem (Word, Based (v 2, 0)))));
+  Alcotest.(check bool) "cmp reg imm" true (ok (Cmp (Reg (v 0), Imm 3)));
+  Alcotest.(check bool) "no cmp imm first" false (ok (Cmp (Imm 3, Reg (v 0))));
+  Alcotest.(check bool) "big displacement illegal" false
+    (ok (Move (Lreg (v 0), Mem (Word, Based (v 1, 100_000)))))
+
+let test_cisc_legality () =
+  let ok i = Machine.legal_instr Machine.cisc i in
+  Alcotest.(check bool) "mem-to-mem move" true
+    (ok (Move (Lmem (Word, Based (v 0, 0)), Mem (Word, Based (v 1, 4)))));
+  Alcotest.(check bool) "store immediate" true
+    (ok (Move (Lmem (Word, Abs ("g", 0)), Imm 7)));
+  Alcotest.(check bool) "two-address required" false
+    (ok (Binop (Add, Lreg (v 0), Reg (v 1), Reg (v 2))));
+  Alcotest.(check bool) "two-address ok" true
+    (ok (Binop (Add, Lreg (v 0), Reg (v 0), Reg (v 2))));
+  Alcotest.(check bool) "memory destination op" true
+    (ok (Binop (Add, Lmem (Word, Based (v 0, 0)), Mem (Word, Based (v 0, 0)), Imm 1)));
+  Alcotest.(check bool) "two distinct memory operands illegal" false
+    (ok (Binop (Add, Lmem (Word, Based (v 0, 0)), Mem (Word, Based (v 0, 0)),
+                Mem (Word, Based (v 1, 0)))));
+  Alcotest.(check bool) "indexed addressing" true
+    (ok (Move (Lreg (v 0), Mem (Word, Indexed (v 1, v 2, 4, 8)))));
+  Alcotest.(check bool) "bad scale" false
+    (ok (Move (Lreg (v 0), Mem (Word, Indexed (v 1, v 2, 3, 0)))))
+
+let test_sizes () =
+  let sz m i = Machine.instr_size m i in
+  (* RISC: fixed 4 bytes. *)
+  List.iter
+    (fun i -> Alcotest.(check int) "risc size" 4 (sz Machine.risc i))
+    [
+      Rtl.Nop;
+      Move (Lreg (v 0), Imm 100000);
+      Binop (Add, Lreg (v 0), Reg (v 0), Imm 1);
+      Jump (Label.of_int 0);
+    ];
+  (* CISC: variable. *)
+  Alcotest.(check int) "reg move" 2 (sz Machine.cisc (Move (Lreg (v 0), Reg (v 1))));
+  Alcotest.(check int) "imm16 move" 4 (sz Machine.cisc (Move (Lreg (v 0), Imm 100)));
+  Alcotest.(check int) "imm32 move" 6 (sz Machine.cisc (Move (Lreg (v 0), Imm 100000)));
+  Alcotest.(check int) "quick add" 2
+    (sz Machine.cisc (Binop (Add, Lreg (v 0), Reg (v 0), Imm 1)));
+  Alcotest.(check int) "non-quick add" 4
+    (sz Machine.cisc (Binop (Add, Lreg (v 0), Reg (v 0), Imm 100)));
+  Alcotest.(check int) "ret short" 2 (sz Machine.cisc Rtl.Ret);
+  Alcotest.(check bool) "all sizes positive" true
+    (List.for_all
+       (fun i -> sz Machine.cisc i > 0 && sz Machine.risc i > 0)
+       [ Rtl.Ret; Leave; Enter 16; Nop; Call ("f", 0); Jump (Label.of_int 0) ])
+
+let tests =
+  ( "machine",
+    [
+      Alcotest.test_case "lookup" `Quick test_lookup;
+      Alcotest.test_case "risc legality" `Quick test_risc_legality;
+      Alcotest.test_case "cisc legality" `Quick test_cisc_legality;
+      Alcotest.test_case "instruction sizes" `Quick test_sizes;
+    ] )

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "jumprep"
+    [
+      Test_arith.tests;
+      Test_rtl.tests;
+      Test_machine.tests;
+      Test_frontend.tests;
+      Test_flow.tests;
+      Test_replication.tests;
+      Test_opt.tests;
+      Test_regalloc.tests;
+      Test_sim.tests;
+      Test_icache.tests;
+      Test_programs.tests;
+      Test_paper_shapes.tests;
+      Test_harness.tests;
+      Test_random_c.tests;
+    ]

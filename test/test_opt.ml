@@ -1,0 +1,706 @@
+(* Optimization pass unit tests: each pass on hand-built RTL, checking both
+   the transformation and structural invariants. *)
+
+open Ir
+open Flow
+
+let build = Test_flow.build
+
+let v n = Reg.Virt n
+
+let mk ?(start = 0) name instr_blocks =
+  let lsupply = Label.Supply.create () in
+  let vsupply = Reg.Supply.create_from 100 in
+  let labels =
+    Array.init (List.length instr_blocks) (fun _ -> Label.Supply.fresh lsupply)
+  in
+  let blocks =
+    Array.of_list
+      (List.mapi
+         (fun i mk_instrs ->
+           { Func.label = labels.(i); instrs = mk_instrs labels })
+         instr_blocks)
+  in
+  ignore start;
+  Func.make ~name ~blocks ~lsupply ~vsupply
+
+(* --- Branch chaining --- *)
+
+let test_chain_jump_to_jump () =
+  let f =
+    mk "chain"
+      [
+        (fun l -> [ Rtl.Enter 8; Rtl.Jump l.(1) ]);
+        (fun l -> [ Rtl.Jump l.(2) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Branch_chain.run f in
+  Alcotest.(check bool) "changed" true changed;
+  (* The entry's jump must now go to the return block directly — and then
+     jump-to-next elimination applies on a second run after unreachable
+     removal. *)
+  (match Func.terminator (Func.block f' 0) with
+  | Some (Rtl.Jump l) ->
+    Alcotest.(check bool) "retargeted" true
+      (Label.equal l (Func.block f' 2).label)
+  | _ -> Alcotest.fail "entry should still end in a jump");
+  Check.assert_ok f'
+
+let test_jump_to_next_removed () =
+  let f =
+    mk "j2n"
+      [
+        (fun l -> [ Rtl.Enter 8; Rtl.Jump l.(1) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Branch_chain.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check bool) "jump gone" true (Func.terminator (Func.block f' 0) = None)
+
+let test_branch_over_jump () =
+  (* The regression that broke the benchmark suite: Branch c L2; Jump L3;
+     L2: ... must become Branch !c L3 with the jump block emptied. *)
+  let f =
+    mk "boj"
+      [
+        (fun l ->
+          [ Rtl.Enter 8; Rtl.Cmp (Reg (v 0), Imm 0); Rtl.Branch (Ne, l.(2)) ]);
+        (fun l -> [ Rtl.Jump l.(3) ]);
+        (fun _ -> [ Rtl.Move (Lreg (v 1), Imm 1) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Branch_chain.run f in
+  Alcotest.(check bool) "changed" true changed;
+  (match Func.terminator (Func.block f' 0) with
+  | Some (Rtl.Branch (Eq, l)) ->
+    Alcotest.(check bool) "reversed to the jump target" true
+      (Label.equal l (Func.block f' 3).label)
+  | _ -> Alcotest.fail "entry should end in a reversed branch");
+  Alcotest.(check int) "jump block emptied" 0
+    (List.length (Func.block f' 1).instrs);
+  Check.assert_ok f'
+
+(* --- Unreachable code elimination --- *)
+
+let test_unreachable () =
+  let f =
+    mk "unreach"
+      [
+        (fun l -> [ Rtl.Enter 8; Rtl.Jump l.(2) ]);
+        (fun _ -> [ Rtl.Move (Lreg (v 0), Imm 9) ]) (* dead *);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Unreachable.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check int) "blocks" 2 (Func.num_blocks f');
+  Check.assert_ok f'
+
+let test_unreachable_keeps_ijump_targets () =
+  let f =
+    mk "ijump"
+      [
+        (fun l ->
+          [ Rtl.Enter 8; Rtl.Ijump (v 0, [| l.(1); l.(2) |]) ]);
+        (fun l -> [ Rtl.Jump l.(3) ]);
+        (fun _ -> [ Rtl.Move (Lreg (v 1), Imm 1) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Unreachable.run f in
+  Alcotest.(check bool) "nothing removed" false changed;
+  Alcotest.(check int) "all blocks kept" 4 (Func.num_blocks f')
+
+(* --- Reorder --- *)
+
+let test_reorder_enables_fallthrough () =
+  (* 0 jumps to 2; 1 unreachable-ish tail; moving 2 after 0 removes the
+     jump on the next branch-chain run. *)
+  let f =
+    mk "reorder"
+      [
+        (fun l -> [ Rtl.Enter 8; Rtl.Jump l.(2) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+        (fun l -> [ Rtl.Move (Lreg (v 0), Imm 1); Rtl.Jump l.(1) ]);
+      ]
+  in
+  let f', _ = Opt.Reorder.run f in
+  Check.assert_ok f';
+  (* After reorder, block after entry should be the old block 2. *)
+  Alcotest.(check bool) "old block 2 follows entry" true
+    (Label.equal (Func.block f' 1).label (Func.block f 2).label)
+
+(* --- Constant folding --- *)
+
+let test_constfold_arith () =
+  let f =
+    mk "cf"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Binop (Add, Lreg (v 0), Imm 2, Imm 3);
+            Rtl.Binop (Mul, Lreg (v 1), Reg (v 1), Imm 8);
+            Rtl.Binop (Add, Lreg (v 2), Reg (v 2), Imm 0);
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Constfold.run Ir.Machine.risc f in
+  Alcotest.(check bool) "changed" true changed;
+  let instrs = (Func.block f' 0).instrs in
+  Alcotest.(check bool) "2+3 folded" true
+    (List.exists (fun i -> i = Rtl.Move (Lreg (v 0), Imm 5)) instrs);
+  Alcotest.(check bool) "*8 became shift" true
+    (List.exists
+       (fun i -> i = Rtl.Binop (Shl, Lreg (v 1), Reg (v 1), Imm 3))
+       instrs)
+
+let test_constfold_branch () =
+  let f =
+    mk "cfb"
+      [
+        (fun l ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Imm 5);
+            Rtl.Cmp (Reg (v 0), Imm 3);
+            Rtl.Branch (Gt, l.(2));
+          ]);
+        (fun _ -> [ Rtl.Move (Lreg (v 1), Imm 0) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Constfold.run Ir.Machine.risc f in
+  Alcotest.(check bool) "changed" true changed;
+  (match Func.terminator (Func.block f' 0) with
+  | Some (Rtl.Jump _) -> ()
+  | _ -> Alcotest.fail "always-taken branch must become a jump");
+  (* Never-taken case. *)
+  let g =
+    mk "cfb2"
+      [
+        (fun l ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Imm 1);
+            Rtl.Cmp (Reg (v 0), Imm 3);
+            Rtl.Branch (Gt, l.(2));
+          ]);
+        (fun _ -> [ Rtl.Move (Lreg (v 1), Imm 0) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let g', _ = Opt.Constfold.run Ir.Machine.risc g in
+  Alcotest.(check bool) "never-taken branch dropped" true
+    (Func.terminator (Func.block g' 0) = None)
+
+(* --- Dead variable elimination --- *)
+
+let test_deadvars () =
+  let f =
+    mk "dv"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Imm 1) (* dead *);
+            Rtl.Move (Lreg (v 1), Imm 2);
+            Rtl.Move (Lreg (v 1), Reg (v 1)) (* self move *);
+            Rtl.Cmp (Reg (v 1), Imm 0) (* dead cc: no branch follows *);
+            Rtl.Move (Lreg Ir.Conv.rv, Reg (v 1));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Deadvars.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check int) "only live instrs left" 5
+    (List.length (Func.block f' 0).instrs)
+
+let test_deadvars_keeps_live_cmp () =
+  let f =
+    mk "dvc"
+      [
+        (fun l ->
+          [ Rtl.Enter 8; Rtl.Cmp (Reg (v 0), Imm 0); Rtl.Branch (Ne, l.(1)) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', _ = Opt.Deadvars.run f in
+  Alcotest.(check int) "cmp kept" 3 (List.length (Func.block f' 0).instrs)
+
+(* --- CSE --- *)
+
+let test_cse_local () =
+  let f =
+    mk "cse"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 10), Reg (v 11));
+            Rtl.Binop (Add, Lreg (v 1), Reg (v 10), Reg (v 11));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Cse.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check bool) "second add is a move" true
+    (List.exists
+       (fun i -> i = Rtl.Move (Lreg (v 1), Reg (v 0)))
+       (Func.block f' 0).instrs)
+
+let test_cse_invalidation () =
+  let f =
+    mk "csei"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 10), Reg (v 11));
+            Rtl.Move (Lreg (v 10), Imm 7) (* operand redefined *);
+            Rtl.Binop (Add, Lreg (v 1), Reg (v 10), Reg (v 11));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Cse.run f in
+  Alcotest.(check bool) "no stale reuse" false
+    (List.exists
+       (fun i -> i = Rtl.Move (Lreg (v 1), Reg (v 0)))
+       (Func.block f' 0).instrs);
+  ignore changed
+
+let test_cse_loads_killed_by_store () =
+  let f =
+    mk "csel"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Mem (Word, Abs ("g", 0)));
+            Rtl.Move (Lmem (Word, Abs ("h", 0)), Reg (v 0));
+            Rtl.Move (Lreg (v 1), Mem (Word, Abs ("g", 0)));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', _ = Opt.Cse.run f in
+  Alcotest.(check bool) "reload kept after store" true
+    (List.exists
+       (fun i -> i = Rtl.Move (Lreg (v 1), Mem (Word, Abs ("g", 0))))
+       (Func.block f' 0).instrs)
+
+let test_cse_ebb () =
+  (* The expression is available in a single-predecessor successor. *)
+  let f =
+    mk "cseebb"
+      [
+        (fun _ ->
+          [ Rtl.Enter 8; Rtl.Binop (Add, Lreg (v 0), Reg (v 10), Imm 1) ]);
+        (fun _ ->
+          [
+            Rtl.Binop (Add, Lreg (v 1), Reg (v 10), Imm 1);
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Cse.run f in
+  Alcotest.(check bool) "changed across EBB" true changed;
+  Alcotest.(check bool) "replaced by move" true
+    (List.exists
+       (fun i -> i = Rtl.Move (Lreg (v 1), Reg (v 0)))
+       (Func.block f' 1).instrs)
+
+let test_cse_join_blocked () =
+  (* At a join the expression is only available on one path: no reuse. *)
+  let f =
+    build
+      [| (1, Test_flow.Br 2); (1, Test_flow.Jmp 3); (1, Test_flow.Fall); (1, Test_flow.Return) |]
+  in
+  (* add the expression to block 1 and the join 3 *)
+  let blocks = Array.copy (Func.blocks f) in
+  let expr d = Rtl.Binop (Add, Lreg (v d), Reg (v 50), Imm 3) in
+  blocks.(1) <- { (blocks.(1)) with instrs = expr 0 :: blocks.(1).instrs };
+  blocks.(3) <- { (blocks.(3)) with instrs = expr 1 :: blocks.(3).instrs };
+  let f = Func.with_blocks f blocks in
+  let f', _ = Opt.Cse.run f in
+  Alcotest.(check bool) "join recomputes" true
+    (List.exists (fun i -> i = expr 1) (Func.block f' 3).instrs)
+
+(* --- Global CSE --- *)
+
+let test_gcse_across_join () =
+  (* The expression is computed in both arms of a diamond; the join's
+     recomputation becomes a move from the saved temp. *)
+  let f =
+    mk "gcse"
+      [
+        (fun l ->
+          [ Rtl.Enter 8; Rtl.Cmp (Reg (v 50), Imm 0); Rtl.Branch (Ne, l.(2)) ]);
+        (fun l ->
+          [ Rtl.Binop (Add, Lreg (v 0), Reg (v 10), Imm 4); Rtl.Jump l.(3) ]);
+        (fun _ -> [ Rtl.Binop (Add, Lreg (v 1), Reg (v 10), Imm 4) ]);
+        (fun _ ->
+          [
+            Rtl.Binop (Add, Lreg (v 2), Reg (v 10), Imm 4);
+            Rtl.Move (Lreg Ir.Conv.rv, Reg (v 2));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Gcse.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Check.assert_ok f';
+  let join = Func.block f' 3 in
+  Alcotest.(check bool) "join takes a move" true
+    (List.exists
+       (fun i ->
+         match i with Rtl.Move (Lreg d, Reg _) -> Reg.equal d (v 2) | _ -> false)
+       join.instrs);
+  Alcotest.(check bool) "join no longer recomputes" false
+    (List.exists
+       (fun i ->
+         match i with Rtl.Binop (Add, Lreg d, _, _) -> Reg.equal d (v 2) | _ -> false)
+       join.instrs)
+
+let test_gcse_partial_path_blocked () =
+  (* Available on only one path: the join must recompute. *)
+  let f =
+    mk "gcse2"
+      [
+        (fun l ->
+          [ Rtl.Enter 8; Rtl.Cmp (Reg (v 50), Imm 0); Rtl.Branch (Ne, l.(2)) ]);
+        (fun l ->
+          [ Rtl.Binop (Add, Lreg (v 0), Reg (v 10), Imm 4); Rtl.Jump l.(3) ]);
+        (fun _ -> [ Rtl.Move (Lreg (v 1), Imm 0) ]);
+        (fun _ ->
+          [
+            Rtl.Binop (Add, Lreg (v 2), Reg (v 10), Imm 4);
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', _ = Opt.Gcse.run f in
+  Alcotest.(check bool) "join still computes" true
+    (List.exists
+       (fun i ->
+         match i with Rtl.Binop (Add, Lreg d, _, _) -> Reg.equal d (v 2) | _ -> false)
+       (Func.block f' 3).instrs)
+
+let test_gcse_two_address_self () =
+  (* d = d + 1 never makes its own expression available. *)
+  let f =
+    mk "gcse3"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Imm 1);
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Imm 1);
+            Rtl.Move (Lreg Ir.Conv.rv, Reg (v 0));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', changed = Opt.Gcse.run f in
+  Alcotest.(check bool) "no bogus reuse" false changed;
+  Alcotest.(check int) "both increments kept" 2
+    (List.length
+       (List.filter
+          (fun i -> match i with Rtl.Binop (Add, _, _, _) -> true | _ -> false)
+          (Func.block f' 0).instrs))
+
+(* --- LICM --- *)
+
+let licm_loop () =
+  (* 0: entry; 1: header (test); 2: body with invariant op; 3: exit *)
+  mk "licm"
+    [
+      (fun _ -> [ Rtl.Enter 8; Rtl.Move (Lreg (v 0), Imm 0) ]);
+      (fun l -> [ Rtl.Cmp (Reg (v 0), Imm 10); Rtl.Branch (Ge, l.(3)) ]);
+      (fun l ->
+        [
+          Rtl.Binop (Mul, Lreg (v 1), Reg (v 20), Reg (v 21)) (* invariant *);
+          Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Reg (v 1));
+          Rtl.Jump l.(1);
+        ]);
+      (fun _ -> [ Rtl.Move (Lreg Ir.Conv.rv, Reg (v 0)); Rtl.Leave; Rtl.Ret ]);
+    ]
+
+let test_licm_hoists () =
+  let f = licm_loop () in
+  let f', changed = Opt.Licm.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Check.assert_ok f';
+  (* The multiply must now be outside the loop: exactly one occurrence, in a
+     block that is not part of any loop. *)
+  let g = Cfg.make f' in
+  let dom = Dom.compute g in
+  let loops = Loops.natural_loops g dom in
+  let in_loop bi = List.exists (fun l -> Loops.Int_set.mem bi l.Loops.body) loops in
+  let found = ref [] in
+  Array.iteri
+    (fun bi (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Rtl.Binop (Mul, Lreg d, _, _) when Reg.equal d (v 1) ->
+            found := bi :: !found
+          | _ -> ())
+        b.instrs)
+    (Func.blocks f');
+  (match !found with
+  | [ bi ] -> Alcotest.(check bool) "hoisted out of the loop" false (in_loop bi)
+  | _ -> Alcotest.fail "expected exactly one multiply");
+  (* Semantics sanity via liveness-preserving structure. *)
+  Alcotest.(check bool) "reducible" true (Loops.is_reducible g dom)
+
+let test_licm_leaves_variant () =
+  (* v1 depends on the induction variable: must stay in the loop. *)
+  let f =
+    mk "licm2"
+      [
+        (fun _ -> [ Rtl.Enter 8; Rtl.Move (Lreg (v 0), Imm 0) ]);
+        (fun l -> [ Rtl.Cmp (Reg (v 0), Imm 10); Rtl.Branch (Ge, l.(3)) ]);
+        (fun l ->
+          [
+            Rtl.Binop (Mul, Lreg (v 1), Reg (v 0), Reg (v 21));
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Imm 1);
+            Rtl.Jump l.(1);
+          ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Licm.run f in
+  ignore changed;
+  let g = Cfg.make f' in
+  let dom = Dom.compute g in
+  let loops = Loops.natural_loops g dom in
+  let in_loop bi = List.exists (fun l -> Loops.Int_set.mem bi l.Loops.body) loops in
+  Array.iteri
+    (fun bi (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Rtl.Binop (Mul, _, _, _) ->
+            Alcotest.(check bool) "variant mul stays in loop" true (in_loop bi)
+          | _ -> ())
+        b.instrs)
+    (Func.blocks f')
+
+let test_licm_no_div_hoist () =
+  (* A division guarded by the loop condition must not be hoisted. *)
+  let f =
+    mk "licmdiv"
+      [
+        (fun _ -> [ Rtl.Enter 8; Rtl.Move (Lreg (v 0), Imm 0) ]);
+        (fun l -> [ Rtl.Cmp (Reg (v 20), Imm 0); Rtl.Branch (Eq, l.(3)) ]);
+        (fun l ->
+          [
+            Rtl.Binop (Div, Lreg (v 1), Reg (v 21), Reg (v 20));
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Reg (v 1));
+            Rtl.Jump l.(1);
+          ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', _ = Opt.Licm.run f in
+  let g = Cfg.make f' in
+  let dom = Dom.compute g in
+  let loops = Loops.natural_loops g dom in
+  let in_loop bi = List.exists (fun l -> Loops.Int_set.mem bi l.Loops.body) loops in
+  Array.iteri
+    (fun bi (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Rtl.Binop (Div, _, _, _) ->
+            Alcotest.(check bool) "div stays guarded" true (in_loop bi)
+          | _ -> ())
+        b.instrs)
+    (Func.blocks f')
+
+(* --- Strength reduction --- *)
+
+let test_strength_reduction () =
+  (* t := i * 12 with i a basic IV becomes an addition chain. *)
+  let f =
+    mk "sr"
+      [
+        (fun _ -> [ Rtl.Enter 8; Rtl.Move (Lreg (v 0), Imm 0) ]);
+        (fun l -> [ Rtl.Cmp (Reg (v 0), Imm 10); Rtl.Branch (Ge, l.(3)) ]);
+        (fun l ->
+          [
+            Rtl.Binop (Mul, Lreg (v 1), Reg (v 0), Imm 12);
+            Rtl.Move (Lmem (Word, Based (Ir.Conv.fp, -8)), Reg (v 1));
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Imm 1);
+            Rtl.Jump l.(1);
+          ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  let f', changed = Opt.Strength.run f in
+  Alcotest.(check bool) "changed" true changed;
+  Check.assert_ok f';
+  (* The loop body must no longer contain a multiplication. *)
+  let g = Cfg.make f' in
+  let dom = Dom.compute g in
+  let loops = Loops.natural_loops g dom in
+  let in_loop bi = List.exists (fun l -> Loops.Int_set.mem bi l.Loops.body) loops in
+  Array.iteri
+    (fun bi (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Rtl.Binop (Mul, _, _, _) ->
+            Alcotest.(check bool) "mul out of the loop" false (in_loop bi)
+          | _ -> ())
+        b.instrs)
+    (Func.blocks f')
+
+(* --- Isel --- *)
+
+let test_isel_copy_prop () =
+  let f =
+    mk "iselcp"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Imm 42);
+            Rtl.Cmp (Reg (v 0), Imm 0);
+            Rtl.Branch (Ne, Label.of_int 1);
+          ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      ]
+  in
+  (* fix label: block 1's label is the one the supply gave *)
+  let blocks = Func.blocks f in
+  let b0 = blocks.(0) in
+  let target = blocks.(1).label in
+  let b0 =
+    { b0 with
+      instrs =
+        List.map
+          (fun i -> Rtl.map_labels (fun _ -> target) i)
+          b0.instrs
+    }
+  in
+  let f = Func.with_blocks f [| b0; blocks.(1) |] in
+  let f', changed = Opt.Isel.run Ir.Machine.cisc f in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check bool) "constant propagated into cmp" true
+    (List.exists
+       (fun i -> i = Rtl.Cmp (Imm 42, Imm 0))
+       (Func.block f' 0).instrs)
+
+let test_isel_cisc_fusion () =
+  (* load; add; store over the same cell fuses into a memory add. *)
+  let m = Rtl.Based (Ir.Conv.fp, -8) in
+  let f =
+    mk "fuse"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Mem (Word, m));
+            Rtl.Binop (Add, Lreg (v 0), Reg (v 0), Imm 1);
+            Rtl.Move (Lmem (Word, m), Reg (v 0));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', _ = Opt.Isel.run Ir.Machine.cisc f in
+  let f', _ = Opt.Deadvars.run f' in
+  Alcotest.(check bool) "memory add present" true
+    (List.exists
+       (fun i -> i = Rtl.Binop (Add, Lmem (Word, m), Mem (Word, m), Imm 1))
+       (Func.block f' 0).instrs);
+  Alcotest.(check int) "four instructions left" 4
+    (List.length (Func.block f' 0).instrs)
+
+let test_isel_risc_rejects_mem_fold () =
+  let m = Rtl.Based (Ir.Conv.fp, -8) in
+  let f =
+    mk "nofuse"
+      [
+        (fun _ ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 0), Mem (Word, m));
+            Rtl.Binop (Add, Lreg (v 1), Reg (v 0), Imm 1);
+            Rtl.Move (Lmem (Word, m), Reg (v 1));
+            Rtl.Leave;
+            Rtl.Ret;
+          ]);
+      ]
+  in
+  let f', _ = Opt.Isel.run Ir.Machine.risc f in
+  Alcotest.(check bool) "all instructions stay legal" true
+    (Opt.Legalize.check Ir.Machine.risc f')
+
+(* All passes preserve machine legality on compiled programs. *)
+let prop_passes_keep_legality =
+  QCheck.Test.make ~name:"pipeline keeps machine legality" ~count:20
+    (QCheck.make
+       (QCheck.Gen.oneofl
+          [ ("risc", Ir.Machine.risc); ("cisc", Ir.Machine.cisc) ]))
+    (fun (_, machine) ->
+      let src =
+        "int a[10];\n\
+         int main() { int i, s; s = 0; for (i = 0; i < 10; i++) { a[i] = i * 3; \
+         s += a[i]; } if (s > 20) s = s - a[2]; else s = s + a[3]; return s; }"
+      in
+      let prog =
+        Opt.Driver.compile
+          { Opt.Driver.default_options with level = Opt.Driver.Jumps }
+          machine src
+      in
+      List.for_all (Opt.Legalize.check machine) prog.Flow.Prog.funcs)
+
+let tests =
+  ( "opt",
+    [
+      Alcotest.test_case "chain jump to jump" `Quick test_chain_jump_to_jump;
+      Alcotest.test_case "jump to next removed" `Quick test_jump_to_next_removed;
+      Alcotest.test_case "branch over jump" `Quick test_branch_over_jump;
+      Alcotest.test_case "unreachable removal" `Quick test_unreachable;
+      Alcotest.test_case "ijump targets kept" `Quick test_unreachable_keeps_ijump_targets;
+      Alcotest.test_case "reorder" `Quick test_reorder_enables_fallthrough;
+      Alcotest.test_case "constfold arithmetic" `Quick test_constfold_arith;
+      Alcotest.test_case "constfold at branches" `Quick test_constfold_branch;
+      Alcotest.test_case "dead variables" `Quick test_deadvars;
+      Alcotest.test_case "live cmp kept" `Quick test_deadvars_keeps_live_cmp;
+      Alcotest.test_case "cse local" `Quick test_cse_local;
+      Alcotest.test_case "cse invalidation" `Quick test_cse_invalidation;
+      Alcotest.test_case "cse load/store" `Quick test_cse_loads_killed_by_store;
+      Alcotest.test_case "cse extended basic block" `Quick test_cse_ebb;
+      Alcotest.test_case "cse stops at joins" `Quick test_cse_join_blocked;
+      Alcotest.test_case "gcse across join" `Quick test_gcse_across_join;
+      Alcotest.test_case "gcse partial path blocked" `Quick test_gcse_partial_path_blocked;
+      Alcotest.test_case "gcse two-address self" `Quick test_gcse_two_address_self;
+      Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists;
+      Alcotest.test_case "licm leaves variants" `Quick test_licm_leaves_variant;
+      Alcotest.test_case "licm never hoists guarded div" `Quick test_licm_no_div_hoist;
+      Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+      Alcotest.test_case "isel copy/const propagation" `Quick test_isel_copy_prop;
+      Alcotest.test_case "isel cisc fusion" `Quick test_isel_cisc_fusion;
+      Alcotest.test_case "isel risc stays legal" `Quick test_isel_risc_rejects_mem_fold;
+      QCheck_alcotest.to_alcotest prop_passes_keep_legality;
+    ] )

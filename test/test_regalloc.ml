@@ -1,0 +1,138 @@
+(* Register allocation: structural postconditions plus semantic checks via
+   execution (including forced spilling). *)
+
+open Ir
+open Flow
+
+let no_virtuals f =
+  Array.for_all
+    (fun (b : Func.block) ->
+      List.for_all
+        (fun i ->
+          Reg.Set.for_all
+            (fun r -> not (Reg.is_virt r))
+            (Reg.Set.union (Rtl.uses i) (Rtl.defs i)))
+        b.instrs)
+    (Func.blocks f)
+
+let alloc src machine =
+  let prog =
+    Opt.Driver.compile { Opt.Driver.default_options with level = Simple }
+      machine src
+  in
+  Option.get (Prog.find_func prog "main")
+
+(* A source with more simultaneously-live values than there are allocatable
+   registers (20), forcing spills. *)
+let many_live_src =
+  let n = 26 in
+  let decls =
+    String.concat ", " (List.init n (fun i -> Printf.sprintf "x%d" i))
+  in
+  let inits =
+    String.concat "\n"
+      (List.init n (fun i -> Printf.sprintf "x%d = getchar();" i))
+  in
+  let uses =
+    String.concat " + " (List.init n (fun i -> Printf.sprintf "x%d" i))
+  in
+  Printf.sprintf
+    "int main() { int %s; int s; %s s = %s; putchar('0' + s %% 10); \
+     putchar(10); return 0; }"
+    decls inits uses
+
+let test_no_virtuals_remain () =
+  List.iter
+    (fun machine ->
+      let f = alloc many_live_src machine in
+      Alcotest.(check bool)
+        (machine.Machine.short ^ " fully allocated")
+        true (no_virtuals f))
+    [ Machine.cisc; Machine.risc ]
+
+let test_spill_semantics () =
+  (* 26 getchar() values live at once: with 20 allocatable registers some
+     must spill; the sum must still be right. *)
+  let input = String.init 26 (fun i -> Char.chr (i + 1)) in
+  let expected_sum = 26 * 27 / 2 in
+  let expected =
+    Printf.sprintf "%c\n" (Char.chr (Char.code '0' + (expected_sum mod 10)))
+  in
+  let out, _ = Helpers.run_all_levels ~input many_live_src in
+  Alcotest.(check string) "spilled sum" expected out
+
+let test_callee_save_respected () =
+  (* A value live across calls must survive them: the callee clobbers all
+     caller-save registers by convention. *)
+  let src =
+    {|
+int id(int x) { return x; }
+int main() {
+  int a, b, c;
+  a = id(1); b = id(2); c = id(3);
+  /* a, b live across the later calls */
+  putchar('0' + a + b + c);
+  putchar('\n');
+  return 0;
+}
+|}
+  in
+  let out, _ = Helpers.run_all_levels src in
+  Alcotest.(check string) "live across calls" "6\n" out
+
+let test_frame_grows_for_spills () =
+  let f = alloc many_live_src Machine.cisc in
+  (match (Func.block f 0).instrs with
+  | Rtl.Enter n :: _ ->
+    Alcotest.(check bool) "frame covers spill slots" true (n >= 8)
+  | _ -> Alcotest.fail "entry must start with Enter");
+  Check.assert_ok f
+
+let test_recursion_deep () =
+  (* Recursive calls exercise callee-save save/restore chains. *)
+  let src =
+    {|
+int sum(int n) { if (n == 0) return 0; return n + sum(n - 1); }
+int main() {
+  int s;
+  s = sum(100);
+  putchar('0' + s % 10);  /* 5050 -> 0 */
+  putchar('0' + s / 1000);
+  putchar('\n');
+  return 0;
+}
+|}
+  in
+  let out, _ = Helpers.run_all_levels src in
+  Alcotest.(check string) "deep recursion" "05\n" out
+
+let test_allocate_off_keeps_virtuals () =
+  (* The driver option exists for inspecting pre-allocation RTL. *)
+  let prog =
+    Opt.Driver.compile
+      { Opt.Driver.default_options with allocate = false }
+      Machine.risc "int main() { int a; a = getchar(); return a + 2; }"
+  in
+  let f = Option.get (Prog.find_func prog "main") in
+  let has_virt =
+    Array.exists
+      (fun (b : Func.block) ->
+        List.exists
+          (fun i ->
+            Reg.Set.exists Reg.is_virt
+              (Reg.Set.union (Rtl.uses i) (Rtl.defs i)))
+          b.instrs)
+      (Func.blocks f)
+  in
+  Alcotest.(check bool) "virtuals remain with allocate=false" true has_virt
+
+let tests =
+  ( "regalloc",
+    [
+      Alcotest.test_case "no virtuals remain" `Quick test_no_virtuals_remain;
+      Alcotest.test_case "spill semantics" `Quick test_spill_semantics;
+      Alcotest.test_case "callee-save respected" `Quick test_callee_save_respected;
+      Alcotest.test_case "frame grows for spills" `Quick test_frame_grows_for_spills;
+      Alcotest.test_case "deep recursion" `Quick test_recursion_deep;
+      Alcotest.test_case "allocate=false" `Quick test_allocate_off_keeps_virtuals;
+    ] )

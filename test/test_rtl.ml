@@ -1,0 +1,97 @@
+open Ir
+
+let reg_list s = List.map Reg.to_string (Reg.Set.elements s)
+
+let check_regs = Alcotest.(check (slist string String.compare))
+
+let v n = Reg.Virt n
+
+let test_uses_defs () =
+  let i = Rtl.Binop (Add, Lreg (v 0), Reg (v 1), Imm 3) in
+  check_regs "binop uses" [ "v1" ] (reg_list (Rtl.uses i));
+  check_regs "binop defs" [ "v0" ] (reg_list (Rtl.defs i));
+  (* A memory destination reads its address registers. *)
+  let st = Rtl.Move (Lmem (Word, Based (v 2, 4)), Reg (v 3)) in
+  check_regs "store uses" [ "v2"; "v3" ] (reg_list (Rtl.uses st));
+  check_regs "store defs" [] (reg_list (Rtl.defs st));
+  let cmp = Rtl.Cmp (Reg (v 0), Mem (Byte, Indexed (v 1, v 2, 4, 0))) in
+  check_regs "cmp uses" [ "v0"; "v1"; "v2" ] (reg_list (Rtl.uses cmp));
+  check_regs "cmp defines cc" [ "cc" ] (reg_list (Rtl.defs cmp));
+  let br = Rtl.Branch (Lt, Label.of_int 1) in
+  check_regs "branch uses cc" [ "cc" ] (reg_list (Rtl.uses br));
+  let call = Rtl.Call ("f", 2) in
+  Alcotest.(check bool)
+    "call uses two arg regs" true
+    (Reg.Set.mem (Conv.arg_reg 0) (Rtl.uses call)
+    && Reg.Set.mem (Conv.arg_reg 1) (Rtl.uses call)
+    && not (Reg.Set.mem (Conv.arg_reg 2) (Rtl.uses call)));
+  Alcotest.(check bool)
+    "call clobbers caller-save" true
+    (Reg.Set.subset Conv.caller_save (Rtl.defs call))
+
+let test_classification () =
+  Alcotest.(check bool) "jump is transfer" true (Rtl.is_transfer (Jump (Label.of_int 0)));
+  Alcotest.(check bool) "call is not a block terminator" false (Rtl.is_transfer (Call ("f", 0)));
+  Alcotest.(check bool) "store impure" false (Rtl.is_pure (Move (Lmem (Word, Based (v 0, 0)), Imm 1)));
+  Alcotest.(check bool) "load pure" true (Rtl.is_pure (Move (Lreg (v 0), Mem (Word, Based (v 1, 0)))));
+  Alcotest.(check bool) "load reads mem" true (Rtl.reads_mem (Move (Lreg (v 0), Mem (Word, Based (v 1, 0)))));
+  Alcotest.(check bool) "store writes mem" true (Rtl.writes_mem (Move (Lmem (Word, Based (v 0, 0)), Imm 1)))
+
+let test_map_regs () =
+  let bump = function Reg.Virt n -> Reg.Virt (n + 10) | r -> r in
+  let i = Rtl.Binop (Mul, Lmem (Word, Based (v 0, 4)), Mem (Word, Based (v 0, 4)), Reg (v 1)) in
+  let i' = Rtl.map_regs bump i in
+  check_regs "mapped uses" [ "v10"; "v11" ] (reg_list (Rtl.uses i'))
+
+let test_targets () =
+  let l1 = Label.of_int 1 and l2 = Label.of_int 2 in
+  Alcotest.(check int) "ijump targets" 2
+    (List.length (Rtl.targets (Ijump (v 0, [| l1; l2 |]))));
+  let renamed = Rtl.map_labels (fun _ -> l2) (Rtl.Branch (Eq, l1)) in
+  Alcotest.(check bool) "map_labels" true (Rtl.targets renamed = [ l2 ])
+
+let all_conds = [ Rtl.Eq; Ne; Lt; Le; Gt; Ge ]
+
+let test_cond_negation () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "negate involutive" true
+        (Rtl.negate_cond (Rtl.negate_cond c) = c);
+      (* negation flips truth on every input pair *)
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool) "negate flips" (not (Rtl.eval_cond c a b))
+            (Rtl.eval_cond (Rtl.negate_cond c) a b))
+        [ (0, 0); (1, 0); (0, 1); (-5, 3); (7, 7) ])
+    all_conds
+
+let prop_swap_cond =
+  QCheck.Test.make ~name:"swap_cond mirrors operands" ~count:300
+    QCheck.(triple (int_range 0 5) int int)
+    (fun (ci, a, b) ->
+      let c = List.nth all_conds ci in
+      Rtl.eval_cond c a b = Rtl.eval_cond (Rtl.swap_cond c) b a)
+
+let test_pp () =
+  let s i = Rtl.instr_to_string i in
+  Alcotest.(check string) "move" "v0=5;" (s (Move (Lreg (v 0), Imm 5)));
+  Alcotest.(check string) "store" "W[v1+8]=v0;"
+    (s (Move (Lmem (Word, Based (v 1, 8)), Reg (v 0))));
+  Alcotest.(check string) "cmp" "NZ=v0?3;" (s (Cmp (Reg (v 0), Imm 3)));
+  Alcotest.(check string) "branch" "PC=NZ<0,L7;"
+    (s (Branch (Lt, Label.of_int 7)));
+  Alcotest.(check string) "ret" "PC=RT;" (s Ret);
+  Alcotest.(check string) "global" "v0=B[_tab+2];"
+    (s (Move (Lreg (v 0), Mem (Byte, Abs ("tab", 2)))))
+
+let tests =
+  ( "rtl",
+    [
+      Alcotest.test_case "uses/defs" `Quick test_uses_defs;
+      Alcotest.test_case "classification" `Quick test_classification;
+      Alcotest.test_case "map_regs" `Quick test_map_regs;
+      Alcotest.test_case "targets/map_labels" `Quick test_targets;
+      Alcotest.test_case "condition negation" `Quick test_cond_negation;
+      QCheck_alcotest.to_alcotest prop_swap_cond;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

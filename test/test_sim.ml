@@ -1,0 +1,233 @@
+(* Assembler (linearization, delay slots, addresses), memory image and
+   interpreter. *)
+
+open Ir
+
+let assemble ?(machine = Machine.risc) src =
+  let prog =
+    Opt.Driver.compile { Opt.Driver.default_options with level = Simple }
+      machine src
+  in
+  (Sim.Asm.assemble machine prog, prog)
+
+let tiny = "int main() { int i; i = 3; if (i > 1) i = i * 2; return i; }"
+
+let test_delay_slot_structure () =
+  let asm, _ = assemble tiny in
+  List.iter
+    (fun (f : Sim.Asm.afunc) ->
+      Array.iteri
+        (fun k i ->
+          if Rtl.is_transfer i || (match i with Rtl.Call _ -> true | _ -> false)
+          then begin
+            (* every transfer is followed by a non-transfer slot *)
+            Alcotest.(check bool) "slot exists" true (k + 1 < Array.length f.code);
+            let slot = f.code.(k + 1) in
+            Alcotest.(check bool) "slot is not a transfer" false
+              (Rtl.is_transfer slot);
+            (* no label may point between a transfer and its slot *)
+            Ir.Label.Map.iter
+              (fun _ pos ->
+                Alcotest.(check bool) "no label on a slot" true (pos <> k + 1))
+              f.label_pos
+          end)
+        f.code)
+    asm.funcs
+
+let test_no_slots_on_cisc () =
+  let asm, _ = assemble ~machine:Machine.cisc tiny in
+  Alcotest.(check int) "no nops inserted" 0 (Sim.Asm.static_nops asm)
+
+let test_addresses_monotonic () =
+  List.iter
+    (fun machine ->
+      let asm, _ = assemble ~machine tiny in
+      List.iter
+        (fun (f : Sim.Asm.afunc) ->
+          let ok = ref true in
+          Array.iteri
+            (fun k a ->
+              if k > 0 then begin
+                let prev = f.addrs.(k - 1) + f.sizes.(k - 1) in
+                if a <> prev then ok := false
+              end)
+            f.addrs;
+          Alcotest.(check bool) "contiguous addresses" true !ok;
+          Array.iteri
+            (fun k size ->
+              Alcotest.(check int)
+                (Printf.sprintf "size matches machine (%d)" k)
+                (Machine.instr_size machine f.code.(k))
+                size)
+            f.sizes)
+        asm.funcs)
+    [ Machine.risc; Machine.cisc ]
+
+let test_functions_disjoint () =
+  let src = "int f(int x) { return x + 1; } int main() { return f(1); }" in
+  let asm, _ = assemble src in
+  match asm.funcs with
+  | [ a; b ] ->
+    Alcotest.(check bool) "non-overlapping" true
+      (a.end_addr <= b.base || b.end_addr <= a.base)
+  | _ -> Alcotest.fail "expected two functions"
+
+let test_slot_fill_effectiveness () =
+  (* At least some slots are filled with useful instructions, not nops. *)
+  let asm, prog = assemble (Option.get (Programs.Suite.find "wc")).source in
+  let res = Sim.Interp.run ~input:"hello world\n" asm prog in
+  Alcotest.(check bool) "some useful slots" true
+    (Sim.Asm.static_nops asm < Sim.Asm.static_instrs asm / 4);
+  Alcotest.(check bool) "ran" true (res.counts.total > 0)
+
+(* --- Image --- *)
+
+let test_image_layout () =
+  let prog =
+    Frontend.Codegen.compile_source
+      {|
+int x = 5;
+char msg[] = "hi";
+int tab[] = { 1, 2, 3 };
+char *p = "zz";
+int main() { return 0; }
+|}
+  in
+  let img = Sim.Image.build prog in
+  Alcotest.(check int) "scalar init" 5 (Sim.Image.load_word img (Sim.Image.symbol img "x"));
+  let msg = Sim.Image.symbol img "msg" in
+  Alcotest.(check int) "string byte 0" (Char.code 'h') (Sim.Image.load_byte img msg);
+  Alcotest.(check int) "string nul" 0 (Sim.Image.load_byte img (msg + 2));
+  let tab = Sim.Image.symbol img "tab" in
+  Alcotest.(check int) "array elt 2" 3 (Sim.Image.load_word img (tab + 8));
+  let p = Sim.Image.load_word img (Sim.Image.symbol img "p") in
+  Alcotest.(check int) "pointer init points at 'z'" (Char.code 'z')
+    (Sim.Image.load_byte img p);
+  Alcotest.check_raises "null deref faults" (Sim.Image.Fault "byte load at 0x0 is out of range")
+    (fun () -> ignore (Sim.Image.load_byte img 0))
+
+let test_image_word_roundtrip () =
+  let prog = Frontend.Codegen.compile_source "int b[4]; int main(){return 0;}" in
+  let img = Sim.Image.build prog in
+  let a = Sim.Image.symbol img "b" in
+  List.iter
+    (fun v ->
+      Sim.Image.store_word img a v;
+      Alcotest.(check int) "word roundtrip" (Ir.Arith.norm v)
+        (Sim.Image.load_word img a))
+    [ 0; 1; -1; 0x7FFFFFFF; -0x80000000; 123456789; -987654321 ]
+
+(* --- Interpreter --- *)
+
+let test_exit_code () =
+  let _, code = Helpers.run "int main() { return 41 + 1; }" in
+  Alcotest.(check int) "return from main" 42 code
+
+let test_exit_builtin () =
+  let out, code =
+    Helpers.run "int main() { putchar('a'); exit(7); putchar('b'); return 0; }"
+  in
+  Alcotest.(check string) "output before exit" "a" out;
+  Alcotest.(check int) "exit code" 7 code
+
+let test_runtime_errors () =
+  let expect_error src =
+    let prog =
+      Opt.Driver.compile Opt.Driver.default_options Machine.cisc src
+    in
+    let asm = Sim.Asm.assemble Machine.cisc prog in
+    match Sim.Interp.run asm prog with
+    | exception Sim.Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "expected a runtime error"
+  in
+  expect_error "int main() { int x; x = getchar(); return 1 / (x + 1); }";
+  (* null pointer dereference *)
+  expect_error "int main() { int *p; p = 0; return *p; }";
+  (* step budget *)
+  (let prog =
+     Opt.Driver.compile Opt.Driver.default_options Machine.cisc
+       "int main() { for (;;) ; return 0; }"
+   in
+   let asm = Sim.Asm.assemble Machine.cisc prog in
+   match Sim.Interp.run ~max_steps:1000 asm prog with
+   | exception Sim.Interp.Runtime_error _ -> ()
+   | _ -> Alcotest.fail "expected step-budget exhaustion")
+
+let test_getchar_eof () =
+  let out, _ =
+    Helpers.run ~input:"ab"
+      {|
+int main() {
+  int c, n;
+  n = 0;
+  while ((c = getchar()) != -1) n = n + 1;
+  /* further reads keep returning -1 */
+  if (getchar() == -1 && getchar() == -1) n = n + 100;
+  putchar('0' + n % 10); putchar('\n');
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "eof behavior" "2\n" out
+
+let test_counts_track_classes () =
+  let res, _ =
+    Helpers.run_counts ~machine:Machine.cisc
+      "int main() { int i; for (i = 0; i < 5; i++) putchar('x'); return 0; }"
+  in
+  Alcotest.(check int) "five calls" 5 res.counts.calls;
+  Alcotest.(check int) "one return" 1 res.counts.rets;
+  Alcotest.(check bool) "branches counted" true (res.counts.cond_branches >= 5);
+  Alcotest.(check bool) "total covers everything" true
+    (res.counts.total
+     >= res.counts.calls + res.counts.rets + res.counts.cond_branches)
+
+let test_fetch_callback () =
+  let src = "int main() { return 0; }" in
+  let prog = Opt.Driver.compile Opt.Driver.default_options Machine.risc src in
+  let asm = Sim.Asm.assemble Machine.risc prog in
+  let fetches = ref 0 in
+  let res =
+    Sim.Interp.run
+      ~on_fetch:(fun ~addr:_ ~size -> if size = 4 then incr fetches)
+      asm prog
+  in
+  Alcotest.(check int) "one fetch per executed instruction"
+    res.counts.total !fetches
+
+let test_delay_slot_semantics () =
+  (* The canonical case: on RISC the instruction before a taken branch gets
+     moved into its slot; results must match the CISC execution exactly. *)
+  let src =
+    {|
+int main() {
+  int i, s;
+  s = 0;
+  for (i = 0; i < 7; i++) { s = s * 2 + i; if (s > 50) s = s - 13; }
+  putchar('0' + s % 10); putchar('\n');
+  return 0;
+}
+|}
+  in
+  let out_c, _ = Helpers.run ~machine:Machine.cisc src in
+  let out_r, _ = Helpers.run ~machine:Machine.risc src in
+  Alcotest.(check string) "risc equals cisc" out_c out_r
+
+let tests =
+  ( "sim",
+    [
+      Alcotest.test_case "delay slot structure" `Quick test_delay_slot_structure;
+      Alcotest.test_case "cisc has no slots" `Quick test_no_slots_on_cisc;
+      Alcotest.test_case "addresses monotonic" `Quick test_addresses_monotonic;
+      Alcotest.test_case "functions disjoint" `Quick test_functions_disjoint;
+      Alcotest.test_case "slot filling works" `Quick test_slot_fill_effectiveness;
+      Alcotest.test_case "image layout" `Quick test_image_layout;
+      Alcotest.test_case "image word roundtrip" `Quick test_image_word_roundtrip;
+      Alcotest.test_case "exit code" `Quick test_exit_code;
+      Alcotest.test_case "exit builtin" `Quick test_exit_builtin;
+      Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+      Alcotest.test_case "getchar eof" `Quick test_getchar_eof;
+      Alcotest.test_case "instruction classes" `Quick test_counts_track_classes;
+      Alcotest.test_case "fetch callback" `Quick test_fetch_callback;
+      Alcotest.test_case "delay slot semantics" `Quick test_delay_slot_semantics;
+    ] )
