@@ -6,7 +6,11 @@
      bench/main.exe                 print all tables and figures
      bench/main.exe -t 4 -t 6       only Tables 4 and 6
      bench/main.exe --list          list available table ids
-     bench/main.exe --bechamel      also run pass micro-benchmarks        *)
+     bench/main.exe --bechamel      also run pass micro-benchmarks
+     bench/main.exe --json          write BENCH_results.json (full sweep)
+
+   Any output mismatch discovered while measuring makes the driver exit
+   nonzero (see Harness.Measure.mismatches).                              *)
 
 let available : (string * string * (Format.formatter -> unit)) list =
   [
@@ -92,10 +96,40 @@ let run_bechamel () =
         (Test.elements test))
     (bechamel_tests ())
 
+(* --- machine-readable results: the full suite sweep as JSON --- *)
+
+(* Every (benchmark, level, machine) measurement plus the telemetry counter
+   totals of the sweep, in one JSON document.  The numbers come from the
+   same Harness.Measure/Telemetry path the tables use. *)
+let write_json path =
+  let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ] in
+  let machines = [ Ir.Machine.risc; Ir.Machine.cisc ] in
+  let log = Telemetry.Log.make Telemetry.Log.Memory in
+  let results =
+    List.concat_map
+      (fun machine ->
+        List.concat_map
+          (fun level -> Harness.Measure.run_suite ~log level machine)
+          levels)
+      machines
+  in
+  let counters =
+    Telemetry.Counter.all log
+    |> List.map (fun (name, value) ->
+           Printf.sprintf "%s:%d" (Telemetry.Log.json_string name) value)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"results\":[%s],\"counters\":{%s}}\n"
+    (String.concat "," (List.map Harness.Measure.to_json results))
+    (String.concat "," counters);
+  close_out oc;
+  Printf.printf "wrote %s (%d measurements)\n" path (List.length results)
+
 let () =
   let tables = ref [] in
   let list_only = ref false in
   let bech = ref false in
+  let json = ref false in
   let spec =
     [
       ( "-t",
@@ -106,6 +140,7 @@ let () =
         "ID  same as -t" );
       ("--list", Arg.Set list_only, " list available ids");
       ("--bechamel", Arg.Set bech, " run pass micro-benchmarks");
+      ("--json", Arg.Set json, " write BENCH_results.json (full suite sweep)");
     ]
   in
   Arg.parse spec
@@ -115,7 +150,7 @@ let () =
     List.iter (fun (id, desc, _) -> Printf.printf "%-5s %s\n" id desc) available
   else begin
     let selected =
-      if !tables = [] then available
+      if !tables = [] && not !json then available
       else
         List.filter_map
           (fun id ->
@@ -132,5 +167,16 @@ let () =
         print ppf;
         Format.pp_print_flush ppf ())
       selected;
-    if !bech then run_bechamel ()
+    if !json then write_json "BENCH_results.json";
+    if !bech then run_bechamel ();
+    match Harness.Measure.mismatches () with
+    | [] -> ()
+    | bad ->
+      List.iter
+        (fun (prog, level, machine) ->
+          Printf.eprintf "MISMATCH: %s at %s on %s\n" prog
+            (Opt.Driver.level_name level)
+            machine)
+        bad;
+      exit 1
   end

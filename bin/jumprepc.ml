@@ -49,10 +49,49 @@ let machine_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file.")
 
+(* --- telemetry arguments (shared by compile/run/measure/bench) --- *)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-passes" ]
+        ~doc:
+          "Emit the structured optimization event log as JSONL: one event \
+           per pass (with instruction/block/jump deltas and timing), per \
+           replication decision, per fixpoint iteration and per register \
+           spill.  Written to stderr unless $(b,--trace-out) names a file.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the JSONL event trace to $(docv) (implies \
+              $(b,--trace-passes)).")
+
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:"Print a machine-readable JSON stats object on stdout.")
+
+(* The log selected by the trace flags, and the flush/close to run last. *)
+let make_log trace trace_out =
+  match trace, trace_out with
+  | false, None -> (Telemetry.Log.null, fun () -> ())
+  | _, Some path ->
+    let oc = open_out path in
+    (Telemetry.Log.make (Telemetry.Log.Jsonl oc), fun () -> close_out oc)
+  | true, None ->
+    (Telemetry.Log.make (Telemetry.Log.Jsonl stderr), fun () -> flush stderr)
+
 (* Surface front-end failures as diagnostics, not OCaml backtraces. *)
-let compile_prog level machine path =
+let compile_prog ?log level machine path =
   let source = read_file path in
-  try Opt.Driver.compile { Opt.Driver.default_options with level } machine source
+  try
+    Opt.Driver.compile ?log
+      { Opt.Driver.default_options with level }
+      machine source
   with
   | Frontend.Lexer.Error (msg, line) ->
     Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
@@ -63,6 +102,14 @@ let compile_prog level machine path =
   | Frontend.Codegen.Error msg ->
     Printf.eprintf "%s: error: %s\n" path msg;
     exit 1
+
+let func_ujumps f =
+  Array.fold_left
+    (fun n b ->
+      match Flow.Func.terminator b with
+      | Some (Ir.Rtl.Jump _) | Some (Ir.Rtl.Ijump _) -> n + 1
+      | Some _ | None -> n)
+    0 (Flow.Func.blocks f)
 
 (* --- compile --- *)
 
@@ -75,9 +122,10 @@ let compile_cmd =
       value & flag
       & info [ "dump-asm" ] ~doc:"Print the assembled code with addresses.")
   in
-  let run level machine path dump_rtl dump_asm =
-    let prog = compile_prog level machine path in
-    if dump_rtl || not dump_asm then
+  let run level machine path dump_rtl dump_asm trace trace_out stats_json =
+    let log, finish = make_log trace trace_out in
+    let prog = compile_prog ~log level machine path in
+    if dump_rtl || not (dump_asm || stats_json) then
       List.iter
         (fun f -> Format.printf "%a@." Flow.Func.pp f)
         prog.Flow.Prog.funcs;
@@ -88,11 +136,34 @@ let compile_cmd =
         (Sim.Asm.static_instrs asm)
         (Sim.Asm.static_ujumps asm)
         (Sim.Asm.static_nops asm)
-    end
+    end;
+    if stats_json then begin
+      let asm = Sim.Asm.assemble machine prog in
+      let funcs =
+        List.map
+          (fun f ->
+            Printf.sprintf "{\"name\":%s,\"instrs\":%d,\"blocks\":%d,\"ujumps\":%d}"
+              (Telemetry.Log.json_string (Flow.Func.name f))
+              (Flow.Func.num_instrs f) (Flow.Func.num_blocks f) (func_ujumps f))
+          prog.Flow.Prog.funcs
+      in
+      Printf.printf
+        "{\"level\":%s,\"machine\":%s,\"static_instrs\":%d,\"static_ujumps\":%d,\
+         \"static_nops\":%d,\"funcs\":[%s]}\n"
+        (Telemetry.Log.json_string (Opt.Driver.level_name level))
+        (Telemetry.Log.json_string machine.Ir.Machine.short)
+        (Sim.Asm.static_instrs asm)
+        (Sim.Asm.static_ujumps asm)
+        (Sim.Asm.static_nops asm)
+        (String.concat "," funcs)
+    end;
+    finish ()
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a C-subset file and print the result")
-    Term.(const run $ level_arg $ machine_arg $ file_arg $ dump_rtl $ dump_asm)
+    Term.(
+      const run $ level_arg $ machine_arg $ file_arg $ dump_rtl $ dump_asm
+      $ trace_arg $ trace_out_arg $ stats_json_arg)
 
 (* --- run --- *)
 
@@ -119,8 +190,10 @@ let run_cmd =
       & info [ "trace" ] ~docv:"N"
           ~doc:"Print the first $(docv) executed instructions to stderr.")
   in
-  let run level machine path input input_file stats trace =
-    let prog = compile_prog level machine path in
+  let run level machine path input input_file stats trace trace_passes
+      trace_out stats_json =
+    let log, finish = make_log trace_passes trace_out in
+    let prog = compile_prog ~log level machine path in
     let asm = Sim.Asm.assemble machine prog in
     let input =
       match input_file with
@@ -142,7 +215,7 @@ let run_cmd =
           end
     in
     let res =
-      try Sim.Interp.run ~input ~on_fetch asm prog
+      try Sim.Interp.run ~input ~on_fetch ~log asm prog
       with Sim.Interp.Runtime_error msg ->
         Printf.eprintf "%s: runtime error: %s\n" path msg;
         exit 2
@@ -154,13 +227,28 @@ let run_cmd =
          nops=%d\n"
         res.exit_code res.counts.total res.counts.cond_branches
         res.counts.jumps res.counts.ijumps res.counts.calls res.counts.nops;
+    if stats_json then
+      Printf.printf
+        "{\"level\":%s,\"machine\":%s,\"exit\":%d,\"dyn_instrs\":%d,\
+         \"cond_branches\":%d,\"jumps\":%d,\"ijumps\":%d,\"calls\":%d,\
+         \"rets\":%d,\"nops\":%d,\"loads\":%d,\"stores\":%d,\
+         \"static_instrs\":%d,\"static_ujumps\":%d,\"static_nops\":%d}\n"
+        (Telemetry.Log.json_string (Opt.Driver.level_name level))
+        (Telemetry.Log.json_string machine.Ir.Machine.short)
+        res.exit_code res.counts.total res.counts.cond_branches
+        res.counts.jumps res.counts.ijumps res.counts.calls res.counts.rets
+        res.counts.nops res.counts.loads res.counts.stores
+        (Sim.Asm.static_instrs asm)
+        (Sim.Asm.static_ujumps asm)
+        (Sim.Asm.static_nops asm);
+    finish ();
     exit res.exit_code
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a C-subset file")
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ input $ input_file
-      $ stats $ trace)
+      $ stats $ trace $ trace_arg $ trace_out_arg $ stats_json_arg)
 
 (* --- measure --- *)
 
@@ -171,36 +259,62 @@ let measure_cmd =
       & opt (some file) None
       & info [ "input-file" ] ~docv:"FILE" ~doc:"Standard input from a file.")
   in
-  let run machine path input_file =
+  (* Mean miss ratio over the eight paper cache configurations: the one
+     cache column of the comparison table. *)
+  let mean_miss (m : Harness.Measure.t) =
+    let ratios =
+      List.map (fun (c : Harness.Measure.cache_stats) -> c.miss_ratio) m.caches
+    in
+    100.0
+    *. (List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios))
+  in
+  let run machine path input_file trace trace_out stats_json =
     let source = read_file path in
     let input = Option.map read_file input_file |> Option.value ~default:"" in
-    Printf.printf "%-8s %10s %10s %10s %10s\n" "level" "static" "dynamic"
-      "dyn-jumps" "nops";
-    List.iter
-      (fun level ->
-        let prog =
-          Opt.Driver.compile { Opt.Driver.default_options with level } machine
-            source
-        in
-        let asm = Sim.Asm.assemble machine prog in
-        let res =
-          try Sim.Interp.run ~input asm prog
-          with Sim.Interp.Runtime_error msg ->
-            Printf.eprintf "%s: runtime error: %s\n" path msg;
-            exit 2
-        in
-        Printf.printf "%-8s %10d %10d %10d %10d\n"
-          (Opt.Driver.level_name level)
-          (Sim.Asm.static_instrs asm)
-          res.counts.total
-          (Sim.Interp.uncond_jumps res.counts)
-          res.counts.nops)
-      [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ]
+    let log, finish = make_log trace trace_out in
+    let name = Filename.basename path in
+    let adhoc ?expected_output level =
+      try
+        Harness.Measure.run_adhoc ~log ~name ~source ~input ?expected_output
+          level machine
+      with Sim.Interp.Runtime_error msg ->
+        Printf.eprintf "%s: runtime error: %s\n" path msg;
+        exit 2
+    in
+    (* The SIMPLE run is the reference output the other levels must match. *)
+    let simple = adhoc Opt.Driver.Simple in
+    let rows =
+      simple
+      :: List.map
+           (fun level -> adhoc ~expected_output:simple.output level)
+           [ Opt.Driver.Loops; Opt.Driver.Jumps ]
+    in
+    if stats_json then
+      Printf.printf "[%s]\n"
+        (String.concat "," (List.map Harness.Measure.to_json rows))
+    else begin
+      Printf.printf "%-8s %10s %10s %10s %10s %8s\n" "level" "static"
+        "dynamic" "dyn-jumps" "nops" "miss%";
+      List.iter
+        (fun (m : Harness.Measure.t) ->
+          Printf.printf "%-8s %10d %10d %10d %10d %8.2f\n"
+            (Opt.Driver.level_name m.level)
+            m.static_instrs m.dyn_instrs m.dyn_ujumps m.dyn_nops (mean_miss m))
+        rows
+    end;
+    finish ();
+    if List.exists (fun (m : Harness.Measure.t) -> not m.output_ok) rows
+    then begin
+      Printf.eprintf "%s: output differs between optimization levels\n" path;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "measure"
        ~doc:"Compare the three optimization levels on one source file")
-    Term.(const run $ machine_arg $ file_arg $ input)
+    Term.(
+      const run $ machine_arg $ file_arg $ input $ trace_arg $ trace_out_arg
+      $ stats_json_arg)
 
 (* --- bench: run a bundled benchmark --- *)
 
@@ -211,26 +325,102 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
   in
-  let run level machine name =
+  let run level machine name trace trace_out stats_json =
     match Programs.Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s\n" name;
       exit 1
     | Some b ->
-      let m = Harness.Measure.run b level machine in
-      Printf.printf
-        "%s at %s on %s:\n  static %d instrs (%d jumps, %d nops)\n  dynamic \
-         %d instrs (%d jumps, %d nops)\n  output %s\n"
-        b.name
-        (Opt.Driver.level_name level)
-        machine.Ir.Machine.name m.static_instrs m.static_ujumps m.static_nops
-        m.dyn_instrs m.dyn_ujumps m.dyn_nops
-        (if m.output_ok then "matches the gcc-verified expectation"
-         else "MISMATCH")
+      let log, finish = make_log trace trace_out in
+      let m = Harness.Measure.run ~log b level machine in
+      if stats_json then print_endline (Harness.Measure.to_json m)
+      else begin
+        Printf.printf
+          "%s at %s on %s:\n  static %d instrs (%d jumps, %d nops)\n  dynamic \
+           %d instrs (%d jumps, %d nops)\n  output %s\n"
+          b.name
+          (Opt.Driver.level_name level)
+          machine.Ir.Machine.name m.static_instrs m.static_ujumps m.static_nops
+          m.dyn_instrs m.dyn_ujumps m.dyn_nops
+          (if m.output_ok then "matches the gcc-verified expectation"
+           else "MISMATCH");
+        List.iter
+          (fun (c : Harness.Measure.cache_stats) ->
+            Printf.printf "  cache %-16s miss ratio %.4f  fetch cost %d\n"
+              (Icache.config_name c.config)
+              c.miss_ratio c.fetch_cost)
+          m.caches
+      end;
+      finish ();
+      if not m.output_ok then exit 1
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Measure one bundled benchmark")
-    Term.(const run $ level_arg $ machine_arg $ bench_name)
+    Term.(
+      const run $ level_arg $ machine_arg $ bench_name $ trace_arg
+      $ trace_out_arg $ stats_json_arg)
+
+(* --- explain: per-function replication report --- *)
+
+let explain_cmd =
+  let run level machine path =
+    (* Trace the whole compilation in memory, then audit what is left. *)
+    let log = Telemetry.Log.make Telemetry.Log.Memory in
+    let prog = compile_prog ~log level machine path in
+    let events = Telemetry.Log.events log in
+    let total_applied = ref 0 and total_remaining = ref 0 in
+    List.iter
+      (fun f ->
+        let fname = Flow.Func.name f in
+        Printf.printf "function %s:\n" fname;
+        let applied =
+          List.filter_map
+            (function
+              | Telemetry.Log.Replication_applied
+                  { func; jump_from; jump_to; mode; seq; cost; loop_completed }
+                when String.equal func fname ->
+                Some (jump_from, jump_to, mode, seq, cost, loop_completed)
+              | _ -> None)
+            events
+        in
+        if applied = [] then print_endline "  no jumps replicated"
+        else begin
+          Printf.printf "  replicated during compilation (%d):\n"
+            (List.length applied);
+          List.iter
+            (fun (jump_from, jump_to, mode, seq, cost, loop_completed) ->
+              incr total_applied;
+              Printf.printf "    %s -> %s: %s copy of %d block%s (%d RTLs)%s\n"
+                jump_from jump_to mode (List.length seq)
+                (if List.length seq = 1 then "" else "s")
+                cost
+                (if loop_completed then " [loop completed]" else ""))
+            applied
+        end;
+        (match Replication.Jumps.explain f with
+        | [] -> print_endline "  remaining unconditional jumps: none"
+        | remaining ->
+          Printf.printf "  remaining unconditional jumps (%d):\n"
+            (List.length remaining);
+          List.iter
+            (fun ((from_l, to_l), decision) ->
+              incr total_remaining;
+              Printf.printf "    %s -> %s: %s\n"
+                (Ir.Label.to_string from_l)
+                (Ir.Label.to_string to_l)
+                (Replication.Jumps.decision_to_string decision))
+            remaining))
+      prog.Flow.Prog.funcs;
+    Printf.printf "total: %d replicated, %d remaining\n" !total_applied
+      !total_remaining
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Audit replication decisions: for every unconditional jump, which \
+          shortest-path sequence replaced it, or the concrete reason none \
+          could")
+    Term.(const run $ level_arg $ machine_arg $ file_arg)
 
 let list_cmd =
   let run () =
@@ -250,6 +440,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "jumprepc" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; measure_cmd; bench_cmd; list_cmd ]
+    [ compile_cmd; run_cmd; measure_cmd; bench_cmd; explain_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -27,9 +27,18 @@ let uncond_jumps func =
          | Some (Rtl.Jump l) -> Some (b.label, l)
          | Some _ | None -> None)
 
-(* A candidate replication: the block sequence (pre loop-completion), its
-   splice mode and its cost in RTLs. *)
-type candidate = { seq : int list; mode : Replicate.mode; cost : int }
+(* A candidate replication: the block sequence, its splice mode, its cost
+   in RTLs and whether step-3 loop completion extended it. *)
+type candidate = {
+  seq : int list;
+  mode : Replicate.mode;
+  cost : int;
+  completed : bool;
+}
+
+let mode_name = function
+  | Replicate.Ends_with_return -> "favor-returns"
+  | Replicate.Fallthrough_to _ -> "favor-loops"
 
 let seq_cost func seq =
   List.fold_left (fun n b -> n + Func.block_size (Func.block func b)) 0 seq
@@ -121,7 +130,8 @@ let candidates_for config func g sp loops ~b ~t =
         None (terminal_blocks config func)
     in
     Option.map
-      (fun (seq, cost) -> { seq; mode = Replicate.Ends_with_return; cost })
+      (fun (seq, cost) ->
+        { seq; mode = Replicate.Ends_with_return; cost; completed = false })
       best
   in
   (* Favoring loops: cheapest path from t back to the block positionally
@@ -133,7 +143,14 @@ let candidates_for config func g sp loops ~b ~t =
       if t = f then None (* jump to next: branch chaining's job *)
       else
         match Shortest_path.path sp ~src:t ~dst:f with
-        | Some p -> Some { seq = p.blocks; mode = Fallthrough_to f; cost = p.cost }
+        | Some p ->
+          Some
+            {
+              seq = p.blocks;
+              mode = Fallthrough_to f;
+              cost = p.cost;
+              completed = false;
+            }
         | None -> None
     end
   in
@@ -143,7 +160,7 @@ let candidates_for config func g sp loops ~b ~t =
   let with_completion c =
     let seq = complete_loops func loops ~from_block:b c.seq in
     if seq = c.seq then [ c ]
-    else [ c; { c with seq; cost = seq_cost func seq } ]
+    else [ c; { c with seq; cost = seq_cost func seq; completed = true } ]
   in
   List.concat_map with_completion (List.filter_map Fun.id [ ret_cand; loop_cand ])
 
@@ -188,73 +205,194 @@ let analyze func =
     sp = Shortest_path.create func g;
   }
 
-(* Attempt one replacement; returns the new function on success. *)
-let try_replace_with config func an (bl, tl) =
+(* What one replacement attempt decided.  [Stale] means the jump named by
+   the labels no longer exists (an earlier replacement in the same scan
+   rewrote it) — nothing to decide, nothing to log. *)
+type outcome =
+  | Stale
+  | Applied of Func.t * candidate
+  | Rejected of Telemetry.Log.reason
+
+let classify config func an (bl, tl) =
   let b =
     match Func.index_of_label func bl with
     | i -> Some i
     | exception Not_found -> None
   in
   match b with
-  | None -> None
+  | None -> Stale
   | Some b -> (
     let block = Func.block func b in
     match Func.terminator block with
     | Some (Rtl.Jump l) when Label.equal l tl -> (
       match Func.index_of_label func tl with
-      | exception Not_found -> None
-      | t when t = b -> None (* self loop: infinite loop, leave it *)
+      | exception Not_found -> Stale
+      | t when t = b -> Rejected No_path (* self loop: infinite loop, leave it *)
       | t -> (
         let { g; loops; sp; _ } = Lazy.force an in
-        let cands = candidates_for config func g sp loops ~b ~t in
-        let cands =
+        let raw = candidates_for config func g sp loops ~b ~t in
+        let capped =
           match config.max_rtls with
-          | None -> cands
-          | Some cap -> List.filter (fun c -> c.cost <= cap) cands
+          | None -> raw
+          | Some cap -> List.filter (fun c -> c.cost <= cap) raw
         in
         let cands =
-          List.filter (fun c -> c.seq <> []) (order_candidates config.heuristic cands)
+          List.filter (fun c -> c.seq <> [])
+            (order_candidates config.heuristic capped)
         in
-        let attempt c =
-          let repair = repair_scope loops b c.seq in
-          match
-            Replicate.splice ?repair_loop:repair func ~after:b ~seq:c.seq
-              ~mode:c.mode
-          with
-          | exception Invalid_argument _ -> None
-          | func' ->
-            if config.allow_irreducible then Some func'
-            else begin
-              let g' = Cfg.make func' in
-              let dom' = Dom.compute g' in
-              if Loops.is_reducible g' dom' then Some func' else None
-            end
-        in
-        let rec first_ok = function
-          | [] -> None
-          | c :: rest -> (
-            match attempt c with Some f -> Some f | None -> first_ok rest)
-        in
-        first_ok cands))
-    | Some _ | None -> None)
+        match cands with
+        | [] ->
+          if List.exists (fun c -> c.seq <> []) raw then
+            (* Candidates existed but every one was over [max_rtls]. *)
+            Rejected Size_cap
+          else if
+            (not config.replicate_indirect)
+            && candidates_for { config with replicate_indirect = true } func g
+                 sp loops ~b ~t
+               <> []
+          then Rejected Indirect_gated
+          else Rejected No_path
+        | _ :: _ ->
+          let attempt c =
+            let repair = repair_scope loops b c.seq in
+            match
+              Replicate.splice ?repair_loop:repair func ~after:b ~seq:c.seq
+                ~mode:c.mode
+            with
+            | exception Invalid_argument _ -> `Splice_failed
+            | func' ->
+              if config.allow_irreducible then `Ok func'
+              else begin
+                let g' = Cfg.make func' in
+                let dom' = Dom.compute g' in
+                if Loops.is_reducible g' dom' then `Ok func' else `Irreducible
+              end
+          in
+          let rec first_ok hit_irreducible = function
+            | [] ->
+              if hit_irreducible then Rejected Irreducible else Rejected No_path
+            | c :: rest -> (
+              match attempt c with
+              | `Ok f -> Applied (f, c)
+              | `Irreducible -> first_ok true rest
+              | `Splice_failed -> first_ok hit_irreducible rest)
+          in
+          first_ok false cands))
+    | Some _ | None -> Stale)
+
+(* Attempt one replacement; returns the new function on success. *)
+let try_replace_with config func an jump =
+  match classify config func an jump with
+  | Applied (f, _) -> Some f
+  | Stale | Rejected _ -> None
 
 let try_replace config func jump =
   try_replace_with config func (lazy (analyze func)) jump
 
-let run config func =
+(* Is the (bl -> tl) jump still present in [func]?  Guards the telemetry
+   events so stale scan entries are not reported as decisions. *)
+let jump_live func (bl, tl) =
+  match Func.index_of_label func bl with
+  | exception Not_found -> false
+  | b -> (
+    match Func.terminator (Func.block func b) with
+    | Some (Rtl.Jump l) -> Label.equal l tl
+    | Some _ | None -> false)
+
+let run ?(log = Telemetry.Log.null) config func =
+  let fname = Func.name func in
   let jumps = uncond_jumps func in
   let func = ref func in
   let changed = ref false in
   (* Analyses survive failed attempts; only a replacement invalidates. *)
   let an = ref (lazy (analyze !func)) in
+  let labels (bl, tl) = (Label.to_string bl, Label.to_string tl) in
   List.iter
     (fun jump ->
-      if Func.num_instrs !func <= config.size_cap then
-        match try_replace_with config !func !an jump with
-        | Some f ->
+      if Func.num_instrs !func > config.size_cap then begin
+        if jump_live !func jump then
+          Telemetry.Log.emit log (fun () ->
+              let jump_from, jump_to = labels jump in
+              Telemetry.Log.Replication_rolled_back
+                { func = fname; jump_from; jump_to; reason = Size_cap })
+      end
+      else
+        match classify config !func !an jump with
+        | Stale -> ()
+        | Applied (f, c) ->
+          Telemetry.Log.emit log (fun () ->
+              let jump_from, jump_to = labels jump in
+              Telemetry.Log.Replication_applied
+                {
+                  func = fname;
+                  jump_from;
+                  jump_to;
+                  mode = mode_name c.mode;
+                  seq = c.seq;
+                  cost = c.cost;
+                  loop_completed = c.completed;
+                });
           func := f;
           changed := true;
           an := lazy (analyze f)
-        | None -> ())
+        | Rejected reason ->
+          Telemetry.Log.emit log (fun () ->
+              let jump_from, jump_to = labels jump in
+              Telemetry.Log.Replication_rolled_back
+                { func = fname; jump_from; jump_to; reason }))
     jumps;
   (!func, !changed)
+
+(* --- Per-jump replication report (the CLI's [explain]) --- *)
+
+type decision =
+  | Replicated of {
+      mode : string;
+      seq : int list;
+      cost : int;
+      loop_completed : bool;
+    }
+  | Not_replicated of Telemetry.Log.reason
+
+let decision_to_string = function
+  | Replicated { mode; seq; cost; loop_completed } ->
+    Printf.sprintf "replicable: %s copy of %d block%s (%d RTLs)%s" mode
+      (List.length seq)
+      (if List.length seq = 1 then "" else "s")
+      cost
+      (if loop_completed then " [loop completed]" else "")
+  | Not_replicated reason -> (
+    match reason with
+    | Telemetry.Log.Irreducible ->
+      "not replicable: every candidate leaves an irreducible flow graph"
+    | Telemetry.Log.Size_cap ->
+      "not replicable: over the size cap (function growth or max-rtls)"
+    | Telemetry.Log.Indirect_gated ->
+      "not replicable: candidates end in an indirect jump and indirect \
+       replication is disabled"
+    | Telemetry.Log.Loop_copied -> "replicable via a completed loop copy"
+    | Telemetry.Log.No_path ->
+      "not replicable: no candidate block sequence (self loop or no path \
+       back to the fall-through/return)")
+
+let explain ?(config = default_config) func =
+  let an = lazy (analyze func) in
+  let over_cap = Func.num_instrs func > config.size_cap in
+  List.filter_map
+    (fun jump ->
+      if over_cap then Some (jump, Not_replicated Size_cap)
+      else
+        match classify config func an jump with
+        | Stale -> None
+        | Applied (_, c) ->
+          Some
+            ( jump,
+              Replicated
+                {
+                  mode = mode_name c.mode;
+                  seq = c.seq;
+                  cost = c.cost;
+                  loop_completed = c.completed;
+                } )
+        | Rejected reason -> Some (jump, Not_replicated reason))
+    (uncond_jumps func)

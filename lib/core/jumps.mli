@@ -38,8 +38,12 @@ type config = {
 val default_config : config
 
 (** [run config func] returns the transformed function and whether anything
-    changed. *)
-val run : config -> Flow.Func.t -> Flow.Func.t * bool
+    changed.  With [log], every per-jump decision is reported: a
+    [Replication_applied] event for each splice (with the chosen sequence,
+    mode and cost) and a [Replication_rolled_back] event with the
+    {!Telemetry.Log.reason} for each jump left in place. *)
+val run :
+  ?log:Telemetry.Log.t -> config -> Flow.Func.t -> Flow.Func.t * bool
 
 (** Statistics helper: labels of blocks ending in an unconditional [Jump]
     with their targets. *)
@@ -49,3 +53,23 @@ val uncond_jumps : Flow.Func.t -> (Ir.Label.t * Ir.Label.t) list
     label); [None] when not replaceable.  Exposed for tests and debugging. *)
 val try_replace :
   config -> Flow.Func.t -> Ir.Label.t * Ir.Label.t -> Flow.Func.t option
+
+(** What would happen to one unconditional jump, without transforming. *)
+type decision =
+  | Replicated of {
+      mode : string;  (** ["favor-returns"] or ["favor-loops"] *)
+      seq : int list;  (** block indices of the replicated sequence *)
+      cost : int;  (** RTLs the copy would add *)
+      loop_completed : bool;  (** step-3 loop completion extended the copy *)
+    }
+  | Not_replicated of Telemetry.Log.reason
+
+val decision_to_string : decision -> string
+
+(** Classify every unconditional jump of [func] against [config] (default
+    {!default_config}): the sequence a replication would take, or the
+    concrete reason none is legal.  Pure — the function is not changed. *)
+val explain :
+  ?config:config ->
+  Flow.Func.t ->
+  ((Ir.Label.t * Ir.Label.t) * decision) list

@@ -68,19 +68,23 @@ let try_block func g loops n b =
       match header_test func g loops t with
       | None -> None
       | Some info ->
+        let replaced branch_to =
+          Some (replace_jump func ~b ~info ~branch_to, l, t, info)
+        in
         if b + 1 >= n then None
         else if b + 1 = info.outside then
           (* The jump's fall-through position is the loop exit: the copy
              branches back into the loop (end-of-loop case, Table 1). *)
-          Some (replace_jump func ~b ~info ~branch_to:info.inside)
+          replaced info.inside
         else if b + 1 = info.inside then
           (* The jump precedes the loop: the copy branches to the exit and
              falls into the body (rotated-for-loop case). *)
-          Some (replace_jump func ~b ~info ~branch_to:info.outside)
+          replaced info.outside
         else None))
   | Some _ | None -> None
 
-let run func =
+let run ?(log = Telemetry.Log.null) func =
+  let fname = Func.name func in
   let changed = ref false in
   let continue_scan = ref true in
   let fn = ref func in
@@ -95,7 +99,20 @@ let run func =
     let rec scan b =
       if b < n then
         match try_block func g loops n b with
-        | Some f ->
+        | Some (f, target_label, t, info) ->
+          Telemetry.Log.emit log (fun () ->
+              Telemetry.Log.Replication_applied
+                {
+                  func = fname;
+                  jump_from = Ir.Label.to_string (Func.block func b).label;
+                  jump_to = Ir.Label.to_string target_label;
+                  mode = "loop-test";
+                  seq = [ t ];
+                  (* The copy is the header's test: its body plus the
+                     rewritten branch, minus the jump it replaces. *)
+                  cost = List.length info.body;
+                  loop_completed = false;
+                });
           fn := f;
           changed := true;
           continue_scan := true

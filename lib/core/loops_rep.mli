@@ -8,5 +8,7 @@
     successor.  Removes one jump per loop entry or one jump per iteration,
     depending on the original layout. *)
 
-(** Returns the transformed function and whether anything changed. *)
-val run : Flow.Func.t -> Flow.Func.t * bool
+(** Returns the transformed function and whether anything changed.  With
+    [log], each replaced jump is reported as a [Replication_applied] event
+    with mode ["loop-test"]. *)
+val run : ?log:Telemetry.Log.t -> Flow.Func.t -> Flow.Func.t * bool

@@ -15,6 +15,7 @@ type t = {
   dyn_ujumps : int;
   dyn_nops : int;
   dyn_transfers : int;
+  output : string;
   output_ok : bool;
   caches : cache_stats list;
 }
@@ -22,18 +23,49 @@ type t = {
 let instrs_between_branches t =
   float_of_int t.dyn_instrs /. float_of_int (max 1 t.dyn_transfers)
 
-let memo : (string * Opt.Driver.level * string, t) Hashtbl.t = Hashtbl.create 128
+(* The memo key hashes source/input/expectation so ad-hoc files measured
+   under the same name (or a re-generated suite) can never alias. *)
+let memo : (string * string * Opt.Driver.level * string, t) Hashtbl.t =
+  Hashtbl.create 128
+
+let memo_key (b : Programs.Suite.benchmark) level machine =
+  ( b.name,
+    Digest.to_hex
+      (Digest.string (b.source ^ "\x00" ^ b.input ^ "\x00" ^ b.expected_output)),
+    level,
+    machine.Ir.Machine.short )
 
 let reset_cache () = Hashtbl.reset memo
 
-let measure ?opts (b : Programs.Suite.benchmark) level machine =
+(* Output mismatches found this process, in discovery order.  [run_suite]
+   and the bench drivers use this to fail loudly instead of relying on
+   every caller to inspect [output_ok]. *)
+let failed : (string * Opt.Driver.level * string) list ref = ref []
+let mismatches () = List.rev !failed
+
+let record_mismatch log (m : t) ~expected =
+  failed := (m.program, m.level, m.machine.Ir.Machine.short) :: !failed;
+  Telemetry.Log.emit log (fun () ->
+      Telemetry.Log.Warning
+        {
+          message =
+            Printf.sprintf "%s at %s on %s: output MISMATCH (%d bytes, want %d)"
+              m.program
+              (Opt.Driver.level_name m.level)
+              m.machine.Ir.Machine.short (String.length m.output)
+              (String.length expected);
+        })
+
+let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
+    (b : Programs.Suite.benchmark) level machine =
   let opts =
     match opts with
     | Some o -> { o with Opt.Driver.level }
     | None -> { Opt.Driver.default_options with level }
   in
   let prog =
-    Opt.Driver.optimize opts machine (Frontend.Codegen.compile_source b.source)
+    Opt.Driver.optimize ~log opts machine
+      (Frontend.Codegen.compile_source b.source)
   in
   let asm = Sim.Asm.assemble machine prog in
   let caches =
@@ -42,41 +74,93 @@ let measure ?opts (b : Programs.Suite.benchmark) level machine =
   let on_fetch ~addr ~size =
     List.iter (fun (_, c) -> Icache.access c ~addr ~size) caches
   in
-  let res = Sim.Interp.run ~input:b.input ~on_fetch asm prog in
-  {
-    program = b.name;
-    level;
-    machine;
-    static_instrs = Sim.Asm.static_instrs asm;
-    static_ujumps = Sim.Asm.static_ujumps asm;
-    static_nops = Sim.Asm.static_nops asm;
-    dyn_instrs = res.counts.total;
-    dyn_ujumps = Sim.Interp.uncond_jumps res.counts;
-    dyn_nops = res.counts.nops;
-    dyn_transfers = Sim.Interp.transfers res.counts;
-    output_ok = String.equal res.output b.expected_output;
-    caches =
-      List.map
-        (fun (config, c) ->
-          {
-            config;
-            miss_ratio = Icache.miss_ratio c;
-            fetch_cost = Icache.fetch_cost c;
-          })
-        caches;
-  }
+  let res = Sim.Interp.run ~input:b.input ~on_fetch ~log asm prog in
+  let m =
+    {
+      program = b.name;
+      level;
+      machine;
+      static_instrs = Sim.Asm.static_instrs asm;
+      static_ujumps = Sim.Asm.static_ujumps asm;
+      static_nops = Sim.Asm.static_nops asm;
+      dyn_instrs = res.counts.total;
+      dyn_ujumps = Sim.Interp.uncond_jumps res.counts;
+      dyn_nops = res.counts.nops;
+      dyn_transfers = Sim.Interp.transfers res.counts;
+      output = res.output;
+      output_ok = (not verify) || String.equal res.output b.expected_output;
+      caches =
+        List.map
+          (fun (config, c) ->
+            {
+              config;
+              miss_ratio = Icache.miss_ratio c;
+              fetch_cost = Icache.fetch_cost c;
+            })
+          caches;
+    }
+  in
+  Telemetry.Counter.incr log "measure.runs";
+  Telemetry.Counter.add log "measure.static_instrs" m.static_instrs;
+  Telemetry.Counter.add log "measure.static_ujumps" m.static_ujumps;
+  Telemetry.Counter.add log "measure.dyn_instrs" m.dyn_instrs;
+  Telemetry.Counter.add log "measure.dyn_ujumps" m.dyn_ujumps;
+  if not m.output_ok then record_mismatch log m ~expected:b.expected_output;
+  m
 
-let run ?opts (b : Programs.Suite.benchmark) level machine =
+let run ?opts ?log ?verify (b : Programs.Suite.benchmark) level machine =
   match opts with
-  | Some _ -> measure ?opts b level machine
+  | Some _ -> measure ?opts ?log ?verify b level machine
   | None -> (
-    let key = (b.name, level, machine.Ir.Machine.short) in
+    let key = memo_key b level machine in
     match Hashtbl.find_opt memo key with
     | Some t -> t
     | None ->
-      let t = measure b level machine in
+      let t = measure ?log ?verify b level machine in
       Hashtbl.add memo key t;
       t)
 
-let run_suite level machine =
-  List.map (fun b -> run b level machine) Programs.Suite.all
+let run_adhoc ?opts ?log ~name ~source ?(input = "") ?expected_output level
+    machine =
+  (* Without an expectation, the run is its own reference: [output_ok] is
+     forced true and callers compare outputs across levels instead. *)
+  let b =
+    {
+      Programs.Suite.name;
+      clazz = "Ad hoc";
+      description = "ad-hoc measurement";
+      source;
+      input;
+      expected_output = Option.value ~default:"" expected_output;
+    }
+  in
+  run ?opts ?log ~verify:(expected_output <> None) b level machine
+
+let run_suite ?log level machine =
+  List.map (fun b -> run ?log b level machine) Programs.Suite.all
+
+(* --- JSON rendering (the bench drivers' machine-readable output) --- *)
+
+let cache_to_json (c : cache_stats) =
+  Printf.sprintf
+    "{\"config\":%s,\"size_kb\":%d,\"assoc\":%d,\"context_switches\":%b,\
+     \"miss_ratio\":%.6f,\"fetch_cost\":%d}"
+    (Telemetry.Log.json_string (Icache.config_name c.config))
+    (c.config.Icache.size_bytes / 1024)
+    c.config.Icache.assoc c.config.Icache.context_switches c.miss_ratio
+    c.fetch_cost
+
+let to_json m =
+  Printf.sprintf
+    "{\"program\":%s,\"level\":%s,\"machine\":%s,\"static_instrs\":%d,\
+     \"static_ujumps\":%d,\"static_nops\":%d,\"dyn_instrs\":%d,\
+     \"dyn_ujumps\":%d,\"dyn_nops\":%d,\"dyn_transfers\":%d,\
+     \"instrs_between_branches\":%.3f,\"output_ok\":%b,\"caches\":[%s]}"
+    (Telemetry.Log.json_string m.program)
+    (Telemetry.Log.json_string (Opt.Driver.level_name m.level))
+    (Telemetry.Log.json_string m.machine.Ir.Machine.short)
+    m.static_instrs m.static_ujumps m.static_nops m.dyn_instrs m.dyn_ujumps
+    m.dyn_nops m.dyn_transfers
+    (instrs_between_branches m)
+    m.output_ok
+    (String.concat "," (List.map cache_to_json m.caches))

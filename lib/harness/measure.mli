@@ -19,6 +19,7 @@ type t = {
   dyn_ujumps : int;
   dyn_nops : int;
   dyn_transfers : int;  (** executed branch points *)
+  output : string;  (** what the program printed *)
   output_ok : bool;  (** output matched the gcc-verified expectation *)
   caches : cache_stats list;
 }
@@ -28,10 +29,33 @@ val instrs_between_branches : t -> float
 
 (** Compile, assemble, run (with all eight paper cache configs attached)
     and measure one benchmark.  Results are memoized per
-    (program, level, machine). *)
+    (program, source digest, level, machine).
+
+    With [log], the compilation is pass-spanned ({!Opt.Driver.optimize}),
+    the run emits progress heartbeats, the [measure.*] telemetry counters
+    accumulate, and any output mismatch emits a [Warning] event (and is
+    recorded for {!mismatches}).  [verify] (default true) controls the
+    output comparison; ad-hoc sources without a known-good output pass
+    [~verify:false] through {!run_adhoc}. *)
 val run :
   ?opts:Opt.Driver.options ->
+  ?log:Telemetry.Log.t ->
+  ?verify:bool ->
   Programs.Suite.benchmark ->
+  Opt.Driver.level ->
+  Ir.Machine.t ->
+  t
+
+(** Measure a source file that is not part of the bundled suite.  Without
+    [expected_output] the run is unverified: [output_ok] is forced true and
+    the caller compares outputs across levels instead. *)
+val run_adhoc :
+  ?opts:Opt.Driver.options ->
+  ?log:Telemetry.Log.t ->
+  name:string ->
+  source:string ->
+  ?input:string ->
+  ?expected_output:string ->
   Opt.Driver.level ->
   Ir.Machine.t ->
   t
@@ -40,4 +64,13 @@ val run :
 val reset_cache : unit -> unit
 
 (** [run] over every benchmark in the suite. *)
-val run_suite : Opt.Driver.level -> Ir.Machine.t -> t list
+val run_suite : ?log:Telemetry.Log.t -> Opt.Driver.level -> Ir.Machine.t -> t list
+
+(** Every (program, level, machine-short) whose output failed verification
+    in this process, in discovery order — the bench drivers exit nonzero
+    when this is non-empty. *)
+val mismatches : unit -> (string * Opt.Driver.level * string) list
+
+(** One JSON object (no newline) with every field of [t], cache stats
+    included — the building block of the bench drivers' [BENCH_*.json]. *)
+val to_json : t -> string

@@ -43,11 +43,58 @@ let default_options =
 
 let options ?(level = Simple) () = { default_options with level }
 
-(* Compose passes, threading the change flag. *)
-let seq passes func =
+(* --- telemetry: per-pass spans with IR deltas --- *)
+
+(* Blocks ending in an unconditional transfer ([Jump] or [Ijump]): the
+   quantity the whole optimization exists to reduce, tracked per pass. *)
+let count_ujumps func =
+  Array.fold_left
+    (fun n b ->
+      match Func.terminator b with
+      | Some (Ir.Rtl.Jump _) | Some (Ir.Rtl.Ijump _) -> n + 1
+      | Some _ | None -> n)
+    0 (Func.blocks func)
+
+let shape func = (Func.num_instrs func, Func.num_blocks func, count_ujumps func)
+
+(* Run one named pass under a span: [Pass_begin], the pass, [Pass_end] with
+   the before/after shape and elapsed wall-clock time.  Disabled logs pay
+   one branch and no allocation. *)
+let run_pass log fname (name, pass) func =
+  if not (Telemetry.Log.enabled log) then pass func
+  else begin
+    let instrs_before, blocks_before, ujumps_before = shape func in
+    Telemetry.Log.emit log (fun () ->
+        Telemetry.Log.Pass_begin { func = fname; pass = name });
+    let span = Telemetry.Span.start () in
+    let func', changed = pass func in
+    let elapsed_ms = Telemetry.Span.elapsed_ms span in
+    let instrs_after, blocks_after, ujumps_after = shape func' in
+    Telemetry.Log.emit log (fun () ->
+        Telemetry.Log.Pass_end
+          {
+            func = fname;
+            pass = name;
+            changed;
+            delta =
+              {
+                instrs_before;
+                instrs_after;
+                blocks_before;
+                blocks_after;
+                ujumps_before;
+                ujumps_after;
+              };
+            elapsed_ms;
+          });
+    (func', changed)
+  end
+
+(* Compose named passes, threading the change flag and spanning each. *)
+let seq ?(log = Telemetry.Log.null) ~fname passes func =
   List.fold_left
     (fun (func, changed) pass ->
-      let func, c = pass func in
+      let func, c = run_pass log fname pass func in
       (func, changed || c))
     (func, false) passes
 
@@ -60,29 +107,36 @@ let jumps_config opts ~size_cap ~allow_irreducible =
     replicate_indirect = opts.replicate_indirect;
   }
 
-let replication_pass opts ~size_cap ~allow_irreducible func =
+let replication_pass ?log opts ~size_cap ~allow_irreducible func =
   match opts.level with
   | Simple -> (func, false)
-  | Loops -> Replication.Loops_rep.run func
-  | Jumps -> Replication.Jumps.run (jumps_config opts ~size_cap ~allow_irreducible) func
+  | Loops -> Replication.Loops_rep.run ?log func
+  | Jumps ->
+    Replication.Jumps.run ?log
+      (jumps_config opts ~size_cap ~allow_irreducible)
+      func
 
 (* [replicate] abstracts the replication pass so tests can instrument it
    (e.g. cap the number of replacements). *)
-let optimize_func_with
+let optimize_func_with ?(log = Telemetry.Log.null)
     ~(replicate : ?allow_irreducible:bool -> Func.t -> Func.t * bool) opts
     machine func =
-  let func = Legalize.run machine func in
+  let fname = Func.name func in
+  let seq passes func = seq ~log ~fname passes func in
+  let func, _ =
+    seq [ ("legalize", fun f -> (Legalize.run machine f, false)) ] func
+  in
   let replicate_pass func = replicate func in
   (* Initial branch optimizations, then replication on the clean flow. *)
   let func, _ =
     seq
       [
-        Branch_chain.run;
-        Unreachable.run;
-        Reorder.run;
-        Branch_chain.run;
-        replicate_pass;
-        Unreachable.run;
+        ("branch-chain", Branch_chain.run);
+        ("unreachable", Unreachable.run);
+        ("reorder", Reorder.run);
+        ("branch-chain", Branch_chain.run);
+        ("replicate", replicate_pass);
+        ("unreachable", Unreachable.run);
       ]
       func
   in
@@ -94,20 +148,27 @@ let optimize_func_with
       let func, changed =
         seq
           [
-            gate opts.enable_isel (Isel.run machine);
-            gate opts.enable_cse Cse.run;
-            gate opts.enable_cse Gcse.run;
-            Deadvars.run;
-            gate opts.enable_licm Licm.run;
-            gate opts.enable_strength Strength.run;
-            gate opts.enable_isel (Isel.run machine);
-            Branch_chain.run;
-            Constfold.run machine;
-            replicate_pass;
-            Unreachable.run;
+            ("isel", gate opts.enable_isel (Isel.run machine));
+            ("cse", gate opts.enable_cse Cse.run);
+            ("gcse", gate opts.enable_cse Gcse.run);
+            ("deadvars", Deadvars.run);
+            ("licm", gate opts.enable_licm Licm.run);
+            ("strength", gate opts.enable_strength Strength.run);
+            ("isel", gate opts.enable_isel (Isel.run machine));
+            ("branch-chain", Branch_chain.run);
+            ("constfold", Constfold.run machine);
+            ("replicate", replicate_pass);
+            ("unreachable", Unreachable.run);
           ]
           func
       in
+      Telemetry.Log.emit log (fun () ->
+          Telemetry.Log.Fixpoint_iteration
+            {
+              func = fname;
+              iteration = opts.max_iterations - n + 1;
+              changed;
+            });
       if changed then fix func (n - 1) else func
     end
   in
@@ -116,32 +177,40 @@ let optimize_func_with
   let func, _ =
     seq
       [
-        replicate ~allow_irreducible:true;
-        Unreachable.run;
-        Branch_chain.run;
-        Unreachable.run;
-        Deadvars.run;
+        ("replicate-final", replicate ~allow_irreducible:true);
+        ("unreachable", Unreachable.run);
+        ("branch-chain", Branch_chain.run);
+        ("unreachable", Unreachable.run);
+        ("deadvars", Deadvars.run);
       ]
       func
   in
   (* Register allocation last; it performs its own post-assignment
      cleanup (post-allocation liveness cannot see the caller's use of
      callee-save registers, so Deadvars must not run after it). *)
-  let func = if opts.allocate then Regalloc.run machine func else func in
+  let func =
+    if opts.allocate then
+      fst
+        (seq
+           [ ("regalloc", fun f -> (Regalloc.run ~log machine f, false)) ]
+           func)
+    else func
+  in
   Check.assert_ok func;
   func
 
-let optimize_func opts machine func =
+let optimize_func ?log opts machine func =
   (* Growth cap for replication, relative to the pre-replication size. *)
   (* The paper's worst growth is ~3x (deroff); 8x is a generous ceiling
      that still bounds pathological replication cascades. *)
   let size_cap = max 2000 (8 * Func.num_instrs func) in
   let replicate ?(allow_irreducible = false) func =
-    replication_pass opts ~size_cap ~allow_irreducible func
+    replication_pass ?log opts ~size_cap ~allow_irreducible func
   in
-  optimize_func_with ~replicate opts machine func
+  optimize_func_with ?log ~replicate opts machine func
 
-let optimize opts machine prog = Prog.map_funcs (optimize_func opts machine) prog
+let optimize ?log opts machine prog =
+  Prog.map_funcs (optimize_func ?log opts machine) prog
 
-let compile opts machine source =
-  optimize opts machine (Frontend.Codegen.compile_source source)
+let compile ?log opts machine source =
+  optimize ?log opts machine (Frontend.Codegen.compile_source source)

@@ -27,12 +27,22 @@ type options = {
 val default_options : options
 val options : ?level:level -> unit -> options
 
-(** Optimize one function for the machine. *)
-val optimize_func : options -> Ir.Machine.t -> Flow.Func.t -> Flow.Func.t
+(** Optimize one function for the machine.
+
+    With [log], every pass runs under a telemetry span: a [Pass_begin] /
+    [Pass_end] pair carrying the function's shape delta (RTLs, blocks,
+    unconditional jumps before and after) and elapsed wall-clock time; each
+    Figure-3 do-while round emits a [Fixpoint_iteration] event, and the
+    replication and register-allocation passes report their per-decision
+    events ({!Replication.Jumps.run}, {!Regalloc.run}).  The disabled
+    (null) log costs one branch per pass. *)
+val optimize_func :
+  ?log:Telemetry.Log.t -> options -> Ir.Machine.t -> Flow.Func.t -> Flow.Func.t
 
 (** Like {!optimize_func} but with the replication pass supplied by the
     caller — used by tests to instrument or cap replication. *)
 val optimize_func_with :
+  ?log:Telemetry.Log.t ->
   replicate:
     (?allow_irreducible:bool -> Flow.Func.t -> Flow.Func.t * bool) ->
   options ->
@@ -41,7 +51,9 @@ val optimize_func_with :
   Flow.Func.t
 
 (** Optimize a whole program. *)
-val optimize : options -> Ir.Machine.t -> Flow.Prog.t -> Flow.Prog.t
+val optimize :
+  ?log:Telemetry.Log.t -> options -> Ir.Machine.t -> Flow.Prog.t -> Flow.Prog.t
 
 (** Parse + compile + optimize C-subset source. *)
-val compile : options -> Ir.Machine.t -> string -> Flow.Prog.t
+val compile :
+  ?log:Telemetry.Log.t -> options -> Ir.Machine.t -> string -> Flow.Prog.t

@@ -305,7 +305,8 @@ let remove_self_moves func =
         instrs)
     func
 
-let run _machine func =
+let run ?(log = Telemetry.Log.null) _machine func =
+  let fname = Func.name func in
   let base_frame = enter_size func in
   let next_slot = ref base_frame in
   let alloc_slot () =
@@ -332,6 +333,12 @@ let run _machine func =
     in
     if Reg.Set.is_empty spilled then (func, assignment)
     else begin
+      Reg.Set.iter
+        (fun r ->
+          Telemetry.Log.emit log (fun () ->
+              Telemetry.Log.Regalloc_spill
+                { func = fname; reg = Reg.to_string r; round }))
+        spilled;
       let func, temps = rewrite_spills func spilled slot_of in
       attempt func (Reg.Set.union unspillable temps) (round + 1)
     end

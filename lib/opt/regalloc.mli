@@ -15,4 +15,6 @@
 
 exception Failure of string
 
-val run : Ir.Machine.t -> Flow.Func.t -> Flow.Func.t
+(** With [log], every spilled register is reported as a [Regalloc_spill]
+    event carrying the coloring round that spilled it. *)
+val run : ?log:Telemetry.Log.t -> Ir.Machine.t -> Flow.Func.t -> Flow.Func.t

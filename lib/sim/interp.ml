@@ -39,7 +39,12 @@ type state = {
   counts : counts;
   on_fetch : addr:int -> size:int -> unit;
   mutable steps_left : int;
+  log : Telemetry.Log.t;
+  log_on : bool;  (** [Log.enabled log], hoisted out of the fetch loop *)
 }
+
+(* One [Sim_progress] heartbeat per this many executed instructions. *)
+let progress_interval = 5_000_000
 
 let get_reg st = function
   | Reg.Phys i -> st.phys.(i)
@@ -106,6 +111,9 @@ let count st instr pos =
   if Rtl.reads_mem instr then c.loads <- c.loads + 1;
   if Rtl.writes_mem instr then c.stores <- c.stores + 1;
   st.on_fetch ~addr:st.func.addrs.(pos) ~size:st.func.sizes.(pos);
+  if st.log_on && c.total mod progress_interval = 0 then
+    Telemetry.Log.emit st.log (fun () ->
+        Telemetry.Log.Sim_progress { instrs = c.total });
   st.steps_left <- st.steps_left - 1;
   if st.steps_left <= 0 then error "step budget exhausted"
 
@@ -199,7 +207,8 @@ let slot_annulled st pos =
   && pos + 1 < Array.length st.func.Asm.annulled
   && st.func.Asm.annulled.(pos + 1)
 
-let run ?(max_steps = 400_000_000) ?(input = "") ?(on_fetch = fun ~addr:_ ~size:_ -> ())
+let run ?(max_steps = 400_000_000) ?(input = "")
+    ?(on_fetch = fun ~addr:_ ~size:_ -> ()) ?(log = Telemetry.Log.null)
     (asm : Asm.t) (prog : Flow.Prog.t) =
   let image = Image.build prog in
   let main =
@@ -236,6 +245,8 @@ let run ?(max_steps = 400_000_000) ?(input = "") ?(on_fetch = fun ~addr:_ ~size:
       counts;
       on_fetch;
       steps_left = max_steps;
+      log;
+      log_on = Telemetry.Log.enabled log;
     }
   in
   set_reg st Conv.sp (Image.size image);

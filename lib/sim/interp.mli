@@ -43,6 +43,10 @@ exception Runtime_error of string
     included) with its code address and size — feed this to cache
     simulators.
 
+    With [log], the fetch loop emits a [Sim_progress] heartbeat every few
+    million executed instructions; disabled, it costs one branch per
+    instruction.
+
     @raise Runtime_error on faults (null/of-range access, division by zero,
     jump-table index out of bounds, missing function, step budget
     exhausted). *)
@@ -50,6 +54,7 @@ val run :
   ?max_steps:int ->
   ?input:string ->
   ?on_fetch:(addr:int -> size:int -> unit) ->
+  ?log:Telemetry.Log.t ->
   Asm.t ->
   Flow.Prog.t ->
   result

@@ -1,0 +1,21 @@
+let add log name n =
+  if Log.enabled log then begin
+    let tbl = Log.counters log in
+    Hashtbl.replace tbl name
+      (n + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+  end
+
+let incr log name = add log name 1
+
+let get log name =
+  Option.value ~default:0 (Hashtbl.find_opt (Log.counters log) name)
+
+let all log =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (Log.counters log) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dump log =
+  List.iter
+    (fun (name, value) ->
+      Log.emit log (fun () -> Log.Counter_event { name; value }))
+    (all log)

@@ -1,0 +1,18 @@
+(** Named monotonic counters attached to a {!Log}.
+
+    Counters accumulate whenever the log is enabled (any non-null sink) and
+    are no-ops on {!Log.null}.  [dump] turns the registry into
+    [Counter_event]s so the counts reach the log's sink alongside the event
+    stream. *)
+
+val add : Log.t -> string -> int -> unit
+val incr : Log.t -> string -> unit
+
+(** Current value; 0 when never touched (or on the null log). *)
+val get : Log.t -> string -> int
+
+(** All counters, sorted by name. *)
+val all : Log.t -> (string * int) list
+
+(** Emit one [Counter_event] per counter, in name order. *)
+val dump : Log.t -> unit

@@ -1,0 +1,194 @@
+type reason = Irreducible | Size_cap | Indirect_gated | Loop_copied | No_path
+
+let reason_to_string = function
+  | Irreducible -> "irreducible"
+  | Size_cap -> "size-cap"
+  | Indirect_gated -> "indirect-gated"
+  | Loop_copied -> "loop-copied"
+  | No_path -> "no-path"
+
+type delta = {
+  instrs_before : int;
+  instrs_after : int;
+  blocks_before : int;
+  blocks_after : int;
+  ujumps_before : int;
+  ujumps_after : int;
+}
+
+type event =
+  | Pass_begin of { func : string; pass : string }
+  | Pass_end of {
+      func : string;
+      pass : string;
+      changed : bool;
+      delta : delta;
+      elapsed_ms : float;
+    }
+  | Replication_applied of {
+      func : string;
+      jump_from : string;
+      jump_to : string;
+      mode : string;
+      seq : int list;
+      cost : int;
+      loop_completed : bool;
+    }
+  | Replication_rolled_back of {
+      func : string;
+      jump_from : string;
+      jump_to : string;
+      reason : reason;
+    }
+  | Fixpoint_iteration of { func : string; iteration : int; changed : bool }
+  | Regalloc_spill of { func : string; reg : string; round : int }
+  | Sim_progress of { instrs : int }
+  | Counter_event of { name : string; value : int }
+  | Warning of { message : string }
+
+type sink = Null | Jsonl of out_channel | Pretty of out_channel | Memory
+
+type t = {
+  sink : sink;
+  enabled : bool;
+  started : float;  (* Unix epoch seconds at creation *)
+  mutable seq : int;
+  mutable buffer : event list;  (* Memory sink, newest first *)
+  counters : (string, int) Hashtbl.t;
+}
+
+let make sink =
+  {
+    sink;
+    enabled = sink <> Null;
+    started = Unix.gettimeofday ();
+    seq = 0;
+    buffer = [];
+    counters = Hashtbl.create 16;
+  }
+
+let null = make Null
+let enabled t = t.enabled
+let emitted t = t.seq
+let events t = List.rev t.buffer
+let counters t = t.counters
+
+(* --- JSON encoding (hand-rolled; the library has no dependencies) --- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let fields_of_event = function
+  | Pass_begin { func; pass } ->
+    ("pass_begin", [ ("func", json_string func); ("pass", json_string pass) ])
+  | Pass_end { func; pass; changed; delta = d; elapsed_ms } ->
+    ( "pass_end",
+      [
+        ("func", json_string func);
+        ("pass", json_string pass);
+        ("changed", string_of_bool changed);
+        ("instrs_before", string_of_int d.instrs_before);
+        ("instrs_after", string_of_int d.instrs_after);
+        ("blocks_before", string_of_int d.blocks_before);
+        ("blocks_after", string_of_int d.blocks_after);
+        ("ujumps_before", string_of_int d.ujumps_before);
+        ("ujumps_after", string_of_int d.ujumps_after);
+        ("elapsed_ms", Printf.sprintf "%.3f" elapsed_ms);
+      ] )
+  | Replication_applied { func; jump_from; jump_to; mode; seq; cost; loop_completed }
+    ->
+    ( "replication_applied",
+      [
+        ("func", json_string func);
+        ("jump_from", json_string jump_from);
+        ("jump_to", json_string jump_to);
+        ("mode", json_string mode);
+        ( "seq",
+          "[" ^ String.concat "," (List.map string_of_int seq) ^ "]" );
+        ("cost", string_of_int cost);
+        ("loop_completed", string_of_bool loop_completed);
+      ] )
+  | Replication_rolled_back { func; jump_from; jump_to; reason } ->
+    ( "replication_rolled_back",
+      [
+        ("func", json_string func);
+        ("jump_from", json_string jump_from);
+        ("jump_to", json_string jump_to);
+        ("reason", json_string (reason_to_string reason));
+      ] )
+  | Fixpoint_iteration { func; iteration; changed } ->
+    ( "fixpoint_iteration",
+      [
+        ("func", json_string func);
+        ("iteration", string_of_int iteration);
+        ("changed", string_of_bool changed);
+      ] )
+  | Regalloc_spill { func; reg; round } ->
+    ( "regalloc_spill",
+      [
+        ("func", json_string func);
+        ("reg", json_string reg);
+        ("round", string_of_int round);
+      ] )
+  | Sim_progress { instrs } ->
+    ("sim_progress", [ ("instrs", string_of_int instrs) ])
+  | Counter_event { name; value } ->
+    ("counter", [ ("name", json_string name); ("value", string_of_int value) ])
+  | Warning { message } -> ("warning", [ ("message", json_string message) ])
+
+let event_to_json ~seq ~t_ms ev =
+  let kind, fields = fields_of_event ev in
+  let fields =
+    [ ("seq", string_of_int seq); ("t_ms", Printf.sprintf "%.3f" t_ms);
+      ("ev", json_string kind) ]
+    @ fields
+  in
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+let pp_event ppf ev =
+  let kind, fields = fields_of_event ev in
+  Format.fprintf ppf "%-24s %s" kind
+    (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fields))
+
+let emit t f =
+  if t.enabled then begin
+    let ev = f () in
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    match t.sink with
+    | Null -> ()
+    | Memory -> t.buffer <- ev :: t.buffer
+    | Jsonl oc ->
+      let t_ms = (Unix.gettimeofday () -. t.started) *. 1000.0 in
+      output_string oc (event_to_json ~seq ~t_ms ev);
+      output_char oc '\n'
+    | Pretty oc ->
+      let t_ms = (Unix.gettimeofday () -. t.started) *. 1000.0 in
+      let buf = Buffer.create 128 in
+      let ppf = Format.formatter_of_buffer buf in
+      Format.fprintf ppf "[%6d %8.3fms] %a@?" seq t_ms pp_event ev;
+      output_string oc (Buffer.contents buf);
+      output_char oc '\n'
+  end
+
+let flush t =
+  match t.sink with
+  | Jsonl oc | Pretty oc -> Stdlib.flush oc
+  | Null | Memory -> ()

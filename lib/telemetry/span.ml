@@ -1,0 +1,9 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+let elapsed_ms t = (Unix.gettimeofday () -. t) *. 1000.0
+
+let timed f =
+  let t = start () in
+  let x = f () in
+  (x, elapsed_ms t)

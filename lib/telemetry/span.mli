@@ -1,0 +1,17 @@
+(** Scoped wall-clock timing for {!Log} events.
+
+    A span is just a start timestamp; the instrumented site reads the
+    elapsed time when it builds its [Pass_end] (or other) event.  Kept
+    separate from {!Log} so call sites can time work without committing to
+    an event shape. *)
+
+type t
+
+(** Start a span now (monotonic within a process: wall clock). *)
+val start : unit -> t
+
+(** Milliseconds since [start]. *)
+val elapsed_ms : t -> float
+
+(** Run a thunk and return its result with the elapsed milliseconds. *)
+val timed : (unit -> 'a) -> 'a * float

@@ -37,6 +37,31 @@ Table 1:
   $ ../../bin/jumprepc.exe compile tiny.c -O jumps -m cisc --dump-rtl | grep -c 'PC=NZ'
   2
 
+Telemetry: --stats-json prints one machine-readable summary line, and
+--trace-passes -o writes a JSONL event trace:
+
+  $ ../../bin/jumprepc.exe compile tiny.c -O jumps -m cisc --trace-passes -o events.jsonl --stats-json | tr ',' '\n' | grep -c '"level"\|"machine"\|"static_instrs"\|"static_ujumps"'
+  4
+
+  $ grep -q '"ev":"pass_begin"' events.jsonl && grep -q '"ev":"pass_end"' events.jsonl && grep -q '"ev":"replication_applied"' events.jsonl && echo traced
+  traced
+
+The trace's final pass_end must agree with the stats line -- per-pass
+instruction deltas reconcile with the assembled static count (cisc has
+no delay slots, so the equality is exact):
+
+  $ test "$(grep '"ev":"pass_end"' events.jsonl | tail -1 | tr ',' '\n' | grep '"instrs_after"' | tr -dc 0-9)" = "$(../../bin/jumprepc.exe compile tiny.c -O jumps -m cisc --stats-json | tr ',' '\n' | grep '"static_instrs"' | tr -dc 0-9)" && echo reconciled
+  reconciled
+
+explain names a decision for every unconditional jump:
+
+  $ ../../bin/jumprepc.exe explain tiny.c -O jumps -m cisc
+  function main:
+    replicated during compilation (1):
+      L5 -> L3: favor-loops copy of 1 block (2 RTLs)
+    remaining unconditional jumps: none
+  total: 1 replicated, 0 remaining
+
 The bench harness lists its table ids:
 
   $ ../../bench/main.exe --list

@@ -14,5 +14,6 @@ let () =
       Test_programs.tests;
       Test_paper_shapes.tests;
       Test_harness.tests;
+      Test_telemetry.tests;
       Test_random_c.tests;
     ]

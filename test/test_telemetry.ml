@@ -1,0 +1,230 @@
+(* Telemetry invariants: pass deltas reconcile with the compiled code,
+   every rollback names a reason, the null sink emits nothing, counters
+   accumulate only on enabled logs. *)
+
+let wc () = Option.get (Programs.Suite.find "wc")
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let compile_logged ?(machine = Ir.Machine.cisc)
+    ?(opts = { Opt.Driver.default_options with level = Opt.Driver.Jumps }) src =
+  let log = Telemetry.Log.make Telemetry.Log.Memory in
+  let prog = Opt.Driver.compile ~log opts machine src in
+  (log, prog)
+
+(* (a) Per-function Pass_end deltas chain (pass k's instrs_after is pass
+   k+1's instrs_before) and land exactly on the final function size. *)
+let test_deltas_reconcile () =
+  let log, prog = compile_logged (wc ()).source in
+  let events = Telemetry.Log.events log in
+  List.iter
+    (fun f ->
+      let fname = Flow.Func.name f in
+      let ends =
+        List.filter_map
+          (function
+            | Telemetry.Log.Pass_end e when String.equal e.func fname ->
+              Some e.delta
+            | _ -> None)
+          events
+      in
+      Alcotest.(check bool)
+        (fname ^ " has pass events") true
+        (List.length ends > 0);
+      let first = List.hd ends in
+      let rec chain prev = function
+        | [] -> prev
+        | (d : Telemetry.Log.delta) :: rest ->
+          Alcotest.(check int)
+            (fname ^ " deltas chain")
+            prev d.instrs_before;
+          chain d.instrs_after rest
+      in
+      let final = chain first.instrs_before ends in
+      (* The sum of per-pass deltas is the end-to-end change... *)
+      let summed =
+        List.fold_left
+          (fun acc (d : Telemetry.Log.delta) ->
+            acc + d.instrs_after - d.instrs_before)
+          first.instrs_before ends
+      in
+      Alcotest.(check int) (fname ^ " delta sum = final") final summed;
+      (* ...and the final count is the function the compiler returned. *)
+      Alcotest.(check int)
+        (fname ^ " final instrs")
+        (Flow.Func.num_instrs f) final)
+    prog.Flow.Prog.funcs
+
+(* (b) Every Replication_rolled_back event carries a nameable reason.  A
+   max_rtls of 0 filters every candidate, forcing Size_cap rollbacks. *)
+let test_rollback_reasons () =
+  let opts =
+    {
+      Opt.Driver.default_options with
+      level = Opt.Driver.Jumps;
+      max_rtls = Some 0;
+    }
+  in
+  let log, _ = compile_logged ~opts (wc ()).source in
+  let rollbacks =
+    List.filter_map
+      (function
+        | Telemetry.Log.Replication_rolled_back { reason; jump_from; jump_to; _ }
+          ->
+          Some (reason, jump_from, jump_to)
+        | _ -> None)
+      (Telemetry.Log.events log)
+  in
+  Alcotest.(check bool) "capped pipeline rolls back" true (rollbacks <> []);
+  List.iter
+    (fun (reason, jump_from, jump_to) ->
+      Alcotest.(check bool)
+        "reason renders" true
+        (String.length (Telemetry.Log.reason_to_string reason) > 0);
+      Alcotest.(check bool) "labels present" true
+        (jump_from <> "" && jump_to <> ""))
+    rollbacks;
+  (* With every candidate over the cap, the rejections are all Size_cap. *)
+  Alcotest.(check bool) "cap rollbacks are size-cap" true
+    (List.exists (fun (r, _, _) -> r = Telemetry.Log.Size_cap) rollbacks)
+
+(* (c) The null sink emits nothing: same compile, zero events, and the
+   thunks are never forced. *)
+let test_null_sink () =
+  let forced = ref 0 in
+  Telemetry.Log.emit Telemetry.Log.null (fun () ->
+      incr forced;
+      Telemetry.Log.Warning { message = "never" });
+  let _ =
+    Opt.Driver.compile ~log:Telemetry.Log.null
+      { Opt.Driver.default_options with level = Opt.Driver.Jumps }
+      Ir.Machine.cisc (wc ()).source
+  in
+  Alcotest.(check int) "no thunks forced" 0 !forced;
+  Alcotest.(check int) "no events emitted" 0
+    (Telemetry.Log.emitted Telemetry.Log.null);
+  Alcotest.(check int) "no counters" 0
+    (Telemetry.Counter.get Telemetry.Log.null "measure.runs")
+
+(* Memory-sink bookkeeping: emitted = stored, in order. *)
+let test_memory_sink () =
+  let log = Telemetry.Log.make Telemetry.Log.Memory in
+  for i = 1 to 5 do
+    Telemetry.Log.emit log (fun () ->
+        Telemetry.Log.Sim_progress { instrs = i })
+  done;
+  Alcotest.(check int) "emitted" 5 (Telemetry.Log.emitted log);
+  let instrs =
+    List.filter_map
+      (function Telemetry.Log.Sim_progress { instrs } -> Some instrs | _ -> None)
+      (Telemetry.Log.events log)
+  in
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] instrs
+
+(* Counters accumulate on enabled logs and dump as events. *)
+let test_counters () =
+  let log = Telemetry.Log.make Telemetry.Log.Memory in
+  Telemetry.Counter.incr log "a";
+  Telemetry.Counter.add log "a" 2;
+  Telemetry.Counter.incr log "b";
+  Alcotest.(check int) "a" 3 (Telemetry.Counter.get log "a");
+  Alcotest.(check (list (pair string int)))
+    "all sorted"
+    [ ("a", 3); ("b", 1) ]
+    (Telemetry.Counter.all log);
+  Telemetry.Counter.dump log;
+  let dumped =
+    List.filter_map
+      (function
+        | Telemetry.Log.Counter_event { name; value } -> Some (name, value)
+        | _ -> None)
+      (Telemetry.Log.events log)
+  in
+  Alcotest.(check (list (pair string int))) "dumped" [ ("a", 3); ("b", 1) ] dumped
+
+(* Measure threads the log: counters move and a mismatch warns. *)
+let test_measure_telemetry () =
+  let log = Telemetry.Log.make Telemetry.Log.Memory in
+  let b = wc () in
+  let _ =
+    Harness.Measure.run ~log
+      ~opts:{ Opt.Driver.default_options with level = Opt.Driver.Simple }
+      b Opt.Driver.Simple Ir.Machine.cisc
+  in
+  Alcotest.(check int) "one measured run" 1
+    (Telemetry.Counter.get log "measure.runs");
+  Alcotest.(check bool) "static counter moved" true
+    (Telemetry.Counter.get log "measure.static_instrs" > 0);
+  (* A wrong expectation must surface as a Warning event. *)
+  let _ =
+    Harness.Measure.run ~log
+      ~opts:{ Opt.Driver.default_options with level = Opt.Driver.Simple }
+      { b with expected_output = "not what wc prints" }
+      Opt.Driver.Simple Ir.Machine.cisc
+  in
+  let warnings =
+    List.filter_map
+      (function Telemetry.Log.Warning { message } -> Some message | _ -> None)
+      (Telemetry.Log.events log)
+  in
+  Alcotest.(check bool) "mismatch warned" true
+    (List.exists (fun m -> contains m "MISMATCH") warnings)
+
+(* explain names a decision for every unconditional jump left in place. *)
+let test_explain_covers_all_jumps () =
+  let prog =
+    Opt.Driver.compile
+      { Opt.Driver.default_options with level = Opt.Driver.Simple }
+      Ir.Machine.cisc (wc ()).source
+  in
+  List.iter
+    (fun f ->
+      let jumps = Replication.Jumps.uncond_jumps f in
+      let decisions = Replication.Jumps.explain f in
+      Alcotest.(check int)
+        (Flow.Func.name f ^ " every jump decided")
+        (List.length jumps) (List.length decisions);
+      List.iter
+        (fun (_, d) ->
+          Alcotest.(check bool) "decision renders" true
+            (String.length (Replication.Jumps.decision_to_string d) > 0))
+        decisions)
+    prog.Flow.Prog.funcs
+
+(* JSONL lines look like single JSON objects with the event tag. *)
+let test_jsonl_shape () =
+  let ev =
+    Telemetry.Log.Replication_rolled_back
+      {
+        func = "f";
+        jump_from = "L1";
+        jump_to = "L\"2";
+        reason = Telemetry.Log.Irreducible;
+      }
+  in
+  let line = Telemetry.Log.event_to_json ~seq:7 ~t_ms:1.5 ev in
+  Alcotest.(check bool) "object" true
+    (String.length line > 2 && line.[0] = '{' && line.[String.length line - 1] = '}');
+  let has affix = contains line affix in
+  Alcotest.(check bool) "tagged" true (has "\"ev\":\"replication_rolled_back\"");
+  Alcotest.(check bool) "escaped" true (has "L\\\"2");
+  Alcotest.(check bool) "reason" true (has "\"reason\":\"irreducible\"");
+  Alcotest.(check bool) "no raw newline" true
+    (not (String.contains line '\n'))
+
+let tests =
+  ( "telemetry",
+    [
+      Alcotest.test_case "pass deltas reconcile" `Quick test_deltas_reconcile;
+      Alcotest.test_case "rollback reasons" `Quick test_rollback_reasons;
+      Alcotest.test_case "null sink" `Quick test_null_sink;
+      Alcotest.test_case "memory sink" `Quick test_memory_sink;
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "measure telemetry" `Quick test_measure_telemetry;
+      Alcotest.test_case "explain covers all jumps" `Quick
+        test_explain_covers_all_jumps;
+      Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+    ] )

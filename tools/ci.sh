@@ -1,0 +1,22 @@
+#!/bin/sh
+# Minimal CI: build, formatting check (when ocamlformat is available),
+# full test suite (alcotest + qcheck + cram).  Exits nonzero on the
+# first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "== dune runtest =="
+dune runtest
+
+echo "CI OK"
