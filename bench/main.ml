@@ -169,14 +169,28 @@ let () =
       selected;
     if !json then write_json "BENCH_results.json";
     if !bech then run_bechamel ();
-    match Harness.Measure.mismatches () with
+    (* Timeouts and mismatches are distinct verdicts; either fails the
+       sweep. *)
+    let failed = ref false in
+    (match Harness.Measure.timeouts () with
+    | [] -> ()
+    | hung ->
+      failed := true;
+      List.iter
+        (fun (prog, level, machine) ->
+          Printf.eprintf "TIMEOUT: %s at %s on %s\n" prog
+            (Opt.Driver.level_name level)
+            machine)
+        hung);
+    (match Harness.Measure.mismatches () with
     | [] -> ()
     | bad ->
+      failed := true;
       List.iter
         (fun (prog, level, machine) ->
           Printf.eprintf "MISMATCH: %s at %s on %s\n" prog
             (Opt.Driver.level_name level)
             machine)
-        bad;
-      exit 1
+        bad);
+    if !failed then exit 1
   end

@@ -75,6 +75,57 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:"Print a machine-readable JSON stats object on stdout.")
 
+(* --- robustness arguments (shared by compile/run/measure/fuzz) --- *)
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-passes" ]
+        ~doc:
+          "Expensive per-pass verification: dominance-based def-before-use \
+           checking, program-level label uniqueness, and a differential \
+           execution oracle that re-runs small functions after every \
+           changing pass.  Cheap structural checks are always on.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit with status 3 if any pass was quarantined (the default is \
+           to warn, compile from the rolled-back IR, and exit 0).")
+
+let inject_fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-fault" ] ~docv:"PASS"
+        ~doc:
+          "Testing only: corrupt the named pass's output with a dangling \
+           jump, to exercise the verifier's quarantine-and-rollback path.")
+
+let report_diags diags =
+  List.iter
+    (fun d ->
+      Printf.eprintf "jumprepc: %s: %s\n"
+        (match d.Telemetry.Diag.severity with
+        | Telemetry.Diag.Warn -> "warning"
+        | Telemetry.Diag.Err -> "error")
+        (Telemetry.Diag.to_string d))
+    (List.rev !diags)
+
+(* [--strict]: quarantines and other pipeline errors become exit 3. *)
+let strict_exit strict diags =
+  if strict && Telemetry.Diag.has_errors !diags then exit 3
+
+let make_opts ?(verify = false) ?inject_fault level =
+  {
+    Opt.Driver.default_options with
+    level;
+    verify_passes = verify;
+    inject_fault;
+  }
+
 (* The log selected by the trace flags, and the flush/close to run last. *)
 let make_log trace trace_out =
   match trace, trace_out with
@@ -86,13 +137,9 @@ let make_log trace trace_out =
     (Telemetry.Log.make (Telemetry.Log.Jsonl stderr), fun () -> flush stderr)
 
 (* Surface front-end failures as diagnostics, not OCaml backtraces. *)
-let compile_prog ?log level machine path =
+let compile_prog ?log ?(diags = ref []) opts machine path =
   let source = read_file path in
-  try
-    Opt.Driver.compile ?log
-      { Opt.Driver.default_options with level }
-      machine source
-  with
+  try Opt.Driver.compile ?log ~diags opts machine source with
   | Frontend.Lexer.Error (msg, line) ->
     Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
     exit 1
@@ -101,6 +148,9 @@ let compile_prog ?log level machine path =
     exit 1
   | Frontend.Codegen.Error msg ->
     Printf.eprintf "%s: error: %s\n" path msg;
+    exit 1
+  | Telemetry.Diag.Error d ->
+    Printf.eprintf "%s: error: %s\n" path (Telemetry.Diag.to_string d);
     exit 1
 
 let func_ujumps f =
@@ -122,9 +172,14 @@ let compile_cmd =
       value & flag
       & info [ "dump-asm" ] ~doc:"Print the assembled code with addresses.")
   in
-  let run level machine path dump_rtl dump_asm trace trace_out stats_json =
+  let run level machine path dump_rtl dump_asm trace trace_out stats_json
+      verify strict inject_fault =
     let log, finish = make_log trace trace_out in
-    let prog = compile_prog ~log level machine path in
+    let diags = ref [] in
+    let prog =
+      compile_prog ~log ~diags (make_opts ~verify ?inject_fault level) machine
+        path
+    in
     if dump_rtl || not (dump_asm || stats_json) then
       List.iter
         (fun f -> Format.printf "%a@." Flow.Func.pp f)
@@ -157,13 +212,16 @@ let compile_cmd =
         (Sim.Asm.static_nops asm)
         (String.concat "," funcs)
     end;
-    finish ()
+    report_diags diags;
+    finish ();
+    strict_exit strict diags
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a C-subset file and print the result")
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ dump_rtl $ dump_asm
-      $ trace_arg $ trace_out_arg $ stats_json_arg)
+      $ trace_arg $ trace_out_arg $ stats_json_arg $ verify_arg $ strict_arg
+      $ inject_fault_arg)
 
 (* --- run --- *)
 
@@ -190,10 +248,24 @@ let run_cmd =
       & info [ "trace" ] ~docv:"N"
           ~doc:"Print the first $(docv) executed instructions to stderr.")
   in
-  let run level machine path input input_file stats trace trace_passes
-      trace_out stats_json =
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Abort execution after $(docv) instructions; exhausting the \
+             budget is reported as a timeout (exit 124), not a runtime \
+             error.")
+  in
+  let run level machine path input input_file stats trace max_steps
+      trace_passes trace_out stats_json verify strict inject_fault =
     let log, finish = make_log trace_passes trace_out in
-    let prog = compile_prog ~log level machine path in
+    let diags = ref [] in
+    let prog =
+      compile_prog ~log ~diags (make_opts ~verify ?inject_fault level) machine
+        path
+    in
     let asm = Sim.Asm.assemble machine prog in
     let input =
       match input_file with
@@ -215,12 +287,15 @@ let run_cmd =
           end
     in
     let res =
-      try Sim.Interp.run ~input ~on_fetch ~log asm prog
+      try Sim.Interp.run ~input ~on_fetch ~log ?max_steps asm prog
       with Sim.Interp.Runtime_error msg ->
         Printf.eprintf "%s: runtime error: %s\n" path msg;
         exit 2
     in
     print_string res.output;
+    if res.timed_out then
+      Printf.eprintf "%s: timeout: step limit exhausted after %d instructions\n"
+        path res.counts.total;
     if stats then
       Printf.eprintf
         "exit=%d instructions=%d cond-branches=%d jumps=%d ijumps=%d calls=%d \
@@ -241,14 +316,17 @@ let run_cmd =
         (Sim.Asm.static_instrs asm)
         (Sim.Asm.static_ujumps asm)
         (Sim.Asm.static_nops asm);
+    report_diags diags;
     finish ();
+    strict_exit strict diags;
     exit res.exit_code
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a C-subset file")
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ input $ input_file
-      $ stats $ trace $ trace_arg $ trace_out_arg $ stats_json_arg)
+      $ stats $ trace $ max_steps $ trace_arg $ trace_out_arg $ stats_json_arg
+      $ verify_arg $ strict_arg $ inject_fault_arg)
 
 (* --- measure --- *)
 
@@ -268,15 +346,16 @@ let measure_cmd =
     100.0
     *. (List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios))
   in
-  let run machine path input_file trace trace_out stats_json =
+  let run machine path input_file trace trace_out stats_json verify =
     let source = read_file path in
     let input = Option.map read_file input_file |> Option.value ~default:"" in
     let log, finish = make_log trace trace_out in
     let name = Filename.basename path in
     let adhoc ?expected_output level =
       try
-        Harness.Measure.run_adhoc ~log ~name ~source ~input ?expected_output
-          level machine
+        Harness.Measure.run_adhoc
+          ~opts:(make_opts ~verify level)
+          ~log ~name ~source ~input ?expected_output level machine
       with Sim.Interp.Runtime_error msg ->
         Printf.eprintf "%s: runtime error: %s\n" path msg;
         exit 2
@@ -293,16 +372,25 @@ let measure_cmd =
       Printf.printf "[%s]\n"
         (String.concat "," (List.map Harness.Measure.to_json rows))
     else begin
-      Printf.printf "%-8s %10s %10s %10s %10s %8s\n" "level" "static"
-        "dynamic" "dyn-jumps" "nops" "miss%";
+      Printf.printf "%-8s %10s %10s %10s %10s %8s  %s\n" "level" "static"
+        "dynamic" "dyn-jumps" "nops" "miss%" "status";
       List.iter
         (fun (m : Harness.Measure.t) ->
-          Printf.printf "%-8s %10d %10d %10d %10d %8.2f\n"
+          Printf.printf "%-8s %10d %10d %10d %10d %8.2f  %s\n"
             (Opt.Driver.level_name m.level)
-            m.static_instrs m.dyn_instrs m.dyn_ujumps m.dyn_nops (mean_miss m))
+            m.static_instrs m.dyn_instrs m.dyn_ujumps m.dyn_nops (mean_miss m)
+            (if m.timed_out then "TIMEOUT"
+             else if m.output_ok then "ok"
+             else "MISMATCH"))
         rows
     end;
     finish ();
+    if List.exists (fun (m : Harness.Measure.t) -> m.timed_out) rows
+    then begin
+      Printf.eprintf "%s: step limit exhausted at some optimization level\n"
+        path;
+      exit 1
+    end;
     if List.exists (fun (m : Harness.Measure.t) -> not m.output_ok) rows
     then begin
       Printf.eprintf "%s: output differs between optimization levels\n" path;
@@ -314,7 +402,7 @@ let measure_cmd =
        ~doc:"Compare the three optimization levels on one source file")
     Term.(
       const run $ machine_arg $ file_arg $ input $ trace_arg $ trace_out_arg
-      $ stats_json_arg)
+      $ stats_json_arg $ verify_arg)
 
 (* --- bench: run a bundled benchmark --- *)
 
@@ -325,14 +413,15 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
   in
-  let run level machine name trace trace_out stats_json =
+  let run level machine name trace trace_out stats_json verify =
     match Programs.Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s\n" name;
       exit 1
     | Some b ->
       let log, finish = make_log trace trace_out in
-      let m = Harness.Measure.run ~log b level machine in
+      let opts = if verify then Some (make_opts ~verify level) else None in
+      let m = Harness.Measure.run ?opts ~log b level machine in
       if stats_json then print_endline (Harness.Measure.to_json m)
       else begin
         Printf.printf
@@ -342,7 +431,8 @@ let bench_cmd =
           (Opt.Driver.level_name level)
           machine.Ir.Machine.name m.static_instrs m.static_ujumps m.static_nops
           m.dyn_instrs m.dyn_ujumps m.dyn_nops
-          (if m.output_ok then "matches the gcc-verified expectation"
+          (if m.timed_out then "TIMEOUT (step limit exhausted)"
+           else if m.output_ok then "matches the gcc-verified expectation"
            else "MISMATCH");
         List.iter
           (fun (c : Harness.Measure.cache_stats) ->
@@ -358,7 +448,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Measure one bundled benchmark")
     Term.(
       const run $ level_arg $ machine_arg $ bench_name $ trace_arg
-      $ trace_out_arg $ stats_json_arg)
+      $ trace_out_arg $ stats_json_arg $ verify_arg)
 
 (* --- explain: per-function replication report --- *)
 
@@ -366,7 +456,7 @@ let explain_cmd =
   let run level machine path =
     (* Trace the whole compilation in memory, then audit what is left. *)
     let log = Telemetry.Log.make Telemetry.Log.Memory in
-    let prog = compile_prog ~log level machine path in
+    let prog = compile_prog ~log (make_opts level) machine path in
     let events = Telemetry.Log.events log in
     let total_applied = ref 0 and total_remaining = ref 0 in
     List.iter
@@ -422,6 +512,76 @@ let explain_cmd =
           could")
     Term.(const run $ level_arg $ machine_arg $ file_arg)
 
+(* --- fuzz: differential fuzzing with automatic delta reduction --- *)
+
+let fuzz_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of random programs to try.")
+  in
+  let start =
+    Arg.(
+      value & opt int 0
+      & info [ "start" ] ~docv:"N"
+          ~doc:"First seed (campaigns are deterministic per seed).")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt string "fuzz-failures"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for reduced reproducers (created if missing).")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt int 3_000_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Per-run instruction budget; exhausting it counts as a timeout \
+             failure.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"No per-seed progress on stderr.")
+  in
+  let run seeds start out_dir max_steps quiet verify inject_fault =
+    let on_seed seed outcome =
+      if not quiet then
+        match outcome with
+        | None -> ()
+        | Some (f : Harness.Fuzz.failure) ->
+          Printf.eprintf "seed %d: %s at %s: %s\n%!" seed
+            (Harness.Fuzz.kind_name f.kind)
+            f.config f.detail
+    in
+    let stats =
+      Harness.Fuzz.campaign ~max_steps ~verify ?inject_fault ~out_dir ~start
+        ~on_seed ~seeds ()
+    in
+    List.iter
+      (fun (seed, (f : Harness.Fuzz.failure), path) ->
+        Printf.printf "seed %d: %s at %s, reduced reproducer: %s\n" seed
+          (Harness.Fuzz.kind_name f.kind)
+          f.config path)
+      stats.failures;
+    Printf.printf "fuzz: %d seeds, %d failures\n" stats.seeds_run
+      (List.length stats.failures);
+    if stats.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the compiler: random C-subset programs across \
+          every (level, machine) configuration against the SIMPLE/cisc \
+          reference, with failing programs delta-reduced to minimal \
+          reproducers")
+    Term.(
+      const run $ seeds $ start $ out_dir $ max_steps $ quiet $ verify_arg
+      $ inject_fault_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -440,6 +600,14 @@ let main =
   in
   Cmd.group
     (Cmd.info "jumprepc" ~version:"1.0.0" ~doc)
-    [ compile_cmd; run_cmd; measure_cmd; bench_cmd; explain_cmd; list_cmd ]
+    [
+      compile_cmd;
+      run_cmd;
+      measure_cmd;
+      bench_cmd;
+      explain_cmd;
+      fuzz_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,12 +1,25 @@
 open Ir
+module ISet = Set.Make (Int)
 
-let errors f =
+(* --- cheap structural checks --- *)
+
+let structural_errors f =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
   let n = Func.num_blocks f in
   let entry_label = (Func.block f 0).label in
+  let seen_labels = Hashtbl.create (n * 2) in
   for i = 0 to n - 1 do
     let b = Func.block f i in
+    (if Hashtbl.mem seen_labels b.label then
+       err "%a: duplicate block label" Label.pp b.label
+     else Hashtbl.add seen_labels b.label ());
+    (match Func.index_of_label f b.label with
+    | j when j <> i ->
+      err "%a: label index maps to block %d, not %d" Label.pp b.label j i
+    | _ -> ()
+    | exception Not_found ->
+      err "%a: label missing from the label index" Label.pp b.label);
     let rec scan = function
       | [] -> ()
       | [ _last ] -> ()
@@ -19,6 +32,10 @@ let errors f =
     scan b.instrs;
     List.iter
       (fun instr ->
+        (match instr with
+        | Rtl.Ijump (_, table) when Array.length table = 0 ->
+          err "%a: indirect jump with an empty target table" Label.pp b.label
+        | _ -> ());
         List.iter
           (fun l ->
             (match Func.index_of_label f l with
@@ -50,15 +67,208 @@ let errors f =
     in
     pairs b.instrs
   done;
-  if n > 0 && Func.falls_through (Func.block f (n - 1)) then
-    err "%a: last block falls off the end" Label.pp
-      (Func.block f (n - 1)).label;
+  (if n > 0 then
+     let last = Func.block f (n - 1) in
+     match Func.terminator last with
+     | Some (Rtl.Branch _) ->
+       err "%a: conditional branch in the last block has no fall-through"
+         Label.pp last.label
+     | _ ->
+       if Func.falls_through last then
+         err "%a: last block falls off the end" Label.pp last.label);
+  List.rev !errs
+
+(* The graph-level checks below need every target to resolve; when one
+   dangles, [Cfg.make] would raise, and the structural errors already say
+   what is wrong. *)
+let targets_resolve f =
+  Array.for_all
+    (fun (b : Func.block) ->
+      List.for_all
+        (fun instr ->
+          List.for_all
+            (fun l ->
+              match Func.index_of_label f l with
+              | _ -> true
+              | exception Not_found -> false)
+            (Rtl.targets instr))
+        b.instrs)
+    (Func.blocks f)
+
+let unreachable_blocks f =
+  if not (targets_resolve f) then []
+  else begin
+    let reach = Cfg.reachable (Cfg.make f) in
+    let errs = ref [] in
+    Array.iteri
+      (fun i ok ->
+        if not ok then
+          errs :=
+            Printf.sprintf "%s: block unreachable from the entry"
+              (Label.to_string (Func.block f i).label)
+            :: !errs)
+      reach;
+    List.rev !errs
+  end
+
+let no_virtuals f =
+  let errs = ref [] in
+  Array.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun instr ->
+          Reg.Set.iter
+            (fun r ->
+              if Reg.is_virt r then
+                errs :=
+                  Printf.sprintf "%s: virtual register %s survives allocation"
+                    (Label.to_string b.label) (Reg.to_string r)
+                  :: !errs)
+            (Reg.Set.union (Rtl.uses instr) (Rtl.defs instr)))
+        b.instrs)
+    (Func.blocks f);
+  List.rev !errs
+
+(* --- def-before-use of virtual registers on every path --- *)
+
+let virts regs =
+  Reg.Set.fold
+    (fun r acc -> match r with Reg.Virt i -> ISet.add i acc | _ -> acc)
+    regs ISet.empty
+
+(* Per-block sets of virtuals defined anywhere in the block. *)
+let block_defs f =
+  Array.map
+    (fun (b : Func.block) ->
+      List.fold_left
+        (fun acc instr -> ISet.union acc (virts (Rtl.defs instr)))
+        ISet.empty b.instrs)
+    (Func.blocks f)
+
+(* Virtuals defined on every path from the entry to each block's head:
+   the maximal fixpoint of IN[b] = inter over predecessors of OUT[p],
+   OUT[p] = IN[p] union defs[p], iterated in reverse postorder. *)
+let avail_in cfg reach defs =
+  let n = Array.length defs in
+  let all = Array.fold_left ISet.union ISet.empty defs in
+  let avail = Array.make n all in
+  if n > 0 then avail.(0) <- ISet.empty;
+  let rpo = Cfg.reverse_postorder cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun i ->
+        if i <> 0 && reach.(i) then begin
+          let inset =
+            List.fold_left
+              (fun acc p ->
+                if not reach.(p) then acc
+                else
+                  let out = ISet.union avail.(p) defs.(p) in
+                  match acc with
+                  | None -> Some out
+                  | Some s -> Some (ISet.inter s out))
+              None (Cfg.preds cfg i)
+          in
+          let inset = Option.value ~default:ISet.empty inset in
+          if not (ISet.equal inset avail.(i)) then begin
+            avail.(i) <- inset;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  avail
+
+let def_before_use f =
+  if not (targets_resolve f) then []
+  else begin
+    let cfg = Cfg.make f in
+    let reach = Cfg.reachable cfg in
+    let dom = Dom.compute cfg in
+    let defs = block_defs f in
+    (* Blocks defining each virtual, for the dominator fast path: a def in
+       a strictly dominating block covers every path (blocks are atomic). *)
+    let def_sites = Hashtbl.create 64 in
+    Array.iteri
+      (fun i ds ->
+        ISet.iter
+          (fun v ->
+            Hashtbl.replace def_sites v
+              (i :: Option.value ~default:[] (Hashtbl.find_opt def_sites v)))
+          ds)
+      defs;
+    let avail = lazy (avail_in cfg reach defs) in
+    let errs = ref [] in
+    Array.iteri
+      (fun i (b : Func.block) ->
+        if reach.(i) then begin
+          let local = ref ISet.empty in
+          List.iter
+            (fun instr ->
+              ISet.iter
+                (fun v ->
+                  let dominated_def () =
+                    List.exists
+                      (fun d -> Dom.strictly_dominates dom d i)
+                      (Option.value ~default:[]
+                         (Hashtbl.find_opt def_sites v))
+                  in
+                  if
+                    (not (ISet.mem v !local))
+                    && (not (dominated_def ()))
+                    && not (ISet.mem v (Lazy.force avail).(i))
+                  then
+                    errs :=
+                      Printf.sprintf
+                        "%s: virtual register v%d used before definition on \
+                         some path"
+                        (Label.to_string b.label) v
+                      :: !errs)
+                (virts (Rtl.uses instr));
+              local := ISet.union !local (virts (Rtl.defs instr)))
+            b.instrs
+        end)
+      (Func.blocks f);
+    List.rev !errs
+  end
+
+let errors ?(full = false) f =
+  let cheap = structural_errors f in
+  if full && cheap = [] then def_before_use f else cheap
+
+(* --- whole-program invariants --- *)
+
+let program_errors (prog : Prog.t) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let fnames = Hashtbl.create 16 in
+  let labels : (Label.t, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let name = Func.name f in
+      (if Hashtbl.mem fnames name then err "duplicate function %s" name
+       else Hashtbl.add fnames name ());
+      Array.iter
+        (fun (b : Func.block) ->
+          match Hashtbl.find_opt labels b.label with
+          | Some other when other <> name ->
+            err "label %a defined in both %s and %s" Label.pp b.label other
+              name
+          | Some _ -> () (* within-function duplicates: structural check *)
+          | None -> Hashtbl.add labels b.label name)
+        (Func.blocks f))
+    prog.funcs;
   List.rev !errs
 
 let assert_ok f =
   match errors f with
   | [] -> ()
   | errs ->
-    failwith
-      (Printf.sprintf "ill-formed function %s:\n  %s" (Func.name f)
-         (String.concat "\n  " errs))
+    raise
+      (Telemetry.Diag.Error
+         (Telemetry.Diag.make Telemetry.Diag.Malformed_ir ~func:(Func.name f)
+            ~pass:""
+            (Printf.sprintf "ill-formed function:\n  %s"
+               (String.concat "\n  " errs))))

@@ -128,7 +128,10 @@ let splice ?repair_loop func ~after ~seq ~mode =
     let body, term = split_terminator blocks.(after).Func.instrs in
     (match term with
     | Some (Rtl.Jump _) -> ()
-    | _ -> invalid_arg "Replicate.splice: block does not end in Jump");
+    | _ ->
+      Telemetry.Diag.error Telemetry.Diag.Internal ~func:(Func.name func)
+        ~pass:"replicate" "splice: block %s does not end in Jump"
+        (Label.to_string blocks.(after).Func.label));
     { (blocks.(after)) with instrs = body }
   in
   let out =

@@ -801,8 +801,11 @@ let items_to_blocks fs entry_items =
 
 (* --- Functions and programs --- *)
 
-let gen_func env (f : Ast.func) =
-  let lsupply = Label.Supply.create () in
+(* The label supply is shared by every function of the program, so labels
+   are globally unique — a program-level invariant the verifier checks
+   (Flow.Check.program_errors) and replication preserves by drawing fresh
+   labels from the same supply. *)
+let gen_func env lsupply (f : Ast.func) =
   let vsupply = Reg.Supply.create () in
   let addr_taken = addr_taken_stmt [] f.fbody in
   let fs =
@@ -937,6 +940,7 @@ let compile_program (prog : Ast.program) =
   let datas = ref [] in
   let funcs = ref [] in
   let anon_count = ref 0 in
+  let lsupply = Label.Supply.create () in
   List.iter
     (fun item ->
       match item with
@@ -954,7 +958,7 @@ let compile_program (prog : Ast.program) =
             | _ -> datas := global_data g :: !datas)
           gs
       | Ifunc f ->
-        let func, strings = gen_func env f in
+        let func, strings = gen_func env lsupply f in
         List.iter
           (fun (sym, s) ->
             datas := string_data (f.fname ^ "_" ^ sym) s :: !datas)

@@ -1,0 +1,61 @@
+(** Differential fuzzing with automatic delta reduction ([jumprepc fuzz]).
+
+    Each seed deterministically generates one C-subset program
+    ({!Gen.generate}), compiles and runs it under every (level x machine)
+    configuration, and compares observable behaviour (output bytes and
+    exit code) against the SIMPLE/cisc reference.  Any divergence — a
+    mismatch, a simulator fault, step-limit exhaustion, a quarantined
+    pass, or a compile error — is a failure; the harness then shrinks the
+    program ({!Gen.shrink}), re-checking the same failure kind at every
+    step, and writes the minimal reproducer to [<out_dir>/seed-<n>.c]. *)
+
+type kind = Mismatch | Fault | Timeout | Quarantine | Compile_error
+
+val kind_name : kind -> string
+
+type failure = {
+  kind : kind;
+  config : string;  (** "LEVEL/machine" where the failure showed *)
+  detail : string;
+}
+
+(** Run one source through all configurations.  [inject_fault] (test-only)
+    corrupts the named pass's output to force the quarantine path;
+    [verify] enables the expensive per-pass checks. *)
+val check :
+  ?max_steps:int ->
+  ?verify:bool ->
+  ?inject_fault:string ->
+  string ->
+  failure option
+
+(** [reduce ~check p f] greedily shrinks [p] while [check] keeps
+    reproducing a failure of [f]'s kind; stops at a local minimum or
+    after [max_attempts] candidate evaluations (default 500).  Returns
+    the smallest failing program and the failure it exhibits. *)
+val reduce :
+  ?max_attempts:int ->
+  check:(string -> failure option) ->
+  Gen.program ->
+  failure ->
+  Gen.program * failure
+
+type stats = {
+  seeds_run : int;
+  failures : (int * failure * string) list;
+      (** seed, reduced failure, path of the written reproducer *)
+}
+
+(** Fuzz seeds [start .. start + seeds - 1]; on failure, reduce and write
+    the reproducer under [out_dir] (created if missing).  [on_seed] is
+    called after each seed with its outcome (for progress reporting). *)
+val campaign :
+  ?max_steps:int ->
+  ?verify:bool ->
+  ?inject_fault:string ->
+  ?out_dir:string ->
+  ?start:int ->
+  ?on_seed:(int -> failure option -> unit) ->
+  seeds:int ->
+  unit ->
+  stats

@@ -1,0 +1,277 @@
+type expr =
+  | Int of int
+  | Var of string
+  | Global of int
+  | Global_at of expr
+  | Bin of string * expr * expr
+  | Div of string * expr * expr
+  | Shift of string * expr * expr
+  | Cond of expr * expr * expr
+  | Neg of expr
+
+type lvalue = Lvar of string | Lglobal of int
+
+type stmt =
+  | Assign of lvalue * string * expr
+  | If of expr * stmt list * stmt list
+  | For of int * int * stmt list
+  | Break
+  | Continue
+  | Switch of expr * stmt * stmt * stmt
+  | Putchar of expr
+  | Expr_stmt of expr
+
+type program = { counters : int; body : stmt list }
+
+(* --- generation --- *)
+
+(* Inclusive [0, n] — same convention as QCheck's [int_bound]. *)
+let int_bound n st = Random.State.int st (n + 1)
+let int_range lo hi st = lo + Random.State.int st (hi - lo + 1)
+let oneofl l st = List.nth l (Random.State.int st (List.length l))
+let locals = [ "a"; "b"; "c"; "d" ]
+
+type genv = {
+  mutable depth : int;  (* loop-nesting depth *)
+  mutable counters : int;  (* next loop-counter id *)
+  mutable stmts_left : int;  (* global size budget *)
+}
+
+let rec expr env n st =
+  if n <= 0 then atom env st
+  else
+    match int_bound 9 st with
+    | 0 | 1 -> atom env st
+    | 2 ->
+      Bin
+        ( oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] st,
+          expr env (n - 1) st,
+          expr env (n - 1) st )
+    | 3 ->
+      Div (oneofl [ "/"; "%" ] st, expr env (n - 1) st, expr env (n - 1) st)
+    | 4 ->
+      Shift (oneofl [ "<<"; ">>" ] st, expr env (n - 1) st, expr env (n - 1) st)
+    | 5 ->
+      Bin
+        ( oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] st,
+          expr env (n - 1) st,
+          expr env (n - 1) st )
+    | 6 ->
+      Bin (oneofl [ "&&"; "||" ] st, expr env (n - 1) st, expr env (n - 1) st)
+    | 7 -> Cond (expr env (n - 1) st, expr env (n - 1) st, expr env (n - 1) st)
+    | 8 -> Neg (expr env (n - 1) st)
+    | _ -> Global_at (expr env (n - 1) st)
+
+and atom _env st =
+  match int_bound 3 st with
+  | 0 -> Int (int_range (-100) 100 st)
+  | 1 | 2 -> Var (oneofl locals st)
+  | _ -> Global (int_bound 7 st)
+
+let lvalue st =
+  match int_bound 2 st with
+  | 0 | 1 -> Lvar (oneofl locals st)
+  | _ -> Lglobal (int_bound 7 st)
+
+let rec stmt env st =
+  env.stmts_left <- env.stmts_left - 1;
+  if env.stmts_left <= 0 then assign env st
+  else
+    match int_bound 11 st with
+    | 0 | 1 | 2 | 3 -> assign env st
+    | 4 -> If (expr env 2 st, block env st, block env st)
+    | 5 -> If (expr env 2 st, block env st, [])
+    | 6 | 7 ->
+      if env.depth >= 2 then assign env st
+      else begin
+        let c = env.counters in
+        env.counters <- env.counters + 1;
+        env.depth <- env.depth + 1;
+        let body = block env st in
+        env.depth <- env.depth - 1;
+        For (c, 1 + int_bound 6 st, body)
+      end
+    | 8 ->
+      if env.depth = 0 then assign env st
+      else oneofl [ Break; Continue ] st
+    | 9 -> Switch (expr env 2 st, assign env st, assign env st, assign env st)
+    | 10 -> Putchar (expr env 2 st)
+    | _ -> Expr_stmt (expr env 2 st)
+
+and assign env st = Assign (lvalue st, oneofl [ "="; "+="; "-="; "*=" ] st, expr env 2 st)
+and block env st = List.init (1 + int_bound 3 st) (fun _ -> stmt env st)
+
+let generate st =
+  let env = { depth = 0; counters = 0; stmts_left = 40 } in
+  let body = List.init 8 (fun _ -> stmt env st) in
+  { counters = env.counters; body }
+
+(* --- rendering --- *)
+
+let rec expr_to_c = function
+  | Int n -> string_of_int n
+  | Var v -> v
+  | Global k -> Printf.sprintf "g[%d]" k
+  | Global_at e -> Printf.sprintf "g[%s & 7]" (expr_to_c e)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr_to_c a) op (expr_to_c b)
+  | Div (op, a, b) ->
+    Printf.sprintf "(%s %s ((%s & 7) + 1))" (expr_to_c a) op (expr_to_c b)
+  | Shift (op, a, b) ->
+    Printf.sprintf "(%s %s (%s & 15))" (expr_to_c a) op (expr_to_c b)
+  | Cond (c, t, f) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_c c) (expr_to_c t) (expr_to_c f)
+  | Neg e -> Printf.sprintf "(- %s)" (expr_to_c e)
+
+let lvalue_to_c = function
+  | Lvar v -> v
+  | Lglobal k -> Printf.sprintf "g[%d]" k
+
+let rec stmt_to_c = function
+  | Assign (lv, op, e) ->
+    Printf.sprintf "%s %s %s;" (lvalue_to_c lv) op (expr_to_c e)
+  | If (e, t, []) ->
+    Printf.sprintf "if (%s) { %s }" (expr_to_c e) (stmts_to_c t)
+  | If (e, t, f) ->
+    Printf.sprintf "if (%s) { %s } else { %s }" (expr_to_c e) (stmts_to_c t)
+      (stmts_to_c f)
+  | For (c, bound, body) ->
+    Printf.sprintf "for (i%d = 0; i%d < %d; i%d++) { %s }" c c bound c
+      (stmts_to_c body)
+  | Break -> "break;"
+  | Continue -> "continue;"
+  | Switch (e, s0, s1, sd) ->
+    Printf.sprintf
+      "switch (%s & 3) { case 0: %s break; case 1: %s /* fall */ case 2: \
+       break; default: %s break; }"
+      (expr_to_c e) (stmt_to_c s0) (stmt_to_c s1) (stmt_to_c sd)
+  | Putchar e -> Printf.sprintf "putchar(65 + (%s & 15));" (expr_to_c e)
+  | Expr_stmt e -> Printf.sprintf "%s;" (expr_to_c e)
+
+and stmts_to_c stmts =
+  match stmts with
+  (* An empty block is valid C but noisy; keep a placeholder statement. *)
+  | [] -> ";"
+  | _ -> String.concat " " (List.map stmt_to_c stmts)
+
+let to_c { counters; body } =
+  let decls =
+    if counters = 0 then ""
+    else
+      "int "
+      ^ String.concat ", " (List.init counters (fun i -> Printf.sprintf "i%d" i))
+      ^ ";"
+  in
+  Printf.sprintf
+    {|
+int g[8];
+
+int main() {
+  int a, b, c, d;
+  %s
+  a = 1; b = 2; c = 3; d = 4;
+  %s
+  putchar(65 + ((a + b + c + d + g[0] + g[1] + g[2] + g[3] + g[4] + g[5] + g[6] + g[7]) & 15));
+  putchar(10);
+  return 0;
+}
+|}
+    decls
+    (String.concat "\n  " (List.map stmt_to_c body))
+
+let rec stmt_size = function
+  | Assign _ | Break | Continue | Putchar _ | Expr_stmt _ -> 1
+  | If (_, t, f) -> 1 + stmts_size t + stmts_size f
+  | For (_, _, body) -> 1 + stmts_size body
+  | Switch (_, s0, s1, sd) -> 1 + stmt_size s0 + stmt_size s1 + stmt_size sd
+
+and stmts_size stmts = List.fold_left (fun n s -> n + stmt_size s) 0 stmts
+
+let size p = stmts_size p.body
+
+(* --- shrinking --- *)
+
+let ( ++ ) = Seq.append
+
+(* Candidate replacements for an expression, roughly decreasing in
+   aggressiveness: a constant, one operand, then recursively shrunk
+   operands. *)
+let rec shrink_expr e : expr Seq.t =
+  let const = match e with Int 0 -> Seq.empty | _ -> Seq.return (Int 0) in
+  let sub =
+    match e with
+    | Int _ | Var _ | Global _ -> Seq.empty
+    | Global_at i ->
+      Seq.return (Global 0)
+      ++ Seq.map (fun i' -> Global_at i') (shrink_expr i)
+    | Bin (op, a, b) ->
+      List.to_seq [ a; b ]
+      ++ Seq.map (fun a' -> Bin (op, a', b)) (shrink_expr a)
+      ++ Seq.map (fun b' -> Bin (op, a, b')) (shrink_expr b)
+    | Div (op, a, b) ->
+      Seq.return a
+      ++ Seq.map (fun a' -> Div (op, a', b)) (shrink_expr a)
+      ++ Seq.map (fun b' -> Div (op, a, b')) (shrink_expr b)
+    | Shift (op, a, b) ->
+      Seq.return a
+      ++ Seq.map (fun a' -> Shift (op, a', b)) (shrink_expr a)
+      ++ Seq.map (fun b' -> Shift (op, a, b')) (shrink_expr b)
+    | Cond (c, t, f) ->
+      List.to_seq [ t; f ]
+      ++ Seq.map (fun c' -> Cond (c', t, f)) (shrink_expr c)
+      ++ Seq.map (fun t' -> Cond (c, t', f)) (shrink_expr t)
+      ++ Seq.map (fun f' -> Cond (c, t, f')) (shrink_expr f)
+    | Neg a -> Seq.return a ++ Seq.map (fun a' -> Neg a') (shrink_expr a)
+  in
+  const ++ sub
+
+(* Remove [break]/[continue] bound to the loop being flattened (they stay
+   valid inside nested loops). *)
+let rec strip_loop_exits stmts =
+  List.filter_map
+    (fun s ->
+      match s with
+      | Break | Continue -> None
+      | If (e, t, f) -> Some (If (e, strip_loop_exits t, strip_loop_exits f))
+      | Switch _ ->
+        (* The fixed switch shape only holds assignments; nothing to strip. *)
+        Some s
+      | For _ | Assign _ | Putchar _ | Expr_stmt _ -> Some s)
+    stmts
+
+(* A statement shrinks to a *list* of statements: compound statements can
+   be replaced by (part of) their bodies. *)
+let rec shrink_stmt s : stmt list Seq.t =
+  match s with
+  | Assign (lv, op, e) ->
+    Seq.map (fun e' -> [ Assign (lv, op, e') ]) (shrink_expr e)
+  | If (e, t, f) ->
+    Seq.return t ++ Seq.return f
+    ++ (if f <> [] then Seq.return [ If (e, t, []) ] else Seq.empty)
+    ++ Seq.map (fun e' -> [ If (e', t, f) ]) (shrink_expr e)
+    ++ Seq.map (fun t' -> [ If (e, t', f) ]) (shrink_stmts t)
+    ++ Seq.map (fun f' -> [ If (e, t, f') ]) (shrink_stmts f)
+  | For (c, bound, body) ->
+    Seq.return (strip_loop_exits body)
+    ++ (if bound > 1 then Seq.return [ For (c, 1, body) ] else Seq.empty)
+    ++ Seq.map (fun body' -> [ For (c, bound, body') ]) (shrink_stmts body)
+  | Break | Continue -> Seq.empty (* deletion is handled by the list shrink *)
+  | Switch (e, s0, s1, sd) ->
+    List.to_seq [ [ s0 ]; [ s1 ]; [ sd ] ]
+    ++ Seq.map (fun e' -> [ Switch (e', s0, s1, sd) ]) (shrink_expr e)
+  | Putchar e -> Seq.map (fun e' -> [ Putchar e' ]) (shrink_expr e)
+  | Expr_stmt e -> Seq.map (fun e' -> [ Expr_stmt e' ]) (shrink_expr e)
+
+(* List shrink: drop each element, then splice each element's shrinks. *)
+and shrink_stmts stmts : stmt list Seq.t =
+  let rec go prefix = function
+    | [] -> Seq.empty
+    | s :: rest ->
+      Seq.return (List.rev_append prefix rest)
+      ++ Seq.map
+           (fun repl -> List.rev_append prefix (repl @ rest))
+           (shrink_stmt s)
+      ++ fun () -> (go (s :: prefix) rest) ()
+  in
+  go [] stmts
+
+let shrink p = Seq.map (fun body -> { p with body }) (shrink_stmts p.body)

@@ -1,0 +1,55 @@
+(** Random C-subset program generator (lifted from the QCheck property in
+    [test/test_random_c.ml] so the fuzz harness and the tests share one
+    generator).
+
+    Programs are ASTs, not strings, so the delta reducer can shrink at
+    statement and expression granularity.  Generated programs terminate by
+    construction: loops are always [for (ci = 0; ci < K; ci++)] over a
+    dedicated counter the body never assigns, array indices are masked to
+    bounds, divisors are forced non-zero, and shift amounts are masked to
+    the word size. *)
+
+type expr =
+  | Int of int
+  | Var of string  (** one of the four scalar locals [a]..[d] *)
+  | Global of int  (** [g[k]] with a literal in-bounds index *)
+  | Global_at of expr  (** [g[e & 7]] *)
+  | Bin of string * expr * expr  (** arithmetic / bitwise / comparison / logical *)
+  | Div of string * expr * expr  (** [e op ((e' & 7) + 1)] — guarded divisor *)
+  | Shift of string * expr * expr  (** [e op (e' & 15)] — bounded amount *)
+  | Cond of expr * expr * expr
+  | Neg of expr
+
+type lvalue = Lvar of string | Lglobal of int
+
+type stmt =
+  | Assign of lvalue * string * expr  (** [=], [+=], [-=], [*=] *)
+  | If of expr * stmt list * stmt list
+  | For of int * int * stmt list
+      (** counter id, trip count; renders as [for (iN = 0; iN < K; iN++)] *)
+  | Break
+  | Continue
+  | Switch of expr * stmt * stmt * stmt
+      (** the fixed 4-case shape with one fall-through *)
+  | Putchar of expr  (** [putchar(65 + (e & 15));] *)
+  | Expr_stmt of expr
+
+type program = { counters : int; body : stmt list }
+
+(** Generate one program from the given PRNG state (deterministic per
+    seed). *)
+val generate : Random.State.t -> program
+
+(** Render as compilable C-subset source. *)
+val to_c : program -> string
+
+(** Number of statements, at all nesting depths — the reducer's progress
+    metric. *)
+val size : program -> int
+
+(** Strictly "smaller" candidate programs, lazily: statement deletion,
+    compound-statement flattening (an [if] replaced by a branch, a loop by
+    its body with [break]/[continue] stripped), trip-count reduction, and
+    expression simplification (an operator replaced by one operand, any
+    expression by a constant). *)
+val shrink : program -> program Seq.t

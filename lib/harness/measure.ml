@@ -17,6 +17,7 @@ type t = {
   dyn_transfers : int;
   output : string;
   output_ok : bool;
+  timed_out : bool;
   caches : cache_stats list;
 }
 
@@ -43,6 +44,11 @@ let reset_cache () = Hashtbl.reset memo
 let failed : (string * Opt.Driver.level * string) list ref = ref []
 let mismatches () = List.rev !failed
 
+(* Step-limit exhaustions, kept apart from mismatches: a hang is a
+   distinct verdict (the output comparison is meaningless for it). *)
+let hung : (string * Opt.Driver.level * string) list ref = ref []
+let timeouts () = List.rev !hung
+
 let record_mismatch log (m : t) ~expected =
   failed := (m.program, m.level, m.machine.Ir.Machine.short) :: !failed;
   Telemetry.Log.emit log (fun () ->
@@ -54,6 +60,18 @@ let record_mismatch log (m : t) ~expected =
               (Opt.Driver.level_name m.level)
               m.machine.Ir.Machine.short (String.length m.output)
               (String.length expected);
+        })
+
+let record_timeout log (m : t) =
+  hung := (m.program, m.level, m.machine.Ir.Machine.short) :: !hung;
+  Telemetry.Log.emit log (fun () ->
+      Telemetry.Log.Warning
+        {
+          message =
+            Printf.sprintf "%s at %s on %s: TIMEOUT (step limit exhausted)"
+              m.program
+              (Opt.Driver.level_name m.level)
+              m.machine.Ir.Machine.short;
         })
 
 let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
@@ -88,7 +106,10 @@ let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
       dyn_nops = res.counts.nops;
       dyn_transfers = Sim.Interp.transfers res.counts;
       output = res.output;
-      output_ok = (not verify) || String.equal res.output b.expected_output;
+      output_ok =
+        (not res.timed_out)
+        && ((not verify) || String.equal res.output b.expected_output);
+      timed_out = res.timed_out;
       caches =
         List.map
           (fun (config, c) ->
@@ -105,7 +126,11 @@ let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
   Telemetry.Counter.add log "measure.static_ujumps" m.static_ujumps;
   Telemetry.Counter.add log "measure.dyn_instrs" m.dyn_instrs;
   Telemetry.Counter.add log "measure.dyn_ujumps" m.dyn_ujumps;
-  if not m.output_ok then record_mismatch log m ~expected:b.expected_output;
+  if m.timed_out then begin
+    Telemetry.Counter.incr log "measure.timeouts";
+    record_timeout log m
+  end
+  else if not m.output_ok then record_mismatch log m ~expected:b.expected_output;
   m
 
 let run ?opts ?log ?verify (b : Programs.Suite.benchmark) level machine =
@@ -155,12 +180,13 @@ let to_json m =
     "{\"program\":%s,\"level\":%s,\"machine\":%s,\"static_instrs\":%d,\
      \"static_ujumps\":%d,\"static_nops\":%d,\"dyn_instrs\":%d,\
      \"dyn_ujumps\":%d,\"dyn_nops\":%d,\"dyn_transfers\":%d,\
-     \"instrs_between_branches\":%.3f,\"output_ok\":%b,\"caches\":[%s]}"
+     \"instrs_between_branches\":%.3f,\"output_ok\":%b,\"timed_out\":%b,\
+     \"caches\":[%s]}"
     (Telemetry.Log.json_string m.program)
     (Telemetry.Log.json_string (Opt.Driver.level_name m.level))
     (Telemetry.Log.json_string m.machine.Ir.Machine.short)
     m.static_instrs m.static_ujumps m.static_nops m.dyn_instrs m.dyn_ujumps
     m.dyn_nops m.dyn_transfers
     (instrs_between_branches m)
-    m.output_ok
+    m.output_ok m.timed_out
     (String.concat "," (List.map cache_to_json m.caches))

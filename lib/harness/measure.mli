@@ -20,7 +20,10 @@ type t = {
   dyn_nops : int;
   dyn_transfers : int;  (** executed branch points *)
   output : string;  (** what the program printed *)
-  output_ok : bool;  (** output matched the gcc-verified expectation *)
+  output_ok : bool;
+      (** output matched the gcc-verified expectation (always false on a
+          timeout: the comparison is meaningless for a hung run) *)
+  timed_out : bool;  (** the interpreter exhausted its step budget *)
   caches : cache_stats list;
 }
 
@@ -70,6 +73,11 @@ val run_suite : ?log:Telemetry.Log.t -> Opt.Driver.level -> Ir.Machine.t -> t li
     in this process, in discovery order — the bench drivers exit nonzero
     when this is non-empty. *)
 val mismatches : unit -> (string * Opt.Driver.level * string) list
+
+(** Every run that exhausted its step budget, in discovery order.  Kept
+    apart from {!mismatches}: a hang is a distinct verdict, counted under
+    the [measure.timeouts] telemetry counter. *)
+val timeouts : unit -> (string * Opt.Driver.level * string) list
 
 (** One JSON object (no newline) with every field of [t], cache stats
     included — the building block of the bench drivers' [BENCH_*.json]. *)

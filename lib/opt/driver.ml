@@ -1,4 +1,6 @@
 open Flow
+module Diag = Telemetry.Diag
+module SSet = Set.Make (String)
 
 type level = Simple | Loops | Jumps
 
@@ -25,6 +27,8 @@ type options = {
   enable_licm : bool;
   enable_strength : bool;
   enable_isel : bool;
+  verify_passes : bool;
+  inject_fault : string option;
 }
 
 let default_options =
@@ -39,6 +43,8 @@ let default_options =
     enable_licm = true;
     enable_strength = true;
     enable_isel = true;
+    verify_passes = false;
+    inject_fault = None;
   }
 
 let options ?(level = Simple) () = { default_options with level }
@@ -90,13 +96,104 @@ let run_pass log fname (name, pass) func =
     (func', changed)
   end
 
-(* Compose named passes, threading the change flag and spanning each. *)
+(* Compose named passes, threading the change flag and spanning each.
+   Also reports the name of the last pass that changed the function, for
+   the fixpoint-divergence warning. *)
 let seq ?(log = Telemetry.Log.null) ~fname passes func =
   List.fold_left
-    (fun (func, changed) pass ->
-      let func, c = run_pass log fname pass func in
-      (func, changed || c))
-    (func, false) passes
+    (fun (func, changed, last) (name, pass) ->
+      let func, c = run_pass log fname (name, pass) func in
+      (func, changed || c, if c then name else last))
+    (func, false, "") passes
+
+(* --- the protective pass boundary --- *)
+
+(* Every pass runs inside a boundary that verifies its output and, on a
+   verifier failure, a raised exception, or a differential-oracle mismatch,
+   rolls the function back to the pass's input (the last-good IR), records
+   a diagnostic, quarantines the pass for the rest of this function's
+   compilation, and lets the pipeline continue.  One bad pass on one
+   function no longer aborts the build. *)
+type boundary = {
+  b_log : Telemetry.Log.t;
+  b_fname : string;
+  b_opts : options;
+  b_oracle : Oracle.t option;
+  b_diags : Diag.t list ref;
+  mutable quarantined : SSet.t;
+  mutable baseline : SSet.t;
+      (* violations already present in the last accepted IR; only new ones
+         convict a pass *)
+}
+
+(* Cheap checks always; --verify-passes adds the expensive ones. *)
+let generic_violations opts func = Check.errors ~full:opts.verify_passes func
+
+(* Checks that are postconditions of specific passes, never baselined. *)
+let pass_postconditions name func =
+  match name with
+  | "unreachable" -> Check.unreachable_blocks func
+  | "regalloc" -> Check.no_virtuals func
+  | _ -> []
+
+(* Test-only fault injection: corrupt the named pass's output with a jump
+   to a label that does not exist, proving the quarantine-and-rollback path
+   end to end from the CLI. *)
+let inject_corruption func =
+  let bad =
+    {
+      Func.label = Func.fresh_label func;
+      instrs = [ Ir.Rtl.Jump (Ir.Label.of_int 424242) ];
+    }
+  in
+  Func.with_blocks func (Array.append (Func.blocks func) [| bad |])
+
+let quarantine g name code violations message =
+  g.quarantined <- SSet.add name g.quarantined;
+  g.b_diags := Diag.make code ~func:g.b_fname ~pass:name message :: !(g.b_diags);
+  Telemetry.Log.emit g.b_log (fun () ->
+      Telemetry.Log.Pass_quarantined
+        { func = g.b_fname; pass = name; code = Diag.code_name code; violations })
+
+let guard g name pass func =
+  if SSet.mem name g.quarantined then (func, false)
+  else
+    match pass func with
+    | exception Diag.Error d ->
+      quarantine g name d.Diag.code [] d.Diag.message;
+      (func, false)
+    | exception Sys.Break -> raise Sys.Break
+    | exception exn ->
+      quarantine g name Diag.Pass_raised [] (Printexc.to_string exn);
+      (func, false)
+    | func', changed -> (
+      let func' =
+        if g.b_opts.inject_fault = Some name then inject_corruption func'
+        else func'
+      in
+      let viols = generic_violations g.b_opts func' in
+      let fresh =
+        List.filter (fun v -> not (SSet.mem v g.baseline)) viols
+        @ pass_postconditions name func'
+      in
+      if fresh <> [] then begin
+        quarantine g name Diag.Malformed_ir fresh
+          (Printf.sprintf "verifier: %s" (String.concat "; " fresh));
+        (func, false)
+      end
+      else
+        let accept () =
+          g.baseline <- SSet.of_list viols;
+          (func', changed)
+        in
+        match g.b_oracle with
+        | Some o when changed && Oracle.applies o func' -> (
+          match Oracle.divergence o ~baseline:func ~candidate:func' with
+          | Some msg ->
+            quarantine g name Diag.Oracle_mismatch [] msg;
+            (func, false)
+          | None -> accept ())
+        | _ -> accept ())
 
 let jumps_config opts ~size_cap ~allow_irreducible =
   {
@@ -117,18 +214,40 @@ let replication_pass ?log opts ~size_cap ~allow_irreducible func =
       func
 
 (* [replicate] abstracts the replication pass so tests can instrument it
-   (e.g. cap the number of replacements). *)
-let optimize_func_with ?(log = Telemetry.Log.null)
+   (e.g. cap the number of replacements, or return deliberately broken
+   IR to exercise the quarantine path). *)
+let optimize_func_with ?(log = Telemetry.Log.null) ?(diags = ref []) ?oracle
     ~(replicate : ?allow_irreducible:bool -> Func.t -> Func.t * bool) opts
     machine func =
   let fname = Func.name func in
-  let seq passes func = seq ~log ~fname passes func in
-  let func, _ =
+  let g =
+    {
+      b_log = log;
+      b_fname = fname;
+      b_opts = opts;
+      b_oracle = oracle;
+      b_diags = diags;
+      quarantined = SSet.empty;
+      baseline = SSet.of_list (generic_violations opts func);
+    }
+  in
+  (if not (SSet.is_empty g.baseline) then
+     diags :=
+       Diag.make ~severity:Diag.Warn Diag.Malformed_ir ~func:fname ~pass:"input"
+         (Printf.sprintf "pipeline input already ill-formed: %s"
+            (String.concat "; " (SSet.elements g.baseline)))
+       :: !diags);
+  let seq passes func =
+    seq ~log ~fname
+      (List.map (fun (name, pass) -> (name, guard g name pass)) passes)
+      func
+  in
+  let func, _, _ =
     seq [ ("legalize", fun f -> (Legalize.run machine f, false)) ] func
   in
   let replicate_pass func = replicate func in
   (* Initial branch optimizations, then replication on the clean flow. *)
-  let func, _ =
+  let func, _, _ =
     seq
       [
         ("branch-chain", Branch_chain.run);
@@ -145,7 +264,7 @@ let optimize_func_with ?(log = Telemetry.Log.null)
     if n = 0 then func
     else begin
       let gate enabled pass = if enabled then pass else fun f -> (f, false) in
-      let func, changed =
+      let func, changed, last_pass =
         seq
           [
             ("isel", gate opts.enable_isel (Isel.run machine));
@@ -169,12 +288,29 @@ let optimize_func_with ?(log = Telemetry.Log.null)
               iteration = opts.max_iterations - n + 1;
               changed;
             });
-      if changed then fix func (n - 1) else func
+      if not changed then func
+      else if n = 1 then begin
+        (* The iteration cap was hit while a pass still reported progress:
+           warn instead of silently stopping. *)
+        Telemetry.Log.emit log (fun () ->
+            Telemetry.Log.Fixpoint_diverged
+              { func = fname; iterations = opts.max_iterations; last_pass });
+        diags :=
+          Diag.make ~severity:Diag.Warn Diag.No_convergence ~func:fname
+            ~pass:last_pass
+            (Printf.sprintf
+               "fixpoint not reached after %d iterations; %s still reported a \
+                change"
+               opts.max_iterations last_pass)
+          :: !diags;
+        func
+      end
+      else fix func (n - 1)
     end
   in
   let func = fix func opts.max_iterations in
   (* Final replication invocation: also take what would be irreducible. *)
-  let func, _ =
+  let func, _, _ =
     seq
       [
         ("replicate-final", replicate ~allow_irreducible:true);
@@ -190,16 +326,28 @@ let optimize_func_with ?(log = Telemetry.Log.null)
      callee-save registers, so Deadvars must not run after it). *)
   let func =
     if opts.allocate then
-      fst
-        (seq
-           [ ("regalloc", fun f -> (Regalloc.run ~log machine f, false)) ]
-           func)
+      let func, _, _ =
+        seq [ ("regalloc", fun f -> (Regalloc.run ~log machine f, false)) ] func
+      in
+      func
     else func
   in
-  Check.assert_ok func;
+  (* Belt and braces: the boundary gated every pass, so only violations the
+     input already had can remain. *)
+  (match
+     List.filter
+       (fun v -> not (SSet.mem v g.baseline))
+       (generic_violations opts func)
+   with
+  | [] -> ()
+  | fresh ->
+    raise
+      (Diag.Error
+         (Diag.make Diag.Malformed_ir ~func:fname ~pass:"output"
+            (String.concat "; " fresh))));
   func
 
-let optimize_func ?log opts machine func =
+let optimize_func ?log ?diags ?oracle opts machine func =
   (* Growth cap for replication, relative to the pre-replication size. *)
   (* The paper's worst growth is ~3x (deroff); 8x is a generous ceiling
      that still bounds pathological replication cascades. *)
@@ -207,10 +355,27 @@ let optimize_func ?log opts machine func =
   let replicate ?(allow_irreducible = false) func =
     replication_pass ?log opts ~size_cap ~allow_irreducible func
   in
-  optimize_func_with ?log ~replicate opts machine func
+  optimize_func_with ?log ?diags ?oracle ~replicate opts machine func
 
-let optimize ?log opts machine prog =
-  Prog.map_funcs (optimize_func ?log opts machine) prog
+let optimize ?log ?diags opts machine prog =
+  let oracle =
+    if opts.verify_passes then Some (Oracle.make machine prog) else None
+  in
+  let prog' =
+    Prog.map_funcs (optimize_func ?log ?diags ?oracle opts machine) prog
+  in
+  (if opts.verify_passes then
+     match Check.program_errors prog' with
+     | [] -> ()
+     | errs ->
+       Option.iter
+         (fun diags ->
+           diags :=
+             Diag.make Diag.Malformed_ir ~func:"" ~pass:"program"
+               (String.concat "; " errs)
+             :: !diags)
+         diags);
+  prog'
 
-let compile ?log opts machine source =
-  optimize ?log opts machine (Frontend.Codegen.compile_source source)
+let compile ?log ?diags opts machine source =
+  optimize ?log ?diags opts machine (Frontend.Codegen.compile_source source)

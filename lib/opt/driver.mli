@@ -3,7 +3,17 @@
     Levels:
     - [Simple]: the standard optimizations only;
     - [Loops]: standard plus loop-condition replication ({!Replication.Loops_rep});
-    - [Jumps]: standard plus generalized code replication ({!Replication.Jumps}). *)
+    - [Jumps]: standard plus generalized code replication ({!Replication.Jumps}).
+
+    Every pass runs inside a protective boundary: the {!Flow.Check}
+    verifier inspects the pass's output (cheap structural checks always;
+    [verify_passes] adds the expensive dominance-based checks and a
+    differential execution oracle on small functions).  When a pass
+    produces ill-formed IR, raises, or miscompiles, the function is rolled
+    back to the pass's input, a [Pass_quarantined] telemetry event and a
+    {!Telemetry.Diag.t} are recorded, the pass is skipped for the rest of
+    that function's compilation, and the pipeline continues.  One broken
+    pass on one function no longer aborts the build. *)
 
 type level = Simple | Loops | Jumps
 
@@ -22,6 +32,13 @@ type options = {
   enable_licm : bool;  (** code motion (§3.3.3 preheader relocation) *)
   enable_strength : bool;  (** induction-variable strength reduction *)
   enable_isel : bool;  (** peephole combining (§3.3.2 instruction selection) *)
+  verify_passes : bool;
+      (** expensive per-pass verification: dominance-based def-before-use,
+          program-level label uniqueness, and the differential execution
+          oracle ({!Oracle}) on examples-sized functions *)
+  inject_fault : string option;
+      (** test-only: corrupt the named pass's output with a dangling jump,
+          to exercise the quarantine-and-rollback path end to end *)
 }
 
 val default_options : options
@@ -35,14 +52,28 @@ val options : ?level:level -> unit -> options
     Figure-3 do-while round emits a [Fixpoint_iteration] event, and the
     replication and register-allocation passes report their per-decision
     events ({!Replication.Jumps.run}, {!Regalloc.run}).  The disabled
-    (null) log costs one branch per pass. *)
+    (null) log costs one branch per pass.
+
+    [diags] collects {!Telemetry.Diag.t} records for quarantined passes,
+    fixpoint divergence, and ill-formed input; callers that omit it still
+    get the telemetry events.  [oracle] supplies the differential
+    execution oracle consulted after every changing pass. *)
 val optimize_func :
-  ?log:Telemetry.Log.t -> options -> Ir.Machine.t -> Flow.Func.t -> Flow.Func.t
+  ?log:Telemetry.Log.t ->
+  ?diags:Telemetry.Diag.t list ref ->
+  ?oracle:Oracle.t ->
+  options ->
+  Ir.Machine.t ->
+  Flow.Func.t ->
+  Flow.Func.t
 
 (** Like {!optimize_func} but with the replication pass supplied by the
-    caller — used by tests to instrument or cap replication. *)
+    caller — used by tests to instrument or cap replication, or to inject
+    a deliberately broken pass against the quarantine machinery. *)
 val optimize_func_with :
   ?log:Telemetry.Log.t ->
+  ?diags:Telemetry.Diag.t list ref ->
+  ?oracle:Oracle.t ->
   replicate:
     (?allow_irreducible:bool -> Flow.Func.t -> Flow.Func.t * bool) ->
   options ->
@@ -50,10 +81,23 @@ val optimize_func_with :
   Flow.Func.t ->
   Flow.Func.t
 
-(** Optimize a whole program. *)
+(** Optimize a whole program.  When [options.verify_passes] is set, an
+    {!Oracle} is built from the unoptimized program and consulted after
+    every changing pass, and program-level checks (global label
+    uniqueness) run on the result. *)
 val optimize :
-  ?log:Telemetry.Log.t -> options -> Ir.Machine.t -> Flow.Prog.t -> Flow.Prog.t
+  ?log:Telemetry.Log.t ->
+  ?diags:Telemetry.Diag.t list ref ->
+  options ->
+  Ir.Machine.t ->
+  Flow.Prog.t ->
+  Flow.Prog.t
 
 (** Parse + compile + optimize C-subset source. *)
 val compile :
-  ?log:Telemetry.Log.t -> options -> Ir.Machine.t -> string -> Flow.Prog.t
+  ?log:Telemetry.Log.t ->
+  ?diags:Telemetry.Diag.t list ref ->
+  options ->
+  Ir.Machine.t ->
+  string ->
+  Flow.Prog.t

@@ -1,0 +1,27 @@
+(** Per-pass differential execution oracle (enabled by [--verify-passes]).
+
+    Holds the program a function under optimization came from.  After a
+    pass changes a function, the driver substitutes the pass's input
+    (last-good) and output (candidate) versions into that program in turn,
+    executes both on the simulator with empty input and a bounded step
+    budget, and compares the observable behaviour (output bytes and exit
+    code).  A divergence convicts the pass of a miscompile that no
+    structural check can see.
+
+    The oracle only fires on [examples/]-sized functions ([size_cap]
+    RTLs); the baseline run must terminate cleanly for a verdict — if it
+    faults or exhausts the budget the comparison is inconclusive and the
+    pass is given the benefit of the doubt. *)
+
+type t
+
+val make : ?max_steps:int -> ?size_cap:int -> Ir.Machine.t -> Flow.Prog.t -> t
+
+(** Whether the oracle will run at all for this candidate (size gate). *)
+val applies : t -> Flow.Func.t -> bool
+
+(** [divergence t ~baseline ~candidate] is [Some message] when the two
+    versions of the function behave observably differently, [None] when
+    they agree or the comparison is inconclusive. *)
+val divergence :
+  t -> baseline:Flow.Func.t -> candidate:Flow.Func.t -> string option

@@ -259,7 +259,9 @@ let rewrite_spills func spilled slot_of =
 let enter_size func =
   match (Func.block func 0).instrs with
   | Rtl.Enter n :: _ -> n
-  | _ -> raise (Failure "function does not start with Enter")
+  | _ ->
+    Telemetry.Diag.error Telemetry.Diag.Internal ~func:(Func.name func)
+      ~pass:"regalloc" "function does not start with Enter"
 
 let patch_frame func ~extra_bytes ~saves =
   let aligned = (extra_bytes + 7) land lnot 7 in
@@ -289,7 +291,8 @@ let apply_assignment func assignment =
       match Hashtbl.find_opt assignment r with
       | Some (Colored c) -> Reg.Phys c
       | Some Spilled | None ->
-        raise (Failure (Printf.sprintf "unassigned register %s" (Reg.to_string r))))
+        Telemetry.Diag.error Telemetry.Diag.Internal ~func:(Func.name func)
+          ~pass:"regalloc" "unassigned register %s" (Reg.to_string r))
     | Reg.Phys _ | Reg.Cc -> r
   in
   Func.map_instrs (fun instrs -> List.map (Rtl.map_regs subst) instrs) func
@@ -323,7 +326,10 @@ let run ?(log = Telemetry.Log.null) _machine func =
       s
   in
   let rec attempt func unspillable round =
-    if round > 12 then raise (Failure "register allocation did not converge");
+    if round > 12 then
+      Telemetry.Diag.error Telemetry.Diag.No_convergence ~func:fname
+        ~pass:"regalloc" "register allocation did not converge after %d rounds"
+        (round - 1);
     let g = build_graph func in
     let assignment = color_graph g ~unspillable in
     let spilled =

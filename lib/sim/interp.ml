@@ -16,13 +16,23 @@ let uncond_jumps c = c.jumps + c.ijumps
 
 let transfers c = c.cond_branches + c.jumps + c.ijumps + c.calls + c.rets
 
-type result = { output : string; exit_code : int; counts : counts }
+type result = {
+  output : string;
+  exit_code : int;
+  counts : counts;
+  timed_out : bool;
+}
 
 exception Runtime_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
 exception Exit_program of int
+
+(* Step-budget exhaustion is a distinct outcome, not a runtime fault: the
+   fuzzer uses it to tell a diverging (miscompiled-into-a-loop) program
+   from a crashing one. *)
+exception Out_of_steps
 
 type state = {
   asm : Asm.t;
@@ -115,7 +125,7 @@ let count st instr pos =
     Telemetry.Log.emit st.log (fun () ->
         Telemetry.Log.Sim_progress { instrs = c.total });
   st.steps_left <- st.steps_left - 1;
-  if st.steps_left <= 0 then error "step budget exhausted"
+  if st.steps_left <= 0 then raise Out_of_steps
 
 let builtin_call st name nargs =
   let arg i = st.phys.(match Conv.arg_reg i with Reg.Phys k -> k | _ -> 0) in
@@ -251,6 +261,7 @@ let run ?(max_steps = 400_000_000) ?(input = "")
   in
   set_reg st Conv.sp (Image.size image);
   set_reg st Conv.fp (Image.size image);
+  let timed_out = ref false in
   let exit_code =
     try
       let rec loop () =
@@ -306,6 +317,14 @@ let run ?(max_steps = 400_000_000) ?(input = "")
       loop ()
     with
     | Exit_program code -> code
+    | Out_of_steps ->
+      timed_out := true;
+      124
     | Image.Fault msg -> raise (Runtime_error msg)
   in
-  { output = Buffer.contents st.output; exit_code; counts }
+  {
+    output = Buffer.contents st.output;
+    exit_code;
+    counts;
+    timed_out = !timed_out;
+  }

@@ -31,8 +31,12 @@ val transfers : counts -> int
 
 type result = {
   output : string;
-  exit_code : int;
+  exit_code : int;  (** 124 when [timed_out] *)
   counts : counts;
+  timed_out : bool;
+      (** the [max_steps] budget ran out before the program exited — a
+          distinct outcome (not a {!Runtime_error}) so differential testing
+          can tell divergence from miscompilation *)
 }
 
 exception Runtime_error of string
@@ -48,8 +52,9 @@ exception Runtime_error of string
     instruction.
 
     @raise Runtime_error on faults (null/of-range access, division by zero,
-    jump-table index out of bounds, missing function, step budget
-    exhausted). *)
+    jump-table index out of bounds, missing function).  Step-budget
+    exhaustion is {e not} a fault: the result comes back with partial
+    output and [timed_out = true]. *)
 val run :
   ?max_steps:int ->
   ?input:string ->

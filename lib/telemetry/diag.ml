@@ -1,0 +1,76 @@
+type code =
+  | Malformed_ir
+  | Pass_raised
+  | Oracle_mismatch
+  | No_convergence
+  | Timeout
+  | Internal
+
+type severity = Warn | Err
+
+type t = {
+  code : code;
+  severity : severity;
+  func : string;
+  pass : string;
+  message : string;
+}
+
+exception Error of t
+
+let code_name = function
+  | Malformed_ir -> "malformed-ir"
+  | Pass_raised -> "pass-raised"
+  | Oracle_mismatch -> "oracle-mismatch"
+  | No_convergence -> "no-convergence"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+let severity_name = function Warn -> "warning" | Err -> "error"
+
+let make ?(severity = Err) code ~func ~pass message =
+  { code; severity; func; pass; message }
+
+let error code ~func ~pass fmt =
+  Format.kasprintf
+    (fun message -> raise (Error (make code ~func ~pass message)))
+    fmt
+
+let to_string d =
+  let where =
+    match d.func, d.pass with
+    | "", "" -> ""
+    | f, "" -> Printf.sprintf " %s:" f
+    | "", p -> Printf.sprintf " %s:" p
+    | f, p -> Printf.sprintf " %s/%s:" f p
+  in
+  Printf.sprintf "[%s]%s %s" (code_name d.code) where d.message
+
+(* Uses the same minimal quoting as the event log (duplicated to keep this
+   module dependency-free below Log). *)
+let json_quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":%s,\"severity\":%s,\"func\":%s,\"pass\":%s,\"message\":%s}"
+    (json_quote (code_name d.code))
+    (json_quote (severity_name d.severity))
+    (json_quote d.func) (json_quote d.pass) (json_quote d.message)
+
+let has_errors ds = List.exists (fun d -> d.severity = Err) ds

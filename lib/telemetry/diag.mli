@@ -1,0 +1,52 @@
+(** Typed pipeline diagnostics.
+
+    The optimization pipeline's error channel: instead of scattered
+    [failwith]s, passes raise {!exception-Error} carrying a structured
+    diagnostic, and the defensive driver ({!Opt.Driver}) converts verifier
+    failures, pass exceptions and oracle mismatches into collected
+    diagnostics so one bad pass on one function no longer aborts the whole
+    compile.  The CLI prints collected diagnostics as warnings and, under
+    [--strict], exits nonzero when any error-severity diagnostic was
+    recorded. *)
+
+type code =
+  | Malformed_ir  (** the IR verifier reported violations *)
+  | Pass_raised  (** a pass raised an exception *)
+  | Oracle_mismatch  (** differential execution diverged after a pass *)
+  | No_convergence  (** an iteration cap was hit without a fixpoint *)
+  | Timeout  (** simulator step budget exhausted *)
+  | Internal  (** an internal invariant was violated *)
+
+type severity = Warn | Err
+
+type t = {
+  code : code;
+  severity : severity;
+  func : string;  (** function being compiled, or [""] *)
+  pass : string;  (** pass that produced the diagnostic, or [""] *)
+  message : string;
+}
+
+(** Raised by pipeline code in place of [failwith]; the driver's pass
+    boundary catches it and quarantines the raising pass. *)
+exception Error of t
+
+val code_name : code -> string
+
+val make :
+  ?severity:severity -> code -> func:string -> pass:string -> string -> t
+
+(** [error code ~func ~pass fmt]: raise {!exception-Error} with severity
+    {!Err} and a formatted message. *)
+val error :
+  code -> func:string -> pass:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** ["[code] func/pass: message"], the warning line the CLI prints. *)
+val to_string : t -> string
+
+(** One JSON object, no trailing newline. *)
+val to_json : t -> string
+
+(** Whether any diagnostic in the list is error-severity (what [--strict]
+    keys its exit code on). *)
+val has_errors : t list -> bool

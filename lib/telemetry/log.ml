@@ -41,6 +41,13 @@ type event =
       reason : reason;
     }
   | Fixpoint_iteration of { func : string; iteration : int; changed : bool }
+  | Fixpoint_diverged of { func : string; iterations : int; last_pass : string }
+  | Pass_quarantined of {
+      func : string;
+      pass : string;
+      code : string;
+      violations : string list;
+    }
   | Regalloc_spill of { func : string; reg : string; round : int }
   | Sim_progress of { instrs : int }
   | Counter_event of { name : string; value : int }
@@ -137,6 +144,22 @@ let fields_of_event = function
         ("func", json_string func);
         ("iteration", string_of_int iteration);
         ("changed", string_of_bool changed);
+      ] )
+  | Fixpoint_diverged { func; iterations; last_pass } ->
+    ( "fixpoint_diverged",
+      [
+        ("func", json_string func);
+        ("iterations", string_of_int iterations);
+        ("last_pass", json_string last_pass);
+      ] )
+  | Pass_quarantined { func; pass; code; violations } ->
+    ( "pass_quarantined",
+      [
+        ("func", json_string func);
+        ("pass", json_string pass);
+        ("code", json_string code);
+        ( "violations",
+          "[" ^ String.concat "," (List.map json_string violations) ^ "]" );
       ] )
   | Regalloc_spill { func; reg; round } ->
     ( "regalloc_spill",

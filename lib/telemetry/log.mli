@@ -63,6 +63,15 @@ type event =
       reason : reason;
     }
   | Fixpoint_iteration of { func : string; iteration : int; changed : bool }
+  | Fixpoint_diverged of { func : string; iterations : int; last_pass : string }
+      (** the Figure-3 loop hit its iteration cap while [last_pass] still
+          reported a change *)
+  | Pass_quarantined of {
+      func : string;
+      pass : string;
+      code : string;  (** a {!Diag.code} name *)
+      violations : string list;  (** verifier violations, if any *)
+    }  (** the pass boundary rolled the function back to its last-good IR *)
   | Regalloc_spill of { func : string; reg : string; round : int }
   | Sim_progress of { instrs : int }
   | Counter_event of { name : string; value : int }

@@ -62,6 +62,62 @@ explain names a decision for every unconditional jump:
     remaining unconditional jumps: none
   total: 1 replicated, 0 remaining
 
+Robustness: the expensive per-pass checks accept a clean compilation
+(same output, exit 0, even under --strict):
+
+  $ ../../bin/jumprepc.exe run tiny.c -O jumps --verify-passes --strict
+  6
+
+--inject-fault corrupts the named pass's output; the always-on verifier
+catches it, quarantines the pass, rolls the function back to the
+last-good IR and still produces a correct program (exit 0, with a
+warning on stderr):
+
+  $ ../../bin/jumprepc.exe run tiny.c -O jumps --inject-fault replicate 2>err.txt
+  6
+  $ grep -c 'malformed-ir' err.txt
+  1
+
+Under --strict the quarantine becomes exit 3:
+
+  $ ../../bin/jumprepc.exe run tiny.c -O jumps --inject-fault replicate --strict 2>/dev/null
+  6
+  [3]
+
+measure reports a per-level status verdict in its last column:
+
+  $ ../../bin/jumprepc.exe measure tiny.c -m cisc | awk '{print $NF}'
+  status
+  ok
+  ok
+  ok
+
+Step-limit exhaustion is a distinct timeout outcome (exit 124), not a
+runtime error:
+
+  $ ../../bin/jumprepc.exe run tiny.c -O simple --max-steps 10
+  tiny.c: timeout: step limit exhausted after 10 instructions
+  [124]
+
+A small fuzz campaign: every (level, machine) configuration must match
+the SIMPLE/cisc reference byte for byte:
+
+  $ ../../bin/jumprepc.exe fuzz --seeds 2 --quiet --out ff
+  fuzz: 2 seeds, 0 failures
+
+An induced failure is delta-reduced to a minimal reproducer (at most 25
+lines) and the campaign exits nonzero:
+
+  $ ../../bin/jumprepc.exe fuzz --seeds 1 --quiet --out ff2 --inject-fault replicate
+  seed 0: quarantine at SIMPLE/cisc, reduced reproducer: ff2/seed-0.c
+  fuzz: 1 seeds, 1 failures
+  [1]
+
+  $ grep -c 'quarantine' ff2/seed-0.c
+  1
+  $ test "$(wc -l < ff2/seed-0.c)" -le 25 && echo small
+  small
+
 The bench harness lists its table ids:
 
   $ ../../bench/main.exe --list

@@ -6,6 +6,7 @@ let () =
       Test_machine.tests;
       Test_frontend.tests;
       Test_flow.tests;
+      Test_check.tests;
       Test_replication.tests;
       Test_opt.tests;
       Test_regalloc.tests;

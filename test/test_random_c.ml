@@ -1,162 +1,109 @@
 (* Differential testing on randomly generated C-subset programs: every
    (level, machine) configuration must produce byte-identical output.
 
-   Programs are generated as source text with termination by construction:
-   loops are always `for (ci = 0; ci < K; ci++)` over a dedicated counter
-   that the body never assigns, array indices are masked to bounds, and
-   divisors are forced non-zero. *)
+   The generator lives in Harness.Gen (shared with the `jumprepc fuzz`
+   subcommand); programs terminate by construction.  The property is the
+   fuzz harness's own check, so a failure here is exactly what a fuzz
+   campaign would report (and QCheck shrinks with the same Gen.shrink the
+   campaign's delta reducer uses). *)
 
-open QCheck.Gen
-
-type genv = {
-  mutable depth : int;
-  mutable counters : int;  (** next loop-counter id *)
-  mutable stmts_left : int;
-}
-
-let locals = [ "a"; "b"; "c"; "d" ]
-
-(* --- expressions --- *)
-
-let rec expr env n st =
-  if n <= 0 then atom env st
-  else
-    match int_bound 9 st with
-    | 0 | 1 -> atom env st
-    | 2 -> Printf.sprintf "(%s %s %s)" (expr env (n - 1) st)
-             (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] st)
-             (expr env (n - 1) st)
-    | 3 ->
-      (* division with a guarded divisor *)
-      Printf.sprintf "(%s %s ((%s & 7) + 1))" (expr env (n - 1) st)
-        (oneofl [ "/"; "%" ] st)
-        (expr env (n - 1) st)
-    | 4 ->
-      Printf.sprintf "(%s %s (%s & 15))" (expr env (n - 1) st)
-        (oneofl [ "<<"; ">>" ] st)
-        (expr env (n - 1) st)
-    | 5 -> Printf.sprintf "(%s %s %s)" (expr env (n - 1) st)
-             (oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] st)
-             (expr env (n - 1) st)
-    | 6 -> Printf.sprintf "(%s %s %s)" (expr env (n - 1) st)
-             (oneofl [ "&&"; "||" ] st)
-             (expr env (n - 1) st)
-    | 7 -> Printf.sprintf "(%s ? %s : %s)" (expr env (n - 1) st)
-             (expr env (n - 1) st) (expr env (n - 1) st)
-    | 8 -> Printf.sprintf "(- %s)" (expr env (n - 1) st)
-    | _ -> Printf.sprintf "g[%s & 7]" (expr env (n - 1) st)
-
-and atom _env st =
-  match int_bound 3 st with
-  | 0 -> string_of_int (int_range (-100) 100 st)
-  | 1 | 2 -> oneofl locals st
-  | _ -> Printf.sprintf "g[%d]" (int_bound 7 st)
-
-(* --- statements --- *)
-
-let lvalue st =
-  match int_bound 2 st with
-  | 0 | 1 -> oneofl locals st
-  | _ -> Printf.sprintf "g[%d]" (int_bound 7 st)
-
-let rec stmt env st =
-  env.stmts_left <- env.stmts_left - 1;
-  if env.stmts_left <= 0 then assign env st
-  else
-    match int_bound 11 st with
-    | 0 | 1 | 2 | 3 -> assign env st
-    | 4 ->
-      Printf.sprintf "if (%s) { %s } else { %s }" (expr env 2 st)
-        (block env st) (block env st)
-    | 5 -> Printf.sprintf "if (%s) { %s }" (expr env 2 st) (block env st)
-    | 6 | 7 ->
-      if env.depth >= 2 then assign env st
-      else begin
-        let c = Printf.sprintf "i%d" env.counters in
-        env.counters <- env.counters + 1;
-        env.depth <- env.depth + 1;
-        let body = block env st in
-        env.depth <- env.depth - 1;
-        let bound = 1 + int_bound 6 st in
-        Printf.sprintf "for (%s = 0; %s < %d; %s++) { %s }" c c bound c body
-      end
-    | 8 ->
-      if env.depth = 0 then assign env st
-      else oneofl [ "break;"; "continue;" ] st
-    | 9 ->
-      Printf.sprintf "switch (%s & 3) { case 0: %s break; case 1: %s /* fall */ case 2: break; default: %s break; }"
-        (expr env 2 st) (assign env st) (assign env st) (assign env st)
-    | 10 -> Printf.sprintf "putchar(65 + (%s & 15));" (expr env 2 st)
-    | _ -> Printf.sprintf "%s;" (expr env 2 st)
-
-and assign env st =
-  let op = oneofl [ "="; "+="; "-="; "*=" ] st in
-  Printf.sprintf "%s %s %s;" (lvalue st) op (expr env 2 st)
-
-and block env st =
-  let n = 1 + int_bound 3 st in
-  String.concat " " (List.init n (fun _ -> stmt env st))
-
-let gen_program st =
-  let env = { depth = 0; counters = 0; stmts_left = 40 } in
-  let body = String.concat "\n  " (List.init 8 (fun _ -> stmt env st)) in
-  let counters =
-    if env.counters = 0 then ""
-    else
-      "int "
-      ^ String.concat ", " (List.init env.counters (fun i -> Printf.sprintf "i%d" i))
-      ^ ";"
-  in
-  Printf.sprintf
-    {|
-int g[8];
-
-int main() {
-  int a, b, c, d;
-  %s
-  a = 1; b = 2; c = 3; d = 4;
-  %s
-  putchar(65 + ((a + b + c + d + g[0] + g[1] + g[2] + g[3] + g[4] + g[5] + g[6] + g[7]) & 15));
-  putchar(10);
-  return 0;
-}
-|}
-    counters body
-
-let arb_program = QCheck.make ~print:(fun s -> s) gen_program
+let arb_program =
+  QCheck.make
+    ~print:Harness.Gen.to_c
+    ~shrink:(fun p yield -> Seq.iter yield (Harness.Gen.shrink p))
+    Harness.Gen.generate
 
 let prop_all_configs_agree =
   QCheck.Test.make ~name:"random programs agree across levels and machines"
-    ~count:60 arb_program (fun src ->
-      let reference = ref None in
-      List.for_all
-        (fun machine ->
-          List.for_all
-            (fun level ->
-              (* Generated programs terminate within a few thousand steps;
-                 a tight budget turns a miscompiled infinite loop into a
-                 fast failure instead of a 400M-step crawl. *)
-              let out, code =
-                Helpers.run ~level ~machine ~max_steps:3_000_000 src
-              in
-              match !reference with
-              | None ->
-                reference := Some (out, code);
-                true
-              | Some (o, c) -> o = out && c = code)
-            Helpers.levels)
-        Helpers.machines)
+    ~count:60 arb_program (fun p ->
+      (* Generated programs terminate within a few thousand steps; a tight
+         budget turns a miscompiled infinite loop into a fast failure
+         instead of a 400M-step crawl. *)
+      match Harness.Fuzz.check ~max_steps:3_000_000 (Harness.Gen.to_c p) with
+      | None -> true
+      | Some f ->
+        QCheck.Test.fail_reportf "%s at %s: %s"
+          (Harness.Fuzz.kind_name f.kind)
+          f.config f.detail)
 
 let prop_outputs_deterministic =
   QCheck.Test.make ~name:"same program, same output" ~count:10 arb_program
-    (fun src ->
+    (fun p ->
+      let src = Harness.Gen.to_c p in
       let a = Helpers.run ~max_steps:3_000_000 ~level:Opt.Driver.Jumps src in
       let b = Helpers.run ~max_steps:3_000_000 ~level:Opt.Driver.Jumps src in
       a = b)
+
+(* Seeded generation is deterministic (the fuzz campaign's reproducers
+   depend on it), and shrink candidates never grow. *)
+let test_gen_deterministic () =
+  let p1 = Harness.Gen.generate (Random.State.make [| 42 |]) in
+  let p2 = Harness.Gen.generate (Random.State.make [| 42 |]) in
+  Alcotest.(check string) "same seed, same program" (Harness.Gen.to_c p1)
+    (Harness.Gen.to_c p2);
+  let size = Harness.Gen.size p1 in
+  let shrunk = List.of_seq (Seq.take 100 (Harness.Gen.shrink p1)) in
+  Alcotest.(check bool) "shrink candidates exist" true (shrunk <> []);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "candidate no larger" true
+        (Harness.Gen.size q <= size))
+    shrunk
+
+(* The delta reducer drives any failure to a local minimum.  A synthetic
+   failure kind ("program still contains a putchar statement") shrinks to
+   a single statement. *)
+let test_reduce () =
+  let rec has_putchar stmts =
+    List.exists
+      (function
+        | Harness.Gen.Putchar _ -> true
+        | Harness.Gen.If (_, t, f) -> has_putchar t || has_putchar f
+        | Harness.Gen.For (_, _, b) -> has_putchar b
+        | Harness.Gen.Switch (_, a, b, c) -> has_putchar [ a; b; c ]
+        | _ -> false)
+      stmts
+  in
+  let fail =
+    { Harness.Fuzz.kind = Harness.Fuzz.Mismatch; config = "x"; detail = "" }
+  in
+  (* The fixed epilogue contains exactly one "putchar(65 + (" occurrence;
+     each Putchar statement adds another.  "Fails" while any remains. *)
+  let count_marker src =
+    let marker = "putchar(65 + (" in
+    let m = String.length marker in
+    let n = ref 0 in
+    for i = 0 to String.length src - m do
+      if String.sub src i m = marker then incr n
+    done;
+    !n
+  in
+  let check src = if count_marker src >= 2 then Some fail else None in
+  (* Find a seed whose program contains a Putchar statement. *)
+  let rec find seed =
+    if seed > 200 then Alcotest.fail "no seeded program with putchar"
+    else
+      let p = Harness.Gen.generate (Random.State.make [| seed |]) in
+      if has_putchar p.Harness.Gen.body then p else find (seed + 1)
+  in
+  let p = find 0 in
+  let reduced, f = Harness.Fuzz.reduce ~check p fail in
+  Alcotest.(check bool) "failure kind preserved" true
+    (f.Harness.Fuzz.kind = Harness.Fuzz.Mismatch);
+  Alcotest.(check bool) "reduced is smaller or equal" true
+    (Harness.Gen.size reduced <= Harness.Gen.size p);
+  Alcotest.(check bool) "reduced still fails" true
+    (check (Harness.Gen.to_c reduced) <> None);
+  (* Minimal: one statement. *)
+  Alcotest.(check int) "reduced to a single statement" 1
+    (Harness.Gen.size reduced)
 
 let tests =
   ( "random-c",
     [
       QCheck_alcotest.to_alcotest ~long:true prop_all_configs_agree;
       QCheck_alcotest.to_alcotest prop_outputs_deterministic;
+      Alcotest.test_case "seeded generation deterministic" `Quick
+        test_gen_deterministic;
+      Alcotest.test_case "delta reduction" `Quick test_reduce;
     ] )

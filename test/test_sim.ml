@@ -143,15 +143,16 @@ let test_runtime_errors () =
   expect_error "int main() { int x; x = getchar(); return 1 / (x + 1); }";
   (* null pointer dereference *)
   expect_error "int main() { int *p; p = 0; return *p; }";
-  (* step budget *)
-  (let prog =
-     Opt.Driver.compile Opt.Driver.default_options Machine.cisc
-       "int main() { for (;;) ; return 0; }"
-   in
-   let asm = Sim.Asm.assemble Machine.cisc prog in
-   match Sim.Interp.run ~max_steps:1000 asm prog with
-   | exception Sim.Interp.Runtime_error _ -> ()
-   | _ -> Alcotest.fail "expected step-budget exhaustion")
+  (* Step-budget exhaustion is a distinct timeout outcome, not a runtime
+     error: the result carries [timed_out] and the conventional exit 124. *)
+  let prog =
+    Opt.Driver.compile Opt.Driver.default_options Machine.cisc
+      "int main() { for (;;) ; return 0; }"
+  in
+  let asm = Sim.Asm.assemble Machine.cisc prog in
+  let res = Sim.Interp.run ~max_steps:1000 asm prog in
+  Alcotest.(check bool) "timed out" true res.timed_out;
+  Alcotest.(check int) "timeout exit code" 124 res.exit_code
 
 let test_getchar_eof () =
   let out, _ =

@@ -19,4 +19,22 @@ fi
 echo "== dune runtest =="
 dune runtest
 
+echo "== fuzz smoke (25 seeds) =="
+dune exec bin/jumprepc.exe -- fuzz --seeds 25 --quiet --out _build/fuzz-failures
+
+echo "== verify-passes strict run =="
+cat > _build/ci-verify.c <<'EOF'
+int main() {
+  int i, s;
+  s = 0;
+  for (i = 0; i < 10; i++) { s += i; }
+  putchar(65 + (s & 15));
+  putchar(10);
+  return 0;
+}
+EOF
+dune exec bin/jumprepc.exe -- run _build/ci-verify.c -O jumps -m cisc --verify-passes --strict > /dev/null
+dune exec bin/jumprepc.exe -- run _build/ci-verify.c -O jumps -m risc --verify-passes --strict > /dev/null
+dune exec bin/jumprepc.exe -- bench wc -O jumps -m cisc --verify-passes > /dev/null
+
 echo "CI OK"
