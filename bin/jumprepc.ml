@@ -137,8 +137,7 @@ let make_log trace trace_out =
     (Telemetry.Log.make (Telemetry.Log.Jsonl stderr), fun () -> flush stderr)
 
 (* Surface front-end failures as diagnostics, not OCaml backtraces. *)
-let compile_prog ?log ?(diags = ref []) opts machine path =
-  let source = read_file path in
+let compile_source ?log ?(diags = ref []) opts machine ~path source =
   try Opt.Driver.compile ?log ~diags opts machine source with
   | Frontend.Lexer.Error (msg, line) ->
     Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
@@ -152,6 +151,9 @@ let compile_prog ?log ?(diags = ref []) opts machine path =
   | Telemetry.Diag.Error d ->
     Printf.eprintf "%s: error: %s\n" path (Telemetry.Diag.to_string d);
     exit 1
+
+let compile_prog ?log ?diags opts machine path =
+  compile_source ?log ?diags opts machine ~path (read_file path)
 
 let func_ujumps f =
   Array.fold_left
@@ -450,14 +452,160 @@ let bench_cmd =
       const run $ level_arg $ machine_arg $ bench_name $ trace_arg
       $ trace_out_arg $ stats_json_arg $ verify_arg)
 
+(* --- lint: static-analysis findings over the compiled RTL --- *)
+
+let lint_cmd =
+  let targets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:"A C source file or a bundled benchmark name (see $(b,list)).")
+  in
+  let benches =
+    Arg.(
+      value & flag
+      & info [ "benches" ] ~doc:"Lint every bundled benchmark as well.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: a JSON array with one object per \
+             target, each carrying its findings as diagnostic objects.")
+  in
+  let run level machine targets benches json strict =
+    let targets =
+      targets
+      @ (if benches then
+           List.map (fun (b : Programs.Suite.benchmark) -> b.name)
+             Programs.Suite.all
+         else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf
+        "jumprepc: lint: no targets (name files or benchmarks, or pass \
+         --benches)\n";
+      exit 2
+    end;
+    let source_of t =
+      if Sys.file_exists t then read_file t
+      else
+        match Programs.Suite.find t with
+        | Some b -> b.source
+        | None ->
+          Printf.eprintf
+            "jumprepc: lint: %s is neither a file nor a bundled benchmark\n" t;
+          exit 2
+    in
+    (* Lint the pre-allocation RTL: virtual registers must survive so the
+       uninitialized-read analysis can see them. *)
+    let opts = { (make_opts level) with Opt.Driver.allocate = false } in
+    let all_diags = ref [] in
+    let reports =
+      List.map
+        (fun t ->
+          let diags = ref [] in
+          let prog = compile_source ~diags opts machine ~path:t (source_of t) in
+          (* Pipeline diagnostics (quarantined passes etc.) and lint
+             findings share the rendering and the --strict policy. *)
+          let findings = List.rev !diags @ Lint.check_prog prog in
+          all_diags := !all_diags @ findings;
+          (t, findings))
+        targets
+    in
+    if json then
+      Printf.printf "[%s]\n"
+        (String.concat ","
+           (List.map
+              (fun (t, findings) ->
+                Printf.sprintf "{\"target\":%s,\"findings\":[%s]}"
+                  (Telemetry.Log.json_string t)
+                  (String.concat ","
+                     (List.map Telemetry.Diag.to_json findings)))
+              reports))
+    else
+      List.iter
+        (fun (t, findings) ->
+          let s = Lint.summarize findings in
+          if findings = [] then Printf.printf "%s: clean\n" t
+          else begin
+            Printf.printf "%s: %d error%s, %d warning%s\n" t s.Lint.errors
+              (if s.Lint.errors = 1 then "" else "s")
+              s.Lint.warnings
+              (if s.Lint.warnings = 1 then "" else "s");
+            List.iter
+              (fun d ->
+                Printf.printf "  %s: %s\n"
+                  (match d.Telemetry.Diag.severity with
+                  | Telemetry.Diag.Warn -> "warning"
+                  | Telemetry.Diag.Err -> "error")
+                  (Telemetry.Diag.to_string d))
+              findings
+          end)
+        reports;
+    strict_exit strict all_diags
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static-analysis report over the compiled (pre-allocation) RTL: \
+          uninitialized virtual-register reads, dead stores, statically \
+          decidable branches, jump chains, unreachable blocks, and the \
+          per-jump replication outlook (wholesale loop copies, code-growth \
+          estimates, residual jumps)")
+    Term.(
+      const run $ level_arg $ machine_arg $ targets $ benches $ json
+      $ strict_arg)
+
 (* --- explain: per-function replication report --- *)
 
 let explain_cmd =
-  let run level machine path =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: one JSON object per function with the \
+             replication count and the remaining jumps as diagnostic \
+             objects.")
+  in
+  let run level machine path json =
     (* Trace the whole compilation in memory, then audit what is left. *)
     let log = Telemetry.Log.make Telemetry.Log.Memory in
     let prog = compile_prog ~log (make_opts level) machine path in
     let events = Telemetry.Log.events log in
+    if json then begin
+      (* The remaining jumps reuse the lint renderer: each decision is the
+         same typed diagnostic `jumprepc lint --json` emits. *)
+      Printf.printf "[%s]\n"
+        (String.concat ","
+           (List.map
+              (fun f ->
+                let fname = Flow.Func.name f in
+                let applied =
+                  List.length
+                    (List.filter
+                       (function
+                         | Telemetry.Log.Replication_applied { func; _ } ->
+                           String.equal func fname
+                         | _ -> false)
+                       events)
+                in
+                Printf.sprintf
+                  "{\"func\":%s,\"replicated\":%d,\"remaining\":[%s]}"
+                  (Telemetry.Log.json_string fname)
+                  applied
+                  (String.concat ","
+                     (List.map
+                        (fun jd ->
+                          Telemetry.Diag.to_json
+                            (Lint.diag_of_decision ~func:fname ~pass:"explain"
+                               jd))
+                        (Replication.Jumps.explain f))))
+              prog.Flow.Prog.funcs));
+      exit 0
+    end;
     let total_applied = ref 0 and total_remaining = ref 0 in
     List.iter
       (fun f ->
@@ -510,7 +658,7 @@ let explain_cmd =
          "Audit replication decisions: for every unconditional jump, which \
           shortest-path sequence replaced it, or the concrete reason none \
           could")
-    Term.(const run $ level_arg $ machine_arg $ file_arg)
+    Term.(const run $ level_arg $ machine_arg $ file_arg $ json)
 
 (* --- fuzz: differential fuzzing with automatic delta reduction --- *)
 
@@ -605,6 +753,7 @@ let main =
       run_cmd;
       measure_cmd;
       bench_cmd;
+      lint_cmd;
       explain_cmd;
       fuzz_cmd;
       list_cmd;

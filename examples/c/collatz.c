@@ -1,0 +1,20 @@
+/* Collatz steps for n = 27: an if-then-else inside a while gives the
+   compiler both join-point jumps and a loop back-jump to replicate. */
+int main() {
+  int n, steps;
+  n = 27;
+  steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+  }
+  putchar('0' + steps / 100);
+  putchar('0' + steps / 10 % 10);
+  putchar('0' + steps % 10);
+  putchar('\n');
+  return 0;
+}

@@ -1,0 +1,20 @@
+/* Euclid's algorithm: a loop whose exit test sits at the top, so
+   favor-loops replication rotates it. */
+int gcd(int a, int b) {
+  int t;
+  while (b != 0) {
+    t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int main() {
+  int g;
+  g = gcd(1071, 462);
+  putchar('0' + g / 10);
+  putchar('0' + g % 10);
+  putchar('\n');
+  return 0;
+}

@@ -1,0 +1,12 @@
+/* Minimal loop: the for's back-jump is the replication target at -O
+   loops and above (paper Table 1 shape). */
+int main() {
+  int i, s;
+  s = 0;
+  for (i = 0; i < 10; i++) {
+    s = s + i;
+  }
+  putchar('A' + (s % 26));
+  putchar('\n');
+  return 0;
+}

@@ -1,0 +1,114 @@
+open Ir
+
+type key =
+  | Kbinop of Rtl.binop * Rtl.operand * Rtl.operand
+  | Kunop of Rtl.unop * Rtl.operand
+  | Klea of Rtl.addr
+
+module Key_set = Set.Make (struct
+  type t = key
+
+  let compare = compare
+end)
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare = compare
+end)
+
+let pure_operand = function
+  | Rtl.Reg _ | Rtl.Imm _ -> true
+  | Rtl.Mem _ -> false
+
+let pure_addr = function Rtl.Based _ | Rtl.Indexed _ | Rtl.Abs _ -> true
+
+let key_of (i : Rtl.instr) =
+  match i with
+  | Binop (op, Lreg d, a, b) when pure_operand a && pure_operand b ->
+    let a, b =
+      if Rtl.commutative op && compare b a < 0 then (b, a) else (a, b)
+    in
+    Some (d, Kbinop (op, a, b))
+  | Unop (op, Lreg d, a) when pure_operand a -> Some (d, Kunop (op, a))
+  | Lea (d, a) when pure_addr a -> Some (d, Klea a)
+  | Binop _ | Unop _ | Lea _ | Move _ | Cmp _ | Branch _ | Jump _ | Ijump _
+  | Call _ | Ret | Enter _ | Leave | Nop ->
+    None
+
+let key_regs = function
+  | Kbinop (_, a, b) -> Reg.Set.union (Rtl.operand_regs a) (Rtl.operand_regs b)
+  | Kunop (_, a) -> Rtl.operand_regs a
+  | Klea a -> Rtl.addr_regs a
+
+let generates i =
+  match key_of i with
+  | Some (d, k) when not (Reg.Set.mem d (key_regs k)) -> Some (d, k)
+  | Some _ | None -> None
+
+let killed_by universe (i : Rtl.instr) =
+  let defs = Rtl.defs i in
+  if Reg.Set.is_empty defs then Key_set.empty
+  else
+    Key_set.filter
+      (fun k -> not (Reg.Set.is_empty (Reg.Set.inter (key_regs k) defs)))
+      universe
+
+type t = {
+  universe : Key_set.t;
+  avail_in : Key_set.t array;
+  stats : Dataflow.stats;
+}
+
+module S = Dataflow.Solver (struct
+  type t = Key_set.t
+
+  let equal = Key_set.equal
+  let join = Key_set.inter
+end)
+
+let solve ~graph ~instrs =
+  let n = Array.length instrs in
+  let universe =
+    Array.fold_left
+      (fun acc is ->
+        List.fold_left
+          (fun acc i ->
+            match key_of i with
+            | Some (_, k) -> Key_set.add k acc
+            | None -> acc)
+          acc is)
+      Key_set.empty instrs
+  in
+  if Key_set.is_empty universe then
+    {
+      universe;
+      avail_in = Array.make n Key_set.empty;
+      stats = { Dataflow.visits = 0 };
+    }
+  else begin
+    let gen = Array.make n Key_set.empty in
+    let kill = Array.make n Key_set.empty in
+    Array.iteri
+      (fun bi is ->
+        List.iter
+          (fun i ->
+            let dead = killed_by universe i in
+            gen.(bi) <- Key_set.diff gen.(bi) dead;
+            kill.(bi) <- Key_set.union kill.(bi) dead;
+            match generates i with
+            | Some (_, k) ->
+              gen.(bi) <- Key_set.add k gen.(bi);
+              kill.(bi) <- Key_set.remove k kill.(bi)
+            | None -> ())
+          is)
+      instrs;
+    let r =
+      S.solve ~direction:Dataflow.Forward ~graph ~empty:Key_set.empty
+        ~init:(fun _ -> universe)
+        ~transfer:(fun b inb ->
+          Key_set.union gen.(b) (Key_set.diff inb kill.(b)))
+        ()
+    in
+    { universe; avail_in = r.S.input; stats = r.S.stats }
+  end

@@ -1,0 +1,40 @@
+(** Available expressions, as an instance of {!Dataflow}.
+
+    The fact at a block's entry is the set of pure register expressions
+    ([Binop]/[Unop]/[Lea] over registers and immediates) computed on every
+    path from the entry and not invalidated since.  [Opt.Gcse] builds its
+    redundancy elimination on these facts; the key machinery ([key_of],
+    [generates], [killed_by]) is shared so clients replay the same
+    per-instruction updates the solver used. *)
+
+open Ir
+
+(** Canonical key of a pure register expression (commutative operands are
+    ordered). *)
+type key =
+  | Kbinop of Rtl.binop * Rtl.operand * Rtl.operand
+  | Kunop of Rtl.unop * Rtl.operand
+  | Klea of Rtl.addr
+
+module Key_set : Set.S with type elt = key
+module Key_map : Map.S with type key = key
+
+(** The key an instruction computes into a register, if any. *)
+val key_of : Rtl.instr -> (Reg.t * key) option
+
+(** Like {!key_of}, but [None] also for self-referencing computations
+    ([d := d op c], the CISC two-address shape), which kill their own key
+    the moment they execute and so never make it available. *)
+val generates : Rtl.instr -> (Reg.t * key) option
+
+(** Keys of [universe] invalidated by the instruction: every expression
+    reading a register it defines. *)
+val killed_by : Key_set.t -> Rtl.instr -> Key_set.t
+
+type t = {
+  universe : Key_set.t;  (** every key computed anywhere in the function *)
+  avail_in : Key_set.t array;  (** keys available at each block's entry *)
+  stats : Dataflow.stats;
+}
+
+val solve : graph:Dataflow.graph -> instrs:Rtl.instr list array -> t

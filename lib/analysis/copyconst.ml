@@ -1,0 +1,115 @@
+open Ir
+
+type value = Const of int | Copy of Reg.t
+
+type facts = Top | Env of value Reg.Map.t
+
+let top = Top
+let entry = Env Reg.Map.empty
+let reached = function Top -> false | Env _ -> true
+
+let value_equal a b =
+  match a, b with
+  | Const x, Const y -> x = y
+  | Copy r, Copy s -> Reg.equal r s
+  | Const _, Copy _ | Copy _, Const _ -> false
+
+let equal a b =
+  match a, b with
+  | Top, Top -> true
+  | Env m1, Env m2 -> Reg.Map.equal value_equal m1 m2
+  | Top, Env _ | Env _, Top -> false
+
+let join a b =
+  match a, b with
+  | Top, x | x, Top -> x
+  | Env m1, Env m2 ->
+    Env
+      (Reg.Map.merge
+         (fun _ v1 v2 ->
+           match v1, v2 with
+           | Some x, Some y when value_equal x y -> Some x
+           | _ -> None)
+         m1 m2)
+
+(* Resolve copy chains to a constant when one terminates in a known value.
+   Chains are acyclic by construction (a def kills copies of the defined
+   register), but a depth guard keeps this robust on arbitrary maps. *)
+let lookup facts r =
+  match facts with
+  | Top -> None
+  | Env m ->
+    let rec go depth r =
+      if depth > 8 then None
+      else
+        match Reg.Map.find_opt r m with
+        | Some (Const n) -> Some (Const n)
+        | Some (Copy s) -> (
+          match go (depth + 1) s with
+          | Some (Const n) -> Some (Const n)
+          | _ -> Some (Copy s))
+        | None -> None
+    in
+    go 0 r
+
+let const_of facts r =
+  match lookup facts r with Some (Const n) -> Some n | _ -> None
+
+let operand_const facts = function
+  | Rtl.Imm n -> Some n
+  | Rtl.Reg r -> const_of facts r
+  | Rtl.Mem _ -> None
+
+(* Remove facts about the defined registers and every copy of them. *)
+let kill_defs i m =
+  let ds = Rtl.defs i in
+  if Reg.Set.is_empty ds then m
+  else
+    Reg.Map.filter
+      (fun r v ->
+        (not (Reg.Set.mem r ds))
+        && match v with Copy s -> not (Reg.Set.mem s ds) | Const _ -> true)
+      m
+
+let step i facts =
+  match facts with
+  | Top -> Top
+  | Env m -> (
+    let before = Env m in
+    let m' = kill_defs i m in
+    match i with
+    | Rtl.Move (Lreg d, Imm n) -> Env (Reg.Map.add d (Const n) m')
+    | Rtl.Move (Lreg d, Reg s) when not (Reg.equal d s) -> (
+      match const_of before s with
+      | Some n -> Env (Reg.Map.add d (Const n) m')
+      | None -> Env (Reg.Map.add d (Copy s) m'))
+    | Rtl.Binop (op, Lreg d, a, b) -> (
+      match operand_const before a, operand_const before b with
+      | Some x, Some y -> (
+        match Rtl.eval_binop op x y with
+        | v -> Env (Reg.Map.add d (Const v) m')
+        | exception Division_by_zero -> Env m')
+      | _ -> Env m')
+    | Rtl.Unop (op, Lreg d, a) -> (
+      match operand_const before a with
+      | Some x -> Env (Reg.Map.add d (Const (Rtl.eval_unop op x)) m')
+      | None -> Env m')
+    | _ -> Env m')
+
+type t = { fact_in : facts array; stats : Dataflow.stats }
+
+module S = Dataflow.Solver (struct
+  type t = facts
+
+  let equal = equal
+  let join = join
+end)
+
+let solve ~graph ~instrs =
+  let r =
+    S.solve ~direction:Dataflow.Forward ~graph ~empty:entry
+      ~init:(fun _ -> top)
+      ~transfer:(fun b f -> List.fold_left (fun f i -> step i f) f instrs.(b))
+      ()
+  in
+  { fact_in = r.S.input; stats = r.S.stats }

@@ -1,0 +1,31 @@
+open Ir
+
+type t = {
+  live_in : Reg.Set.t array;
+  live_out : Reg.Set.t array;
+  stats : Dataflow.stats;
+}
+
+let step instr live_after =
+  Reg.Set.union (Rtl.uses instr) (Reg.Set.diff live_after (Rtl.defs instr))
+
+let block_transfer instrs live_out =
+  List.fold_right (fun i acc -> step i acc) instrs live_out
+
+module S = Dataflow.Solver (struct
+  type t = Reg.Set.t
+
+  let equal = Reg.Set.equal
+  let join = Reg.Set.union
+end)
+
+let solve ~graph ~instrs =
+  let r =
+    S.solve ~direction:Dataflow.Backward ~graph ~empty:Reg.Set.empty
+      ~init:(fun _ -> Reg.Set.empty)
+      ~transfer:(fun i out -> block_transfer instrs.(i) out)
+      ()
+  in
+  (* Backward orientation: the solver's [input] is the confluence over
+     successors (live-out), its [output] the transferred fact (live-in). *)
+  { live_in = r.S.output; live_out = r.S.input; stats = r.S.stats }

@@ -1,0 +1,20 @@
+(** Backward liveness over registers (including {!Ir.Reg.Cc}), as an
+    instance of {!Dataflow}.  [Flow.Liveness] wraps this for [Func.t]
+    callers; the raw interface works on any block array + graph. *)
+
+open Ir
+
+type t = {
+  live_in : Reg.Set.t array;  (** registers live on entry to each block *)
+  live_out : Reg.Set.t array;  (** registers live on exit from each block *)
+  stats : Dataflow.stats;
+}
+
+(** One backward transfer step: liveness before an instruction given
+    liveness after it. *)
+val step : Rtl.instr -> Reg.Set.t -> Reg.Set.t
+
+(** [step] folded over a whole block, last instruction first. *)
+val block_transfer : Rtl.instr list -> Reg.Set.t -> Reg.Set.t
+
+val solve : graph:Dataflow.graph -> instrs:Rtl.instr list array -> t

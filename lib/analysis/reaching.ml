@@ -1,0 +1,107 @@
+open Ir
+module Int_set = Set.Make (Int)
+
+type site = { block : int; index : int; reg : Reg.t }
+
+type t = {
+  sites : site array;
+  reach_in : Int_set.t array;
+  must_defined_in : Reg.Set.t array;
+  stats : Dataflow.stats;
+}
+
+module May = Dataflow.Solver (struct
+  type t = Int_set.t
+
+  let equal = Int_set.equal
+  let join = Int_set.union
+end)
+
+module Must = Dataflow.Solver (struct
+  type t = Reg.Set.t
+
+  let equal = Reg.Set.equal
+  let join = Reg.Set.inter
+end)
+
+let solve ~graph ~instrs =
+  let n = Array.length instrs in
+  (* Number every definition site, index them by register, and remember
+     the last site of each register per block. *)
+  let sites = ref [] and next = ref 0 in
+  let sites_of_reg = Hashtbl.create 64 in
+  let defs = Array.make n Reg.Set.empty in
+  let last = Array.init n (fun _ -> Hashtbl.create 8) in
+  Array.iteri
+    (fun block is ->
+      List.iteri
+        (fun index i ->
+          Reg.Set.iter
+            (fun reg ->
+              let id = !next in
+              incr next;
+              sites := { block; index; reg } :: !sites;
+              Hashtbl.replace sites_of_reg reg
+                (Int_set.add id
+                   (Option.value ~default:Int_set.empty
+                      (Hashtbl.find_opt sites_of_reg reg)));
+              Hashtbl.replace last.(block) reg id;
+              defs.(block) <- Reg.Set.add reg defs.(block))
+            (Rtl.defs i))
+        is)
+    instrs;
+  let sites = Array.of_list (List.rev !sites) in
+  let all_of reg =
+    Option.value ~default:Int_set.empty (Hashtbl.find_opt sites_of_reg reg)
+  in
+  (* Per-block gen/kill over sites: only the last definition of a register
+     in a block survives to its exit; every definition kills the register's
+     other sites. *)
+  let gen = Array.make n Int_set.empty in
+  let kill = Array.make n Int_set.empty in
+  Array.iteri
+    (fun b tbl ->
+      Hashtbl.iter
+        (fun reg sid ->
+          gen.(b) <- Int_set.add sid gen.(b);
+          kill.(b) <- Int_set.union kill.(b) (Int_set.remove sid (all_of reg)))
+        tbl)
+    last;
+  let may =
+    May.solve ~direction:Dataflow.Forward ~graph ~empty:Int_set.empty
+      ~init:(fun _ -> Int_set.empty)
+      ~transfer:(fun b inb -> Int_set.union gen.(b) (Int_set.diff inb kill.(b)))
+      ()
+  in
+  let universe = Array.fold_left Reg.Set.union Reg.Set.empty defs in
+  let must =
+    Must.solve ~direction:Dataflow.Forward ~graph ~empty:Reg.Set.empty
+      ~init:(fun _ -> universe)
+      ~transfer:(fun b inb -> Reg.Set.union inb defs.(b))
+      ()
+  in
+  {
+    sites;
+    reach_in = may.May.input;
+    must_defined_in = must.Must.input;
+    stats = { Dataflow.visits = may.May.stats.visits + must.Must.stats.visits };
+  }
+
+let uninitialized_uses t ~instrs ~keep ~reachable =
+  let errs = ref [] in
+  Array.iteri
+    (fun b is ->
+      if reachable b then begin
+        let defined = ref t.must_defined_in.(b) in
+        List.iteri
+          (fun k i ->
+            Reg.Set.iter
+              (fun r ->
+                if keep r && not (Reg.Set.mem r !defined) then
+                  errs := (b, k, r) :: !errs)
+              (Rtl.uses i);
+            defined := Reg.Set.union !defined (Rtl.defs i))
+          is
+      end)
+    instrs;
+  List.rev !errs

@@ -1,0 +1,98 @@
+open Ir
+
+(* Versioned operands make stale table entries unmatchable. *)
+type varg =
+  | Vimm of int
+  | Vreg of Reg.t * int  (** register and its version at key creation *)
+
+type vaddr =
+  | Vbased of Reg.t * int * int
+  | Vindexed of Reg.t * int * Reg.t * int * int * int
+  | Vabs of string * int
+
+type key =
+  | Kbinop of Rtl.binop * varg * varg
+  | Kunop of Rtl.unop * varg
+  | Klea of vaddr
+  | Kload of Rtl.width * vaddr * int  (** memory version *)
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare = compare
+end)
+
+type state = {
+  versions : int Reg.Map.t;
+  memver : int;
+  table : (Reg.t * int) Key_map.t;  (** key -> holding reg, reg version *)
+}
+
+let empty = { versions = Reg.Map.empty; memver = 0; table = Key_map.empty }
+
+let equal a b =
+  a.memver = b.memver
+  && Reg.Map.equal Int.equal a.versions b.versions
+  && Key_map.equal
+       (fun (r1, v1) (r2, v2) -> Reg.equal r1 r2 && v1 = v2)
+       a.table b.table
+
+let join a b = if equal a b then a else empty
+
+let version st r =
+  match Reg.Map.find_opt r st.versions with Some v -> v | None -> 0
+
+let bump st r =
+  { st with versions = Reg.Map.add r (version st r + 1) st.versions }
+
+let varg st = function
+  | Rtl.Reg r -> Some (Vreg (r, version st r))
+  | Rtl.Imm n -> Some (Vimm n)
+  | Rtl.Mem _ -> None
+
+let vaddr st = function
+  | Rtl.Based (r, d) -> Vbased (r, version st r, d)
+  | Rtl.Indexed (b, i, s, d) -> Vindexed (b, version st b, i, version st i, s, d)
+  | Rtl.Abs (s, o) -> Vabs (s, o)
+
+(* The key computed by an instruction into a register, if any. *)
+let key_of st (i : Rtl.instr) =
+  match i with
+  | Rtl.Binop (op, Lreg d, a, b) -> (
+    match varg st a, varg st b with
+    | Some va, Some vb ->
+      let va, vb =
+        (* Canonical order for commutative operators. *)
+        if Rtl.commutative op && compare vb va < 0 then (vb, va) else (va, vb)
+      in
+      Some (d, Kbinop (op, va, vb))
+    | _ -> None)
+  | Rtl.Unop (op, Lreg d, a) -> (
+    match varg st a with Some va -> Some (d, Kunop (op, va)) | None -> None)
+  | Rtl.Lea (d, a) -> Some (d, Klea (vaddr st a))
+  | Rtl.Move (Lreg d, Mem (w, a)) -> Some (d, Kload (w, vaddr st a, st.memver))
+  | _ -> None
+
+let after_effects st i =
+  let st = Reg.Set.fold (fun r st -> bump st r) (Rtl.defs i) st in
+  if Rtl.writes_mem i || (match i with Rtl.Call _ -> true | _ -> false) then
+    { st with memver = st.memver + 1 }
+  else st
+
+let rewrite st i =
+  match key_of st i with
+  | None -> (after_effects st i, i, false)
+  | Some (d, key) -> (
+    match Key_map.find_opt key st.table with
+    | Some (r, rv) when version st r = rv && not (Reg.equal r d) ->
+      let st = after_effects st i in
+      (st, Rtl.Move (Lreg d, Reg r), true)
+    | _ ->
+      let st = after_effects st i in
+      (* Record after bumping: d's new version holds the value. *)
+      let st = { st with table = Key_map.add key (d, version st d) st.table } in
+      (st, i, false))
+
+let step st i =
+  let st, _, _ = rewrite st i in
+  st

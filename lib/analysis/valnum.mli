@@ -1,0 +1,31 @@
+(** Versioned local value numbering: the fact domain of [Opt.Cse].
+
+    The state tables available expressions (register computations and
+    memory loads) keyed with the {e version} of every register they
+    mention, so redefinitions invalidate entries without explicit killing;
+    loads additionally embed a memory version bumped by stores and calls.
+
+    States form the lattice [Opt.Cse] solves over the extended-basic-block
+    forest with {!Dataflow}: within an EBB a block inherits its unique
+    predecessor's exit state; everywhere else propagation restarts from
+    {!empty} (which is what {!join} returns for disagreeing states). *)
+
+open Ir
+
+type state
+
+val empty : state
+val equal : state -> state -> bool
+
+(** [join a b] is [a] when the states agree and {!empty} otherwise —
+    deliberately pessimistic, because value numbers are only propagated
+    along single-predecessor edges where no real join ever happens. *)
+val join : state -> state -> state
+
+(** State evolution across one instruction, without rewriting. *)
+val step : state -> Rtl.instr -> state
+
+(** [rewrite st i] is [(st', i', changed)]: the state after [i], and [i]
+    rewritten to a register move when its key is available in a register
+    whose version still matches. *)
+val rewrite : state -> Rtl.instr -> state * Rtl.instr * bool

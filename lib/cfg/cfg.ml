@@ -59,3 +59,11 @@ let reverse_postorder g =
     List.filter (fun i -> not seen.(i)) (List.init n (fun i -> i))
   in
   Array.of_list (head @ tail)
+
+let graph g =
+  {
+    Analysis.Dataflow.nodes = num_blocks g;
+    succs = succs g;
+    preds = preds g;
+    rpo = reverse_postorder g;
+  }

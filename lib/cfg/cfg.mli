@@ -16,3 +16,6 @@ val reachable : t -> bool array
 (** Reverse postorder of the depth-first traversal from the entry.
     Unreachable blocks are appended at the end in index order. *)
 val reverse_postorder : t -> int array
+
+(** The CFG as an abstract dataflow graph for {!Analysis.Dataflow}. *)
+val graph : t -> Analysis.Dataflow.graph

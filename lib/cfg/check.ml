@@ -1,5 +1,4 @@
 open Ir
-module ISet = Set.Make (Int)
 
 (* --- cheap structural checks --- *)
 
@@ -131,107 +130,27 @@ let no_virtuals f =
 
 (* --- def-before-use of virtual registers on every path --- *)
 
-let virts regs =
-  Reg.Set.fold
-    (fun r acc -> match r with Reg.Virt i -> ISet.add i acc | _ -> acc)
-    regs ISet.empty
-
-(* Per-block sets of virtuals defined anywhere in the block. *)
-let block_defs f =
-  Array.map
-    (fun (b : Func.block) ->
-      List.fold_left
-        (fun acc instr -> ISet.union acc (virts (Rtl.defs instr)))
-        ISet.empty b.instrs)
-    (Func.blocks f)
-
-(* Virtuals defined on every path from the entry to each block's head:
-   the maximal fixpoint of IN[b] = inter over predecessors of OUT[p],
-   OUT[p] = IN[p] union defs[p], iterated in reverse postorder. *)
-let avail_in cfg reach defs =
-  let n = Array.length defs in
-  let all = Array.fold_left ISet.union ISet.empty defs in
-  let avail = Array.make n all in
-  if n > 0 then avail.(0) <- ISet.empty;
-  let rpo = Cfg.reverse_postorder cfg in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun i ->
-        if i <> 0 && reach.(i) then begin
-          let inset =
-            List.fold_left
-              (fun acc p ->
-                if not reach.(p) then acc
-                else
-                  let out = ISet.union avail.(p) defs.(p) in
-                  match acc with
-                  | None -> Some out
-                  | Some s -> Some (ISet.inter s out))
-              None (Cfg.preds cfg i)
-          in
-          let inset = Option.value ~default:ISet.empty inset in
-          if not (ISet.equal inset avail.(i)) then begin
-            avail.(i) <- inset;
-            changed := true
-          end
-        end)
-      rpo
-  done;
-  avail
-
 let def_before_use f =
   if not (targets_resolve f) then []
   else begin
     let cfg = Cfg.make f in
     let reach = Cfg.reachable cfg in
-    let dom = Dom.compute cfg in
-    let defs = block_defs f in
-    (* Blocks defining each virtual, for the dominator fast path: a def in
-       a strictly dominating block covers every path (blocks are atomic). *)
-    let def_sites = Hashtbl.create 64 in
-    Array.iteri
-      (fun i ds ->
-        ISet.iter
-          (fun v ->
-            Hashtbl.replace def_sites v
-              (i :: Option.value ~default:[] (Hashtbl.find_opt def_sites v)))
-          ds)
-      defs;
-    let avail = lazy (avail_in cfg reach defs) in
-    let errs = ref [] in
-    Array.iteri
-      (fun i (b : Func.block) ->
-        if reach.(i) then begin
-          let local = ref ISet.empty in
-          List.iter
-            (fun instr ->
-              ISet.iter
-                (fun v ->
-                  let dominated_def () =
-                    List.exists
-                      (fun d -> Dom.strictly_dominates dom d i)
-                      (Option.value ~default:[]
-                         (Hashtbl.find_opt def_sites v))
-                  in
-                  if
-                    (not (ISet.mem v !local))
-                    && (not (dominated_def ()))
-                    && not (ISet.mem v (Lazy.force avail).(i))
-                  then
-                    errs :=
-                      Printf.sprintf
-                        "%s: virtual register v%d used before definition on \
-                         some path"
-                        (Label.to_string b.label) v
-                      :: !errs)
-                (virts (Rtl.uses instr));
-              local := ISet.union !local (virts (Rtl.defs instr)))
-            b.instrs
-        end)
-      (Func.blocks f);
-    List.rev !errs
+    (* Restrict the graph to reachable blocks so facts on dead edges cannot
+       weaken the must-analysis. *)
+    let graph =
+      Analysis.Dataflow.restrict (Cfg.graph cfg) ~keep:(fun i -> reach.(i))
+    in
+    let instrs =
+      Array.map (fun (b : Func.block) -> b.instrs) (Func.blocks f)
+    in
+    let facts = Analysis.Reaching.solve ~graph ~instrs in
+    Analysis.Reaching.uninitialized_uses facts ~instrs ~keep:Reg.is_virt
+      ~reachable:(fun i -> reach.(i))
+    |> List.map (fun (b, _, r) ->
+           Printf.sprintf
+             "%s: virtual register %s used before definition on some path"
+             (Label.to_string (Func.block f b).label)
+             (Reg.to_string r))
   end
 
 let errors ?(full = false) f =

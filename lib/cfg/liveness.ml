@@ -1,46 +1,21 @@
-open Ir
+type t = { func : Func.t; facts : Analysis.Live.t }
 
-type t = {
-  func : Func.t;
-  live_in : Reg.Set.t array;
-  live_out : Reg.Set.t array;
-}
+let step = Analysis.Live.step
 
-let step instr live_after =
-  Reg.Set.union (Rtl.uses instr) (Reg.Set.diff live_after (Rtl.defs instr))
+(* Liveness of the same (physically identical) function is requested by
+   several passes per pipeline iteration — dead-variable elimination,
+   instruction selection, register allocation, LICM.  Memoize the solve. *)
+let cache : (Func.t, Analysis.Live.t) Analysis.Cache.t =
+  Analysis.Cache.create ~size:8 ()
 
-let block_transfer instrs live_out =
-  List.fold_right (fun i acc -> step i acc) instrs live_out
+let solve func =
+  let graph = Cfg.graph (Cfg.make func) in
+  let instrs = Array.map (fun (b : Func.block) -> b.instrs) (Func.blocks func) in
+  Analysis.Live.solve ~graph ~instrs
 
-let compute func =
-  let g = Cfg.make func in
-  let n = Func.num_blocks func in
-  let live_in = Array.make n Reg.Set.empty in
-  let live_out = Array.make n Reg.Set.empty in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for i = n - 1 downto 0 do
-      let out =
-        List.fold_left
-          (fun acc s -> Reg.Set.union acc live_in.(s))
-          Reg.Set.empty (Cfg.succs g i)
-      in
-      let inn = block_transfer (Func.block func i).instrs out in
-      if
-        (not (Reg.Set.equal out live_out.(i)))
-        || not (Reg.Set.equal inn live_in.(i))
-      then begin
-        live_out.(i) <- out;
-        live_in.(i) <- inn;
-        changed := true
-      end
-    done
-  done;
-  { func; live_in; live_out }
-
-let live_in t i = t.live_in.(i)
-let live_out t i = t.live_out.(i)
+let compute func = { func; facts = Analysis.Cache.find cache func solve }
+let live_in t i = t.facts.Analysis.Live.live_in.(i)
+let live_out t i = t.facts.Analysis.Live.live_out.(i)
 
 let fold_backward t f i ~init =
   let instrs = (Func.block t.func i).instrs in
@@ -49,6 +24,6 @@ let fold_backward t f i ~init =
       (fun instr (acc, live_after) ->
         (f acc instr ~live_after, step instr live_after))
       instrs
-      (init, t.live_out.(i))
+      (init, live_out t i)
   in
   acc

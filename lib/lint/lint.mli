@@ -1,0 +1,38 @@
+(** Static-analysis lint over compiled (or freshly generated) RTL.
+
+    Every rule reports a typed {!Telemetry.Diag.t}, so the CLI renders lint
+    findings, [explain] decisions and pipeline diagnostics through one
+    channel, with one JSON encoding and one [--strict] exit-code policy.
+
+    Error-severity rules flag conditions a healthy pipeline output never
+    exhibits (reads of undefined virtual registers, dead stores, jump
+    chains, unreachable blocks); warning-severity rules surface facts worth
+    human review (statically decidable branches, and the per-jump
+    replication outlook: wholesale loop copies, growth estimates, residual
+    jumps the paper's transformation cannot remove). *)
+
+(** Per-jump replication outlook as a diagnostic: [Loop_replication] when
+    the copy completes a natural loop, [Code_growth] for a plain copy
+    (message carries the RTL cost), [Jump_residual] when no replication is
+    legal — all warning severity, message via
+    [Replication.Jumps.decision_to_string]. *)
+val diag_of_decision :
+  func:string ->
+  pass:string ->
+  (Ir.Label.t * Ir.Label.t) * Replication.Jumps.decision ->
+  Telemetry.Diag.t
+
+(** Run every rule on one function.  When the function fails the IR
+    verifier's structural checks, a single [Malformed_ir] finding is
+    returned instead (the analyses assume well-formed input).  [config]
+    parameterizes the replication outlook (default
+    [Replication.Jumps.default_config]). *)
+val check_func :
+  ?config:Replication.Jumps.config -> Flow.Func.t -> Telemetry.Diag.t list
+
+val check_prog :
+  ?config:Replication.Jumps.config -> Flow.Prog.t -> Telemetry.Diag.t list
+
+type summary = { errors : int; warnings : int }
+
+val summarize : Telemetry.Diag.t list -> summary

@@ -1,117 +1,74 @@
-open Ir
 open Flow
 
-(* Versioned operands make stale table entries unmatchable. *)
-type varg =
-  | Vimm of int
-  | Vreg of Reg.t * int  (** register and its version at key creation *)
+(* Local value numbering over extended basic blocks.  The fact domain
+   (versioned expression tables) lives in [Analysis.Valnum]; this pass
+   solves block-entry states with the shared worklist engine over the EBB
+   forest — the subgraph keeping only the in-edge of reachable blocks with
+   exactly one predecessor — then rewrites each block from its entry state.
 
-type vaddr =
-  | Vbased of Reg.t * int * int
-  | Vindexed of Reg.t * int * Reg.t * int * int * int
-  | Vabs of string * int
+   The forest is acyclic: a reachable single-predecessor cycle would need
+   an edge into the entry block, which [Check] forbids, so the solve is a
+   single topological pass.  Blocks outside the forest (joins, the entry,
+   unreachable blocks) start from the empty state, exactly as a fresh EBB
+   walk would. *)
 
-type key =
-  | Kbinop of Rtl.binop * varg * varg
-  | Kunop of Rtl.unop * varg
-  | Klea of vaddr
-  | Kload of Rtl.width * vaddr * int  (** memory version *)
+module S = Analysis.Dataflow.Solver (struct
+  type t = Analysis.Valnum.state
 
-module Key_map = Map.Make (struct
-  type t = key
-
-  let compare = compare
+  let equal = Analysis.Valnum.equal
+  let join = Analysis.Valnum.join
 end)
-
-type walk_state = {
-  versions : int Reg.Map.t;
-  memver : int;
-  table : (Reg.t * int) Key_map.t;  (** key -> holding reg, reg version *)
-}
-
-let version st r =
-  match Reg.Map.find_opt r st.versions with Some v -> v | None -> 0
-
-let bump st r = { st with versions = Reg.Map.add r (version st r + 1) st.versions }
-
-let varg st = function
-  | Rtl.Reg r -> Some (Vreg (r, version st r))
-  | Rtl.Imm n -> Some (Vimm n)
-  | Rtl.Mem _ -> None
-
-let vaddr st = function
-  | Rtl.Based (r, d) -> Vbased (r, version st r, d)
-  | Rtl.Indexed (b, i, s, d) -> Vindexed (b, version st b, i, version st i, s, d)
-  | Rtl.Abs (s, o) -> Vabs (s, o)
-
-(* The key computed by an instruction into a register, if any. *)
-let key_of st (i : Rtl.instr) =
-  match i with
-  | Rtl.Binop (op, Lreg d, a, b) -> (
-    match varg st a, varg st b with
-    | Some va, Some vb ->
-      let va, vb =
-        (* Canonical order for commutative operators. *)
-        if Rtl.commutative op && compare vb va < 0 then (vb, va) else (va, vb)
-      in
-      Some (d, Kbinop (op, va, vb))
-    | _ -> None)
-  | Rtl.Unop (op, Lreg d, a) -> (
-    match varg st a with Some va -> Some (d, Kunop (op, va)) | None -> None)
-  | Rtl.Lea (d, a) -> Some (d, Klea (vaddr st a))
-  | Rtl.Move (Lreg d, Mem (w, a)) -> Some (d, Kload (w, vaddr st a, st.memver))
-  | _ -> None
-
-let after_effects st i =
-  let st = Reg.Set.fold (fun r st -> bump st r) (Rtl.defs i) st in
-  if Rtl.writes_mem i || (match i with Rtl.Call _ -> true | _ -> false) then
-    { st with memver = st.memver + 1 }
-  else st
-
-let process_instr st i =
-  match key_of st i with
-  | None -> (after_effects st i, i, false)
-  | Some (d, key) -> (
-    match Key_map.find_opt key st.table with
-    | Some (r, rv) when version st r = rv && not (Reg.equal r d) ->
-      let st = after_effects st i in
-      (st, Rtl.Move (Lreg d, Reg r), true)
-    | _ ->
-      let st = after_effects st i in
-      (* Record after bumping: d's new version holds the value. *)
-      let st = { st with table = Key_map.add key (d, version st d) st.table } in
-      (st, i, false))
 
 let run func =
   let g = Cfg.make func in
   let n = Func.num_blocks func in
-  let single_pred = Array.init n (fun i -> List.length (Cfg.preds g i) = 1) in
-  let out = Array.copy (Func.blocks func) in
-  let changed = ref false in
-  let visited = Array.make n false in
-  (* Walk an EBB: process this block, then extend into single-pred
-     successors. *)
-  let rec walk st bi =
-    visited.(bi) <- true;
-    let st, instrs =
-      List.fold_left
-        (fun (st, acc) i ->
-          let st, i', c = process_instr st i in
-          if c then changed := true;
-          (st, i' :: acc))
-        (st, []) out.(bi).Func.instrs
-    in
-    out.(bi) <- { (out.(bi)) with instrs = List.rev instrs };
-    List.iter
-      (fun s -> if single_pred.(s) && not visited.(s) then walk st s)
-      (Cfg.succs g bi)
+  let reach = Cfg.reachable g in
+  let parent =
+    Array.init n (fun i ->
+        if not reach.(i) then None
+        else match Cfg.preds g i with [ p ] when p <> i -> Some p | _ -> None)
   in
-  let empty = { versions = Reg.Map.empty; memver = 0; table = Key_map.empty } in
-  for i = 0 to n - 1 do
-    if (not visited.(i)) && not single_pred.(i) then walk empty i
-  done;
-  (* Any leftovers (unreachable single-pred cycles). *)
-  for i = 0 to n - 1 do
-    if not visited.(i) then walk empty i
-  done;
+  let children = Array.make n [] in
+  Array.iteri
+    (fun i p ->
+      match p with Some p -> children.(p) <- i :: children.(p) | None -> ())
+    parent;
+  let forest =
+    {
+      Analysis.Dataflow.nodes = n;
+      succs = (fun i -> List.rev children.(i));
+      preds = (fun i -> Option.to_list parent.(i));
+      (* The CFG's reverse postorder also topologically orders the forest:
+         a block's unique predecessor is always visited first. *)
+      rpo = Cfg.reverse_postorder g;
+    }
+  in
+  let blocks = Func.blocks func in
+  let entry_state =
+    let r =
+      S.solve ~direction:Analysis.Dataflow.Forward ~graph:forest
+        ~empty:Analysis.Valnum.empty
+        ~init:(fun _ -> Analysis.Valnum.empty)
+        ~transfer:(fun bi st ->
+          List.fold_left Analysis.Valnum.step st blocks.(bi).Func.instrs)
+        ()
+    in
+    r.S.input
+  in
+  let changed = ref false in
+  let out =
+    Array.mapi
+      (fun bi (b : Func.block) ->
+        let _, instrs =
+          List.fold_left
+            (fun (st, acc) i ->
+              let st, i', c = Analysis.Valnum.rewrite st i in
+              if c then changed := true;
+              (st, i' :: acc))
+            (entry_state.(bi), [])
+            b.instrs
+        in
+        { b with instrs = List.rev instrs })
+      blocks
+  in
   if !changed then (Func.with_blocks func out, true) else (func, false)

@@ -1,180 +1,73 @@
 open Ir
 open Flow
+module Av = Analysis.Avail
 
-(* Canonical key of a pure register expression. *)
-type key =
-  | Kbinop of Rtl.binop * Rtl.operand * Rtl.operand
-  | Kunop of Rtl.unop * Rtl.operand
-  | Klea of Rtl.addr
-
-module Key_set = Set.Make (struct
-  type t = key
-
-  let compare = compare
-end)
-
-module Key_map = Map.Make (struct
-  type t = key
-
-  let compare = compare
-end)
-
-let pure_operand = function
-  | Rtl.Reg _ | Rtl.Imm _ -> true
-  | Rtl.Mem _ -> false
-
-let pure_addr = function
-  | Rtl.Based _ | Rtl.Indexed _ | Rtl.Abs _ -> true
-
-let key_of (i : Rtl.instr) =
-  match i with
-  | Binop (op, Lreg d, a, b) when pure_operand a && pure_operand b ->
-    let a, b =
-      if Rtl.commutative op && compare b a < 0 then (b, a) else (a, b)
-    in
-    Some (d, Kbinop (op, a, b))
-  | Unop (op, Lreg d, a) when pure_operand a -> Some (d, Kunop (op, a))
-  | Lea (d, a) when pure_addr a -> Some (d, Klea a)
-  | Binop _ | Unop _ | Lea _ | Move _ | Cmp _ | Branch _ | Jump _ | Ijump _
-  | Call _ | Ret | Enter _ | Leave | Nop ->
-    None
-
-(* A self-referencing computation (d = d + c, the CISC two-address shape)
-   kills its own key the moment it executes: it never generates. *)
-let key_regs = function
-  | Kbinop (_, a, b) -> Reg.Set.union (Rtl.operand_regs a) (Rtl.operand_regs b)
-  | Kunop (_, a) -> Rtl.operand_regs a
-  | Klea a -> Rtl.addr_regs a
-
-let generates i =
-  match key_of i with
-  | Some (d, k) when not (Reg.Set.mem d (key_regs k)) -> Some (d, k)
-  | Some _ | None -> None
-
-(* An instruction kills every expression reading a register it defines.
-   (The destination registers of the expressions themselves never matter:
-   the key does not mention them.) *)
-let killed_by universe (i : Rtl.instr) =
-  let defs = Rtl.defs i in
-  if Reg.Set.is_empty defs then Key_set.empty
-  else
-    Key_set.filter
-      (fun k -> not (Reg.Set.is_empty (Reg.Set.inter (key_regs k) defs)))
-      universe
+(* Global CSE over pure register expressions: availability facts come from
+   [Analysis.Avail] (the shared worklist engine); this pass keeps the two
+   rewrite phases — find expressions recomputed while available, then save
+   each into a fresh temporary at its generating sites and take the saved
+   value at the recomputations. *)
 
 let run func =
-  let n = Func.num_blocks func in
   let g = Cfg.make func in
-  (* Universe and per-block gen/kill. *)
-  let universe = ref Key_set.empty in
-  Array.iter
-    (fun (b : Func.block) ->
-      List.iter
-        (fun i ->
-          match key_of i with
-          | Some (_, k) -> universe := Key_set.add k !universe
-          | None -> ())
-        b.instrs)
-    (Func.blocks func);
-  if Key_set.is_empty !universe then (func, false)
+  let instrs =
+    Array.map (fun (b : Func.block) -> b.Func.instrs) (Func.blocks func)
+  in
+  let av = Av.solve ~graph:(Cfg.graph g) ~instrs in
+  if Av.Key_set.is_empty av.Av.universe then (func, false)
   else begin
-    let universe = !universe in
-    let gen = Array.make n Key_set.empty in
-    let kill = Array.make n Key_set.empty in
-    Array.iteri
-      (fun bi (b : Func.block) ->
-        List.iter
-          (fun i ->
-            let dead = killed_by universe i in
-            gen.(bi) <- Key_set.diff gen.(bi) dead;
-            kill.(bi) <- Key_set.union kill.(bi) dead;
-            match generates i with
-            | Some (_, k) ->
-              gen.(bi) <- Key_set.add k gen.(bi);
-              kill.(bi) <- Key_set.remove k kill.(bi)
-            | None -> ())
-          b.instrs)
-      (Func.blocks func);
-    (* Forward must dataflow. *)
-    let avin = Array.make n Key_set.empty in
-    let avout = Array.make n Key_set.empty in
-    for bi = 1 to n - 1 do
-      avout.(bi) <- universe
-    done;
-    avout.(0) <- gen.(0);
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      for bi = 0 to n - 1 do
-        let inn =
-          match Cfg.preds g bi with
-          | [] -> Key_set.empty
-          | p :: ps ->
-            List.fold_left
-              (fun acc q -> Key_set.inter acc avout.(q))
-              avout.(p) ps
-        in
-        let out = Key_set.union gen.(bi) (Key_set.diff inn kill.(bi)) in
-        if
-          (not (Key_set.equal inn avin.(bi)))
-          || not (Key_set.equal out avout.(bi))
-        then begin
-          avin.(bi) <- inn;
-          avout.(bi) <- out;
-          changed := true
-        end
-      done
-    done;
+    let universe = av.Av.universe in
     (* Which expressions are actually worth rewriting: available at a site
        that recomputes them. *)
-    let redundant = ref Key_set.empty in
+    let redundant = ref Av.Key_set.empty in
     Array.iteri
       (fun bi (b : Func.block) ->
-        let avail = ref avin.(bi) in
+        let avail = ref av.Av.avail_in.(bi) in
         List.iter
           (fun i ->
-            (match key_of i with
-            | Some (_, k) when Key_set.mem k !avail ->
-              redundant := Key_set.add k !redundant
+            (match Av.key_of i with
+            | Some (_, k) when Av.Key_set.mem k !avail ->
+              redundant := Av.Key_set.add k !redundant
             | _ -> ());
-            avail := Key_set.diff !avail (killed_by universe i);
-            match generates i with
-            | Some (_, k) -> avail := Key_set.add k !avail
+            avail := Av.Key_set.diff !avail (Av.killed_by universe i);
+            match Av.generates i with
+            | Some (_, k) -> avail := Av.Key_set.add k !avail
             | None -> ())
           b.instrs)
       (Func.blocks func);
-    if Key_set.is_empty !redundant then (func, false)
+    if Av.Key_set.is_empty !redundant then (func, false)
     else begin
       let temp_of =
-        Key_set.fold
-          (fun k acc -> Key_map.add k (Func.fresh_reg func) acc)
-          !redundant Key_map.empty
+        Av.Key_set.fold
+          (fun k acc -> Av.Key_map.add k (Func.fresh_reg func) acc)
+          !redundant Av.Key_map.empty
       in
       let did_change = ref false in
       let blocks =
         Array.mapi
           (fun bi (b : Func.block) ->
-            let avail = ref avin.(bi) in
+            let avail = ref av.Av.avail_in.(bi) in
             let instrs =
               List.concat_map
                 (fun i ->
                   let out =
-                    match key_of i with
+                    match Av.key_of i with
                     | Some (d, k)
-                      when Key_map.mem k temp_of && Key_set.mem k !avail ->
+                      when Av.Key_map.mem k temp_of && Av.Key_set.mem k !avail
+                      ->
                       (* Recomputation: take the saved value. *)
                       did_change := true;
-                      [ Rtl.Move (Lreg d, Reg (Key_map.find k temp_of)) ]
+                      [ Rtl.Move (Lreg d, Reg (Av.Key_map.find k temp_of)) ]
                     | _ -> (
-                      match generates i with
-                      | Some (d, k) when Key_map.mem k temp_of ->
+                      match Av.generates i with
+                      | Some (d, k) when Av.Key_map.mem k temp_of ->
                         (* Generating site: save the value for later. *)
-                        [ i; Rtl.Move (Lreg (Key_map.find k temp_of), Reg d) ]
+                        [ i; Rtl.Move (Lreg (Av.Key_map.find k temp_of), Reg d) ]
                       | Some _ | None -> [ i ])
                   in
-                  avail := Key_set.diff !avail (killed_by universe i);
-                  (match generates i with
-                  | Some (_, k) -> avail := Key_set.add k !avail
+                  avail := Av.Key_set.diff !avail (Av.killed_by universe i);
+                  (match Av.generates i with
+                  | Some (_, k) -> avail := Av.Key_set.add k !avail
                   | None -> ());
                   out)
                 b.instrs

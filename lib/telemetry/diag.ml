@@ -5,6 +5,14 @@ type code =
   | No_convergence
   | Timeout
   | Internal
+  | Uninit_read
+  | Dead_store
+  | Const_branch
+  | Jump_chain
+  | Unreachable_code
+  | Loop_replication
+  | Code_growth
+  | Jump_residual
 
 type severity = Warn | Err
 
@@ -25,6 +33,14 @@ let code_name = function
   | No_convergence -> "no-convergence"
   | Timeout -> "timeout"
   | Internal -> "internal"
+  | Uninit_read -> "uninit-read"
+  | Dead_store -> "dead-store"
+  | Const_branch -> "const-branch"
+  | Jump_chain -> "jump-chain"
+  | Unreachable_code -> "unreachable-code"
+  | Loop_replication -> "loop-replication"
+  | Code_growth -> "code-growth"
+  | Jump_residual -> "jump-residual"
 
 let severity_name = function Warn -> "warning" | Err -> "error"
 

@@ -16,6 +16,14 @@ type code =
   | No_convergence  (** an iteration cap was hit without a fixpoint *)
   | Timeout  (** simulator step budget exhausted *)
   | Internal  (** an internal invariant was violated *)
+  | Uninit_read  (** a virtual register read before definition on some path *)
+  | Dead_store  (** a pure computation whose results are never read *)
+  | Const_branch  (** a conditional branch statically always/never taken *)
+  | Jump_chain  (** a control transfer landing on another unconditional jump *)
+  | Unreachable_code  (** a block no path from the entry reaches *)
+  | Loop_replication  (** replication copied a whole loop body *)
+  | Code_growth  (** estimated code growth from replicating a jump *)
+  | Jump_residual  (** an unconditional jump replication could not remove *)
 
 type severity = Warn | Err
 

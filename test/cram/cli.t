@@ -118,6 +118,56 @@ lines) and the campaign exits nonzero:
   $ test "$(wc -l < ff2/seed-0.c)" -le 25 && echo small
   small
 
+lint reports static-analysis findings over the compiled RTL.  A
+conditionally initialized local is an error-severity uninit-read:
+
+  $ cat > uninit.c <<'SRC'
+  > int main() {
+  >   int x;
+  >   int c;
+  >   c = getchar();
+  >   if (c > 70) { x = 1; }
+  >   putchar(65 + x);
+  >   return 0;
+  > }
+  > SRC
+
+  $ ../../bin/jumprepc.exe lint uninit.c -O simple | grep -c 'uninit-read'
+  1
+
+Errors drive exit 3 under --strict:
+
+  $ ../../bin/jumprepc.exe lint uninit.c -O simple --strict > /dev/null
+  [3]
+
+Warnings never fail --strict (exit 0).  At JUMPS, replicating the loop
+entry put the loop's exit test in a context where the bound is known --
+lint proves the replicated guard can never fire:
+
+  $ ../../bin/jumprepc.exe lint tiny.c -O jumps --strict
+  tiny.c: 0 errors, 1 warning
+    warning: [const-branch] main/lint: L6: branch to L4 is never taken
+
+At SIMPLE the loop jump is still there and shows up as a
+warning-severity replication outlook:
+
+  $ ../../bin/jumprepc.exe lint tiny.c -O simple --strict | grep -c 'code-growth\|loop-replication\|jump-residual'
+  1
+
+--json emits the findings as typed diagnostic objects, and benchmark
+names resolve like files do:
+
+  $ ../../bin/jumprepc.exe lint uninit.c -O simple --json | tr ',' '\n' | grep -c '"code":"uninit-read"'
+  1
+
+  $ ../../bin/jumprepc.exe lint wc -O jumps --strict
+  wc: clean
+
+explain shares the same diagnostic JSON for the remaining jumps:
+
+  $ ../../bin/jumprepc.exe explain tiny.c -O simple --json | tr ',' '\n' | grep -c '"pass":"explain"'
+  1
+
 The bench harness lists its table ids:
 
   $ ../../bench/main.exe --list

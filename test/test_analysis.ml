@@ -1,0 +1,337 @@
+(* The generic dataflow framework and its analysis instances. *)
+
+open Ir
+open Flow
+
+(* --- the solver itself --- *)
+
+module Bits = Analysis.Dataflow.Solver (struct
+  type t = int
+
+  let equal = Int.equal
+  let join = ( lor )
+end)
+
+(* A diamond over bit-set facts: each node contributes its own bit; the
+   join must accumulate both arms. *)
+let test_solver_diamond () =
+  let g =
+    {
+      Analysis.Dataflow.nodes = 4;
+      succs = (function 0 -> [ 1; 2 ] | 1 | 2 -> [ 3 ] | _ -> []);
+      preds = (function 1 | 2 -> [ 0 ] | 3 -> [ 1; 2 ] | _ -> []);
+      rpo = [| 0; 1; 2; 3 |];
+    }
+  in
+  let r =
+    Bits.solve ~direction:Analysis.Dataflow.Forward ~graph:g ~empty:0
+      ~init:(fun _ -> 0)
+      ~transfer:(fun i fact -> fact lor (1 lsl i))
+      ()
+  in
+  Alcotest.(check int) "entry input" 0 r.Bits.input.(0);
+  Alcotest.(check int) "join input" 0b0111 r.Bits.input.(3);
+  Alcotest.(check int) "join output" 0b1111 r.Bits.output.(3);
+  Alcotest.(check bool) "visited each node" true (r.Bits.stats.visits >= 4)
+
+(* A non-monotone transfer function on a cycle never reaches a fixpoint;
+   the visit budget must turn that into the Diverged diagnostic. *)
+let test_solver_diverges () =
+  let g =
+    {
+      Analysis.Dataflow.nodes = 2;
+      succs = (function 0 -> [ 1 ] | _ -> [ 0 ]);
+      preds = (function 0 -> [ 1 ] | _ -> [ 0 ]);
+      rpo = [| 0; 1 |];
+    }
+  in
+  Alcotest.check_raises "diverges"
+    (Analysis.Dataflow.Diverged
+       "no fixpoint after 33 node visits (2 nodes); transfer function is \
+        not monotone or the lattice has unbounded height")
+    (fun () ->
+      ignore
+        (Bits.solve ~max_visits:32 ~direction:Analysis.Dataflow.Forward
+           ~graph:g ~empty:0
+           ~init:(fun _ -> 0)
+           ~transfer:(fun _ fact -> fact + 1)
+           ()))
+
+let test_restrict () =
+  let g =
+    {
+      Analysis.Dataflow.nodes = 3;
+      succs = (function 0 -> [ 1; 2 ] | 1 -> [ 2 ] | _ -> []);
+      preds = (function 1 -> [ 0 ] | 2 -> [ 0; 1 ] | _ -> []);
+      rpo = [| 0; 1; 2 |];
+    }
+  in
+  let r = Analysis.Dataflow.restrict g ~keep:(fun i -> i <> 1) in
+  Alcotest.(check (list int)) "succs skip dropped node" [ 2 ] (r.succs 0);
+  Alcotest.(check (list int)) "dropped node isolated" [] (r.succs 1);
+  Alcotest.(check (list int)) "preds skip dropped node" [ 0 ] (r.preds 2)
+
+(* --- the per-function cache --- *)
+
+let test_cache () =
+  let cache = Analysis.Cache.create ~size:2 () in
+  let calls = ref 0 in
+  let compute k =
+    incr calls;
+    String.length k
+  in
+  let a = "aa" and b = "bbb" and c = "cccc" in
+  Alcotest.(check int) "computed" 2 (Analysis.Cache.find cache a compute);
+  Alcotest.(check int) "cached" 2 (Analysis.Cache.find cache a compute);
+  Alcotest.(check int) "one compute" 1 !calls;
+  ignore (Analysis.Cache.find cache b compute);
+  ignore (Analysis.Cache.find cache c compute);
+  (* Capacity 2: inserting [c] evicted [a]. *)
+  ignore (Analysis.Cache.find cache a compute);
+  Alcotest.(check int) "recomputed after eviction" 4 !calls
+
+(* --- analyses over real functions --- *)
+
+let instrs_of func =
+  Array.map (fun (b : Func.block) -> b.instrs) (Func.blocks func)
+
+(* The diamond from Test_flow: 0 -> {1, 2} -> 3; pads define v0 in block 0,
+   v100 in block 1, v200 in block 2; the branch compares v999 (undefined). *)
+let test_reaching_diamond () =
+  let f = Test_flow.diamond () in
+  let cfg = Cfg.make f in
+  let r = Analysis.Reaching.solve ~graph:(Cfg.graph cfg) ~instrs:(instrs_of f) in
+  let must = r.Analysis.Reaching.must_defined_in in
+  Alcotest.(check bool) "entry def on every path to the join" true
+    (Reg.Set.mem (Reg.Virt 0) must.(3));
+  Alcotest.(check bool) "arm def not on every path" false
+    (Reg.Set.mem (Reg.Virt 100) must.(3));
+  let reaches reg b =
+    Analysis.Reaching.Int_set.exists
+      (fun sid -> Reg.equal r.Analysis.Reaching.sites.(sid).reg reg)
+      r.Analysis.Reaching.reach_in.(b)
+  in
+  Alcotest.(check bool) "arm def may reach the join" true
+    (reaches (Reg.Virt 100) 3);
+  Alcotest.(check bool) "other arm too" true (reaches (Reg.Virt 200) 3);
+  Alcotest.(check bool) "entry sees no defs" false (reaches (Reg.Virt 0) 0);
+  match
+    Analysis.Reaching.uninitialized_uses r ~instrs:(instrs_of f)
+      ~keep:Reg.is_virt
+      ~reachable:(fun _ -> true)
+  with
+  | [ (0, 2, reg) ] ->
+    Alcotest.(check bool) "the undefined branch operand" true
+      (Reg.equal reg (Reg.Virt 999))
+  | uses ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly the v999 use, got %d findings"
+         (List.length uses))
+
+(* A custom function builder with explicit instruction lists. *)
+let func_of mks =
+  let lsupply = Label.Supply.create () in
+  let vsupply = Reg.Supply.create () in
+  let labels =
+    Array.init (Array.length mks) (fun _ -> Label.Supply.fresh lsupply)
+  in
+  let blocks =
+    Array.mapi
+      (fun i mk -> { Func.label = labels.(i); instrs = mk labels })
+      mks
+  in
+  Func.make ~name:"t" ~blocks ~lsupply ~vsupply
+
+let v n = Reg.Virt n
+let add d a b = Rtl.Binop (Rtl.Add, Lreg (v d), Reg (v a), Reg (v b))
+
+(* v2 := v1+v1 computed on both arms of a diamond: available at the join;
+   killed when an arm redefines v1. *)
+let test_avail_join () =
+  let f =
+    func_of
+      [|
+        (fun ls ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 1), Imm 7);
+            add 2 1 1;
+            Rtl.Cmp (Reg (v 2), Imm 0);
+            Rtl.Branch (Rtl.Ne, ls.(2));
+          ]);
+        (fun ls -> [ add 3 1 1; Rtl.Jump ls.(3) ]);
+        (fun _ -> [ add 4 1 1 ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      |]
+  in
+  let g = Cfg.graph (Cfg.make f) in
+  let a = Analysis.Avail.solve ~graph:g ~instrs:(instrs_of f) in
+  let has_add b =
+    Analysis.Avail.Key_set.exists
+      (function
+        | Analysis.Avail.Kbinop (Rtl.Add, Rtl.Reg r1, Rtl.Reg r2) ->
+          Reg.equal r1 (v 1) && Reg.equal r2 (v 1)
+        | _ -> false)
+      a.Analysis.Avail.avail_in.(b)
+  in
+  Alcotest.(check bool) "not available at the entry" false (has_add 0);
+  Alcotest.(check bool) "available on the fall arm" true (has_add 1);
+  Alcotest.(check bool) "available at the join" true (has_add 3);
+  (* Redefine v1 on one arm: the expression dies at the join. *)
+  let f' =
+    func_of
+      [|
+        (fun ls ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 1), Imm 7);
+            add 2 1 1;
+            Rtl.Cmp (Reg (v 2), Imm 0);
+            Rtl.Branch (Rtl.Ne, ls.(2));
+          ]);
+        (fun ls -> [ Rtl.Move (Lreg (v 1), Imm 9); Rtl.Jump ls.(3) ]);
+        (fun _ -> [ add 4 1 1 ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      |]
+  in
+  let a' =
+    Analysis.Avail.solve
+      ~graph:(Cfg.graph (Cfg.make f'))
+      ~instrs:(instrs_of f')
+  in
+  let has_add' b =
+    Analysis.Avail.Key_set.exists
+      (function
+        | Analysis.Avail.Kbinop (Rtl.Add, _, _) -> true
+        | _ -> false)
+      a'.Analysis.Avail.avail_in.(b)
+  in
+  Alcotest.(check bool) "killed by the redefinition" false (has_add' 3)
+
+(* Constants agreeing at a join survive; disagreeing ones are dropped. *)
+let test_copyconst_join () =
+  let f =
+    func_of
+      [|
+        (fun ls ->
+          [
+            Rtl.Enter 8;
+            Rtl.Move (Lreg (v 9), Imm 0);
+            Rtl.Cmp (Reg (v 9), Imm 0);
+            Rtl.Branch (Rtl.Ne, ls.(2));
+          ]);
+        (fun ls ->
+          [
+            Rtl.Move (Lreg (v 1), Imm 4);
+            Rtl.Move (Lreg (v 2), Imm 5);
+            Rtl.Jump ls.(3);
+          ]);
+        (fun _ ->
+          [ Rtl.Move (Lreg (v 1), Imm 4); Rtl.Move (Lreg (v 2), Imm 6) ]);
+        (fun _ -> [ Rtl.Leave; Rtl.Ret ]);
+      |]
+  in
+  let c =
+    Analysis.Copyconst.solve
+      ~graph:(Cfg.graph (Cfg.make f))
+      ~instrs:(instrs_of f)
+  in
+  let at3 = c.Analysis.Copyconst.fact_in.(3) in
+  Alcotest.(check bool) "join reached" true (Analysis.Copyconst.reached at3);
+  Alcotest.(check (option int)) "agreeing constant survives" (Some 4)
+    (Analysis.Copyconst.operand_const at3 (Rtl.Reg (v 1)));
+  Alcotest.(check (option int)) "disagreeing constant dropped" None
+    (Analysis.Copyconst.operand_const at3 (Rtl.Reg (v 2)));
+  Alcotest.(check (option int)) "copy chains resolve" (Some 0)
+    (Analysis.Copyconst.operand_const
+       (Analysis.Copyconst.step
+          (Rtl.Move (Lreg (v 3), Reg (v 9)))
+          c.Analysis.Copyconst.fact_in.(1))
+       (Rtl.Reg (v 3)))
+
+(* --- framework liveness == the naive reference solver --- *)
+
+(* The pre-framework implementation, kept as an executable specification. *)
+let naive_liveness func =
+  let g = Cfg.make func in
+  let n = Func.num_blocks func in
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Reg.Set.union acc live_in.(s))
+          Reg.Set.empty (Cfg.succs g i)
+      in
+      let inn = List.fold_right Liveness.step (Func.block func i).instrs out in
+      if
+        (not (Reg.Set.equal out live_out.(i)))
+        || not (Reg.Set.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+let check_liveness_agrees func =
+  let live = Liveness.compute func in
+  let ref_in, ref_out = naive_liveness func in
+  Array.iteri
+    (fun i expected ->
+      if
+        (not (Reg.Set.equal expected (Liveness.live_in live i)))
+        || not (Reg.Set.equal ref_out.(i) (Liveness.live_out live i))
+      then
+        QCheck.Test.fail_reportf
+          "liveness mismatch in %s block %d:\n  reference in  {%s}\n  \
+           framework in  {%s}"
+          (Func.name func) i
+          (String.concat ","
+             (List.map Reg.to_string (Reg.Set.elements expected)))
+          (String.concat ","
+             (List.map Reg.to_string
+                (Reg.Set.elements (Liveness.live_in live i)))))
+    ref_in;
+  true
+
+let arb_program =
+  QCheck.make ~print:Harness.Gen.to_c
+    ~shrink:(fun p yield -> Seq.iter yield (Harness.Gen.shrink p))
+    Harness.Gen.generate
+
+let prop_liveness_equivalent =
+  QCheck.Test.make ~name:"framework liveness matches the reference solver"
+    ~count:40 arb_program (fun p ->
+      let src = Harness.Gen.to_c p in
+      (* Fresh codegen output and the optimized (still virtual) form. *)
+      let raw = Frontend.Codegen.compile_source src in
+      let opt =
+        Opt.Driver.compile
+          { Opt.Driver.default_options with allocate = false }
+          Ir.Machine.risc src
+      in
+      List.for_all check_liveness_agrees raw.Prog.funcs
+      && List.for_all check_liveness_agrees opt.Prog.funcs)
+
+let tests =
+  ( "analysis",
+    [
+      Alcotest.test_case "solver: forward diamond" `Quick test_solver_diamond;
+      Alcotest.test_case "solver: divergence diagnostic" `Quick
+        test_solver_diverges;
+      Alcotest.test_case "solver: graph restriction" `Quick test_restrict;
+      Alcotest.test_case "fact cache" `Quick test_cache;
+      Alcotest.test_case "reaching definitions on a diamond" `Quick
+        test_reaching_diamond;
+      Alcotest.test_case "available expressions at a join" `Quick
+        test_avail_join;
+      Alcotest.test_case "copy/constant facts at a join" `Quick
+        test_copyconst_join;
+      QCheck_alcotest.to_alcotest prop_liveness_equivalent;
+    ] )

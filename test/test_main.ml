@@ -7,6 +7,8 @@ let () =
       Test_frontend.tests;
       Test_flow.tests;
       Test_check.tests;
+      Test_analysis.tests;
+      Test_lint.tests;
       Test_replication.tests;
       Test_opt.tests;
       Test_regalloc.tests;

@@ -22,6 +22,12 @@ dune runtest
 echo "== fuzz smoke (25 seeds) =="
 dune exec bin/jumprepc.exe -- fuzz --seeds 25 --quiet --out _build/fuzz-failures
 
+echo "== lint --strict (examples + bench corpus) =="
+for f in examples/c/*.c; do
+  dune exec bin/jumprepc.exe -- lint "$f" -O jumps --strict > /dev/null
+done
+dune exec bin/jumprepc.exe -- lint --benches -O jumps --strict > /dev/null
+
 echo "== verify-passes strict run =="
 cat > _build/ci-verify.c <<'EOF'
 int main() {
