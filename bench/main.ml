@@ -30,6 +30,53 @@ let available : (string * string * (Format.formatter -> unit)) list =
 
 (* --- Bechamel micro-benchmarks of the compiler and simulator --- *)
 
+(* Record one instruction-fetch trace so the cache-simulation micros
+   feed both implementations the identical stream, isolated from the
+   interpreter. *)
+let record_trace asm prog =
+  let addrs = ref (Array.make 4096 0) in
+  let sizes = ref (Array.make 4096 0) in
+  let len = ref 0 in
+  let push addr size =
+    if !len = Array.length !addrs then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      addrs := grow !addrs;
+      sizes := grow !sizes
+    end;
+    !addrs.(!len) <- addr;
+    !sizes.(!len) <- size;
+    incr len
+  in
+  ignore
+    (Sim.Interp.run ~on_fetch:(fun ~addr ~size -> push addr size) asm prog);
+  (Array.sub !addrs 0 !len, Array.sub !sizes 0 !len)
+
+(* The largest CFG among a handful of fuzz-generated programs — input
+   for the shortest-path micros.  Compiled at LOOPS so the jumps pass
+   has not already eaten the unconditional jumps. *)
+let gen_cfg () =
+  let best = ref None in
+  for seed = 0 to 14 do
+    let p = Harness.Gen.generate (Random.State.make [| seed |]) in
+    match
+      Opt.Driver.compile
+        { Opt.Driver.default_options with level = Opt.Driver.Loops }
+        Ir.Machine.risc (Harness.Gen.to_c p)
+    with
+    | exception _ -> ()
+    | prog ->
+      List.iter
+        (fun f ->
+          let g = Flow.Cfg.make f in
+          let n = Flow.Cfg.num_blocks g in
+          match !best with
+          | Some (_, _, n') when n' >= n -> ()
+          | _ -> best := Some (f, g, n))
+        prog.Flow.Prog.funcs
+  done;
+  let f, g, _ = Option.get !best in
+  (f, g)
+
 let bechamel_tests () =
   let open Bechamel in
   let quicksort = Option.get (Programs.Suite.find "quicksort") in
@@ -44,6 +91,22 @@ let bechamel_tests () =
     Opt.Driver.optimize Opt.Driver.default_options Ir.Machine.risc compiled
   in
   let asm_simple = Sim.Asm.assemble Ir.Machine.risc prog_simple in
+  let trace_addrs, trace_sizes = record_trace asm_simple prog_simple in
+  let trace_len = Array.length trace_addrs in
+  let caches = List.map Icache.create Icache.paper_configs in
+  let bank = Icache.Bank.create Icache.paper_configs in
+  let sp_func, sp_cfg = gen_cfg () in
+  let sp_blocks = Flow.Cfg.num_blocks sp_cfg in
+  (* The query mix of the JUMPS pass: a handful of jump-target sources,
+     each asked for a few destinations. *)
+  let sp_queries sp_path =
+    let src = ref 0 in
+    while !src < sp_blocks do
+      ignore (sp_path ~src:!src ~dst:0);
+      if !src + 1 < sp_blocks then ignore (sp_path ~src:!src ~dst:(!src + 1));
+      src := !src + 8
+    done
+  in
   let t name f = Test.make ~name (Staged.stage f) in
   [
     t "parse/quicksort" (fun () ->
@@ -62,8 +125,43 @@ let bechamel_tests () =
           (Opt.Driver.optimize
              { Opt.Driver.default_options with level = Opt.Driver.Jumps }
              Ir.Machine.risc compiled));
+    t "decode/quicksort" (fun () ->
+        ignore (Sim.Interp.Decoded.decode asm_simple prog_simple));
     t "interp/quicksort" (fun () ->
         ignore (Sim.Interp.run asm_simple prog_simple));
+    t "interp-reference/quicksort" (fun () ->
+        ignore (Sim.Interp.run_reference asm_simple prog_simple));
+    t "cachesim-bank/quicksort-trace" (fun () ->
+        Icache.Bank.reset bank;
+        for i = 0 to trace_len - 1 do
+          Icache.Bank.access bank ~addr:trace_addrs.(i) ~size:trace_sizes.(i)
+        done);
+    t "cachesim-list/quicksort-trace" (fun () ->
+        List.iter Icache.reset caches;
+        for i = 0 to trace_len - 1 do
+          List.iter
+            (fun c ->
+              Icache.access c ~addr:trace_addrs.(i) ~size:trace_sizes.(i))
+            caches
+        done);
+    t
+      (Printf.sprintf "shortest-path-fw/gen-%db" sp_blocks)
+      (fun () ->
+        let ap = Replication.Shortest_path.All_pairs.compute sp_func sp_cfg in
+        sp_queries (Replication.Shortest_path.All_pairs.path ap));
+    t
+      (Printf.sprintf "shortest-path-lazy/gen-%db" sp_blocks)
+      (fun () ->
+        let sp = Replication.Shortest_path.create sp_func sp_cfg in
+        sp_queries (Replication.Shortest_path.path sp));
+    t "sweep-j1/suite-simple-risc" (fun () ->
+        Harness.Measure.reset_cache ();
+        ignore
+          (Harness.Measure.run_suite ~jobs:1 Opt.Driver.Simple Ir.Machine.risc));
+    t "sweep-j2/suite-simple-risc" (fun () ->
+        Harness.Measure.reset_cache ();
+        ignore
+          (Harness.Measure.run_suite ~jobs:2 Opt.Driver.Simple Ir.Machine.risc));
     t "pipeline-jumps/sieve-cisc" (fun () ->
         ignore
           (Opt.Driver.compile
@@ -71,11 +169,11 @@ let bechamel_tests () =
              Ir.Machine.cisc sieve.source));
   ]
 
-let run_bechamel () =
+let run_bechamel ?(quota = 0.5) () =
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second quota) () in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -100,19 +198,22 @@ let run_bechamel () =
 
 (* Every (benchmark, level, machine) measurement plus the telemetry counter
    totals of the sweep, in one JSON document.  The numbers come from the
-   same Harness.Measure/Telemetry path the tables use. *)
-let write_json path =
+   same Harness.Measure/Telemetry path the tables use.  [run_many]
+   guarantees the document is byte-identical at any [jobs]. *)
+let write_json ~jobs path =
   let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ] in
   let machines = [ Ir.Machine.risc; Ir.Machine.cisc ] in
   let log = Telemetry.Log.make Telemetry.Log.Memory in
-  let results =
+  let tasks =
     List.concat_map
       (fun machine ->
         List.concat_map
-          (fun level -> Harness.Measure.run_suite ~log level machine)
+          (fun level ->
+            List.map (fun b -> (b, level, machine)) Programs.Suite.all)
           levels)
       machines
   in
+  let results = Harness.Measure.run_many ~log ~jobs tasks in
   let counters =
     Telemetry.Counter.all log
     |> List.map (fun (name, value) ->
@@ -129,7 +230,9 @@ let () =
   let tables = ref [] in
   let list_only = ref false in
   let bech = ref false in
+  let bech_quota = ref 0.5 in
   let json = ref false in
+  let jobs = ref (Harness.Pool.default_jobs ()) in
   let spec =
     [
       ( "-t",
@@ -140,7 +243,17 @@ let () =
         "ID  same as -t" );
       ("--list", Arg.Set list_only, " list available ids");
       ("--bechamel", Arg.Set bech, " run pass micro-benchmarks");
+      ( "--bechamel-quota",
+        Arg.Set_float bech_quota,
+        "SECS  per-benchmark time budget (default 0.5)" );
       ("--json", Arg.Set json, " write BENCH_results.json (full suite sweep)");
+      ( "-j",
+        Arg.Set_int jobs,
+        "N  worker domains for the --json sweep (default $JUMPREP_JOBS or 1)"
+      );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  same as -j" );
     ]
   in
   Arg.parse spec
@@ -167,8 +280,8 @@ let () =
         print ppf;
         Format.pp_print_flush ppf ())
       selected;
-    if !json then write_json "BENCH_results.json";
-    if !bech then run_bechamel ();
+    if !json then write_json ~jobs:(max 1 !jobs) "BENCH_results.json";
+    if !bech then run_bechamel ~quota:!bech_quota ();
     (* Timeouts and mismatches are distinct verdicts; either fails the
        sweep. *)
     let failed = ref false in

@@ -695,7 +695,16 @@ let fuzz_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"No per-seed progress on stderr.")
   in
-  let run seeds start out_dir max_steps quiet verify inject_fault =
+  let jobs =
+    Arg.(
+      value
+      & opt int (Harness.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the campaign (default \\$JUMPREP_JOBS or 1). \
+             Results are identical at any job count.")
+  in
+  let run seeds start out_dir max_steps quiet jobs verify inject_fault =
     let on_seed seed outcome =
       if not quiet then
         match outcome with
@@ -707,7 +716,7 @@ let fuzz_cmd =
     in
     let stats =
       Harness.Fuzz.campaign ~max_steps ~verify ?inject_fault ~out_dir ~start
-        ~on_seed ~seeds ()
+        ~on_seed ~jobs:(max 1 jobs) ~seeds ()
     in
     List.iter
       (fun (seed, (f : Harness.Fuzz.failure), path) ->
@@ -727,8 +736,8 @@ let fuzz_cmd =
           reference, with failing programs delta-reduced to minimal \
           reproducers")
     Term.(
-      const run $ seeds $ start $ out_dir $ max_steps $ quiet $ verify_arg
-      $ inject_fault_arg)
+      const run $ seeds $ start $ out_dir $ max_steps $ quiet $ jobs
+      $ verify_arg $ inject_fault_arg)
 
 let list_cmd =
   let run () =

@@ -24,120 +24,193 @@ let edge_list func g =
 let block_sizes func =
   Array.map Func.block_size (Func.blocks func)
 
+(* The graph data every implementation shares: legal edges, their
+   reversal (predecessor lists in ascending block order) and block
+   sizes.  Path reconstruction runs over this, so two implementations
+   that agree on distances agree on the chosen blocks. *)
+type geometry = {
+  sizes : int array;
+  edges : int list array;
+  preds : int list array;
+}
+
+let geometry func g =
+  let edges = edge_list func g in
+  let n = Array.length edges in
+  let preds = Array.make n [] in
+  for u = n - 1 downto 0 do
+    List.iter (fun v -> preds.(v) <- u :: preds.(v)) edges.(u)
+  done;
+  { sizes = block_sizes func; edges; preds }
+
+(* Canonical path reconstruction from a distance array ([dist u] = cost
+   from the source up to but excluding [u]; the source itself counts as
+   distance 0 even when a cycle leads back to it).  Walking backward
+   from [dst], follow the lowest-numbered "tight" predecessor
+   ([dist u + size u = dist v]) that keeps the path simple.  Every edge
+   of a shortest path is tight, so a simple tight chain back to the
+   source always exists; the backtracking only ever engages in the
+   zero-size-block corner case where the greedy choice can close a
+   zero-cost cycle and dead-end. *)
+let reconstruct geo dist ~src ~dst =
+  let d u = if u = src then 0 else dist u in
+  if src = dst || d dst >= inf then None
+  else begin
+    let on_path = Array.make (Array.length geo.sizes) false in
+    on_path.(dst) <- true;
+    (* [suffix] holds the canonical blocks strictly after [v] (with
+       [dst] itself excluded, as the paper's cost convention demands). *)
+    let rec back v suffix =
+      if v = src then Some (src :: suffix)
+      else
+        let dv = d v in
+        let rec try_preds = function
+          | [] -> None
+          | u :: rest ->
+            if (not on_path.(u)) && d u + geo.sizes.(u) = dv then begin
+              on_path.(u) <- true;
+              match back u (if v = dst then suffix else v :: suffix) with
+              | Some _ as found -> found
+              | None ->
+                on_path.(u) <- false;
+                try_preds rest
+            end
+            else try_preds rest
+        in
+        try_preds geo.preds.(v)
+    in
+    match back dst [] with
+    | None -> None
+    | Some blocks -> Some { cost = d dst; blocks }
+  end
+
 module All_pairs = struct
-  type t = { dist : int array array; next : int array array }
+  type t = { geo : geometry; dist : int array array }
 
   let compute func g =
     let n = Cfg.num_blocks g in
-    let sizes = block_sizes func in
-    let edges = edge_list func g in
+    let geo = geometry func g in
     let dist = Array.make_matrix n n inf in
-    let next = Array.make_matrix n n (-1) in
     for u = 0 to n - 1 do
       List.iter
         (fun v ->
-          if sizes.(u) < dist.(u).(v) then begin
-            dist.(u).(v) <- sizes.(u);
-            next.(u).(v) <- v
-          end)
-        edges.(u)
+          if geo.sizes.(u) < dist.(u).(v) then dist.(u).(v) <- geo.sizes.(u))
+        geo.edges.(u)
     done;
     for k = 0 to n - 1 do
       for u = 0 to n - 1 do
-        if dist.(u).(k) < inf then
+        if dist.(u).(k) < inf then begin
+          let du = dist.(u) and dk = dist.(k) in
           for v = 0 to n - 1 do
-            if dist.(k).(v) < inf then begin
-              let d = dist.(u).(k) + dist.(k).(v) in
-              if d < dist.(u).(v) then begin
-                dist.(u).(v) <- d;
-                next.(u).(v) <- next.(u).(k)
-              end
+            if dk.(v) < inf then begin
+              let d = du.(k) + dk.(v) in
+              if d < du.(v) then du.(v) <- d
             end
           done
+        end
       done
     done;
-    { dist; next }
+    { geo; dist }
 
   let path t ~src ~dst =
-    if src = dst || t.dist.(src).(dst) >= inf then None
-    else begin
-      let rec walk u acc =
-        if u = dst then List.rev acc else walk t.next.(u).(dst) (u :: acc)
-      in
-      Some { cost = t.dist.(src).(dst); blocks = walk src [] }
-    end
+    let row = t.dist.(src) in
+    reconstruct t.geo (fun u -> row.(u)) ~src ~dst
 end
+
+(* Dijkstra over the node-weighted graph: entering [v] from [u] costs
+   [size u], so [dist v] = RTLs of the blocks from the source up to but
+   excluding [v].  The priority queue is a binary heap of
+   [d * n + node] keys — pops are by (distance, block index), wholly
+   deterministic, and nothing allocates per relaxation. *)
+let dijkstra geo ~src =
+  let n = Array.length geo.sizes in
+  let dist = Array.make n inf in
+  dist.(src) <- 0;
+  let heap = ref (Array.make 64 0) in
+  let len = ref 0 in
+  let push key =
+    if !len = Array.length !heap then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !heap 0 bigger 0 !len;
+      heap := bigger
+    end;
+    let h = !heap in
+    let i = ref !len in
+    incr len;
+    h.(!i) <- key;
+    while !i > 0 && h.((!i - 1) / 2) > h.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.(p) in
+      h.(p) <- h.(!i);
+      h.(!i) <- tmp;
+      i := p
+    done
+  in
+  let pop () =
+    let h = !heap in
+    let top = h.(0) in
+    decr len;
+    h.(0) <- h.(!len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < !len && h.(l) < h.(!smallest) then smallest := l;
+      if r < !len && h.(r) < h.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.(!smallest) in
+        h.(!smallest) <- h.(!i);
+        h.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+  in
+  push src (* d = 0 *);
+  while !len > 0 do
+    let key = pop () in
+    let d = key / n and u = key mod n in
+    if d <= dist.(u) then begin
+      let nd = d + geo.sizes.(u) in
+      List.iter
+        (fun v ->
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            push ((nd * n) + v)
+          end)
+        geo.edges.(u)
+    end
+  done;
+  dist
 
 module Single_source = struct
-  type t = { src : int; dist : int array; prev : int array }
+  type t = { src : int; geo : geometry; dist : int array }
 
-  (* Dijkstra with node weights: entering block v from u costs size(u);
-     dist.(v) = RTLs of blocks from src up to but excluding v. *)
   let compute func g ~src =
-    let n = Cfg.num_blocks g in
-    let sizes = block_sizes func in
-    let edges = edge_list func g in
-    let dist = Array.make n inf in
-    let prev = Array.make n (-1) in
-    let module Pq = Set.Make (struct
-      type t = int * int
-
-      let compare = compare
-    end) in
-    dist.(src) <- 0;
-    let pq = ref (Pq.singleton (0, src)) in
-    while not (Pq.is_empty !pq) do
-      let ((d, u) as elt) = Pq.min_elt !pq in
-      pq := Pq.remove elt !pq;
-      if d <= dist.(u) then
-        List.iter
-          (fun v ->
-            let nd = d + sizes.(u) in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              prev.(v) <- u;
-              pq := Pq.add (nd, v) !pq
-            end)
-          edges.(u)
-    done;
-    { src; dist; prev }
+    let geo = geometry func g in
+    { src; geo; dist = dijkstra geo ~src }
 
   let path t ~dst =
-    if dst = t.src || t.dist.(dst) >= inf then None
-    else begin
-      let rec walk v acc =
-        if v = t.src then v :: acc else walk t.prev.(v) (v :: acc)
-      in
-      (* The path excludes dst itself. *)
-      let blocks = walk t.prev.(dst) [] in
-      Some { cost = t.dist.(dst); blocks }
-    end
+    reconstruct t.geo (fun u -> t.dist.(u)) ~src:t.src ~dst
 end
 
-type impl =
-  | Ap of All_pairs.t
-  | Ss of {
-      func : Flow.Func.t;
-      g : Cfg.t;
-      cache : (int, Single_source.t) Hashtbl.t;
-    }
+(* The production implementation: geometry once, one Dijkstra per
+   queried source, memoized.  Sources are exactly the jump targets the
+   JUMPS pass asks about, so unqueried blocks cost nothing — the paper's
+   O(n³) Warshall table survives above only as the test oracle. *)
+type t = { geo : geometry; cache : (int, int array) Hashtbl.t }
 
-type t = impl
-
-let create ?(all_pairs_limit = 250) func g =
-  if Cfg.num_blocks g <= all_pairs_limit then Ap (All_pairs.compute func g)
-  else Ss { func; g; cache = Hashtbl.create 16 }
+let create func g = { geo = geometry func g; cache = Hashtbl.create 16 }
 
 let path t ~src ~dst =
-  match t with
-  | Ap ap -> All_pairs.path ap ~src ~dst
-  | Ss { func; g; cache } ->
-    let ss =
-      match Hashtbl.find_opt cache src with
-      | Some ss -> ss
-      | None ->
-        let ss = Single_source.compute func g ~src in
-        Hashtbl.add cache src ss;
-        ss
-    in
-    Single_source.path ss ~dst
+  let dist =
+    match Hashtbl.find_opt t.cache src with
+    | Some dist -> dist
+    | None ->
+      let dist = dijkstra t.geo ~src in
+      Hashtbl.add t.cache src dist;
+      dist
+  in
+  reconstruct t.geo (fun u -> dist.(u)) ~src ~dst

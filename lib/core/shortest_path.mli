@@ -10,14 +10,16 @@
     Edges excluded from paths (paper §4 step 1): self-loops and the outgoing
     edges of blocks ending in indirect jumps.
 
-    Two interchangeable implementations are provided: Warshall/Floyd
-    all-pairs (the paper's choice, O(n³)) and a single-source Dijkstra used
-    for large functions.  They agree on distances; property tests check
-    this. *)
+    All implementations share one canonical path reconstruction driven only
+    by the distance array (lowest-numbered tight predecessor first), so any
+    two that agree on distances return identical block sequences; property
+    tests exploit this by checking the lazy Dijkstra against the
+    Floyd/Warshall oracle. *)
 
 type path = { cost : int; blocks : int list (** from source inclusive *) }
 
-(** All-pairs tables via Floyd/Warshall. *)
+(** All-pairs tables via Floyd/Warshall — the paper's O(n³) formulation,
+    kept as the test oracle. *)
 module All_pairs : sig
   type t
 
@@ -37,9 +39,10 @@ module Single_source : sig
   val path : t -> dst:int -> path option
 end
 
-(** Uses all-pairs for functions up to [all_pairs_limit] blocks (default
-    250), Dijkstra-per-source beyond, memoized per source. *)
+(** Lazy per-source Dijkstra, memoized: a source's distances are computed
+    the first time a path from it is requested.  The JUMPS pass only ever
+    queries jump targets, so most blocks never pay anything. *)
 type t
 
-val create : ?all_pairs_limit:int -> Flow.Func.t -> Flow.Cfg.t -> t
+val create : Flow.Func.t -> Flow.Cfg.t -> t
 val path : t -> src:int -> dst:int -> path option

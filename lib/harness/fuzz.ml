@@ -129,25 +129,51 @@ let sanitize_comment s =
 
 let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
     ?(out_dir = "fuzz-failures") ?(start = 0) ?(on_seed = fun _ _ -> ())
-    ~seeds () =
+    ?(jobs = 1) ~seeds () =
   let check_src src = check ~max_steps ~verify ?inject_fault src in
   let failures = ref [] in
-  for seed = start to start + seeds - 1 do
-    let p = Gen.generate (Random.State.make [| seed |]) in
-    let outcome = check_src (Gen.to_c p) in
-    (match outcome with
-    | None -> ()
-    | Some f ->
-      let p', f' = reduce ~check:check_src p f in
-      if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
-      let path = Filename.concat out_dir (Printf.sprintf "seed-%d.c" seed) in
-      let oc = open_out path in
-      Printf.fprintf oc "/* jumprepc fuzz reproducer: seed %d\n   %s at %s: %s */\n%s"
-        seed (kind_name f'.kind) f'.config
-        (sanitize_comment f'.detail)
-        (Gen.to_c p');
-      close_out oc;
-      failures := (seed, f', path) :: !failures);
-    on_seed seed outcome
-  done;
+  let write_reproducer seed (p' : Gen.program) f' =
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let path = Filename.concat out_dir (Printf.sprintf "seed-%d.c" seed) in
+    let oc = open_out path in
+    Printf.fprintf oc "/* jumprepc fuzz reproducer: seed %d\n   %s at %s: %s */\n%s"
+      seed (kind_name f'.kind) f'.config
+      (sanitize_comment f'.detail)
+      (Gen.to_c p');
+    close_out oc;
+    failures := (seed, f', path) :: !failures
+  in
+  (* Generation, checking and reduction are pure in the seed, so they
+     parallelize; reproducer files, the failure list and [on_seed] are
+     parent-side in seed order, making the campaign's observable output
+     independent of [jobs].  [jobs = 1] keeps the streaming loop —
+     [on_seed] fires as each seed finishes rather than after the pool
+     drains. *)
+  if jobs <= 1 then
+    for seed = start to start + seeds - 1 do
+      let p = Gen.generate (Random.State.make [| seed |]) in
+      let outcome = check_src (Gen.to_c p) in
+      (match outcome with
+      | None -> ()
+      | Some f ->
+        let p', f' = reduce ~check:check_src p f in
+        write_reproducer seed p' f');
+      on_seed seed outcome
+    done
+  else
+    List.init seeds (fun i -> start + i)
+    |> Pool.map ~jobs (fun seed ->
+           let p = Gen.generate (Random.State.make [| seed |]) in
+           match check_src (Gen.to_c p) with
+           | None -> (seed, None)
+           | Some f ->
+             let p', f' = reduce ~check:check_src p f in
+             (seed, Some (f, p', f')))
+    |> List.iter (fun (seed, r) ->
+           (match r with
+           | None -> ()
+           | Some (_, p', f') -> write_reproducer seed p' f');
+           (* The original (pre-reduction) failure, as in the streaming
+              loop. *)
+           on_seed seed (Option.map (fun (f, _, _) -> f) r));
   { seeds_run = seeds; failures = List.rev !failures }

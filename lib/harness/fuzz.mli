@@ -48,7 +48,13 @@ type stats = {
 
 (** Fuzz seeds [start .. start + seeds - 1]; on failure, reduce and write
     the reproducer under [out_dir] (created if missing).  [on_seed] is
-    called after each seed with its outcome (for progress reporting). *)
+    called after each seed with its outcome (for progress reporting).
+
+    [jobs > 1] spreads the seeds over a {!Pool}; seeds are independent,
+    and reproducer files, the failure list and the [on_seed] calls are
+    issued from the calling domain in seed order, so the campaign's
+    results are identical at any [jobs] (with [jobs = 1], [on_seed]
+    additionally streams as each seed completes). *)
 val campaign :
   ?max_steps:int ->
   ?verify:bool ->
@@ -56,6 +62,7 @@ val campaign :
   ?out_dir:string ->
   ?start:int ->
   ?on_seed:(int -> failure option -> unit) ->
+  ?jobs:int ->
   seeds:int ->
   unit ->
   stats

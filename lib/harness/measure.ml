@@ -74,7 +74,11 @@ let record_timeout log (m : t) =
               m.machine.Ir.Machine.short;
         })
 
-let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
+(* The side-effect-free core of a measurement: compile, assemble, run
+   through the cache bank, bump counters on [log].  No module-level state
+   is touched and nothing beyond [log] is written, so this is what pool
+   workers run on their own domain with a private log. *)
+let measure_raw ?opts ?(log = Telemetry.Log.null) ?(verify = true)
     (b : Programs.Suite.benchmark) level machine =
   let opts =
     match opts with
@@ -86,12 +90,8 @@ let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
       (Frontend.Codegen.compile_source b.source)
   in
   let asm = Sim.Asm.assemble machine prog in
-  let caches =
-    List.map (fun c -> (c, Icache.create c)) Icache.paper_configs
-  in
-  let on_fetch ~addr ~size =
-    List.iter (fun (_, c) -> Icache.access c ~addr ~size) caches
-  in
+  let bank = Icache.Bank.create Icache.paper_configs in
+  let on_fetch ~addr ~size = Icache.Bank.access bank ~addr ~size in
   let res = Sim.Interp.run ~input:b.input ~on_fetch ~log asm prog in
   let m =
     {
@@ -111,14 +111,14 @@ let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
         && ((not verify) || String.equal res.output b.expected_output);
       timed_out = res.timed_out;
       caches =
-        List.map
-          (fun (config, c) ->
+        List.mapi
+          (fun i config ->
             {
               config;
-              miss_ratio = Icache.miss_ratio c;
-              fetch_cost = Icache.fetch_cost c;
+              miss_ratio = Icache.Bank.miss_ratio bank i;
+              fetch_cost = Icache.Bank.fetch_cost bank i;
             })
-          caches;
+          Icache.paper_configs;
     }
   in
   Telemetry.Counter.incr log "measure.runs";
@@ -126,11 +126,19 @@ let measure ?opts ?(log = Telemetry.Log.null) ?(verify = true)
   Telemetry.Counter.add log "measure.static_ujumps" m.static_ujumps;
   Telemetry.Counter.add log "measure.dyn_instrs" m.dyn_instrs;
   Telemetry.Counter.add log "measure.dyn_ujumps" m.dyn_ujumps;
-  if m.timed_out then begin
-    Telemetry.Counter.incr log "measure.timeouts";
-    record_timeout log m
-  end
-  else if not m.output_ok then record_mismatch log m ~expected:b.expected_output;
+  if m.timed_out then Telemetry.Counter.incr log "measure.timeouts";
+  m
+
+(* The stateful tail of a measurement — mismatch/timeout bookkeeping in
+   the module-level lists.  Parent-domain only. *)
+let record log (b : Programs.Suite.benchmark) m =
+  if m.timed_out then record_timeout log m
+  else if not m.output_ok then record_mismatch log m ~expected:b.expected_output
+
+let measure ?opts ?(log = Telemetry.Log.null) ?verify
+    (b : Programs.Suite.benchmark) level machine =
+  let m = measure_raw ?opts ~log ?verify b level machine in
+  record log b m;
   m
 
 let run ?opts ?log ?verify (b : Programs.Suite.benchmark) level machine =
@@ -161,8 +169,57 @@ let run_adhoc ?opts ?log ~name ~source ?(input = "") ?expected_output level
   in
   run ?opts ?log ~verify:(expected_output <> None) b level machine
 
-let run_suite ?log level machine =
-  List.map (fun b -> run ?log b level machine) Programs.Suite.all
+(* Parallel sweep over (benchmark, level, machine) tasks.  The memo
+   table, mismatch/timeout lists and the caller's log stay on this
+   domain: memo hits are resolved before dispatch, workers run
+   [measure_raw] against a private in-memory log, and after the joins
+   each task's events and counters are folded into [log] in task order —
+   so results, telemetry and recorded failures are byte-for-byte those
+   of the sequential sweep, whatever [jobs] is. *)
+let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) tasks =
+  if jobs <= 1 then List.map (fun (b, level, m) -> run ~log b level m) tasks
+  else begin
+    let logging = Telemetry.Log.enabled log in
+    let pending = Hashtbl.create 16 in
+    let to_run =
+      List.filter
+        (fun (b, level, m) ->
+          let key = memo_key b level m in
+          (not (Hashtbl.mem memo key)) && not (Hashtbl.mem pending key)
+          && (Hashtbl.add pending key (); true))
+        tasks
+    in
+    let computed =
+      Pool.map ~jobs
+        (fun (b, level, m) ->
+          let wlog =
+            if logging then Telemetry.Log.make Telemetry.Log.Memory
+            else Telemetry.Log.null
+          in
+          (measure_raw ~log:wlog b level m, wlog))
+        to_run
+    in
+    List.iter2
+      (fun (b, level, machine) (res, wlog) ->
+        if logging then begin
+          List.iter
+            (fun ev -> Telemetry.Log.emit log (fun () -> ev))
+            (Telemetry.Log.events wlog);
+          List.iter
+            (fun (name, value) -> Telemetry.Counter.add log name value)
+            (Telemetry.Counter.all wlog)
+        end;
+        record log b res;
+        Hashtbl.add memo (memo_key b level machine) res)
+      to_run computed;
+    List.map
+      (fun (b, level, m) -> Hashtbl.find memo (memo_key b level m))
+      tasks
+  end
+
+let run_suite ?log ?jobs level machine =
+  run_many ?log ?jobs
+    (List.map (fun b -> (b, level, machine)) Programs.Suite.all)
 
 (* --- JSON rendering (the bench drivers' machine-readable output) --- *)
 

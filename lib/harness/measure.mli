@@ -66,8 +66,26 @@ val run_adhoc :
 (** Clear the memo table (after changing options between sweeps). *)
 val reset_cache : unit -> unit
 
+(** [run] over an arbitrary task list, optionally on a {!Pool} of
+    [jobs] domains (default 1 = the plain sequential sweep).  Memoized
+    results are resolved before dispatch; workers measure against
+    private in-memory logs that are folded into [log] in task order
+    after the joins, so results, counters, event stream and recorded
+    mismatches/timeouts are identical to the sequential run at any
+    [jobs]. *)
+val run_many :
+  ?log:Telemetry.Log.t ->
+  ?jobs:int ->
+  (Programs.Suite.benchmark * Opt.Driver.level * Ir.Machine.t) list ->
+  t list
+
 (** [run] over every benchmark in the suite. *)
-val run_suite : ?log:Telemetry.Log.t -> Opt.Driver.level -> Ir.Machine.t -> t list
+val run_suite :
+  ?log:Telemetry.Log.t ->
+  ?jobs:int ->
+  Opt.Driver.level ->
+  Ir.Machine.t ->
+  t list
 
 (** Every (program, level, machine-short) whose output failed verification
     in this process, in discovery order — the bench drivers exit nonzero

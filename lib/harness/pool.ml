@@ -1,0 +1,52 @@
+(* A fixed-size Domain worker pool over an indexed work list.  Items are
+   claimed through one atomic counter, so the schedule is whichever
+   domain gets there first — callers own determinism by keeping shared
+   state out of [f] and folding the (index-ordered) results on the
+   parent.  The calling domain works too: [jobs = 1] spawns nothing and
+   degrades to [List.map]. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "JUMPREP_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+let map ?(jobs = 1) f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f items.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* Run the parent's share first so a raise still reaches every join
+       below; a worker's exception surfaces out of its join. *)
+    let parent_failure =
+      match worker () with () -> None | exception e -> Some e
+    in
+    let worker_failure =
+      List.fold_left
+        (fun failure d ->
+          match Domain.join d with
+          | () -> failure
+          | exception e -> ( match failure with Some _ -> failure | None -> Some e))
+        None domains
+    in
+    (match parent_failure with
+    | Some e -> raise e
+    | None -> ( match worker_failure with Some e -> raise e | None -> ()));
+    Array.to_list (Array.map Option.get results)
+  end

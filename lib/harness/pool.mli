@@ -1,0 +1,16 @@
+(** Fixed-size Domain worker pool (OCaml 5 [Domain] + [Atomic]).
+
+    Work items are claimed from one atomic counter and results land in an
+    index-ordered array, so the output order is the input order no matter
+    which domain ran what.  [f] must not touch shared mutable state; the
+    sweep drivers keep memo tables and telemetry on the calling domain and
+    merge per-worker logs deterministically afterwards. *)
+
+(** [JUMPREP_JOBS] from the environment (1 when unset or unparsable). *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f xs] is [List.map f xs] computed by [jobs] domains (the
+    caller counts as one; [jobs = 1] spawns none).  If any application
+    raises, the first exception (parent's first) is re-raised after every
+    domain is joined. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -128,3 +128,185 @@ let miss_ratio t =
   if n = 0 then 0.0 else float_of_int t.misses /. float_of_int n
 
 let fetch_cost t = (t.hits * hit_cost) + (t.misses * miss_cost)
+
+(* A bank feeds one fetch stream to many configurations in a single pass.
+   Per-cache state lives in flat int arrays indexed by a per-config
+   offset, and the hit/LRU scan is a plain loop over ints, so an access
+   allocates nothing — unlike a [List.iter] over [t]s, which pays a
+   closure call and cache-line scatter per config.  The update rules are
+   the same as [access_line]'s, quirks included (the per-line flush
+   check, tick-then-scan ordering, and the last-free-way-wins LRU
+   choice), so a bank's statistics are equal to running each config
+   through [access] separately. *)
+module Bank = struct
+  type bank = {
+    configs : config array;
+    offsets : int array;  (** start of each config's ways in [tags] *)
+    lines_per : int array;
+    num_sets : int array;
+    assocs : int array;
+    line_bytes : int array;
+    line_shift : int array;  (** log2 of [line_bytes]; -1 if not a power of 2 *)
+    set_mask : int array;  (** [num_sets - 1] when a power of 2, else -1 *)
+    ctx : bool array;
+    tags : int array;
+    stamps : int array;
+    ticks : int array;
+    bhits : int array;
+    bmisses : int array;
+    times : int array;
+    next_flush : int array;
+  }
+
+  type t = bank
+
+  let create config_list =
+    let configs = Array.of_list config_list in
+    let n = Array.length configs in
+    let offsets = Array.make n 0 in
+    let lines_per = Array.make n 0 in
+    let num_sets = Array.make n 0 in
+    let assocs = Array.make n 0 in
+    let line_bytes = Array.make n 0 in
+    let line_shift = Array.make n (-1) in
+    let set_mask = Array.make n (-1) in
+    let ctx = Array.make n false in
+    let log2_exact x =
+      let rec go s = if 1 lsl s = x then s else if 1 lsl s > x then -1 else go (s + 1) in
+      if x > 0 then go 0 else -1
+    in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let c = configs.(i) in
+      if c.size_bytes mod c.line_bytes <> 0 then
+        invalid_arg "Icache.Bank.create: size not a multiple of the line size";
+      if c.assoc < 1 then invalid_arg "Icache.Bank.create: associativity < 1";
+      let lines = c.size_bytes / c.line_bytes in
+      if lines mod c.assoc <> 0 then
+        invalid_arg
+          "Icache.Bank.create: lines not a multiple of the associativity";
+      offsets.(i) <- !total;
+      lines_per.(i) <- lines;
+      num_sets.(i) <- lines / c.assoc;
+      assocs.(i) <- c.assoc;
+      line_bytes.(i) <- c.line_bytes;
+      line_shift.(i) <- log2_exact c.line_bytes;
+      set_mask.(i) <-
+        (if log2_exact num_sets.(i) >= 0 then num_sets.(i) - 1 else -1);
+      ctx.(i) <- c.context_switches;
+      total := !total + lines
+    done;
+    {
+      configs;
+      offsets;
+      lines_per;
+      num_sets;
+      assocs;
+      line_bytes;
+      line_shift;
+      set_mask;
+      ctx;
+      tags = Array.make !total (-1);
+      stamps = Array.make !total 0;
+      ticks = Array.make n 0;
+      bhits = Array.make n 0;
+      bmisses = Array.make n 0;
+      times = Array.make n 0;
+      next_flush = Array.make n flush_interval;
+    }
+
+  let reset t =
+    Array.fill t.tags 0 (Array.length t.tags) (-1);
+    Array.fill t.stamps 0 (Array.length t.stamps) 0;
+    let n = Array.length t.configs in
+    Array.fill t.ticks 0 n 0;
+    Array.fill t.bhits 0 n 0;
+    Array.fill t.bmisses 0 n 0;
+    Array.fill t.times 0 n 0;
+    Array.fill t.next_flush 0 n flush_interval
+
+  let access t ~addr ~size =
+    let span = max 1 size - 1 in
+    let tags = t.tags and stamps = t.stamps in
+    for i = 0 to Array.length t.configs - 1 do
+      let off = t.offsets.(i) in
+      let assoc = t.assocs.(i) in
+      (* Integer division dominates an otherwise branch-and-load-only
+         access; the paper's geometries are all powers of two, so the
+         common path is shifts and masks. *)
+      let sh = t.line_shift.(i) in
+      let first, last =
+        if sh >= 0 then (addr asr sh, (addr + span) asr sh)
+        else
+          let lb = t.line_bytes.(i) in
+          (addr / lb, (addr + span) / lb)
+      in
+      for line = first to last do
+        if t.ctx.(i) && t.times.(i) >= t.next_flush.(i) then begin
+          Array.fill tags off t.lines_per.(i) (-1);
+          while t.next_flush.(i) <= t.times.(i) do
+            t.next_flush.(i) <- t.next_flush.(i) + flush_interval
+          done
+        end;
+        let mask = t.set_mask.(i) in
+        let set = if mask >= 0 then line land mask else line mod t.num_sets.(i) in
+        let tick = t.ticks.(i) + 1 in
+        t.ticks.(i) <- tick;
+        if assoc = 1 then begin
+          (* Direct-mapped (every paper config): the scan degenerates to
+             one compare and the sole way is its own LRU choice. *)
+          let base = off + set in
+          if tags.(base) = line then begin
+            stamps.(base) <- tick;
+            t.bhits.(i) <- t.bhits.(i) + 1;
+            t.times.(i) <- t.times.(i) + hit_cost
+          end
+          else begin
+            tags.(base) <- line;
+            stamps.(base) <- tick;
+            t.bmisses.(i) <- t.bmisses.(i) + 1;
+            t.times.(i) <- t.times.(i) + miss_cost
+          end
+        end
+        else begin
+          let base = off + (set * assoc) in
+          let hit = ref (-1) in
+          let lru = ref 0 in
+          let way = ref 0 in
+          while !hit < 0 && !way < assoc do
+            if tags.(base + !way) = line then hit := !way
+            else begin
+              if tags.(base + !way) = -1 then lru := !way
+              else if
+                tags.(base + !lru) <> -1
+                && stamps.(base + !way) < stamps.(base + !lru)
+              then lru := !way;
+              incr way
+            end
+          done;
+          if !hit >= 0 then begin
+            stamps.(base + !hit) <- tick;
+            t.bhits.(i) <- t.bhits.(i) + 1;
+            t.times.(i) <- t.times.(i) + hit_cost
+          end
+          else begin
+            tags.(base + !lru) <- line;
+            stamps.(base + !lru) <- tick;
+            t.bmisses.(i) <- t.bmisses.(i) + 1;
+            t.times.(i) <- t.times.(i) + miss_cost
+          end
+        end
+      done
+    done
+
+  let configs t = t.configs
+  let hits t i = t.bhits.(i)
+  let misses t i = t.bmisses.(i)
+  let accesses t i = t.bhits.(i) + t.bmisses.(i)
+
+  let miss_ratio t i =
+    let n = accesses t i in
+    if n = 0 then 0.0 else float_of_int t.bmisses.(i) /. float_of_int n
+
+  let fetch_cost t i = (t.bhits.(i) * hit_cost) + (t.bmisses.(i) * miss_cost)
+end

@@ -47,3 +47,27 @@ val miss_ratio : t -> float
 
 (** [hits * 1 + misses * 10] (time units). *)
 val fetch_cost : t -> int
+
+(** Many configurations fed by one fetch stream in a single pass.
+
+    State lives in flat int arrays shared across configurations, and an
+    access allocates nothing.  Statistics per configuration are equal to
+    feeding the same stream through a dedicated {!t} — a property the
+    test suite checks against random streams. *)
+module Bank : sig
+  type t
+
+  val create : config list -> t
+  val reset : t -> unit
+  val access : t -> addr:int -> size:int -> unit
+
+  (** Configurations in creation order; the [int] arguments below index
+      this array. *)
+  val configs : t -> config array
+
+  val hits : t -> int -> int
+  val misses : t -> int -> int
+  val accesses : t -> int -> int
+  val miss_ratio : t -> int -> float
+  val fetch_cost : t -> int -> int
+end

@@ -2,6 +2,8 @@ type t = {
   mem : Bytes.t;
   symbols : (string, int) Hashtbl.t;
   data_base : int;
+  dirty : Bytes.t;  (** one flag byte per page of [mem] *)
+  mutable dirty_pages : int list;
 }
 
 exception Fault of string
@@ -9,6 +11,20 @@ exception Fault of string
 let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
 
 let size t = Bytes.length t.mem
+
+(* Dirty-page accounting: every mutation marks the 4 KiB pages it
+   touches, so a scratch rebuild only has to zero what the previous run
+   actually wrote instead of the whole multi-megabyte memory. *)
+let page_bits = 12
+
+let page_size = 1 lsl page_bits
+
+let touch t addr =
+  let p = addr lsr page_bits in
+  if Bytes.get t.dirty p = '\000' then begin
+    Bytes.set t.dirty p '\001';
+    t.dirty_pages <- p :: t.dirty_pages
+  end
 
 let check t addr bytes what =
   if addr < t.data_base || addr + bytes > Bytes.length t.mem then
@@ -25,6 +41,8 @@ let load_byte t addr =
 
 let store_word t addr v =
   check t addr 4 "word store";
+  touch t addr;
+  touch t (addr + 3);
   let v = v land 0xFFFFFFFF in
   Bytes.set t.mem addr (Char.chr (v land 0xff));
   Bytes.set t.mem (addr + 1) (Char.chr ((v lsr 8) land 0xff));
@@ -33,14 +51,11 @@ let store_word t addr v =
 
 let store_byte t addr v =
   check t addr 1 "byte store";
+  touch t addr;
   Bytes.set t.mem addr (Char.chr (v land 0xff))
 
-let build ?(size = 4 * 1024 * 1024) ?(data_base = 0x1000) (prog : Flow.Prog.t)
-    =
-  let t =
-    { mem = Bytes.make size '\000'; symbols = Hashtbl.create 64; data_base }
-  in
-  let cursor = ref data_base in
+let populate t (prog : Flow.Prog.t) =
+  let cursor = ref t.data_base in
   (* First pass: assign addresses (4-byte aligned). *)
   List.iter
     (fun (d : Flow.Prog.data) ->
@@ -58,8 +73,15 @@ let build ?(size = 4 * 1024 * 1024) ?(data_base = 0x1000) (prog : Flow.Prog.t)
             store_word t !addr v;
             addr := !addr + 4
           | Bytes s ->
-            Bytes.blit_string s 0 t.mem !addr (String.length s);
-            addr := !addr + String.length s
+            let len = String.length s in
+            for p = !addr lsr page_bits to (!addr + len - 1) lsr page_bits do
+              if Bytes.get t.dirty p = '\000' then begin
+                Bytes.set t.dirty p '\001';
+                t.dirty_pages <- p :: t.dirty_pages
+              end
+            done;
+            Bytes.blit_string s 0 t.mem !addr len;
+            addr := !addr + len
           | Addr sym -> (
             match Hashtbl.find_opt t.symbols sym with
             | Some a ->
@@ -70,6 +92,54 @@ let build ?(size = 4 * 1024 * 1024) ?(data_base = 0x1000) (prog : Flow.Prog.t)
         d.dinit)
     prog.globals;
   t
+
+let npages size = (size + page_size - 1) / page_size
+
+let build ?(size = 4 * 1024 * 1024) ?(data_base = 0x1000) (prog : Flow.Prog.t)
+    =
+  populate
+    {
+      mem = Bytes.make size '\000';
+      symbols = Hashtbl.create 64;
+      data_base;
+      dirty = Bytes.make (npages size) '\000';
+      dirty_pages = [];
+    }
+    prog
+
+(* The scratch slot chains builds within a domain: each [build_scratch]
+   zeroes exactly the pages its predecessor dirtied and hands the buffer
+   to the new image.  Domain-local, so parallel sweeps share nothing. *)
+let scratch : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let build_scratch ?(size = 4 * 1024 * 1024) ?(data_base = 0x1000)
+    (prog : Flow.Prog.t) =
+  let slot = Domain.DLS.get scratch in
+  match !slot with
+  | Some prev when Bytes.length prev.mem = size && prev.data_base = data_base
+    ->
+    List.iter
+      (fun p ->
+        let base = p lsl page_bits in
+        Bytes.fill prev.mem base (min page_size (size - base)) '\000';
+        Bytes.set prev.dirty p '\000')
+      prev.dirty_pages;
+    let t =
+      {
+        mem = prev.mem;
+        symbols = Hashtbl.create 64;
+        data_base;
+        dirty = prev.dirty;
+        dirty_pages = [];
+      }
+    in
+    slot := Some t;
+    populate t prog
+  | _ ->
+    let t = build ~size ~data_base prog in
+    slot := Some t;
+    t
 
 let symbol t name =
   match Hashtbl.find_opt t.symbols name with

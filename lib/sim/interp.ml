@@ -217,7 +217,7 @@ let slot_annulled st pos =
   && pos + 1 < Array.length st.func.Asm.annulled
   && st.func.Asm.annulled.(pos + 1)
 
-let run ?(max_steps = 400_000_000) ?(input = "")
+let run_reference ?(max_steps = 400_000_000) ?(input = "")
     ?(on_fetch = fun ~addr:_ ~size:_ -> ()) ?(log = Telemetry.Log.null)
     (asm : Asm.t) (prog : Flow.Prog.t) =
   let image = Image.build prog in
@@ -324,6 +324,516 @@ let run ?(max_steps = 400_000_000) ?(input = "")
   in
   {
     output = Buffer.contents st.output;
+    exit_code;
+    counts;
+    timed_out = !timed_out;
+  }
+
+(* --- the decoded interpreter ---------------------------------------
+
+   [run_reference] above pays per step for work whose answer never
+   changes: label lookups through [Label.Map], symbol resolution through
+   the image's table, virtual registers through a [Hashtbl], and the
+   builtin-vs-defined decision on every call.  Decoding flattens each
+   [Asm.afunc] once — transfer targets become instruction indices
+   (delay-slot overrides folded in), symbols become addresses, calls
+   become a function index or a builtin tag, and virtual registers
+   become slots of a dense per-frame array.  Runtime faults the
+   reference loop raises lazily (unknown label taken, unknown symbol
+   dereferenced, undefined function called) survive as negative targets
+   into a per-function fault-message table, raised only if execution
+   actually reaches them, so the two interpreters are observationally
+   identical; the test suite runs both over the whole benchmark matrix
+   to hold them to that. *)
+
+module Decoded = struct
+  type dreg = P of int | V of int | CC
+
+  type daddr =
+    | DBased of dreg * int
+    | DIndexed of dreg * dreg * int * int
+    | DAbs of int  (** symbol resolved at decode time *)
+    | DAbsBad of string  (** unknown symbol; faults when dereferenced *)
+
+  type dopnd = DReg of dreg | DImm of int | DMem of Rtl.width * daddr
+  type dloc = DLreg of dreg | DLmem of Rtl.width * daddr
+  type builtin = Getchar | Putchar | Exit
+
+  (* Transfer targets [>= 0] are instruction indices; [< 0] index the
+     function's fault table as [-t - 1]. *)
+  type dinstr =
+    | DMove of dloc * dopnd
+    | DLea of dreg * daddr
+    | DBinop of Rtl.binop * dloc * dopnd * dopnd
+    | DUnop of Rtl.unop * dloc * dopnd
+    | DCmp of dopnd * dopnd
+    | DEnter of int
+    | DLeave
+    | DNop
+    | DBranch of Rtl.cond * int
+    | DJump of int
+    | DIjump of dreg * int array
+    | DCallF of int  (** index into [dfuncs] *)
+    | DCallB of builtin
+    | DCallU of string  (** undefined function; faults when executed *)
+    | DRet
+
+  type dfunc = {
+    dname : string;
+    dcode : dinstr array;
+    rw : int array;  (** bit 0: reads memory, bit 1: writes memory *)
+    daddrs : int array;
+    dsizes : int array;
+    dannulled : bool array;
+    faults : string array;
+    nvirt : int;  (** dense frame size: 1 + highest virtual register *)
+  }
+
+  type t = {
+    delay_slots : bool;
+    dfuncs : dfunc array;
+    findex : (string, int) Hashtbl.t;
+  }
+
+  let is_transfer = function
+    | DBranch _ | DJump _ | DIjump _ | DCallF _ | DCallB _ | DCallU _ | DRet ->
+      true
+    | DMove _ | DLea _ | DBinop _ | DUnop _ | DCmp _ | DEnter _ | DLeave
+    | DNop ->
+      false
+
+  let decode_func symbol findex (f : Asm.afunc) =
+    let faults = ref [] in
+    let nfaults = ref 0 in
+    let fault msg =
+      incr nfaults;
+      faults := msg :: !faults;
+      - !nfaults
+    in
+    (* Virtual-register numbering is program-global and sparse; remap
+       to dense per-function slots so a frame is a small array. *)
+    let vslots = Hashtbl.create 16 in
+    let dreg = function
+      | Reg.Phys i -> P i
+      | Reg.Virt i ->
+        V
+          (match Hashtbl.find_opt vslots i with
+          | Some s -> s
+          | None ->
+            let s = Hashtbl.length vslots in
+            Hashtbl.add vslots i s;
+            s)
+      | Reg.Cc -> CC
+    in
+    let daddr = function
+      | Rtl.Based (r, d) -> DBased (dreg r, d)
+      | Rtl.Indexed (b, i, s, d) -> DIndexed (dreg b, dreg i, s, d)
+      | Rtl.Abs (sym, off) -> (
+        match symbol sym with
+        | Some a -> DAbs (a + off)
+        | None -> DAbsBad (Printf.sprintf "unknown symbol %s" sym))
+    in
+    let dopnd = function
+      | Rtl.Reg r -> DReg (dreg r)
+      | Rtl.Imm n -> DImm n
+      | Rtl.Mem (w, a) -> DMem (w, daddr a)
+    in
+    let dloc = function
+      | Rtl.Lreg r -> DLreg (dreg r)
+      | Rtl.Lmem (w, a) -> DLmem (w, daddr a)
+    in
+    (* [goto_label]'s two lazy faults, preformatted. *)
+    let target l =
+      match Asm.find_label f l with
+      | pos ->
+        if pos >= Array.length f.code then
+          fault
+            (Printf.sprintf "label %s points past the end of %s"
+               (Label.to_string l) f.aname)
+        else pos
+      | exception Not_found ->
+        fault
+          (Printf.sprintf "unknown label %s in %s" (Label.to_string l) f.aname)
+    in
+    (* [transfer_target]: a recorded override (slot filled from the
+       target) bypasses the label. *)
+    let ttarget k l =
+      let ov = f.target_override.(k) in
+      if ov >= 0 then ov else target l
+    in
+    let dcode =
+      Array.mapi
+        (fun k instr ->
+          match instr with
+          | Rtl.Move (loc, src) -> DMove (dloc loc, dopnd src)
+          | Rtl.Lea (r, a) -> DLea (dreg r, daddr a)
+          | Rtl.Binop (op, loc, a, b) -> DBinop (op, dloc loc, dopnd a, dopnd b)
+          | Rtl.Unop (op, loc, a) -> DUnop (op, dloc loc, dopnd a)
+          | Rtl.Cmp (a, b) -> DCmp (dopnd a, dopnd b)
+          | Rtl.Enter n -> DEnter n
+          | Rtl.Leave -> DLeave
+          | Rtl.Nop -> DNop
+          | Rtl.Branch (cond, l) -> DBranch (cond, ttarget k l)
+          | Rtl.Jump l -> DJump (ttarget k l)
+          | Rtl.Ijump (r, table) -> DIjump (dreg r, Array.map target table)
+          | Rtl.Call (name, _) -> (
+            (* Builtins shadow defined functions, as [builtin_call]
+               being consulted first does in the reference loop. *)
+            match name with
+            | "getchar" -> DCallB Getchar
+            | "putchar" -> DCallB Putchar
+            | "exit" -> DCallB Exit
+            | _ -> (
+              match Hashtbl.find_opt findex name with
+              | Some i -> DCallF i
+              | None ->
+                DCallU (Printf.sprintf "call to undefined function %s" name)))
+          | Rtl.Ret -> DRet)
+        f.code
+    in
+    {
+      dname = f.aname;
+      dcode;
+      rw =
+        Array.map
+          (fun i ->
+            (if Rtl.reads_mem i then 1 else 0)
+            lor if Rtl.writes_mem i then 2 else 0)
+          f.code;
+      daddrs = f.addrs;
+      dsizes = f.sizes;
+      dannulled = f.annulled;
+      faults = Array.of_list (List.rev !faults);
+      nvirt = Hashtbl.length vslots;
+    }
+
+  let decode_with symbol (asm : Asm.t) =
+    let funcs = Array.of_list asm.Asm.funcs in
+    let findex = Hashtbl.create 16 in
+    (* First binding wins, like [Asm.find_func]'s [List.find_opt]. *)
+    Array.iteri
+      (fun i (f : Asm.afunc) ->
+        if not (Hashtbl.mem findex f.aname) then Hashtbl.add findex f.aname i)
+      funcs;
+    {
+      delay_slots = asm.Asm.machine.Machine.delay_slots;
+      dfuncs = Array.map (decode_func symbol findex) funcs;
+      findex;
+    }
+
+  let decode (asm : Asm.t) (prog : Flow.Prog.t) =
+    let image = Image.build_scratch prog in
+    decode_with
+      (fun sym ->
+        match Image.symbol image sym with
+        | a -> Some a
+        | exception Not_found -> None)
+      asm
+end
+
+type dstate = {
+  dimage : Image.t;
+  dphys : int array;
+  mutable dvirt : int array;  (** dense frame, swapped per call *)
+  mutable dcc : int;
+  mutable dfunc : Decoded.dfunc;
+  mutable dpos : int;
+  mutable dstack : (Decoded.dfunc * int * int array) list;
+  dinput : string;
+  mutable dinput_pos : int;
+  doutput : Buffer.t;
+  dcounts : counts;
+  dfetch : addr:int -> size:int -> unit;
+  dfetch_on : bool;  (** a caller-supplied [on_fetch] is attached *)
+  mutable dsteps_left : int;
+  dlog : Telemetry.Log.t;
+  dlog_on : bool;
+  delay_slots : bool;
+  dafter : int;  (** [after_transfer], constant per machine *)
+}
+
+let dget st = function
+  | Decoded.P i -> st.dphys.(i)
+  | Decoded.V i -> st.dvirt.(i)
+  | Decoded.CC -> st.dcc
+
+let dset st r v =
+  match r with
+  | Decoded.P i -> st.dphys.(i) <- v
+  | Decoded.V i -> st.dvirt.(i) <- v
+  | Decoded.CC -> st.dcc <- v
+
+(* The calling convention's registers (sp/fp/rv) are physical, but take
+   the general [Reg.t] route so [Enter]/[Leave]/builtins need no
+   assumption the reference loop doesn't make. *)
+let dget_rtl st = function
+  | Reg.Phys i -> st.dphys.(i)
+  | Reg.Virt i -> if i < Array.length st.dvirt then st.dvirt.(i) else 0
+  | Reg.Cc -> st.dcc
+
+let dset_rtl st r v =
+  match r with
+  | Reg.Phys i -> st.dphys.(i) <- v
+  | Reg.Virt i -> if i < Array.length st.dvirt then st.dvirt.(i) <- v
+  | Reg.Cc -> st.dcc <- v
+
+let daddr_value st = function
+  | Decoded.DBased (r, d) -> dget st r + d
+  | Decoded.DIndexed (b, i, s, d) -> dget st b + (dget st i * s) + d
+  | Decoded.DAbs a -> a
+  | Decoded.DAbsBad msg -> raise (Runtime_error msg)
+
+let dload st w a =
+  let addr = daddr_value st a in
+  match w with
+  | Rtl.Byte -> Image.load_byte st.dimage addr
+  | Rtl.Word -> Image.load_word st.dimage addr
+
+let dopnd_value st = function
+  | Decoded.DReg r -> dget st r
+  | Decoded.DImm n -> n
+  | Decoded.DMem (w, a) -> dload st w a
+
+let dstore_loc st loc v =
+  match loc with
+  | Decoded.DLreg r -> dset st r v
+  | Decoded.DLmem (w, a) -> (
+    let addr = daddr_value st a in
+    match w with
+    | Rtl.Byte -> Image.store_byte st.dimage addr v
+    | Rtl.Word -> Image.store_word st.dimage addr v)
+
+(* Mirror of [count]: identical bump order, fetch callback, heartbeat
+   and step budget. *)
+let dcount st (i : Decoded.dinstr) pos =
+  let c = st.dcounts in
+  c.total <- c.total + 1;
+  (match i with
+  | DBranch _ -> c.cond_branches <- c.cond_branches + 1
+  | DJump _ -> c.jumps <- c.jumps + 1
+  | DIjump _ -> c.ijumps <- c.ijumps + 1
+  | DCallF _ | DCallB _ | DCallU _ -> c.calls <- c.calls + 1
+  | DRet -> c.rets <- c.rets + 1
+  | DNop -> c.nops <- c.nops + 1
+  | DMove _ | DLea _ | DBinop _ | DUnop _ | DCmp _ | DEnter _ | DLeave -> ());
+  let rw = st.dfunc.rw.(pos) in
+  if rw land 1 <> 0 then c.loads <- c.loads + 1;
+  if rw land 2 <> 0 then c.stores <- c.stores + 1;
+  if st.dfetch_on then
+    st.dfetch ~addr:st.dfunc.daddrs.(pos) ~size:st.dfunc.dsizes.(pos);
+  if st.dlog_on && c.total mod progress_interval = 0 then
+    Telemetry.Log.emit st.dlog (fun () ->
+        Telemetry.Log.Sim_progress { instrs = c.total });
+  st.dsteps_left <- st.dsteps_left - 1;
+  if st.dsteps_left <= 0 then raise Out_of_steps
+
+let dexec_simple st (i : Decoded.dinstr) =
+  match i with
+  | DMove (loc, src) -> dstore_loc st loc (dopnd_value st src)
+  | DLea (r, a) -> dset st r (daddr_value st a)
+  | DBinop (op, loc, a, b) ->
+    let va = dopnd_value st a and vb = dopnd_value st b in
+    let v =
+      match Rtl.eval_binop op va vb with
+      | v -> v
+      | exception Division_by_zero -> error "division by zero"
+    in
+    dstore_loc st loc v
+  | DUnop (op, loc, a) -> dstore_loc st loc (Rtl.eval_unop op (dopnd_value st a))
+  | DCmp (a, b) -> st.dcc <- Int.compare (dopnd_value st a) (dopnd_value st b)
+  | DEnter n ->
+    let sp = dget_rtl st Conv.sp in
+    Image.store_word st.dimage (sp - 4) (dget_rtl st Conv.fp);
+    dset_rtl st Conv.fp sp;
+    dset_rtl st Conv.sp (sp - n)
+  | DLeave ->
+    let fp = dget_rtl st Conv.fp in
+    dset_rtl st Conv.sp fp;
+    dset_rtl st Conv.fp (Image.load_word st.dimage (fp - 4))
+  | DNop -> ()
+  | DBranch _ | DJump _ | DIjump _ | DCallF _ | DCallB _ | DCallU _ | DRet ->
+    assert false
+
+let dexec_slot ?(squashed = false) st pos =
+  if st.delay_slots then begin
+    if pos >= Array.length st.dfunc.dcode then error "delay slot off the end";
+    let slot = st.dfunc.dcode.(pos) in
+    if Decoded.is_transfer slot then error "transfer in a delay slot";
+    if squashed then begin
+      if st.dfetch_on then
+        st.dfetch ~addr:st.dfunc.daddrs.(pos) ~size:st.dfunc.dsizes.(pos)
+    end
+    else begin
+      dcount st slot pos;
+      dexec_simple st slot
+    end
+  end
+
+let dslot_annulled st pos =
+  st.delay_slots
+  && pos + 1 < Array.length st.dfunc.dannulled
+  && st.dfunc.dannulled.(pos + 1)
+
+let dgoto st tgt =
+  if tgt >= 0 then st.dpos <- tgt
+  else raise (Runtime_error st.dfunc.faults.((-tgt) - 1))
+
+let dbuiltin st b =
+  let arg i =
+    st.dphys.(match Conv.arg_reg i with Reg.Phys k -> k | _ -> 0)
+  in
+  match (b : Decoded.builtin) with
+  | Getchar ->
+    let v =
+      if st.dinput_pos < String.length st.dinput then begin
+        let c = Char.code st.dinput.[st.dinput_pos] in
+        st.dinput_pos <- st.dinput_pos + 1;
+        c
+      end
+      else -1
+    in
+    dset_rtl st Conv.rv v
+  | Putchar ->
+    let a0 = arg 0 in
+    Buffer.add_char st.doutput (Char.chr (a0 land 0xff));
+    dset_rtl st Conv.rv a0
+  | Exit -> raise (Exit_program (arg 0))
+
+(* Re-running the same assembled program (benchmark reps, differential
+   checks) re-decodes identically: [Image.build] lays data out as a pure
+   function of the program, so symbol addresses cannot change between
+   runs.  One slot keyed by physical identity is enough for those
+   loops; domain-local so parallel sweeps race on nothing. *)
+let decode_cache : (Asm.t * Flow.Prog.t * Decoded.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let no_fetch ~addr:_ ~size:_ = ()
+
+let run ?(max_steps = 400_000_000) ?(input = "") ?on_fetch
+    ?(log = Telemetry.Log.null) (asm : Asm.t) (prog : Flow.Prog.t) =
+  let image = Image.build_scratch prog in
+  let decode_cache = Domain.DLS.get decode_cache in
+  let decoded =
+    match !decode_cache with
+    | Some (a, p, d) when a == asm && p == prog -> d
+    | _ ->
+      let d =
+        Decoded.decode_with
+          (fun sym ->
+            match Image.symbol image sym with
+            | a -> Some a
+            | exception Not_found -> None)
+          asm
+      in
+      decode_cache := Some (asm, prog, d);
+      d
+  in
+  let main =
+    match Hashtbl.find_opt decoded.Decoded.findex "main" with
+    | Some i -> decoded.Decoded.dfuncs.(i)
+    | None -> error "no main function"
+  in
+  let counts =
+    {
+      total = 0;
+      cond_branches = 0;
+      jumps = 0;
+      ijumps = 0;
+      calls = 0;
+      rets = 0;
+      nops = 0;
+      loads = 0;
+      stores = 0;
+    }
+  in
+  let st =
+    {
+      dimage = image;
+      dphys = Array.make Conv.num_regs 0;
+      dvirt = Array.make (max 1 main.Decoded.nvirt) 0;
+      dcc = 0;
+      dfunc = main;
+      dpos = 0;
+      dstack = [];
+      dinput = input;
+      dinput_pos = 0;
+      doutput = Buffer.create 1024;
+      dcounts = counts;
+      dfetch = (match on_fetch with Some f -> f | None -> no_fetch);
+      dfetch_on = Option.is_some on_fetch;
+      dsteps_left = max_steps;
+      dlog = log;
+      dlog_on = Telemetry.Log.enabled log;
+      delay_slots = decoded.Decoded.delay_slots;
+      dafter = (if decoded.Decoded.delay_slots then 2 else 1);
+    }
+  in
+  dset_rtl st Conv.sp (Image.size image);
+  dset_rtl st Conv.fp (Image.size image);
+  let timed_out = ref false in
+  let exit_code =
+    try
+      let dfuncs = decoded.Decoded.dfuncs in
+      let rec loop () =
+        if st.dpos >= Array.length st.dfunc.dcode then
+          error "fell off the end of %s" st.dfunc.dname;
+        let pos = st.dpos in
+        let instr = st.dfunc.dcode.(pos) in
+        dcount st instr pos;
+        (match instr with
+        | DBranch (cond, tgt) ->
+          let taken = eval_cc cond st.dcc in
+          let squashed = (not taken) && dslot_annulled st pos in
+          dexec_slot ~squashed st (pos + 1);
+          if taken then dgoto st tgt else st.dpos <- pos + st.dafter
+        | DJump tgt ->
+          dexec_slot st (pos + 1);
+          dgoto st tgt
+        | DIjump (r, table) ->
+          let idx = dget st r in
+          dexec_slot st (pos + 1);
+          if idx < 0 || idx >= Array.length table then
+            error "jump-table index %d out of bounds" idx;
+          dgoto st table.(idx)
+        | DCallF callee ->
+          dexec_slot st (pos + 1);
+          let callee = dfuncs.(callee) in
+          st.dstack <- (st.dfunc, pos + st.dafter, st.dvirt) :: st.dstack;
+          st.dvirt <- Array.make (max 1 callee.Decoded.nvirt) 0;
+          st.dfunc <- callee;
+          st.dpos <- 0
+        | DCallB b ->
+          dexec_slot st (pos + 1);
+          dbuiltin st b;
+          st.dpos <- pos + st.dafter
+        | DCallU msg ->
+          dexec_slot st (pos + 1);
+          raise (Runtime_error msg)
+        | DRet -> (
+          dexec_slot st (pos + 1);
+          match st.dstack with
+          | (f, p, virt) :: rest ->
+            st.dstack <- rest;
+            st.dfunc <- f;
+            st.dvirt <- virt;
+            st.dpos <- p
+          | [] -> raise (Exit_program (dget_rtl st Conv.rv)))
+        | DMove _ | DLea _ | DBinop _ | DUnop _ | DCmp _ | DEnter _ | DLeave
+        | DNop ->
+          dexec_simple st instr;
+          st.dpos <- pos + 1);
+        loop ()
+      in
+      loop ()
+    with
+    | Exit_program code -> code
+    | Out_of_steps ->
+      timed_out := true;
+      124
+    | Image.Fault msg -> raise (Runtime_error msg)
+  in
+  {
+    output = Buffer.contents st.doutput;
     exit_code;
     counts;
     timed_out = !timed_out;

@@ -63,3 +63,28 @@ val run :
   Asm.t ->
   Flow.Prog.t ->
   result
+
+(** The straightforward interpretation loop [run] replaced: it
+    re-resolves labels, symbols, virtual registers and call targets on
+    every step.  Kept as the differential oracle — the test suite runs
+    the whole benchmark matrix through both and demands identical
+    results.  Same signature and semantics as {!run}. *)
+val run_reference :
+  ?max_steps:int ->
+  ?input:string ->
+  ?on_fetch:(addr:int -> size:int -> unit) ->
+  ?log:Telemetry.Log.t ->
+  Asm.t ->
+  Flow.Prog.t ->
+  result
+
+(** The pre-decoding pass behind {!run}: each function flattened to a
+    dense instruction array with transfer targets as indices, symbols as
+    addresses, calls as function indices or builtin tags, and virtual
+    registers as slots of a dense per-frame array.  Exposed for the
+    decode micro-benchmark. *)
+module Decoded : sig
+  type t
+
+  val decode : Asm.t -> Flow.Prog.t -> t
+end

@@ -47,6 +47,50 @@ let test_custom_options_not_memoized () =
     (capped.static_instrs <= full.static_instrs);
   Alcotest.(check bool) "capped run still correct" true capped.output_ok
 
+let test_parallel_determinism () =
+  (* The whole contract of the Pool-based sweep: at any domain count the
+     results, the telemetry counters, the recorded verdicts and the event
+     stream must equal the sequential run.  Only Pass_end wall-clock
+     timings are normalized away — they differ between any two runs,
+     parallel or not. *)
+  let norm_event = function
+    | Telemetry.Log.Pass_end e ->
+      Telemetry.Log.Pass_end { e with elapsed_ms = 0.0 }
+    | e -> e
+  in
+  let sweep jobs =
+    Harness.Measure.reset_cache ();
+    let log = Telemetry.Log.make Telemetry.Log.Memory in
+    let results =
+      Harness.Measure.run_suite ~log ~jobs Opt.Driver.Jumps Ir.Machine.risc
+    in
+    ( List.map Harness.Measure.to_json results,
+      Telemetry.Counter.all log,
+      List.map norm_event (Telemetry.Log.events log),
+      (Harness.Measure.mismatches (), Harness.Measure.timeouts ()) )
+  in
+  let json1, counters1, events1, verdicts1 = sweep 1 in
+  Alcotest.(check bool) "sequential sweep nonempty" true (json1 <> []);
+  Alcotest.(check bool) "counters accumulated" true (counters1 <> []);
+  List.iter
+    (fun jobs ->
+      let json, counters, events, verdicts = sweep jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "results at -j %d" jobs)
+        json1 json;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "counters at -j %d" jobs)
+        counters1 counters;
+      Alcotest.(check bool)
+        (Printf.sprintf "event stream at -j %d" jobs)
+        true
+        (events = events1);
+      Alcotest.(check bool)
+        (Printf.sprintf "verdicts at -j %d" jobs)
+        true
+        (verdicts = verdicts1))
+    [ 2; 4 ]
+
 let tests =
   ( "harness",
     [
@@ -54,4 +98,6 @@ let tests =
       Alcotest.test_case "memoization" `Quick test_memoization;
       Alcotest.test_case "fetch cost bounds" `Quick test_cache_cost_dominated_by_hits;
       Alcotest.test_case "custom options" `Quick test_custom_options_not_memoized;
+      Alcotest.test_case "parallel sweep determinism" `Slow
+        test_parallel_determinism;
     ] )

@@ -142,6 +142,85 @@ let prop_repeat_hits =
       Icache.access c ~addr ~size:4;
       Icache.misses c = m)
 
+(* --- Bank: the one-pass multi-configuration simulator ------------- *)
+
+(* Every statistic of a bank must equal feeding the same stream to one
+   dedicated cache per configuration — including the LRU and context-
+   switch corner cases, which is why the config list here goes beyond
+   the paper's direct-mapped set. *)
+let bank_test_configs =
+  Icache.paper_configs
+  @ [
+      config ~kb:1 ~assoc:2 ();
+      config ~kb:2 ~assoc:4 ~cs:true ();
+      config ~kb:1 ~assoc:2 ~cs:true ();
+    ]
+
+let check_bank_agrees stream =
+  let bank = Icache.Bank.create bank_test_configs in
+  let caches = List.map Icache.create bank_test_configs in
+  List.iter
+    (fun (addr, size) ->
+      Icache.Bank.access bank ~addr ~size;
+      List.iter (fun c -> Icache.access c ~addr ~size) caches)
+    stream;
+  List.iteri
+    (fun i c ->
+      let agrees =
+        Icache.Bank.hits bank i = Icache.hits c
+        && Icache.Bank.misses bank i = Icache.misses c
+        && Icache.Bank.accesses bank i = Icache.accesses c
+        && Icache.Bank.miss_ratio bank i = Icache.miss_ratio c
+        && Icache.Bank.fetch_cost bank i = Icache.fetch_cost c
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "bank agrees on %s"
+           (Icache.config_name (Icache.Bank.configs bank).(i)))
+        true agrees)
+    caches
+
+let test_bank_basic () =
+  check_bank_agrees
+    [ (0x1000, 4); (0x1004, 4); (0x0000, 4); (0x0400, 6); (0x100C, 6) ]
+
+let test_bank_reset () =
+  let bank = Icache.Bank.create Icache.paper_configs in
+  Icache.Bank.access bank ~addr:0x40 ~size:4;
+  Icache.Bank.reset bank;
+  for i = 0 to Array.length (Icache.Bank.configs bank) - 1 do
+    Alcotest.(check int) "accesses cleared" 0 (Icache.Bank.accesses bank i)
+  done;
+  Icache.Bank.access bank ~addr:0x40 ~size:4;
+  Alcotest.(check int) "cold again" 1 (Icache.Bank.misses bank 0)
+
+let prop_bank_matches_individual_caches =
+  (* Long streams of small strides tripping line straddles, conflicts
+     and (at > 10,000 accumulated time units) context-switch flushes. *)
+  QCheck.Test.make
+    ~name:"Bank statistics equal one-cache-per-config simulation" ~count:30
+    QCheck.(
+      list_of_size
+        (QCheck.Gen.int_range 50 600)
+        (pair (int_range 0 20_000) (int_range 1 8)))
+    (fun stream ->
+      let bank = Icache.Bank.create bank_test_configs in
+      let caches = List.map Icache.create bank_test_configs in
+      (* Repeat the stream so context-switch clocks actually wrap. *)
+      for _ = 1 to 8 do
+        List.iter
+          (fun (addr, size) ->
+            Icache.Bank.access bank ~addr ~size;
+            List.iter (fun c -> Icache.access c ~addr ~size) caches)
+          stream
+      done;
+      List.for_all
+        (fun (i, c) ->
+          Icache.Bank.hits bank i = Icache.hits c
+          && Icache.Bank.misses bank i = Icache.misses c
+          && Icache.Bank.miss_ratio bank i = Icache.miss_ratio c
+          && Icache.Bank.fetch_cost bank i = Icache.fetch_cost c)
+        (List.mapi (fun i c -> (i, c)) caches))
+
 let tests =
   ( "icache",
     [
@@ -154,7 +233,10 @@ let tests =
       Alcotest.test_case "capacity behavior" `Quick test_bigger_cache_never_worse_sequential;
       Alcotest.test_case "associativity" `Quick test_associativity_resolves_conflicts;
       Alcotest.test_case "lru order" `Quick test_lru_eviction_order;
+      Alcotest.test_case "bank basic agreement" `Quick test_bank_basic;
+      Alcotest.test_case "bank reset" `Quick test_bank_reset;
       QCheck_alcotest.to_alcotest prop_assoc_never_worse_lru;
       QCheck_alcotest.to_alcotest prop_counters_consistent;
       QCheck_alcotest.to_alcotest prop_repeat_hits;
+      QCheck_alcotest.to_alcotest prop_bank_matches_individual_caches;
     ] )

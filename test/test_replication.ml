@@ -42,14 +42,58 @@ let prop_dijkstra_agrees =
         for dst = 0 to n - 1 do
           let a = Replication.Shortest_path.All_pairs.path ap ~src ~dst in
           let b = Replication.Shortest_path.Single_source.path ss ~dst in
-          let cost = function
-            | Some (p : Replication.Shortest_path.path) -> Some p.cost
+          (* Distances and the chosen block sequences: both go through the
+             shared canonical reconstruction, so not just the costs but the
+             replication decisions must be identical. *)
+          let view = function
+            | Some (p : Replication.Shortest_path.path) ->
+              Some (p.cost, p.blocks)
             | None -> None
           in
-          if cost a <> cost b then ok := false
+          if view a <> view b then ok := false
         done
       done;
       !ok)
+
+let prop_lazy_matches_oracle_on_gen_cfgs =
+  (* The lazy per-source solver behind [create]/[path] against the
+     Floyd–Warshall oracle, on control-flow graphs of real generated
+     programs (the fuzzer's C subset, compiled at Loops) rather than
+     synthetic shapes — the block-size and branch-shape distribution the
+     JUMPS pass actually queries. *)
+  QCheck.Test.make ~name:"lazy solver equals Floyd-Warshall on generated CFGs"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = Harness.Gen.generate (Random.State.make [| seed |]) in
+      match
+        Opt.Driver.compile
+          { Opt.Driver.default_options with level = Opt.Driver.Loops }
+          Machine.risc (Harness.Gen.to_c p)
+      with
+      | exception _ -> QCheck.assume_fail ()
+      | prog ->
+        List.for_all
+          (fun f ->
+            let g = Cfg.make f in
+            let ap = Replication.Shortest_path.All_pairs.compute f g in
+            let sp = Replication.Shortest_path.create f g in
+            let n = Cfg.num_blocks g in
+            let ok = ref true in
+            for src = 0 to n - 1 do
+              for dst = 0 to n - 1 do
+                let a = Replication.Shortest_path.All_pairs.path ap ~src ~dst in
+                let b = Replication.Shortest_path.path sp ~src ~dst in
+                let view = function
+                  | Some (p : Replication.Shortest_path.path) ->
+                    Some (p.cost, p.blocks)
+                  | None -> None
+                in
+                if view a <> view b then ok := false
+              done
+            done;
+            !ok)
+          prog.Flow.Prog.funcs)
 
 let prop_path_valid =
   QCheck.Test.make ~name:"paths follow edges and sum block sizes" ~count:150
@@ -334,6 +378,7 @@ let tests =
     [
       Alcotest.test_case "shortest path basics" `Quick test_shortest_path_basic;
       QCheck_alcotest.to_alcotest prop_dijkstra_agrees;
+      QCheck_alcotest.to_alcotest prop_lazy_matches_oracle_on_gen_cfgs;
       QCheck_alcotest.to_alcotest prop_path_valid;
       Alcotest.test_case "jumps removes if/else jump" `Quick test_jumps_removes_simple_jump;
       Alcotest.test_case "jumps: Figure 1 loop completion" `Quick test_jumps_figure1;

@@ -214,6 +214,70 @@ int main() {
   let out_r, _ = Helpers.run ~machine:Machine.risc src in
   Alcotest.(check string) "risc equals cisc" out_c out_r
 
+let test_decoded_matches_reference () =
+  (* The decoded interpreter must be observationally identical to the
+     straightforward loop it replaced: same output, exit code, timeout
+     verdict, per-class counts and per-instruction fetch stream, across
+     the whole benchmark matrix. *)
+  let check_counts name (a : Sim.Interp.counts) (b : Sim.Interp.counts) =
+    let field fname get =
+      Alcotest.(check int) (name ^ " " ^ fname) (get a) (get b)
+    in
+    field "total" (fun c -> c.Sim.Interp.total);
+    field "cond_branches" (fun c -> c.Sim.Interp.cond_branches);
+    field "jumps" (fun c -> c.Sim.Interp.jumps);
+    field "ijumps" (fun c -> c.Sim.Interp.ijumps);
+    field "calls" (fun c -> c.Sim.Interp.calls);
+    field "rets" (fun c -> c.Sim.Interp.rets);
+    field "nops" (fun c -> c.Sim.Interp.nops);
+    field "loads" (fun c -> c.Sim.Interp.loads);
+    field "stores" (fun c -> c.Sim.Interp.stores)
+  in
+  List.iter
+    (fun (machine, mname) ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (b : Programs.Suite.benchmark) ->
+              let name =
+                Printf.sprintf "%s/%s/%s" b.name
+                  (Opt.Driver.level_name level)
+                  mname
+              in
+              let prog =
+                Opt.Driver.compile
+                  { Opt.Driver.default_options with level }
+                  machine b.source
+              in
+              let asm = Sim.Asm.assemble machine prog in
+              (* Fold the fetch stream into a hash instead of materializing
+                 millions of (addr, size) pairs. *)
+              let trace run =
+                let h = ref 0 and n = ref 0 in
+                let on_fetch ~addr ~size =
+                  incr n;
+                  h := (((!h * 31) + addr) * 31) + size
+                in
+                (run ~on_fetch, !h, !n)
+              in
+              let r, rh, rn =
+                trace (fun ~on_fetch ->
+                    Sim.Interp.run_reference ~input:b.input ~on_fetch asm prog)
+              and d, dh, dn =
+                trace (fun ~on_fetch ->
+                    Sim.Interp.run ~input:b.input ~on_fetch asm prog)
+              in
+              Alcotest.(check string) (name ^ " output") r.Sim.Interp.output
+                d.Sim.Interp.output;
+              Alcotest.(check int) (name ^ " exit") r.exit_code d.exit_code;
+              Alcotest.(check bool) (name ^ " timeout") r.timed_out d.timed_out;
+              check_counts name r.counts d.counts;
+              Alcotest.(check int) (name ^ " fetch count") rn dn;
+              Alcotest.(check int) (name ^ " fetch hash") rh dh)
+            Programs.Suite.all)
+        [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ])
+    [ (Machine.risc, "risc"); (Machine.cisc, "cisc") ]
+
 let tests =
   ( "sim",
     [
@@ -231,4 +295,6 @@ let tests =
       Alcotest.test_case "instruction classes" `Quick test_counts_track_classes;
       Alcotest.test_case "fetch callback" `Quick test_fetch_callback;
       Alcotest.test_case "delay slot semantics" `Quick test_delay_slot_semantics;
+      Alcotest.test_case "decoded interpreter matches reference" `Slow
+        test_decoded_matches_reference;
     ] )

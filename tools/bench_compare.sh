@@ -1,0 +1,81 @@
+#!/bin/sh
+# Compare two BENCH_results.json documents (e.g. a committed golden
+# baseline vs a fresh sweep) and fail if any semantic measurement moved:
+# static/dynamic instruction counts, cache miss ratios and fetch costs,
+# verification verdicts, or the telemetry counter totals.  Performance
+# work must keep all of these bit-stable — that is the whole contract of
+# the rewrite this script guards.
+#
+# Usage: tools/bench_compare.sh OLD.json NEW.json
+
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+exec python3 - "$1" "$2" << 'EOF'
+import json, sys
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+with open(old_path) as f:
+    old = json.load(f)
+with open(new_path) as f:
+    new = json.load(f)
+
+COUNT_FIELDS = [
+    "static_instrs", "static_ujumps", "static_nops",
+    "dyn_instrs", "dyn_ujumps", "dyn_nops", "dyn_transfers",
+    "output_ok", "timed_out",
+]
+
+def key(r):
+    return (r["program"], r["level"], r["machine"])
+
+bad = 0
+
+def complain(msg):
+    global bad
+    bad += 1
+    print("bench_compare: %s" % msg)
+
+old_results = {key(r): r for r in old.get("results", [])}
+new_results = {key(r): r for r in new.get("results", [])}
+
+for k in sorted(old_results.keys() - new_results.keys()):
+    complain("measurement %s/%s/%s disappeared" % k)
+for k in sorted(new_results.keys() - old_results.keys()):
+    complain("measurement %s/%s/%s appeared" % k)
+
+for k in sorted(old_results.keys() & new_results.keys()):
+    a, b = old_results[k], new_results[k]
+    for field in COUNT_FIELDS:
+        if a.get(field) != b.get(field):
+            complain("%s/%s/%s: %s changed %r -> %r"
+                     % (k + (field, a.get(field), b.get(field))))
+    ca = {c["config"]: c for c in a.get("caches", [])}
+    cb = {c["config"]: c for c in b.get("caches", [])}
+    if ca.keys() != cb.keys():
+        complain("%s/%s/%s: cache config set changed" % k)
+    for name in sorted(ca.keys() & cb.keys()):
+        for field in ("miss_ratio", "fetch_cost"):
+            if ca[name].get(field) != cb[name].get(field):
+                complain("%s/%s/%s: cache %s %s changed %r -> %r"
+                         % (k + (name, field,
+                                 ca[name].get(field), cb[name].get(field))))
+
+old_counters = old.get("counters", {})
+new_counters = new.get("counters", {})
+for name in sorted(old_counters.keys() | new_counters.keys()):
+    if old_counters.get(name) != new_counters.get(name):
+        complain("counter %s changed %r -> %r"
+                 % (name, old_counters.get(name), new_counters.get(name)))
+
+if bad:
+    print("bench_compare: %d difference(s) between %s and %s"
+          % (bad, old_path, new_path))
+    sys.exit(1)
+print("bench_compare: %s and %s agree (%d measurements)"
+      % (old_path, new_path, len(old_results)))
+EOF

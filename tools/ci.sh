@@ -19,8 +19,15 @@ fi
 echo "== dune runtest =="
 dune runtest
 
-echo "== fuzz smoke (25 seeds) =="
-dune exec bin/jumprepc.exe -- fuzz --seeds 25 --quiet --out _build/fuzz-failures
+echo "== fuzz smoke (25 seeds, 2 domains) =="
+dune exec bin/jumprepc.exe -- fuzz --seeds 25 -j 2 --quiet --out _build/fuzz-failures
+
+echo "== bench --json sweep (2 domains) vs golden baseline =="
+dune exec bench/main.exe -- --json -j 2 > /dev/null
+tools/bench_compare.sh BENCH_baseline.json BENCH_results.json
+
+echo "== bechamel smoke (time-bounded) =="
+dune exec bench/main.exe -- --bechamel --bechamel-quota 0.05 -t 1 > /dev/null
 
 echo "== lint --strict (examples + bench corpus) =="
 for f in examples/c/*.c; do
