@@ -200,7 +200,7 @@ let run_bechamel ?(quota = 0.5) () =
    totals of the sweep, in one JSON document.  The numbers come from the
    same Harness.Measure/Telemetry path the tables use.  [run_many]
    guarantees the document is byte-identical at any [jobs]. *)
-let write_json ~jobs path =
+let write_json ~jobs ?deadline ?retries ?chaos path =
   let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ] in
   let machines = [ Ir.Machine.risc; Ir.Machine.cisc ] in
   let log = Telemetry.Log.make Telemetry.Log.Memory in
@@ -213,18 +213,41 @@ let write_json ~jobs path =
           levels)
       machines
   in
-  let results = Harness.Measure.run_many ~log ~jobs tasks in
+  let results =
+    Harness.Measure.run_many ~log ~jobs ?deadline ?retries ?chaos tasks
+  in
   let counters =
     Telemetry.Counter.all log
     |> List.map (fun (name, value) ->
            Printf.sprintf "%s:%d" (Telemetry.Log.json_string name) value)
   in
+  (* The failures array appears only when non-empty, so a clean sweep's
+     document stays byte-identical to the committed baseline. *)
+  let failures =
+    match Harness.Measure.task_failures () with
+    | [] -> ""
+    | fs ->
+      Printf.sprintf ",\"failures\":[%s]"
+        (String.concat "," (List.map Harness.Measure.failure_to_json fs))
+  in
   let oc = open_out path in
-  Printf.fprintf oc "{\"results\":[%s],\"counters\":{%s}}\n"
+  Printf.fprintf oc "{\"results\":[%s],\"counters\":{%s}%s}\n"
     (String.concat "," (List.map Harness.Measure.to_json results))
-    (String.concat "," counters);
+    (String.concat "," counters)
+    failures;
   close_out oc;
-  Printf.printf "wrote %s (%d measurements)\n" path (List.length results)
+  Printf.printf "wrote %s (%d measurements, %d tasks failed)\n" path
+    (List.length results)
+    (List.length (Harness.Measure.task_failures ()));
+  if chaos <> None then begin
+    let s = Harness.Measure.pool_stats () in
+    Printf.printf
+      "chaos: %d faults injected (%d crashes, %d hangs, %d allocs), %d \
+       retries, %d respawns, %d abandoned\n"
+      (Harness.Pool.injected s) s.Harness.Pool.injected_crashes
+      s.Harness.Pool.injected_hangs s.Harness.Pool.injected_allocs
+      s.Harness.Pool.retried s.Harness.Pool.respawned s.Harness.Pool.abandoned
+  end
 
 let () =
   let tables = ref [] in
@@ -233,6 +256,9 @@ let () =
   let bech_quota = ref 0.5 in
   let json = ref false in
   let jobs = ref (Harness.Pool.default_jobs ()) in
+  let chaos = ref None in
+  let task_deadline = ref None in
+  let retries = ref None in
   let spec =
     [
       ( "-t",
@@ -254,6 +280,23 @@ let () =
       ( "--jobs",
         Arg.Set_int jobs,
         "N  same as -j" );
+      ( "--chaos",
+        Arg.String
+          (fun s ->
+            match Harness.Pool.chaos_of_string s with
+            | Ok c -> chaos := Some c
+            | Error e ->
+              Printf.eprintf "bad --chaos spec: %s\n" e;
+              exit 2),
+        "SPEC  inject deterministic worker faults into the --json sweep \
+         (crash|hang|alloc[:RATE],seed:N)" );
+      ( "--task-deadline",
+        Arg.Float (fun s -> task_deadline := Some s),
+        "SECS  per-task wall-clock deadline for the --json sweep (default \
+         1.0 when --chaos enables hangs, else none)" );
+      ( "--retries",
+        Arg.Int (fun n -> retries := Some n),
+        "N  retry failed tasks up to N times (default 2)" );
     ]
   in
   Arg.parse spec
@@ -280,7 +323,17 @@ let () =
         print ppf;
         Format.pp_print_flush ppf ())
       selected;
-    if !json then write_json ~jobs:(max 1 !jobs) "BENCH_results.json";
+    if !json then begin
+      (* Injected hangs need a deadline to be cancelled against. *)
+      let deadline =
+        match !task_deadline, !chaos with
+        | (Some _ as d), _ -> d
+        | None, Some c when c.Harness.Pool.hang > 0. -> Some 1.0
+        | None, _ -> None
+      in
+      write_json ~jobs:(max 1 !jobs) ?deadline ?retries:!retries ?chaos:!chaos
+        "BENCH_results.json"
+    end;
     if !bech then run_bechamel ~quota:!bech_quota ();
     (* Timeouts and mismatches are distinct verdicts; either fails the
        sweep. *)
@@ -305,5 +358,19 @@ let () =
             (Opt.Driver.level_name level)
             machine)
         bad);
+    (* Tasks that produced no measurement at all: expected collateral
+       under chaos (reported, exit 0), a hard failure without it. *)
+    (match Harness.Measure.task_failures () with
+    | [] -> ()
+    | fs ->
+      if !chaos = None then failed := true;
+      List.iter
+        (fun (f : Harness.Measure.task_failure) ->
+          Printf.eprintf "TASK %s: %s at %s on %s (%d attempts: %s)\n"
+            (String.uppercase_ascii f.f_kind)
+            f.f_program
+            (Opt.Driver.level_name f.f_level)
+            f.f_machine f.f_attempts f.f_detail)
+        fs);
     if !failed then exit 1
   end

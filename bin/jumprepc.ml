@@ -7,12 +7,25 @@
      jumprepc bench wc                                                     *)
 
 open Cmdliner
+module Diag = Telemetry.Diag
+
+(* Every user-facing failure funnels through a typed diagnostic: one
+   "jumprepc: error: [code] ..." line on stderr and a clean nonzero exit,
+   never a raw OCaml backtrace. *)
+let fail_diag ?(code = 1) d =
+  Printf.eprintf "jumprepc: error: %s\n" (Diag.to_string d);
+  exit code
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  try
+    if Sys.is_directory path then raise (Sys_error (path ^ ": Is a directory"));
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    (* [msg] already names the file ("foo.c: No such file or directory"). *)
+    fail_diag (Diag.make Diag.Io_error ~func:"" ~pass:"" msg)
 
 (* --- common arguments --- *)
 
@@ -104,6 +117,32 @@ let inject_fault_arg =
           "Testing only: corrupt the named pass's output with a dangling \
            jump, to exercise the verifier's quarantine-and-rollback path.")
 
+(* Shared by fuzz and the bench drivers: deterministic worker-level fault
+   injection against the pool supervisor. *)
+let chaos_conv =
+  Arg.conv
+    ( (fun s ->
+        match Harness.Pool.chaos_of_string s with
+        | Ok c -> Ok c
+        | Error e -> Error (`Msg e)),
+      fun ppf (c : Harness.Pool.chaos) ->
+        Format.fprintf ppf "crash:%g,hang:%g,alloc:%g,seed:%d" c.crash c.hang
+          c.alloc c.chaos_seed )
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some chaos_conv) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Testing only: inject deterministic worker faults to drill the \
+           pool supervisor.  $(docv) is a comma-separated list of \
+           $(b,crash), $(b,hang) and $(b,alloc), each optionally \
+           $(b,:RATE) (default 0.1), plus $(b,seed:N) — e.g. \
+           $(b,crash:0.2,hang:0.05,seed:7).  Faults are a pure function \
+           of (seed, task, attempt), so completed results are identical \
+           to an undisturbed run.")
+
 let report_diags diags =
   List.iter
     (fun d ->
@@ -118,13 +157,44 @@ let report_diags diags =
 let strict_exit strict diags =
   if strict && Telemetry.Diag.has_errors !diags then exit 3
 
-let make_opts ?(verify = false) ?inject_fault level =
+let make_opts ?(verify = false) ?inject_fault ?budget level =
   {
     Opt.Driver.default_options with
     level;
     verify_passes = verify;
     inject_fault;
+    budget;
   }
+
+(* --- budget arguments (compile/run) --- *)
+
+let wall_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wall-budget" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget for the invocation.  The replication passes \
+           poll it; when it expires, the affected function degrades to the \
+           next-cheaper level (JUMPS to LOOPS to SIMPLE) with a \
+           $(b,budget-exhausted) warning instead of aborting.  Under \
+           $(b,run), execution polls it too and exits 124 on expiry.")
+
+let growth_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "growth-budget" ] ~docv:"PCT"
+        ~doc:
+          "Cap replication code growth at $(docv) percent of each \
+           function's input size (0 forbids growth; the paper's worst \
+           observed case is about 60).  Exceeding it degrades the function \
+           to the next-cheaper level with a $(b,budget-exhausted) warning.")
+
+let make_budget wall growth =
+  match wall, growth with
+  | None, None -> None
+  | deadline, growth -> Some (Harness.Budget.make ?deadline ?growth ())
 
 (* The log selected by the trace flags, and the flush/close to run last. *)
 let make_log trace trace_out =
@@ -136,21 +206,25 @@ let make_log trace trace_out =
   | true, None ->
     (Telemetry.Log.make (Telemetry.Log.Jsonl stderr), fun () -> flush stderr)
 
-(* Surface front-end failures as diagnostics, not OCaml backtraces. *)
+(* Surface front-end failures as typed diagnostics with a file:line
+   position, not OCaml backtraces. *)
 let compile_source ?log ?(diags = ref []) opts machine ~path source =
+  let diag code fmt =
+    Printf.ksprintf
+      (fun message -> fail_diag (Diag.make code ~func:"" ~pass:"" message))
+      fmt
+  in
   try Opt.Driver.compile ?log ~diags opts machine source with
   | Frontend.Lexer.Error (msg, line) ->
-    Printf.eprintf "%s:%d: lexical error: %s\n" path line msg;
-    exit 1
+    diag Diag.Parse_error "%s:%d: lexical error: %s" path line msg
   | Frontend.Parser.Error (msg, line) ->
-    Printf.eprintf "%s:%d: syntax error: %s\n" path line msg;
-    exit 1
+    diag Diag.Parse_error "%s:%d: syntax error: %s" path line msg
   | Frontend.Codegen.Error msg ->
-    Printf.eprintf "%s: error: %s\n" path msg;
-    exit 1
+    diag Diag.Semantic_error "%s: %s" path msg
   | Telemetry.Diag.Error d ->
-    Printf.eprintf "%s: error: %s\n" path (Telemetry.Diag.to_string d);
-    exit 1
+    fail_diag
+      (Diag.make d.Diag.code ~func:d.Diag.func ~pass:d.Diag.pass
+         (Printf.sprintf "%s: %s" path d.Diag.message))
 
 let compile_prog ?log ?diags opts machine path =
   compile_source ?log ?diags opts machine ~path (read_file path)
@@ -175,12 +249,14 @@ let compile_cmd =
       & info [ "dump-asm" ] ~doc:"Print the assembled code with addresses.")
   in
   let run level machine path dump_rtl dump_asm trace trace_out stats_json
-      verify strict inject_fault =
+      verify strict inject_fault wall_budget growth_budget =
     let log, finish = make_log trace trace_out in
     let diags = ref [] in
+    let budget = make_budget wall_budget growth_budget in
     let prog =
-      compile_prog ~log ~diags (make_opts ~verify ?inject_fault level) machine
-        path
+      compile_prog ~log ~diags
+        (make_opts ~verify ?inject_fault ?budget level)
+        machine path
     in
     if dump_rtl || not (dump_asm || stats_json) then
       List.iter
@@ -223,7 +299,7 @@ let compile_cmd =
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ dump_rtl $ dump_asm
       $ trace_arg $ trace_out_arg $ stats_json_arg $ verify_arg $ strict_arg
-      $ inject_fault_arg)
+      $ inject_fault_arg $ wall_budget_arg $ growth_budget_arg)
 
 (* --- run --- *)
 
@@ -261,12 +337,15 @@ let run_cmd =
              error.")
   in
   let run level machine path input input_file stats trace max_steps
-      trace_passes trace_out stats_json verify strict inject_fault =
+      trace_passes trace_out stats_json verify strict inject_fault wall_budget
+      growth_budget =
     let log, finish = make_log trace_passes trace_out in
     let diags = ref [] in
+    let budget = make_budget wall_budget growth_budget in
     let prog =
-      compile_prog ~log ~diags (make_opts ~verify ?inject_fault level) machine
-        path
+      compile_prog ~log ~diags
+        (make_opts ~verify ?inject_fault ?budget level)
+        machine path
     in
     let asm = Sim.Asm.assemble machine prog in
     let input =
@@ -289,10 +368,15 @@ let run_cmd =
           end
     in
     let res =
-      try Sim.Interp.run ~input ~on_fetch ~log ?max_steps asm prog
-      with Sim.Interp.Runtime_error msg ->
+      try Sim.Interp.run ~input ~on_fetch ~log ?max_steps ?budget asm prog
+      with
+      | Sim.Interp.Runtime_error msg ->
         Printf.eprintf "%s: runtime error: %s\n" path msg;
         exit 2
+      | Harness.Budget.Exhausted r ->
+        Printf.eprintf "%s: %s budget exhausted during execution\n" path
+          (Harness.Budget.reason_name r);
+        exit 124
     in
     print_string res.output;
     if res.timed_out then
@@ -328,7 +412,8 @@ let run_cmd =
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ input $ input_file
       $ stats $ trace $ max_steps $ trace_arg $ trace_out_arg $ stats_json_arg
-      $ verify_arg $ strict_arg $ inject_fault_arg)
+      $ verify_arg $ strict_arg $ inject_fault_arg $ wall_budget_arg
+      $ growth_budget_arg)
 
 (* --- measure --- *)
 
@@ -704,7 +789,7 @@ let fuzz_cmd =
             "Worker domains for the campaign (default \\$JUMPREP_JOBS or 1). \
              Results are identical at any job count.")
   in
-  let run seeds start out_dir max_steps quiet jobs verify inject_fault =
+  let run seeds start out_dir max_steps quiet jobs verify inject_fault chaos =
     let on_seed seed outcome =
       if not quiet then
         match outcome with
@@ -716,7 +801,7 @@ let fuzz_cmd =
     in
     let stats =
       Harness.Fuzz.campaign ~max_steps ~verify ?inject_fault ~out_dir ~start
-        ~on_seed ~jobs:(max 1 jobs) ~seeds ()
+        ~on_seed ~jobs:(max 1 jobs) ?chaos ~seeds ()
     in
     List.iter
       (fun (seed, (f : Harness.Fuzz.failure), path) ->
@@ -724,8 +809,19 @@ let fuzz_cmd =
           (Harness.Fuzz.kind_name f.kind)
           f.config path)
       stats.failures;
-    Printf.printf "fuzz: %d seeds, %d failures\n" stats.seeds_run
-      (List.length stats.failures);
+    List.iter
+      (fun (seed, detail) ->
+        Printf.printf "seed %d: no verdict, task %s\n" seed detail)
+      stats.aborted;
+    Printf.printf "fuzz: %d seeds, %d failures%s\n" stats.seeds_run
+      (List.length stats.failures)
+      (if chaos = None then ""
+       else
+         Printf.sprintf
+           ", %d aborted (chaos: %d faults injected, %d retries, %d respawns)"
+           (List.length stats.aborted)
+           (Harness.Pool.injected stats.pool)
+           stats.pool.Harness.Pool.retried stats.pool.Harness.Pool.respawned);
     if stats.failures <> [] then exit 1
   in
   Cmd.v
@@ -737,7 +833,7 @@ let fuzz_cmd =
           reproducers")
     Term.(
       const run $ seeds $ start $ out_dir $ max_steps $ quiet $ jobs
-      $ verify_arg $ inject_fault_arg)
+      $ verify_arg $ inject_fault_arg $ chaos_arg)
 
 let list_cmd =
   let run () =
@@ -768,4 +864,18 @@ let main =
       list_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* [~catch:false] plus our own backstop: unexpected exceptions still exit
+   cleanly with a one-line typed diagnostic instead of a raw backtrace. *)
+let () =
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception Sys_error msg ->
+    fail_diag (Diag.make Diag.Io_error ~func:"" ~pass:"" msg)
+  | exception Telemetry.Diag.Error d -> fail_diag d
+  | exception Harness.Budget.Exhausted r ->
+    fail_diag ~code:124
+      (Diag.make Diag.Budget_exhausted ~func:"" ~pass:""
+         (Printf.sprintf "%s budget exhausted" (Harness.Budget.reason_name r)))
+  | exception e ->
+    fail_diag ~code:125
+      (Diag.make Diag.Internal ~func:"" ~pass:"" (Printexc.to_string e))

@@ -299,7 +299,7 @@ let jump_live func (bl, tl) =
     | Some (Rtl.Jump l) -> Label.equal l tl
     | Some _ | None -> false)
 
-let run ?(log = Telemetry.Log.null) config func =
+let run ?(log = Telemetry.Log.null) ?budget config func =
   let fname = Func.name func in
   let jumps = uncond_jumps func in
   let func = ref func in
@@ -309,6 +309,7 @@ let run ?(log = Telemetry.Log.null) config func =
   let labels (bl, tl) = (Label.to_string bl, Label.to_string tl) in
   List.iter
     (fun jump ->
+      Option.iter Telemetry.Budget.check budget;
       if Func.num_instrs !func > config.size_cap then begin
         if jump_live !func jump then
           Telemetry.Log.emit log (fun () ->

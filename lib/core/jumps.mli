@@ -41,9 +41,17 @@ val default_config : config
     changed.  With [log], every per-jump decision is reported: a
     [Replication_applied] event for each splice (with the chosen sequence,
     mode and cost) and a [Replication_rolled_back] event with the
-    {!Telemetry.Log.reason} for each jump left in place. *)
+    {!Telemetry.Log.reason} for each jump left in place.  With [budget],
+    the per-jump loop calls {!Telemetry.Budget.check} before each attempt,
+    so a passed deadline or external cancellation raises
+    {!Telemetry.Budget.Exhausted} between attempts (never mid-splice — the
+    function threaded so far is simply discarded by the caller). *)
 val run :
-  ?log:Telemetry.Log.t -> config -> Flow.Func.t -> Flow.Func.t * bool
+  ?log:Telemetry.Log.t ->
+  ?budget:Telemetry.Budget.t ->
+  config ->
+  Flow.Func.t ->
+  Flow.Func.t * bool
 
 (** Statistics helper: labels of blocks ending in an unconditional [Jump]
     with their targets. *)

@@ -1,0 +1,3 @@
+(* Re-export so harness callers (and the CLI) can say [Harness.Budget]
+   without reaching into the telemetry layer. *)
+include Telemetry.Budget

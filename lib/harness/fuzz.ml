@@ -115,7 +115,12 @@ let reduce ?(max_attempts = 500) ~check p f =
   in
   go p f
 
-type stats = { seeds_run : int; failures : (int * failure * string) list }
+type stats = {
+  seeds_run : int;
+  failures : (int * failure * string) list;
+  aborted : (int * string) list;
+  pool : Pool.stats;
+}
 
 (* The reproducer's header comment must not terminate itself early. *)
 let sanitize_comment s =
@@ -129,9 +134,11 @@ let sanitize_comment s =
 
 let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
     ?(out_dir = "fuzz-failures") ?(start = 0) ?(on_seed = fun _ _ -> ())
-    ?(jobs = 1) ~seeds () =
+    ?(jobs = 1) ?chaos ~seeds () =
   let check_src src = check ~max_steps ~verify ?inject_fault src in
   let failures = ref [] in
+  let aborted = ref [] in
+  let pool = ref Pool.no_stats in
   let write_reproducer seed (p' : Gen.program) f' =
     if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
     let path = Filename.concat out_dir (Printf.sprintf "seed-%d.c" seed) in
@@ -149,7 +156,7 @@ let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
      independent of [jobs].  [jobs = 1] keeps the streaming loop —
      [on_seed] fires as each seed finishes rather than after the pool
      drains. *)
-  if jobs <= 1 then
+  if jobs <= 1 && chaos = None then
     for seed = start to start + seeds - 1 do
       let p = Gen.generate (Random.State.make [| seed |]) in
       let outcome = check_src (Gen.to_c p) in
@@ -160,20 +167,52 @@ let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
         write_reproducer seed p' f');
       on_seed seed outcome
     done
-  else
-    List.init seeds (fun i -> start + i)
-    |> Pool.map ~jobs (fun seed ->
-           let p = Gen.generate (Random.State.make [| seed |]) in
-           match check_src (Gen.to_c p) with
-           | None -> (seed, None)
-           | Some f ->
-             let p', f' = reduce ~check:check_src p f in
-             (seed, Some (f, p', f')))
-    |> List.iter (fun (seed, r) ->
-           (match r with
-           | None -> ()
-           | Some (_, p', f') -> write_reproducer seed p' f');
-           (* The original (pre-reduction) failure, as in the streaming
-              loop. *)
-           on_seed seed (Option.map (fun (f, _, _) -> f) r));
-  { seeds_run = seeds; failures = List.rev !failures }
+  else begin
+    (* Supervised path: a seed whose task crashes or times out (only
+       possible under chaos — the check itself never raises) lands in
+       [aborted] instead of silently disappearing, and the sibling seeds'
+       results are untouched. *)
+    let outcomes, pstats =
+      List.init seeds (fun i -> start + i)
+      |> Pool.supervise ~jobs ?chaos (fun _budget seed ->
+             let p = Gen.generate (Random.State.make [| seed |]) in
+             match check_src (Gen.to_c p) with
+             | None -> None
+             | Some f ->
+               let p', f' = reduce ~check:check_src p f in
+               Some (f, p', f'))
+    in
+    pool := pstats;
+    List.iteri
+      (fun i outcome ->
+        let seed = start + i in
+        match outcome with
+        | Pool.Done r ->
+          (match r with
+          | None -> ()
+          | Some (_, p', f') -> write_reproducer seed p' f');
+          (* The original (pre-reduction) failure, as in the streaming
+             loop. *)
+          on_seed seed (Option.map (fun (f, _, _) -> f) r)
+        | Pool.Crashed { exn; attempts; _ } ->
+          aborted :=
+            ( seed,
+              Printf.sprintf "crashed after %d attempt%s: %s" attempts
+                (if attempts = 1 then "" else "s")
+                (Printexc.to_string exn) )
+            :: !aborted
+        | Pool.Timed_out { elapsed; attempts } ->
+          aborted :=
+            ( seed,
+              Printf.sprintf "timed out after %d attempt%s (%.2fs)" attempts
+                (if attempts = 1 then "" else "s")
+                elapsed )
+            :: !aborted)
+      outcomes
+  end;
+  {
+    seeds_run = seeds;
+    failures = List.rev !failures;
+    aborted = List.rev !aborted;
+    pool = !pool;
+  }

@@ -44,17 +44,24 @@ type stats = {
   seeds_run : int;
   failures : (int * failure * string) list;
       (** seed, reduced failure, path of the written reproducer *)
+  aborted : (int * string) list;
+      (** seeds whose supervised task produced no verdict at all (the
+          worker crashed or timed out — only possible under chaos) *)
+  pool : Pool.stats;  (** supervisor statistics (zeros on the inline path) *)
 }
 
 (** Fuzz seeds [start .. start + seeds - 1]; on failure, reduce and write
     the reproducer under [out_dir] (created if missing).  [on_seed] is
     called after each seed with its outcome (for progress reporting).
 
-    [jobs > 1] spreads the seeds over a {!Pool}; seeds are independent,
-    and reproducer files, the failure list and the [on_seed] calls are
-    issued from the calling domain in seed order, so the campaign's
-    results are identical at any [jobs] (with [jobs = 1], [on_seed]
-    additionally streams as each seed completes). *)
+    [jobs > 1] spreads the seeds over a supervised {!Pool}; seeds are
+    independent, and reproducer files, the failure list and the [on_seed]
+    calls are issued from the calling domain in seed order, so the
+    campaign's results are identical at any [jobs] (with [jobs = 1] and
+    no chaos, [on_seed] additionally streams as each seed completes).
+    [chaos] injects deterministic worker faults ({!Pool.chaos}) to drill
+    the supervisor; affected seeds land in [aborted], sibling seeds keep
+    their verdicts. *)
 val campaign :
   ?max_steps:int ->
   ?verify:bool ->
@@ -63,6 +70,7 @@ val campaign :
   ?start:int ->
   ?on_seed:(int -> failure option -> unit) ->
   ?jobs:int ->
+  ?chaos:Pool.chaos ->
   seeds:int ->
   unit ->
   stats

@@ -49,6 +49,62 @@ let mismatches () = List.rev !failed
 let hung : (string * Opt.Driver.level * string) list ref = ref []
 let timeouts () = List.rev !hung
 
+(* Supervised tasks that produced no measurement at all — the worker
+   crashed or the deadline expired on every attempt.  Kept apart from
+   mismatches and timeouts: those describe a *measurement's* verdict,
+   these describe a task that has none. *)
+type task_failure = {
+  f_program : string;
+  f_level : Opt.Driver.level;
+  f_machine : string;
+  f_kind : string;  (* "crashed" | "timed-out" *)
+  f_detail : string;
+  f_attempts : int;
+  f_elapsed : float;
+}
+
+let task_failed : task_failure list ref = ref []
+let task_failures () = List.rev !task_failed
+
+let last_pool_stats = ref Pool.no_stats
+let pool_stats () = !last_pool_stats
+
+let failure_to_json f =
+  Printf.sprintf
+    "{\"program\":%s,\"level\":%s,\"machine\":%s,\"kind\":%s,\"detail\":%s,\
+     \"attempts\":%d,\"elapsed\":%.3f}"
+    (Telemetry.Log.json_string f.f_program)
+    (Telemetry.Log.json_string (Opt.Driver.level_name f.f_level))
+    (Telemetry.Log.json_string f.f_machine)
+    (Telemetry.Log.json_string f.f_kind)
+    (Telemetry.Log.json_string f.f_detail)
+    f.f_attempts f.f_elapsed
+
+let record_task_failure log ~kind ~detail ~attempts ~elapsed
+    (b : Programs.Suite.benchmark) level (machine : Ir.Machine.t) =
+  task_failed :=
+    {
+      f_program = b.name;
+      f_level = level;
+      f_machine = machine.Ir.Machine.short;
+      f_kind = kind;
+      f_detail = detail;
+      f_attempts = attempts;
+      f_elapsed = elapsed;
+    }
+    :: !task_failed;
+  Telemetry.Log.emit log (fun () ->
+      Telemetry.Log.Warning
+        {
+          message =
+            Printf.sprintf "%s at %s on %s: task %s after %d attempt%s (%s)"
+              b.name
+              (Opt.Driver.level_name level)
+              machine.Ir.Machine.short kind attempts
+              (if attempts = 1 then "" else "s")
+              detail;
+        })
+
 let record_mismatch log (m : t) ~expected =
   failed := (m.program, m.level, m.machine.Ir.Machine.short) :: !failed;
   Telemetry.Log.emit log (fun () ->
@@ -78,7 +134,7 @@ let record_timeout log (m : t) =
    through the cache bank, bump counters on [log].  No module-level state
    is touched and nothing beyond [log] is written, so this is what pool
    workers run on their own domain with a private log. *)
-let measure_raw ?opts ?(log = Telemetry.Log.null) ?(verify = true)
+let measure_raw ?opts ?(log = Telemetry.Log.null) ?(verify = true) ?budget
     (b : Programs.Suite.benchmark) level machine =
   let opts =
     match opts with
@@ -92,7 +148,12 @@ let measure_raw ?opts ?(log = Telemetry.Log.null) ?(verify = true)
   let asm = Sim.Asm.assemble machine prog in
   let bank = Icache.Bank.create Icache.paper_configs in
   let on_fetch ~addr ~size = Icache.Bank.access bank ~addr ~size in
-  let res = Sim.Interp.run ~input:b.input ~on_fetch ~log asm prog in
+  (* The pool's deadline budget feeds only the interpreter (its fuel
+     accounting doubles as the poll point): a cancelled run raises
+     [Budget.Exhausted] and surfaces as a pool-level [Timed_out] outcome,
+     never as a silently different measurement — completed results stay
+     identical to a sequential, budget-free sweep. *)
+  let res = Sim.Interp.run ~input:b.input ~on_fetch ~log ?budget asm prog in
   let m =
     {
       program = b.name;
@@ -176,8 +237,10 @@ let run_adhoc ?opts ?log ~name ~source ?(input = "") ?expected_output level
    each task's events and counters are folded into [log] in task order —
    so results, telemetry and recorded failures are byte-for-byte those
    of the sequential sweep, whatever [jobs] is. *)
-let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) tasks =
-  if jobs <= 1 then List.map (fun (b, level, m) -> run ~log b level m) tasks
+let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) ?deadline ?retries ?chaos
+    tasks =
+  if jobs <= 1 && deadline = None && chaos = None then
+    List.map (fun (b, level, m) -> run ~log b level m) tasks
   else begin
     let logging = Telemetry.Log.enabled log in
     let pending = Hashtbl.create 16 in
@@ -189,36 +252,53 @@ let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) tasks =
           && (Hashtbl.add pending key (); true))
         tasks
     in
-    let computed =
-      Pool.map ~jobs
-        (fun (b, level, m) ->
+    let outcomes, stats =
+      Pool.supervise ~jobs ?deadline ?retries ?chaos
+        (fun budget (b, level, m) ->
           let wlog =
             if logging then Telemetry.Log.make Telemetry.Log.Memory
             else Telemetry.Log.null
           in
-          (measure_raw ~log:wlog b level m, wlog))
+          (measure_raw ~log:wlog ~budget b level m, wlog))
         to_run
     in
+    last_pool_stats := stats;
     List.iter2
-      (fun (b, level, machine) (res, wlog) ->
-        if logging then begin
-          List.iter
-            (fun ev -> Telemetry.Log.emit log (fun () -> ev))
-            (Telemetry.Log.events wlog);
-          List.iter
-            (fun (name, value) -> Telemetry.Counter.add log name value)
-            (Telemetry.Counter.all wlog)
-        end;
-        record log b res;
-        Hashtbl.add memo (memo_key b level machine) res)
-      to_run computed;
-    List.map
-      (fun (b, level, m) -> Hashtbl.find memo (memo_key b level m))
+      (fun (b, level, machine) outcome ->
+        match outcome with
+        | Pool.Done (res, wlog) ->
+          if logging then begin
+            List.iter
+              (fun ev -> Telemetry.Log.emit log (fun () -> ev))
+              (Telemetry.Log.events wlog);
+            List.iter
+              (fun (name, value) -> Telemetry.Counter.add log name value)
+              (Telemetry.Counter.all wlog)
+          end;
+          record log b res;
+          Hashtbl.add memo (memo_key b level machine) res
+        | Pool.Crashed { exn; backtrace; attempts } ->
+          let detail =
+            match String.trim backtrace with
+            | "" -> Printexc.to_string exn
+            | bt -> Printexc.to_string exn ^ " | " ^ bt
+          in
+          record_task_failure log ~kind:"crashed" ~detail ~attempts
+            ~elapsed:0. b level machine
+        | Pool.Timed_out { elapsed; attempts } ->
+          record_task_failure log ~kind:"timed-out"
+            ~detail:(Printf.sprintf "deadline expired after %.2fs" elapsed)
+            ~attempts ~elapsed b level machine)
+      to_run outcomes;
+    (* Failed tasks have no measurement: the sweep's result list simply
+       omits them (callers consult [task_failures] for the rest). *)
+    List.filter_map
+      (fun (b, level, m) -> Hashtbl.find_opt memo (memo_key b level m))
       tasks
   end
 
-let run_suite ?log ?jobs level machine =
-  run_many ?log ?jobs
+let run_suite ?log ?jobs ?deadline ?retries ?chaos level machine =
+  run_many ?log ?jobs ?deadline ?retries ?chaos
     (List.map (fun b -> (b, level, machine)) Programs.Suite.all)
 
 (* --- JSON rendering (the bench drivers' machine-readable output) --- *)

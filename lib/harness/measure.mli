@@ -66,16 +66,27 @@ val run_adhoc :
 (** Clear the memo table (after changing options between sweeps). *)
 val reset_cache : unit -> unit
 
-(** [run] over an arbitrary task list, optionally on a {!Pool} of
-    [jobs] domains (default 1 = the plain sequential sweep).  Memoized
+(** [run] over an arbitrary task list, optionally on a supervised {!Pool}
+    of [jobs] domains (default 1 = the plain sequential sweep).  Memoized
     results are resolved before dispatch; workers measure against
     private in-memory logs that are folded into [log] in task order
     after the joins, so results, counters, event stream and recorded
     mismatches/timeouts are identical to the sequential run at any
-    [jobs]. *)
+    [jobs].
+
+    [deadline], [retries] and [chaos] select the supervised path (see
+    {!Pool.supervise}): each task gets a per-attempt wall-clock budget
+    threaded into the interpreter, crashes and hangs are retried on a
+    deterministic backoff, and a task whose every attempt fails is
+    dropped from the result list and recorded under {!task_failures} —
+    sibling results are never lost.  Completed measurements are identical
+    to the sequential, supervision-free sweep. *)
 val run_many :
   ?log:Telemetry.Log.t ->
   ?jobs:int ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?chaos:Pool.chaos ->
   (Programs.Suite.benchmark * Opt.Driver.level * Ir.Machine.t) list ->
   t list
 
@@ -83,6 +94,9 @@ val run_many :
 val run_suite :
   ?log:Telemetry.Log.t ->
   ?jobs:int ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?chaos:Pool.chaos ->
   Opt.Driver.level ->
   Ir.Machine.t ->
   t list
@@ -96,6 +110,29 @@ val mismatches : unit -> (string * Opt.Driver.level * string) list
     apart from {!mismatches}: a hang is a distinct verdict, counted under
     the [measure.timeouts] telemetry counter. *)
 val timeouts : unit -> (string * Opt.Driver.level * string) list
+
+(** A supervised task that produced no measurement: every attempt crashed
+    ([f_kind = "crashed"]) or hit the deadline ([f_kind = "timed-out"]). *)
+type task_failure = {
+  f_program : string;
+  f_level : Opt.Driver.level;
+  f_machine : string;
+  f_kind : string;
+  f_detail : string;  (** exception text or deadline description *)
+  f_attempts : int;
+  f_elapsed : float;  (** last attempt's elapsed seconds (0 for crashes) *)
+}
+
+(** Failed supervised tasks this process, in discovery order.  Empty
+    whenever chaos is off and no deadline expired — the bench JSON only
+    grows a ["failures"] array when this is non-empty. *)
+val task_failures : unit -> task_failure list
+
+(** One JSON object (no newline) for a ["failures"] array entry. *)
+val failure_to_json : task_failure -> string
+
+(** Supervisor statistics of the most recent supervised {!run_many}. *)
+val pool_stats : unit -> Pool.stats
 
 (** One JSON object (no newline) with every field of [t], cache stats
     included — the building block of the bench drivers' [BENCH_*.json]. *)

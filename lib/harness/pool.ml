@@ -1,52 +1,497 @@
-(* A fixed-size Domain worker pool over an indexed work list.  Items are
-   claimed through one atomic counter, so the schedule is whichever
-   domain gets there first — callers own determinism by keeping shared
-   state out of [f] and folding the (index-ordered) results on the
-   parent.  The calling domain works too: [jobs = 1] spawns nothing and
-   degrades to [List.map]. *)
+(* A supervised fixed-size Domain worker pool.
+
+   Each work item runs as a sequence of *attempts* on worker domains under
+   a fresh cancellable Budget.  The calling domain never runs tasks: it is
+   the supervisor, polling worker slots every millisecond to deliver
+   results, detect dead workers (and respawn them), enforce the per-task
+   deadline (cooperative cancellation through the budget, then
+   abandon-and-reschedule after a 2x grace period), and feed retries back
+   into the queue on a deterministic capped-exponential backoff.
+
+   Determinism: the schedule is whichever domain gets there first, but
+   results land in an index-ordered array and fault injection is a pure
+   function of (seed, task index, attempt) — so the outcome of every task
+   that completes is identical to what a sequential run produces, no
+   matter the job count. *)
+
+module Budget = Telemetry.Budget
+
+let warn fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "jumprepc: warning: %s\n%!" s) fmt
 
 let default_jobs () =
   match Sys.getenv_opt "JUMPREP_JOBS" with
   | None -> 1
   | Some s -> (
+    let cap = Domain.recommended_domain_count () in
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> 1)
+    | Some n when n >= 1 ->
+      if n > 4 * cap then begin
+        warn "JUMPREP_JOBS=%d exceeds 4x the %d recommended domain%s; using %d"
+          n cap
+          (if cap = 1 then "" else "s")
+          cap;
+        cap
+      end
+      else n
+    | Some _ | None ->
+      warn "JUMPREP_JOBS=%S is not a positive integer; using 1" s;
+      1)
 
-let map ?(jobs = 1) f xs =
+(* --- task outcomes and supervisor statistics --- *)
+
+type 'a outcome =
+  | Done of 'a
+  | Crashed of { exn : exn; backtrace : string; attempts : int }
+  | Timed_out of { elapsed : float; attempts : int }
+
+let outcome_kind = function
+  | Done _ -> "done"
+  | Crashed _ -> "crashed"
+  | Timed_out _ -> "timed-out"
+
+type stats = {
+  injected_crashes : int;
+  injected_hangs : int;
+  injected_allocs : int;
+  retried : int;
+  respawned : int;
+  abandoned : int;
+}
+
+let no_stats =
+  {
+    injected_crashes = 0;
+    injected_hangs = 0;
+    injected_allocs = 0;
+    retried = 0;
+    respawned = 0;
+    abandoned = 0;
+  }
+
+let injected s = s.injected_crashes + s.injected_hangs + s.injected_allocs
+
+(* --- deterministic backoff --- *)
+
+let backoff ?(base = 0.05) ?(cap = 0.8) attempt =
+  min cap (base *. (2. ** float_of_int (max 0 (attempt - 1))))
+
+(* --- deterministic chaos injection --- *)
+
+type chaos = { crash : float; hang : float; alloc : float; chaos_seed : int }
+
+exception Chaos_crash
+
+(* splitmix-flavored integer scramble.  32-bit multiplier constants on a
+   30-bit state: the usual 64-bit constants overflow OCaml's 63-bit
+   native ints.  Pure in (seed, task, attempt), so sequential and
+   parallel runs inject the identical fault schedule. *)
+let mix seed task attempt =
+  let mask = (1 lsl 30) - 1 in
+  let golden = 0x9E3779B1 in
+  let scramble h =
+    let h = (h lxor (h lsr 15)) * 0x85EBCA6B land mask in
+    let h = (h lxor (h lsr 13)) * 0xC2B2AE35 land mask in
+    h lxor (h lsr 16)
+  in
+  let h = scramble ((seed land mask) + golden) in
+  let h = scramble (h lxor ((task + 1) * golden land mask)) in
+  scramble (h lxor ((attempt + 1) * golden land mask))
+
+let chaos_fault c ~task ~attempt =
+  let u = float_of_int (mix c.chaos_seed task attempt land 0xFFFFFF) /. 16777216. in
+  if u < c.crash then Some `Crash
+  else if u < c.crash +. c.hang then Some `Hang
+  else if u < c.crash +. c.hang +. c.alloc then Some `Alloc
+  else None
+
+let chaos_of_string s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rate kind v =
+    match float_of_string_opt v with
+    | Some r when r >= 0. && r <= 1. -> Ok r
+    | Some _ | None ->
+      Error (Printf.sprintf "bad %s rate %S (want a probability in 0..1)" kind v)
+  in
+  let rec go c = function
+    | [] ->
+      if c.crash +. c.hang +. c.alloc > 0. then Ok c
+      else Error "chaos spec enables no fault kind"
+    | p :: rest -> (
+      let kind, value =
+        match String.index_opt p ':' with
+        | None -> (p, None)
+        | Some i ->
+          ( String.sub p 0 i,
+            Some (String.sub p (i + 1) (String.length p - i - 1)) )
+      in
+      let with_rate set = function
+        | None -> go (set 0.1) rest
+        | Some v -> (
+          match rate kind v with Ok r -> go (set r) rest | Error e -> Error e)
+      in
+      match kind with
+      | "crash" -> with_rate (fun r -> { c with crash = r }) value
+      | "hang" -> with_rate (fun r -> { c with hang = r }) value
+      | "alloc" -> with_rate (fun r -> { c with alloc = r }) value
+      | "seed" -> (
+        match Option.bind value int_of_string_opt with
+        | Some n -> go { c with chaos_seed = n } rest
+        | None -> Error (Printf.sprintf "bad chaos seed in %S (want seed:N)" p))
+      | _ ->
+        Error
+          (Printf.sprintf
+             "unknown chaos component %S (want crash|hang|alloc[:RATE] or \
+              seed:N)"
+             p))
+  in
+  go { crash = 0.; hang = 0.; alloc = 0.; chaos_seed = 1 } parts
+
+(* --- the supervisor --- *)
+
+(* How one attempt failed: a raised exception, or a deadline/cancellation
+   (the only two final outcomes besides success). *)
+type failure = F_crash of exn * string | F_timeout of float
+
+type running = {
+  r_task : int;
+  r_attempt : int;
+  r_start : float;
+  r_budget : Budget.t;
+}
+
+(* One worker slot.  [st] is written under the pool mutex by both the
+   worker (Busy/Idle/Exited/Died transitions) and never by the parent;
+   [retire] tells a worker abandoned by the watchdog not to take more
+   work if it ever returns from its stuck attempt. *)
+type slot_state =
+  | Idle
+  | Busy of running
+  | Exited
+  | Died of running option * exn * string
+
+type slot = {
+  mutable st : slot_state;
+  mutable dom : unit Domain.t option;
+  mutable retire : bool;
+}
+
+let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
+    ?chaos f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in
-  if jobs = 1 then List.map f xs
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f items.(i));
-          go ()
-        end
+  let inj_crashes = Atomic.make 0 in
+  let inj_hangs = Atomic.make 0 in
+  let inj_allocs = Atomic.make 0 in
+  let retried = ref 0 in
+  let respawned = ref 0 in
+  let abandoned = ref 0 in
+  (* Injected hangs spin until released, interrupted, or this cap — they
+     must never outlive the supervisor's bounded shutdown. *)
+  let hang_cap = match deadline with Some d -> 4. *. d | None -> 2.0 in
+  let release = Atomic.make false in
+  let fault i attempt =
+    match chaos with
+    | None -> None
+    | Some c -> chaos_fault c ~task:i ~attempt
+  in
+  (* ~64MB of short-lived garbage: memory pressure that must not change
+     the task's result. *)
+  let alloc_storm () =
+    for _ = 1 to 64 do
+      ignore (Sys.opaque_identity (Bytes.create (1 lsl 20)))
+    done
+  in
+  let stats () =
+    {
+      injected_crashes = Atomic.get inj_crashes;
+      injected_hangs = Atomic.get inj_hangs;
+      injected_allocs = Atomic.get inj_allocs;
+      retried = !retried;
+      respawned = !respawned;
+      abandoned = !abandoned;
+    }
+  in
+  if jobs = 1 then begin
+    (* Inline path: same attempt/fault/backoff schedule, no domains.  An
+       injected hang is charged as a timed-out attempt without actually
+       spinning — nothing else could make progress meanwhile. *)
+    let run_task i x =
+      let rec go attempt =
+        let budget = Budget.make ?deadline () in
+        let started = Unix.gettimeofday () in
+        let res =
+          match fault i attempt with
+          | Some `Crash ->
+            Atomic.incr inj_crashes;
+            Error (F_crash (Chaos_crash, ""))
+          | Some `Hang ->
+            Atomic.incr inj_hangs;
+            Error (F_timeout (Option.value deadline ~default:0.))
+          | (Some `Alloc | None) as fl -> (
+            if fl <> None then begin
+              Atomic.incr inj_allocs;
+              alloc_storm ()
+            end;
+            match f budget x with
+            | v -> Ok v
+            | exception Budget.Exhausted _ ->
+              Error (F_timeout (Unix.gettimeofday () -. started))
+            | exception e -> Error (F_crash (e, Printexc.get_backtrace ())))
+        in
+        match res with
+        | Ok v -> Done v
+        | Error fl ->
+          if attempt <= retries then begin
+            incr retried;
+            Unix.sleepf (backoff ~base:backoff_base attempt);
+            go (attempt + 1)
+          end
+          else (
+            match fl with
+            | F_crash (exn, backtrace) ->
+              Crashed { exn; backtrace; attempts = attempt }
+            | F_timeout elapsed -> Timed_out { elapsed; attempts = attempt })
       in
-      go ()
+      go 1
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    (* Run the parent's share first so a raise still reaches every join
-       below; a worker's exception surfaces out of its join. *)
-    let parent_failure =
-      match worker () with () -> None | exception e -> Some e
-    in
-    let worker_failure =
-      List.fold_left
-        (fun failure d ->
-          match Domain.join d with
-          | () -> failure
-          | exception e -> ( match failure with Some _ -> failure | None -> Some e))
-        None domains
-    in
-    (match parent_failure with
-    | Some e -> raise e
-    | None -> ( match worker_failure with Some e -> raise e | None -> ()));
-    Array.to_list (Array.map Option.get results)
+    let results = Array.mapi run_task items in
+    (Array.to_list results, stats ())
   end
+  else begin
+    let mu = Mutex.create () in
+    let cond = Condition.create () in
+    let pending : (int * int) Queue.t = Queue.create () in
+    let reports = Queue.create () in
+    let delayed = ref [] in
+    let quit = ref false in
+    let results = Array.make n None in
+    let latest = Array.make n 1 in
+    let remaining = ref n in
+    let run_attempt slot i attempt =
+      let budget = Budget.make ?deadline () in
+      let started = Unix.gettimeofday () in
+      Mutex.lock mu;
+      slot.st <-
+        Busy
+          { r_task = i; r_attempt = attempt; r_start = started; r_budget = budget };
+      Mutex.unlock mu;
+      let res =
+        match fault i attempt with
+        | Some `Crash ->
+          Atomic.incr inj_crashes;
+          (* Unwinds the whole worker function: the domain dies, which is
+             exactly the failure the supervisor's death detection and
+             respawn exist for. *)
+          raise Chaos_crash
+        | Some `Hang ->
+          Atomic.incr inj_hangs;
+          (* A busy-wait that still polls (cpu_relax keeps the domain a
+             GC-friendly citizen) and honors cooperative cancellation. *)
+          while
+            (not (Atomic.get release))
+            && (not (Budget.interrupted budget))
+            && Unix.gettimeofday () -. started < hang_cap
+          do
+            Domain.cpu_relax ()
+          done;
+          Error (F_timeout (Unix.gettimeofday () -. started))
+        | (Some `Alloc | None) as fl -> (
+          if fl <> None then begin
+            Atomic.incr inj_allocs;
+            alloc_storm ()
+          end;
+          match f budget items.(i) with
+          | v -> Ok v
+          | exception Budget.Exhausted _ ->
+            Error (F_timeout (Unix.gettimeofday () -. started))
+          | exception e -> Error (F_crash (e, Printexc.get_backtrace ())))
+      in
+      Mutex.lock mu;
+      slot.st <- Idle;
+      Queue.push (i, attempt, res) reports;
+      Mutex.unlock mu
+    in
+    let rec worker_loop slot =
+      Mutex.lock mu;
+      let rec next () =
+        if !quit || slot.retire then None
+        else if Queue.is_empty pending then begin
+          Condition.wait cond mu;
+          next ()
+        end
+        else Some (Queue.pop pending)
+      in
+      let job = next () in
+      Mutex.unlock mu;
+      match job with
+      | None -> ()
+      | Some (i, attempt) ->
+        run_attempt slot i attempt;
+        worker_loop slot
+    in
+    let worker slot () =
+      match worker_loop slot with
+      | () ->
+        Mutex.lock mu;
+        slot.st <- Exited;
+        Mutex.unlock mu
+      | exception e ->
+        let bt = Printexc.get_backtrace () in
+        Mutex.lock mu;
+        let running = match slot.st with Busy r -> Some r | _ -> None in
+        slot.st <- Died (running, e, bt);
+        Mutex.unlock mu
+    in
+    let spawn_slot () =
+      let slot = { st = Idle; dom = None; retire = false } in
+      slot.dom <- Some (Domain.spawn (worker slot));
+      slot
+    in
+    let slots = ref (List.init jobs (fun _ -> spawn_slot ())) in
+    let zombies = ref [] in
+    (* All three run under [mu]. *)
+    let finalize i outcome =
+      if results.(i) = None then begin
+        results.(i) <- Some outcome;
+        decr remaining
+      end
+    in
+    let handle_failure now i attempt fl =
+      (* Failures of superseded attempts are ignored: the newer attempt
+         owns the task's fate.  A stale success still delivers (handled
+         by the caller), since the task function is deterministic. *)
+      if results.(i) = None && attempt >= latest.(i) then begin
+        if attempt <= retries then begin
+          incr retried;
+          latest.(i) <- attempt + 1;
+          delayed :=
+            (now +. backoff ~base:backoff_base attempt, i, attempt + 1)
+            :: !delayed
+        end
+        else
+          finalize i
+            (match fl with
+            | F_crash (exn, backtrace) ->
+              Crashed { exn; backtrace; attempts = attempt }
+            | F_timeout elapsed -> Timed_out { elapsed; attempts = attempt })
+      end
+    in
+    (* Seed attempt 1 of every task. *)
+    Mutex.lock mu;
+    Array.iteri (fun i _ -> Queue.push (i, 1) pending) items;
+    Condition.broadcast cond;
+    Mutex.unlock mu;
+    (* The supervisor tick. *)
+    while !remaining > 0 do
+      let to_join = ref [] in
+      Mutex.lock mu;
+      let now = Unix.gettimeofday () in
+      while not (Queue.is_empty reports) do
+        let i, attempt, res = Queue.pop reports in
+        match res with
+        | Ok v -> finalize i (Done v)
+        | Error fl -> handle_failure now i attempt fl
+      done;
+      let keep =
+        List.filter
+          (fun slot ->
+            match slot.st with
+            | Died (running, exn, bt) ->
+              Option.iter
+                (fun r -> handle_failure now r.r_task r.r_attempt (F_crash (exn, bt)))
+                running;
+              Option.iter (fun d -> to_join := d :: !to_join) slot.dom;
+              false
+            | Busy r -> (
+              match deadline with
+              | Some d when now -. r.r_start > 2. *. d ->
+                (* Past the cooperative-cancellation grace period: the
+                   attempt is not responding.  Abandon the worker (it is
+                   told to retire if it ever comes back) and give the
+                   task a fresh domain. *)
+                incr abandoned;
+                Budget.cancel r.r_budget;
+                handle_failure now r.r_task r.r_attempt
+                  (F_timeout (now -. r.r_start));
+                slot.retire <- true;
+                zombies := slot :: !zombies;
+                false
+              | Some d when now -. r.r_start > d ->
+                Budget.cancel r.r_budget;
+                true
+              | _ -> true)
+            | Idle | Exited -> true)
+          !slots
+      in
+      slots := keep;
+      let ready, not_ready =
+        List.partition (fun (t, _, _) -> t <= now) !delayed
+      in
+      delayed := not_ready;
+      List.iter (fun (_, i, attempt) -> Queue.push (i, attempt) pending) ready;
+      if not (Queue.is_empty pending) then Condition.broadcast cond;
+      let live = List.length !slots in
+      Mutex.unlock mu;
+      List.iter Domain.join !to_join;
+      if !remaining > 0 then begin
+        for _ = 1 to jobs - live do
+          incr respawned;
+          slots := spawn_slot () :: !slots
+        done;
+        Unix.sleepf 0.001
+      end
+    done;
+    (* Shutdown: wake everything, cancel stale attempts, then a bounded
+       wait — a worker wedged in a non-cooperative task cannot be killed,
+       so after the grace period it is simply left behind rather than
+       wedging the join. *)
+    Mutex.lock mu;
+    quit := true;
+    Atomic.set release true;
+    List.iter
+      (fun s -> match s.st with Busy r -> Budget.cancel r.r_budget | _ -> ())
+      (!slots @ !zombies);
+    Condition.broadcast cond;
+    Mutex.unlock mu;
+    let finished s =
+      Mutex.lock mu;
+      let r = match s.st with Exited | Died _ -> true | Idle | Busy _ -> false in
+      Mutex.unlock mu;
+      r
+    in
+    let all = !slots @ !zombies in
+    let give_up = Unix.gettimeofday () +. Float.max 1.0 hang_cap in
+    let rec drain waiting =
+      let still = List.filter (fun s -> not (finished s)) waiting in
+      if still = [] || Unix.gettimeofday () > give_up then still
+      else begin
+        Unix.sleepf 0.001;
+        drain still
+      end
+    in
+    let stragglers = drain all in
+    List.iter
+      (fun s ->
+        if not (List.memq s stragglers) then Option.iter Domain.join s.dom)
+      all;
+    let outcomes =
+      Array.to_list
+        (Array.map (function Some o -> o | None -> assert false) results)
+    in
+    (outcomes, stats ())
+  end
+
+let map ?(jobs = 1) f xs =
+  let outcomes, _ = supervise ~jobs ~retries:0 (fun _budget x -> f x) xs in
+  List.map
+    (function
+      | Done v -> v
+      | Crashed { exn; _ } -> raise exn
+      | Timed_out _ -> failwith "Pool.map: task timed out")
+    outcomes

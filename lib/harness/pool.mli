@@ -1,16 +1,106 @@
-(** Fixed-size Domain worker pool (OCaml 5 [Domain] + [Atomic]).
+(** Supervised fixed-size Domain worker pool (OCaml 5 [Domain] + [Atomic]).
 
-    Work items are claimed from one atomic counter and results land in an
-    index-ordered array, so the output order is the input order no matter
-    which domain ran what.  [f] must not touch shared mutable state; the
-    sweep drivers keep memo tables and telemetry on the calling domain and
-    merge per-worker logs deterministically afterwards. *)
+    {!supervise} runs each work item as a sequence of attempts on worker
+    domains while the calling domain supervises: it delivers results,
+    detects dead workers and respawns them, enforces a per-task wall-clock
+    deadline (cooperative cancellation through a {!Telemetry.Budget}
+    first, abandon-and-reschedule on a fresh domain after a 2x grace
+    period), and retries transient failures on a deterministic capped
+    exponential backoff.  Every task ends in a structured {!outcome} — a
+    crash or hang of one task never takes down the sweep or loses sibling
+    results.
 
-(** [JUMPREP_JOBS] from the environment (1 when unset or unparsable). *)
+    Determinism: results land in input order, and chaos fault injection is
+    a pure function of (seed, task index, attempt), so any task that
+    completes produces the same value it would in a sequential run,
+    whatever the job count.  Callers own full determinism by keeping
+    shared mutable state out of the task function and folding the
+    (index-ordered) results on the parent. *)
+
+(** [JUMPREP_JOBS] from the environment.  1 when unset; an unparsable or
+    non-positive value warns on stderr and falls back to 1; a value over
+    4x [Domain.recommended_domain_count ()] warns and clamps to the
+    recommended count. *)
 val default_jobs : unit -> int
 
-(** [map ~jobs f xs] is [List.map f xs] computed by [jobs] domains (the
-    caller counts as one; [jobs = 1] spawns none).  If any application
-    raises, the first exception (parent's first) is re-raised after every
-    domain is joined. *)
+(** How one supervised task ended. *)
+type 'a outcome =
+  | Done of 'a
+  | Crashed of { exn : exn; backtrace : string; attempts : int }
+      (** every attempt raised; [exn]/[backtrace] are from the last *)
+  | Timed_out of { elapsed : float; attempts : int }
+      (** every attempt hit the deadline (or was cancelled) *)
+
+(** ["done"], ["crashed"] or ["timed-out"]. *)
+val outcome_kind : _ outcome -> string
+
+(** What the supervisor saw over one {!supervise} call. *)
+type stats = {
+  injected_crashes : int;  (** chaos crashes injected *)
+  injected_hangs : int;  (** chaos hangs injected *)
+  injected_allocs : int;  (** chaos allocation storms injected *)
+  retried : int;  (** failed attempts rescheduled *)
+  respawned : int;  (** replacement workers spawned *)
+  abandoned : int;  (** attempts overdue past the grace period *)
+}
+
+val no_stats : stats
+
+(** Total chaos faults injected. *)
+val injected : stats -> int
+
+(** [backoff attempt] — seconds to wait before rescheduling after failed
+    attempt number [attempt] (1-based): [base * 2^(attempt-1)] capped at
+    [cap] (defaults 0.05s and 0.8s).  Pure; no randomized jitter, so
+    retry schedules are reproducible. *)
+val backoff : ?base:float -> ?cap:float -> int -> float
+
+(** Deterministic fault injection: per attempt, a fault is drawn from a
+    pure hash of ([chaos_seed], task index, attempt number) against the
+    per-kind rates (each a probability in 0..1; at most one fault fires
+    per attempt). *)
+type chaos = {
+  crash : float;  (** kill the worker domain mid-task *)
+  hang : float;  (** busy-wait until cancelled/released/capped *)
+  alloc : float;  (** allocate ~64MB of garbage, then run normally *)
+  chaos_seed : int;
+}
+
+(** The exception an injected crash raises through the worker. *)
+exception Chaos_crash
+
+(** Parse a [--chaos] spec: comma-separated [crash], [hang], [alloc]
+    (each optionally [:RATE], default 0.1) and [seed:N] (default 1).
+    E.g. ["crash:0.2,hang:0.05,seed:7"]. *)
+val chaos_of_string : string -> (chaos, string) result
+
+(** [supervise ~jobs ~deadline ~retries ~backoff_base ~chaos f xs] runs
+    [f budget x] for each [x] on [jobs] worker domains ([jobs <= 1] runs
+    inline, spawning none) and returns the outcomes in input order plus
+    supervisor statistics.
+
+    Each attempt gets a fresh budget carrying [deadline] (seconds of
+    wall-clock); [f] should poll it at safepoints (the interpreter does,
+    via its fuel accounting).  An attempt that raises
+    [Telemetry.Budget.Exhausted] counts as timed out; any other exception
+    counts as crashed; either is retried up to [retries] times (default
+    2) after a {!backoff} pause.  A worker domain that dies is detected,
+    accounted, and replaced; an attempt still running at twice the
+    deadline is abandoned to a fresh domain and its worker retired.  The
+    final join is bounded: a worker wedged in non-cooperative code is
+    left behind rather than wedging the caller. *)
+val supervise :
+  ?jobs:int ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?backoff_base:float ->
+  ?chaos:chaos ->
+  (Telemetry.Budget.t -> 'a -> 'b) ->
+  'a list ->
+  'b outcome list * stats
+
+(** [map ~jobs f xs] is [List.map f xs] computed by [jobs] worker domains
+    ([jobs = 1] spawns none): {!supervise} with no deadline, no retries
+    and no chaos.  If any application raises, the raising task with the
+    lowest index has its exception re-raised after the pool is joined. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -29,6 +29,7 @@ type options = {
   enable_isel : bool;
   verify_passes : bool;
   inject_fault : string option;
+  budget : Telemetry.Budget.t option;
 }
 
 let default_options =
@@ -45,6 +46,7 @@ let default_options =
     enable_isel = true;
     verify_passes = false;
     inject_fault = None;
+    budget = None;
   }
 
 let options ?(level = Simple) () = { default_options with level }
@@ -163,6 +165,9 @@ let guard g name pass func =
       quarantine g name d.Diag.code [] d.Diag.message;
       (func, false)
     | exception Sys.Break -> raise Sys.Break
+    (* Budget exhaustion is not a pass failure: it must reach the
+       degradation loop in [optimize_func], not quarantine the pass. *)
+    | exception (Telemetry.Budget.Exhausted _ as e) -> raise e
     | exception exn ->
       quarantine g name Diag.Pass_raised [] (Printexc.to_string exn);
       (func, false)
@@ -204,12 +209,12 @@ let jumps_config opts ~size_cap ~allow_irreducible =
     replicate_indirect = opts.replicate_indirect;
   }
 
-let replication_pass ?log opts ~size_cap ~allow_irreducible func =
+let replication_pass ?log ?budget opts ~size_cap ~allow_irreducible func =
   match opts.level with
   | Simple -> (func, false)
   | Loops -> Replication.Loops_rep.run ?log func
   | Jumps ->
-    Replication.Jumps.run ?log
+    Replication.Jumps.run ?log ?budget
       (jumps_config opts ~size_cap ~allow_irreducible)
       func
 
@@ -347,15 +352,60 @@ let optimize_func_with ?(log = Telemetry.Log.null) ?(diags = ref []) ?oracle
             (String.concat "; " fresh))));
   func
 
+let next_cheaper = function Jumps -> Some Loops | Loops -> Some Simple | Simple -> None
+
 let optimize_func ?log ?diags ?oracle opts machine func =
   (* Growth cap for replication, relative to the pre-replication size. *)
   (* The paper's worst growth is ~3x (deroff); 8x is a generous ceiling
      that still bounds pathological replication cascades. *)
   let size_cap = max 2000 (8 * Func.num_instrs func) in
-  let replicate ?(allow_irreducible = false) func =
-    replication_pass ?log opts ~size_cap ~allow_irreducible func
+  let diags = match diags with Some d -> d | None -> ref [] in
+  let input_rtls = max 1 (Func.num_instrs func) in
+  (* Budget exhaustion degrades the function to the next-cheaper
+     configuration (JUMPS -> LOOPS -> SIMPLE) instead of aborting: the
+     attempt restarts from the original input IR, so a partially
+     transformed function is never kept.  SIMPLE runs without budget
+     checks, so the recursion always terminates with a compiled
+     function. *)
+  let rec attempt level =
+    let opts = { opts with level } in
+    let budget = if level = Simple then None else opts.budget in
+    let repl_added = ref 0 in
+    let growth_cap =
+      match budget with
+      | None -> None
+      | Some b ->
+        Option.map (fun pct -> input_rtls * pct / 100) (Telemetry.Budget.growth b)
+    in
+    let replicate ?(allow_irreducible = false) func =
+      Option.iter Telemetry.Budget.check budget;
+      let func', changed =
+        replication_pass ?log ?budget opts ~size_cap ~allow_irreducible func
+      in
+      repl_added :=
+        !repl_added + max 0 (Func.num_instrs func' - Func.num_instrs func);
+      (match growth_cap with
+      | Some cap when !repl_added > cap ->
+        raise (Telemetry.Budget.Exhausted Telemetry.Budget.Growth)
+      | Some _ | None -> ());
+      (func', changed)
+    in
+    match optimize_func_with ?log ~diags ?oracle ~replicate opts machine func with
+    | func' -> func'
+    | exception Telemetry.Budget.Exhausted reason -> (
+      match next_cheaper level with
+      | None -> raise (Telemetry.Budget.Exhausted reason)
+      | Some lower ->
+        diags :=
+          Diag.make ~severity:Diag.Warn Diag.Budget_exhausted
+            ~func:(Func.name func) ~pass:"budget"
+            (Printf.sprintf "%s budget exhausted at %s; degrading to %s"
+               (Telemetry.Budget.reason_name reason)
+               (level_name level) (level_name lower))
+          :: !diags;
+        attempt lower)
   in
-  optimize_func_with ?log ?diags ?oracle ~replicate opts machine func
+  attempt opts.level
 
 let optimize ?log ?diags opts machine prog =
   let oracle =

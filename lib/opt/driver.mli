@@ -39,6 +39,15 @@ type options = {
   inject_fault : string option;
       (** test-only: corrupt the named pass's output with a dangling jump,
           to exercise the quarantine-and-rollback path end to end *)
+  budget : Telemetry.Budget.t option;
+      (** resource budget for the compilation: the replication passes poll
+          its wall-clock deadline and cancel flag, and its growth axis caps
+          how many RTLs replication may add (as a percent of the
+          function's input size).  Exhaustion degrades the function to the
+          next-cheaper level (JUMPS -> LOOPS -> SIMPLE) with a
+          [Budget_exhausted] warning diagnostic instead of aborting;
+          SIMPLE never consults the budget, so compilation always
+          completes. *)
 }
 
 val default_options : options

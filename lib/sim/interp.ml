@@ -51,10 +51,28 @@ type state = {
   mutable steps_left : int;
   log : Telemetry.Log.t;
   log_on : bool;  (** [Log.enabled log], hoisted out of the fetch loop *)
+  budget : Telemetry.Budget.t;
+  budget_on : bool;  (** a caller-supplied budget is attached *)
 }
 
 (* One [Sim_progress] heartbeat per this many executed instructions. *)
 let progress_interval = 5_000_000
+
+(* How often (in executed instructions) an attached budget's deadline and
+   cancel flag are polled.  Cooperative cancellation latency is this many
+   steps; the poll is one land + one Atomic read (plus a clock read when a
+   deadline is set). *)
+let budget_interval_mask = 2047
+
+(* Effective step budget: the explicit [max_steps] capped by the budget's
+   fuel axis when one is attached. *)
+let effective_steps budget max_steps =
+  match budget with
+  | Some b -> (
+    match Telemetry.Budget.fuel b with
+    | Some f -> min f max_steps
+    | None -> max_steps)
+  | None -> max_steps
 
 let get_reg st = function
   | Reg.Phys i -> st.phys.(i)
@@ -124,6 +142,8 @@ let count st instr pos =
   if st.log_on && c.total mod progress_interval = 0 then
     Telemetry.Log.emit st.log (fun () ->
         Telemetry.Log.Sim_progress { instrs = c.total });
+  if st.budget_on && c.total land budget_interval_mask = 0 then
+    Telemetry.Budget.check st.budget;
   st.steps_left <- st.steps_left - 1;
   if st.steps_left <= 0 then raise Out_of_steps
 
@@ -218,8 +238,9 @@ let slot_annulled st pos =
   && st.func.Asm.annulled.(pos + 1)
 
 let run_reference ?(max_steps = 400_000_000) ?(input = "")
-    ?(on_fetch = fun ~addr:_ ~size:_ -> ()) ?(log = Telemetry.Log.null)
+    ?(on_fetch = fun ~addr:_ ~size:_ -> ()) ?(log = Telemetry.Log.null) ?budget
     (asm : Asm.t) (prog : Flow.Prog.t) =
+  let max_steps = effective_steps budget max_steps in
   let image = Image.build prog in
   let main =
     match Asm.find_func asm "main" with
@@ -257,6 +278,8 @@ let run_reference ?(max_steps = 400_000_000) ?(input = "")
       steps_left = max_steps;
       log;
       log_on = Telemetry.Log.enabled log;
+      budget = Option.value budget ~default:Telemetry.Budget.unlimited;
+      budget_on = Option.is_some budget;
     }
   in
   set_reg st Conv.sp (Image.size image);
@@ -548,6 +571,8 @@ type dstate = {
   mutable dsteps_left : int;
   dlog : Telemetry.Log.t;
   dlog_on : bool;
+  dbudget : Telemetry.Budget.t;
+  dbudget_on : bool;
   delay_slots : bool;
   dafter : int;  (** [after_transfer], constant per machine *)
 }
@@ -624,6 +649,8 @@ let dcount st (i : Decoded.dinstr) pos =
   if st.dlog_on && c.total mod progress_interval = 0 then
     Telemetry.Log.emit st.dlog (fun () ->
         Telemetry.Log.Sim_progress { instrs = c.total });
+  if st.dbudget_on && c.total land budget_interval_mask = 0 then
+    Telemetry.Budget.check st.dbudget;
   st.dsteps_left <- st.dsteps_left - 1;
   if st.dsteps_left <= 0 then raise Out_of_steps
 
@@ -710,7 +737,8 @@ let decode_cache : (Asm.t * Flow.Prog.t * Decoded.t) option ref Domain.DLS.key =
 let no_fetch ~addr:_ ~size:_ = ()
 
 let run ?(max_steps = 400_000_000) ?(input = "") ?on_fetch
-    ?(log = Telemetry.Log.null) (asm : Asm.t) (prog : Flow.Prog.t) =
+    ?(log = Telemetry.Log.null) ?budget (asm : Asm.t) (prog : Flow.Prog.t) =
+  let max_steps = effective_steps budget max_steps in
   let image = Image.build_scratch prog in
   let decode_cache = Domain.DLS.get decode_cache in
   let decoded =
@@ -764,6 +792,8 @@ let run ?(max_steps = 400_000_000) ?(input = "") ?on_fetch
       dsteps_left = max_steps;
       dlog = log;
       dlog_on = Telemetry.Log.enabled log;
+      dbudget = Option.value budget ~default:Telemetry.Budget.unlimited;
+      dbudget_on = Option.is_some budget;
       delay_slots = decoded.Decoded.delay_slots;
       dafter = (if decoded.Decoded.delay_slots then 2 else 1);
     }

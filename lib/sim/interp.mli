@@ -51,6 +51,13 @@ exception Runtime_error of string
     million executed instructions; disabled, it costs one branch per
     instruction.
 
+    With [budget], the fetch loop polls the budget every couple of
+    thousand executed instructions: the budget's fuel axis caps
+    [max_steps], and a passed wall-clock deadline or an externally set
+    cancel flag raises {!Telemetry.Budget.Exhausted} out of the run —
+    the cooperative-cancellation half of the {!Harness.Pool} supervisor's
+    deadline enforcement.
+
     @raise Runtime_error on faults (null/of-range access, division by zero,
     jump-table index out of bounds, missing function).  Step-budget
     exhaustion is {e not} a fault: the result comes back with partial
@@ -60,6 +67,7 @@ val run :
   ?input:string ->
   ?on_fetch:(addr:int -> size:int -> unit) ->
   ?log:Telemetry.Log.t ->
+  ?budget:Telemetry.Budget.t ->
   Asm.t ->
   Flow.Prog.t ->
   result
@@ -74,6 +82,7 @@ val run_reference :
   ?input:string ->
   ?on_fetch:(addr:int -> size:int -> unit) ->
   ?log:Telemetry.Log.t ->
+  ?budget:Telemetry.Budget.t ->
   Asm.t ->
   Flow.Prog.t ->
   result

@@ -5,6 +5,11 @@ type code =
   | No_convergence
   | Timeout
   | Internal
+  | Budget_exhausted
+  | Parse_error
+  | Semantic_error
+  | Io_error
+  | Task_failed
   | Uninit_read
   | Dead_store
   | Const_branch
@@ -33,6 +38,11 @@ let code_name = function
   | No_convergence -> "no-convergence"
   | Timeout -> "timeout"
   | Internal -> "internal"
+  | Budget_exhausted -> "budget-exhausted"
+  | Parse_error -> "parse-error"
+  | Semantic_error -> "semantic-error"
+  | Io_error -> "io-error"
+  | Task_failed -> "task-failed"
   | Uninit_read -> "uninit-read"
   | Dead_store -> "dead-store"
   | Const_branch -> "const-branch"

@@ -1,0 +1,69 @@
+Malformed inputs must die with one structured diagnostic — a typed code,
+the file and line, a clean nonzero exit — never a raw OCaml backtrace.
+
+A lexical error names the file, line and offending character:
+
+  $ printf 'int main() { return 0; } `\n' > badtok.c
+  $ ../../bin/jumprepc.exe compile badtok.c
+  jumprepc: error: [parse-error] badtok.c:1: lexical error: unexpected character '`'
+  [1]
+
+A syntax error (truncated input) reports where parsing stopped:
+
+  $ cat > trunc.c <<'SRC'
+  > int main() {
+  >   int x; x = 1 +
+  > SRC
+  $ ../../bin/jumprepc.exe compile trunc.c
+  jumprepc: error: [parse-error] trunc.c:3: syntax error: unexpected <eof> in expression
+  [1]
+
+A semantic error carries the file and the offending name:
+
+  $ cat > sem.c <<'SRC'
+  > int main() {
+  >   return nosuchvar;
+  > }
+  > SRC
+  $ ../../bin/jumprepc.exe compile sem.c
+  jumprepc: error: [semantic-error] sem.c: unknown variable nosuchvar
+  [1]
+
+An unreadable path is an io-error, not a crash (a directory sneaks past
+cmdliner's file-existence check):
+
+  $ mkdir -p d.c
+  $ ../../bin/jumprepc.exe compile d.c
+  jumprepc: error: [io-error] d.c: Is a directory
+  [1]
+
+The same goes for `run`:
+
+  $ ../../bin/jumprepc.exe run sem.c
+  jumprepc: error: [semantic-error] sem.c: unknown variable nosuchvar
+  [1]
+
+Robustness knobs.  A bad JUMPREP_JOBS value warns and degrades to one
+job instead of aborting:
+
+  $ cat > tiny.c <<'SRC'
+  > int main() {
+  >   int i, s;
+  >   s = 0;
+  >   for (i = 0; i < 4; i++) s = s + i;
+  >   putchar('0' + s);
+  >   putchar('\n');
+  >   return 0;
+  > }
+  > SRC
+  $ JUMPREP_JOBS=abc ../../bin/jumprepc.exe run tiny.c
+  jumprepc: warning: JUMPREP_JOBS="abc" is not a positive integer; using 1
+  6
+
+An exhausted growth budget degrades JUMPS to LOOPS to SIMPLE with typed
+warnings — the program still compiles, runs and answers correctly:
+
+  $ ../../bin/jumprepc.exe run tiny.c -O jumps --growth-budget 0
+  6
+  jumprepc: warning: [budget-exhausted] main/budget: growth budget exhausted at JUMPS; degrading to LOOPS
+  jumprepc: warning: [budget-exhausted] main/budget: growth budget exhausted at LOOPS; degrading to SIMPLE

@@ -22,6 +22,20 @@ dune runtest
 echo "== fuzz smoke (25 seeds, 2 domains) =="
 dune exec bin/jumprepc.exe -- fuzz --seeds 25 -j 2 --quiet --out _build/fuzz-failures
 
+echo "== chaos smoke: crash+hang injection at -j 2, zero lost results =="
+dune exec bin/jumprepc.exe -- fuzz --seeds 10 -j 2 --quiet \
+  --chaos crash:0.2,seed:9 --out _build/fuzz-chaos
+dune exec bench/main.exe -- --json -j 2 --chaos crash:0.1,hang:0.05,seed:11
+python3 - << 'EOF'
+import json
+doc = json.load(open("BENCH_results.json"))
+results, failures = doc["results"], doc.get("failures", [])
+total = len(results) + len(failures)
+assert total == 84, f"lost results: {len(results)} done + {len(failures)} failed != 84"
+print(f"chaos sweep accounted for all 84 tasks "
+      f"({len(results)} done, {len(failures)} failed)")
+EOF
+
 echo "== bench --json sweep (2 domains) vs golden baseline =="
 dune exec bench/main.exe -- --json -j 2 > /dev/null
 tools/bench_compare.sh BENCH_baseline.json BENCH_results.json
