@@ -8,6 +8,8 @@
      bench/main.exe --list          list available table ids
      bench/main.exe --bechamel      also run pass micro-benchmarks
      bench/main.exe --json          write BENCH_results.json (full sweep)
+     bench/main.exe --json --profile --trace-out trace.json
+                                    profiled sweep + Perfetto trace
 
    Any output mismatch discovered while measuring makes the driver exit
    nonzero (see Harness.Measure.mismatches).                              *)
@@ -200,10 +202,28 @@ let run_bechamel ?(quota = 0.5) () =
    totals of the sweep, in one JSON document.  The numbers come from the
    same Harness.Measure/Telemetry path the tables use.  [run_many]
    guarantees the document is byte-identical at any [jobs]. *)
-let write_json ~jobs ?deadline ?retries ?chaos path =
+let write_json ~jobs ?deadline ?retries ?chaos ?(profile = false)
+    ?(profile_out = "") ?(profile_top = 15) ?(trace_out = "") path =
   let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ] in
   let machines = [ Ir.Machine.risc; Ir.Machine.cisc ] in
   let log = Telemetry.Log.make Telemetry.Log.Memory in
+  (* The observability instruments ride beside the sweep: the profiler
+     and trace never touch the measurement or counter paths, so the
+     results document stays byte-identical with them on or off. *)
+  let profiling = profile || profile_out <> "" in
+  let profiler =
+    if profiling then Telemetry.Profiler.create () else Telemetry.Profiler.null
+  in
+  let trace =
+    if trace_out = "" then None else Some (Telemetry.Trace.create ())
+  in
+  Option.iter (fun t -> Telemetry.Trace.process_name t "jumprepc bench") trace;
+  (* Pool supervisor tallies land in their own registry, not the sweep
+     log's: the results document's "counters" object must not grow. *)
+  let pool_metrics =
+    if profiling || trace <> None then Telemetry.Metrics.create ()
+    else Telemetry.Metrics.null
+  in
   let tasks =
     List.concat_map
       (fun machine ->
@@ -214,7 +234,8 @@ let write_json ~jobs ?deadline ?retries ?chaos path =
       machines
   in
   let results =
-    Harness.Measure.run_many ~log ~jobs ?deadline ?retries ?chaos tasks
+    Harness.Measure.run_many ~log ~profiler ?trace ~metrics:pool_metrics ~jobs
+      ?deadline ?retries ?chaos tasks
   in
   let counters =
     Telemetry.Counter.all log
@@ -239,6 +260,33 @@ let write_json ~jobs ?deadline ?retries ?chaos path =
   Printf.printf "wrote %s (%d measurements, %d tasks failed)\n" path
     (List.length results)
     (List.length (Harness.Measure.task_failures ()));
+  if profiling then begin
+    Telemetry.Profiler.pp_table ~top:profile_top Format.std_formatter profiler;
+    Format.pp_print_flush Format.std_formatter ();
+    if profile_out <> "" then begin
+      let doc =
+        Telemetry.Json.Obj
+          [
+            ("profile", Telemetry.Profiler.to_json profiler);
+            ("metrics", Telemetry.Metrics.to_json (Telemetry.Log.metrics log));
+            ("pool", Telemetry.Metrics.to_json pool_metrics);
+          ]
+      in
+      let oc = open_out profile_out in
+      output_string oc (Telemetry.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" profile_out
+    end
+  end;
+  (match trace with
+  | None -> ()
+  | Some t ->
+    let oc = open_out trace_out in
+    Telemetry.Trace.write t oc;
+    close_out oc;
+    Printf.printf "wrote %s (%d trace events)\n" trace_out
+      (Telemetry.Trace.events t));
   if chaos <> None then begin
     let s = Harness.Measure.pool_stats () in
     Printf.printf
@@ -259,6 +307,10 @@ let () =
   let chaos = ref None in
   let task_deadline = ref None in
   let retries = ref None in
+  let profile = ref false in
+  let profile_out = ref "" in
+  let profile_top = ref 15 in
+  let trace_out = ref "" in
   let spec =
     [
       ( "-t",
@@ -297,6 +349,21 @@ let () =
       ( "--retries",
         Arg.Int (fun n -> retries := Some n),
         "N  retry failed tasks up to N times (default 2)" );
+      ( "--profile",
+        Arg.Set profile,
+        " profile the --json sweep: wall time and GC allocation per \
+         (function x pass), fuel/interp/cache time per run" );
+      ( "--profile-out",
+        Arg.Set_string profile_out,
+        "PATH  also write the profile (plus metric registries) as JSON \
+         (implies --profile)" );
+      ( "--profile-top",
+        Arg.Set_int profile_top,
+        "N  rows in the printed profile tables (default 15)" );
+      ( "--trace-out",
+        Arg.Set_string trace_out,
+        "PATH  write a Chrome/Perfetto trace of the --json sweep (worker \
+         spans, supervisor and chaos events)" );
     ]
   in
   Arg.parse spec
@@ -332,7 +399,8 @@ let () =
         | None, _ -> None
       in
       write_json ~jobs:(max 1 !jobs) ?deadline ?retries:!retries ?chaos:!chaos
-        "BENCH_results.json"
+        ~profile:!profile ~profile_out:!profile_out ~profile_top:!profile_top
+        ~trace_out:!trace_out "BENCH_results.json"
     end;
     if !bech then run_bechamel ~quota:!bech_quota ();
     (* Timeouts and mismatches are distinct verdicts; either fails the

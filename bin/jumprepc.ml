@@ -8,6 +8,14 @@
 
 open Cmdliner
 module Diag = Telemetry.Diag
+module Json = Telemetry.Json
+
+(* The one JSON emission path: every machine-readable output (compile/run
+   --stats-json, measure, lint --json, explain --json, report) assembles a
+   Json.t and prints it here.  Legacy string producers (Diag.to_json,
+   Harness.Measure.to_json) are spliced with [Json.Raw], which preserves
+   their byte format exactly. *)
+let print_json j = print_endline (Json.to_string j)
 
 (* Every user-facing failure funnels through a typed diagnostic: one
    "jumprepc: error: [code] ..." line on stderr and a clean nonzero exit,
@@ -272,23 +280,27 @@ let compile_cmd =
     end;
     if stats_json then begin
       let asm = Sim.Asm.assemble machine prog in
-      let funcs =
-        List.map
-          (fun f ->
-            Printf.sprintf "{\"name\":%s,\"instrs\":%d,\"blocks\":%d,\"ujumps\":%d}"
-              (Telemetry.Log.json_string (Flow.Func.name f))
-              (Flow.Func.num_instrs f) (Flow.Func.num_blocks f) (func_ujumps f))
-          prog.Flow.Prog.funcs
-      in
-      Printf.printf
-        "{\"level\":%s,\"machine\":%s,\"static_instrs\":%d,\"static_ujumps\":%d,\
-         \"static_nops\":%d,\"funcs\":[%s]}\n"
-        (Telemetry.Log.json_string (Opt.Driver.level_name level))
-        (Telemetry.Log.json_string machine.Ir.Machine.short)
-        (Sim.Asm.static_instrs asm)
-        (Sim.Asm.static_ujumps asm)
-        (Sim.Asm.static_nops asm)
-        (String.concat "," funcs)
+      print_json
+        (Json.Obj
+           [
+             ("level", Json.Str (Opt.Driver.level_name level));
+             ("machine", Json.Str machine.Ir.Machine.short);
+             ("static_instrs", Json.Int (Sim.Asm.static_instrs asm));
+             ("static_ujumps", Json.Int (Sim.Asm.static_ujumps asm));
+             ("static_nops", Json.Int (Sim.Asm.static_nops asm));
+             ( "funcs",
+               Json.Arr
+                 (List.map
+                    (fun f ->
+                      Json.Obj
+                        [
+                          ("name", Json.Str (Flow.Func.name f));
+                          ("instrs", Json.Int (Flow.Func.num_instrs f));
+                          ("blocks", Json.Int (Flow.Func.num_blocks f));
+                          ("ujumps", Json.Int (func_ujumps f));
+                        ])
+                    prog.Flow.Prog.funcs) );
+           ])
     end;
     report_diags diags;
     finish ();
@@ -389,19 +401,25 @@ let run_cmd =
         res.exit_code res.counts.total res.counts.cond_branches
         res.counts.jumps res.counts.ijumps res.counts.calls res.counts.nops;
     if stats_json then
-      Printf.printf
-        "{\"level\":%s,\"machine\":%s,\"exit\":%d,\"dyn_instrs\":%d,\
-         \"cond_branches\":%d,\"jumps\":%d,\"ijumps\":%d,\"calls\":%d,\
-         \"rets\":%d,\"nops\":%d,\"loads\":%d,\"stores\":%d,\
-         \"static_instrs\":%d,\"static_ujumps\":%d,\"static_nops\":%d}\n"
-        (Telemetry.Log.json_string (Opt.Driver.level_name level))
-        (Telemetry.Log.json_string machine.Ir.Machine.short)
-        res.exit_code res.counts.total res.counts.cond_branches
-        res.counts.jumps res.counts.ijumps res.counts.calls res.counts.rets
-        res.counts.nops res.counts.loads res.counts.stores
-        (Sim.Asm.static_instrs asm)
-        (Sim.Asm.static_ujumps asm)
-        (Sim.Asm.static_nops asm);
+      print_json
+        (Json.Obj
+           [
+             ("level", Json.Str (Opt.Driver.level_name level));
+             ("machine", Json.Str machine.Ir.Machine.short);
+             ("exit", Json.Int res.exit_code);
+             ("dyn_instrs", Json.Int res.counts.total);
+             ("cond_branches", Json.Int res.counts.cond_branches);
+             ("jumps", Json.Int res.counts.jumps);
+             ("ijumps", Json.Int res.counts.ijumps);
+             ("calls", Json.Int res.counts.calls);
+             ("rets", Json.Int res.counts.rets);
+             ("nops", Json.Int res.counts.nops);
+             ("loads", Json.Int res.counts.loads);
+             ("stores", Json.Int res.counts.stores);
+             ("static_instrs", Json.Int (Sim.Asm.static_instrs asm));
+             ("static_ujumps", Json.Int (Sim.Asm.static_ujumps asm));
+             ("static_nops", Json.Int (Sim.Asm.static_nops asm));
+           ]);
     report_diags diags;
     finish ();
     strict_exit strict diags;
@@ -456,8 +474,9 @@ let measure_cmd =
            [ Opt.Driver.Loops; Opt.Driver.Jumps ]
     in
     if stats_json then
-      Printf.printf "[%s]\n"
-        (String.concat "," (List.map Harness.Measure.to_json rows))
+      print_json
+        (Json.Arr
+           (List.map (fun m -> Json.Raw (Harness.Measure.to_json m)) rows))
     else begin
       Printf.printf "%-8s %10s %10s %10s %10s %8s  %s\n" "level" "static"
         "dynamic" "dyn-jumps" "nops" "miss%" "status";
@@ -600,14 +619,19 @@ let lint_cmd =
         targets
     in
     if json then
-      Printf.printf "[%s]\n"
-        (String.concat ","
+      print_json
+        (Json.Arr
            (List.map
               (fun (t, findings) ->
-                Printf.sprintf "{\"target\":%s,\"findings\":[%s]}"
-                  (Telemetry.Log.json_string t)
-                  (String.concat ","
-                     (List.map Telemetry.Diag.to_json findings)))
+                Json.Obj
+                  [
+                    ("target", Json.Str t);
+                    ( "findings",
+                      Json.Arr
+                        (List.map
+                           (fun d -> Json.Raw (Telemetry.Diag.to_json d))
+                           findings) );
+                  ])
               reports))
     else
       List.iter
@@ -663,8 +687,8 @@ let explain_cmd =
     if json then begin
       (* The remaining jumps reuse the lint renderer: each decision is the
          same typed diagnostic `jumprepc lint --json` emits. *)
-      Printf.printf "[%s]\n"
-        (String.concat ","
+      print_json
+        (Json.Arr
            (List.map
               (fun f ->
                 let fname = Flow.Func.name f in
@@ -677,17 +701,20 @@ let explain_cmd =
                          | _ -> false)
                        events)
                 in
-                Printf.sprintf
-                  "{\"func\":%s,\"replicated\":%d,\"remaining\":[%s]}"
-                  (Telemetry.Log.json_string fname)
-                  applied
-                  (String.concat ","
-                     (List.map
-                        (fun jd ->
-                          Telemetry.Diag.to_json
-                            (Lint.diag_of_decision ~func:fname ~pass:"explain"
-                               jd))
-                        (Replication.Jumps.explain f))))
+                Json.Obj
+                  [
+                    ("func", Json.Str fname);
+                    ("replicated", Json.Int applied);
+                    ( "remaining",
+                      Json.Arr
+                        (List.map
+                           (fun jd ->
+                             Json.Raw
+                               (Telemetry.Diag.to_json
+                                  (Lint.diag_of_decision ~func:fname
+                                     ~pass:"explain" jd)))
+                           (Replication.Jumps.explain f)) );
+                  ])
               prog.Flow.Prog.funcs));
       exit 0
     end;
@@ -835,6 +862,137 @@ let fuzz_cmd =
       const run $ seeds $ start $ out_dir $ max_steps $ quiet $ jobs
       $ verify_arg $ inject_fault_arg $ chaos_arg)
 
+(* --- report: render the bench sweep's JSON into paper-shaped tables --- *)
+
+let report_cmd =
+  let results_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"RESULTS"
+          ~doc:
+            "A $(b,BENCH_results.json) document (default \
+             $(b,BENCH_results.json) in the current directory); with \
+             $(b,--compare), exactly two of them.")
+  in
+  let compare_flag =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Delta report between two sweeps: $(b,jumprepc report --compare \
+             A.json B.json) lists measurements present in only one, rows \
+             whose instruction counts changed, and the Table-5 means side \
+             by side.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the markdown report to $(docv) instead of stdout.")
+  in
+  let dat_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dat" ] ~docv:"DIR"
+          ~doc:
+            "Also write gnuplot-ready tab-separated $(b,.dat) files \
+             (per-program instruction changes, per-size cache deltas) into \
+             $(docv), created if missing.")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Append an event-count summary of a telemetry JSONL stream \
+             (from $(b,--trace-out)) to the report.")
+  in
+  let title_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "title" ] ~docv:"TITLE"
+          ~doc:"Report title (default derives from the input file name).")
+  in
+  let load path =
+    match Report.parse_results (read_file path) with
+    | Ok d -> d
+    | Error e ->
+      fail_diag
+        (Diag.make Diag.Io_error ~func:"" ~pass:""
+           (Printf.sprintf "%s: %s" path e))
+  in
+  let emit out text =
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "jumprepc: report: wrote %s\n" path
+  in
+  let run files compare out dat events title =
+    if compare then begin
+      match files with
+      | [ a; b ] ->
+        emit out
+          (Report.compare_docs ~name_a:a ~name_b:b (load a) (load b))
+      | _ ->
+        Printf.eprintf
+          "jumprepc: report: --compare takes exactly two RESULTS files\n";
+        exit 2
+    end
+    else begin
+      let path =
+        match files with
+        | [] -> "BENCH_results.json"
+        | [ p ] -> p
+        | _ ->
+          Printf.eprintf
+            "jumprepc: report: more than one RESULTS file (did you mean \
+             --compare?)\n";
+          exit 2
+      in
+      let doc = load path in
+      let title =
+        Option.value title
+          ~default:(Printf.sprintf "Benchmark report (%s)" path)
+      in
+      let md = Report.render ~title doc in
+      let md =
+        match events with
+        | None -> md
+        | Some f -> md ^ Report.summarize_events (read_file f)
+      in
+      emit out md;
+      match dat with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (name, contents) ->
+            let p = Filename.concat dir name in
+            let oc = open_out p in
+            output_string oc contents;
+            close_out oc;
+            Printf.eprintf "jumprepc: report: wrote %s\n" p)
+          (Report.dat_files doc)
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a bench sweep's BENCH_results.json into the paper-shaped \
+          markdown tables (static/dynamic instruction changes, \
+          unconditional-jump percentages, cache deltas), gnuplot data \
+          files, and sweep-vs-sweep comparisons")
+    Term.(
+      const run $ results_arg $ compare_flag $ out_arg $ dat_arg $ events_arg
+      $ title_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -860,6 +1018,7 @@ let main =
       bench_cmd;
       lint_cmd;
       explain_cmd;
+      report_cmd;
       fuzz_cmd;
       list_cmd;
     ]

@@ -132,28 +132,44 @@ let record_timeout log (m : t) =
 
 (* The side-effect-free core of a measurement: compile, assemble, run
    through the cache bank, bump counters on [log].  No module-level state
-   is touched and nothing beyond [log] is written, so this is what pool
-   workers run on their own domain with a private log. *)
-let measure_raw ?opts ?(log = Telemetry.Log.null) ?(verify = true) ?budget
+   is touched and nothing beyond [log] (and the [profiler] shard) is
+   written, so this is what pool workers run on their own domain with a
+   private log. *)
+let measure_raw ?opts ?(log = Telemetry.Log.null)
+    ?(profiler = Telemetry.Profiler.null) ?(verify = true) ?budget
     (b : Programs.Suite.benchmark) level machine =
+  let profiling = Telemetry.Profiler.enabled profiler in
   let opts =
     match opts with
     | Some o -> { o with Opt.Driver.level }
     | None -> { Opt.Driver.default_options with level }
   in
   let prog =
-    Opt.Driver.optimize ~log opts machine
+    Opt.Driver.optimize ~log ~profiler opts machine
       (Frontend.Codegen.compile_source b.source)
   in
   let asm = Sim.Asm.assemble machine prog in
   let bank = Icache.Bank.create Icache.paper_configs in
-  let on_fetch ~addr ~size = Icache.Bank.access bank ~addr ~size in
+  (* Cache-bank time is measured inside the fetch hook so it attributes
+     only the bank's own work; gettimeofday is vDSO-cheap and the timed
+     hook exists only under --profile. *)
+  let cache_s = ref 0.0 in
+  let on_fetch =
+    if profiling then (fun ~addr ~size ->
+      let t0 = Unix.gettimeofday () in
+      let r = Icache.Bank.access bank ~addr ~size in
+      cache_s := !cache_s +. (Unix.gettimeofday () -. t0);
+      r)
+    else fun ~addr ~size -> Icache.Bank.access bank ~addr ~size
+  in
   (* The pool's deadline budget feeds only the interpreter (its fuel
      accounting doubles as the poll point): a cancelled run raises
      [Budget.Exhausted] and surfaces as a pool-level [Timed_out] outcome,
      never as a silently different measurement — completed results stay
      identical to a sequential, budget-free sweep. *)
+  let interp_t0 = Unix.gettimeofday () in
   let res = Sim.Interp.run ~input:b.input ~on_fetch ~log ?budget asm prog in
+  let interp_ms = (Unix.gettimeofday () -. interp_t0) *. 1e3 in
   let m =
     {
       program = b.name;
@@ -188,6 +204,23 @@ let measure_raw ?opts ?(log = Telemetry.Log.null) ?(verify = true) ?budget
   Telemetry.Counter.add log "measure.dyn_instrs" m.dyn_instrs;
   Telemetry.Counter.add log "measure.dyn_ujumps" m.dyn_ujumps;
   if m.timed_out then Telemetry.Counter.incr log "measure.timeouts";
+  (* Histograms live beside the counters in the registry; the bench JSON's
+     "counters" object reads only counters, so this never perturbs it. *)
+  Telemetry.Metrics.observe (Telemetry.Log.metrics log) "measure.run_instrs"
+    ~buckets:Telemetry.Metrics.Buckets.instrs
+    (float_of_int m.dyn_instrs);
+  if profiling then begin
+    Telemetry.Metrics.observe
+      (Telemetry.Log.metrics log)
+      "measure.interp_ms" ~buckets:Telemetry.Metrics.Buckets.time_ms interp_ms;
+    Telemetry.Profiler.record_run profiler
+      ~run:
+        (Printf.sprintf "%s/%s/%s" b.name
+           (Opt.Driver.level_name level)
+           machine.Ir.Machine.short)
+      ~fuel:res.counts.total ~interp_ms
+      ~cache_ms:(!cache_s *. 1e3)
+  end;
   m
 
 (* The stateful tail of a measurement — mismatch/timeout bookkeeping in
@@ -196,21 +229,22 @@ let record log (b : Programs.Suite.benchmark) m =
   if m.timed_out then record_timeout log m
   else if not m.output_ok then record_mismatch log m ~expected:b.expected_output
 
-let measure ?opts ?(log = Telemetry.Log.null) ?verify
+let measure ?opts ?(log = Telemetry.Log.null) ?profiler ?verify
     (b : Programs.Suite.benchmark) level machine =
-  let m = measure_raw ?opts ~log ?verify b level machine in
+  let m = measure_raw ?opts ~log ?profiler ?verify b level machine in
   record log b m;
   m
 
-let run ?opts ?log ?verify (b : Programs.Suite.benchmark) level machine =
+let run ?opts ?log ?profiler ?verify (b : Programs.Suite.benchmark) level
+    machine =
   match opts with
-  | Some _ -> measure ?opts ?log ?verify b level machine
+  | Some _ -> measure ?opts ?log ?profiler ?verify b level machine
   | None -> (
     let key = memo_key b level machine in
     match Hashtbl.find_opt memo key with
     | Some t -> t
     | None ->
-      let t = measure ?log ?verify b level machine in
+      let t = measure ?log ?profiler ?verify b level machine in
       Hashtbl.add memo key t;
       t)
 
@@ -237,12 +271,14 @@ let run_adhoc ?opts ?log ~name ~source ?(input = "") ?expected_output level
    each task's events and counters are folded into [log] in task order —
    so results, telemetry and recorded failures are byte-for-byte those
    of the sequential sweep, whatever [jobs] is. *)
-let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) ?deadline ?retries ?chaos
-    tasks =
-  if jobs <= 1 && deadline = None && chaos = None then
-    List.map (fun (b, level, m) -> run ~log b level m) tasks
+let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
+    ?trace ?(metrics = Telemetry.Metrics.null) ?(jobs = 1) ?deadline ?retries
+    ?chaos tasks =
+  if jobs <= 1 && deadline = None && chaos = None && trace = None then
+    List.map (fun (b, level, m) -> run ~log ~profiler b level m) tasks
   else begin
     let logging = Telemetry.Log.enabled log in
+    let profiling = Telemetry.Profiler.enabled profiler in
     let pending = Hashtbl.create 16 in
     let to_run =
       List.filter
@@ -252,29 +288,43 @@ let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) ?deadline ?retries ?chaos
           && (Hashtbl.add pending key (); true))
         tasks
     in
+    let label (b, level, m) =
+      Printf.sprintf "%s/%s/%s" b.Programs.Suite.name
+        (Opt.Driver.level_name level)
+        m.Ir.Machine.short
+    in
     let outcomes, stats =
-      Pool.supervise ~jobs ?deadline ?retries ?chaos
+      Pool.supervise ~jobs ?deadline ?retries ?chaos ?trace ~label
         (fun budget (b, level, m) ->
           let wlog =
             if logging then Telemetry.Log.make Telemetry.Log.Memory
             else Telemetry.Log.null
           in
-          (measure_raw ~log:wlog ~budget b level m, wlog))
+          let wprof =
+            if profiling then Telemetry.Profiler.create ()
+            else Telemetry.Profiler.null
+          in
+          (measure_raw ~log:wlog ~profiler:wprof ~budget b level m, wlog, wprof))
         to_run
     in
     last_pool_stats := stats;
+    Pool.stats_to_metrics stats metrics;
     List.iter2
       (fun (b, level, machine) outcome ->
         match outcome with
-        | Pool.Done (res, wlog) ->
+        | Pool.Done (res, wlog, wprof) ->
           if logging then begin
             List.iter
               (fun ev -> Telemetry.Log.emit log (fun () -> ev))
               (Telemetry.Log.events wlog);
-            List.iter
-              (fun (name, value) -> Telemetry.Counter.add log name value)
-              (Telemetry.Counter.all wlog)
+            (* Shard merge in task order: counters add (exactly what the
+               old Counter.all fold did) and histograms fold bucket-wise,
+               so the merged registry matches a sequential sweep's. *)
+            Telemetry.Metrics.merge
+              ~into:(Telemetry.Log.metrics log)
+              (Telemetry.Log.metrics wlog)
           end;
+          if profiling then Telemetry.Profiler.merge ~into:profiler wprof;
           record log b res;
           Hashtbl.add memo (memo_key b level machine) res
         | Pool.Crashed { exn; backtrace; attempts } ->
@@ -297,8 +347,9 @@ let run_many ?(log = Telemetry.Log.null) ?(jobs = 1) ?deadline ?retries ?chaos
       tasks
   end
 
-let run_suite ?log ?jobs ?deadline ?retries ?chaos level machine =
-  run_many ?log ?jobs ?deadline ?retries ?chaos
+let run_suite ?log ?profiler ?trace ?metrics ?jobs ?deadline ?retries ?chaos
+    level machine =
+  run_many ?log ?profiler ?trace ?metrics ?jobs ?deadline ?retries ?chaos
     (List.map (fun b -> (b, level, machine)) Programs.Suite.all)
 
 (* --- JSON rendering (the bench drivers' machine-readable output) --- *)

@@ -36,13 +36,18 @@ val instrs_between_branches : t -> float
 
     With [log], the compilation is pass-spanned ({!Opt.Driver.optimize}),
     the run emits progress heartbeats, the [measure.*] telemetry counters
-    accumulate, and any output mismatch emits a [Warning] event (and is
-    recorded for {!mismatches}).  [verify] (default true) controls the
-    output comparison; ad-hoc sources without a known-good output pass
-    [~verify:false] through {!run_adhoc}. *)
+    (and the [measure.run_instrs] histogram) accumulate, and any output
+    mismatch emits a [Warning] event (and is recorded for {!mismatches}).
+    With [profiler], each optimization pass is charged to its
+    (function x pass) row, and the run's interpreter fuel, interpreter
+    wall time and cache-bank time land in a ["program/LEVEL/machine"]
+    run row.  [verify] (default true) controls the output comparison;
+    ad-hoc sources without a known-good output pass [~verify:false]
+    through {!run_adhoc}. *)
 val run :
   ?opts:Opt.Driver.options ->
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
   ?verify:bool ->
   Programs.Suite.benchmark ->
   Opt.Driver.level ->
@@ -80,9 +85,22 @@ val reset_cache : unit -> unit
     deterministic backoff, and a task whose every attempt fails is
     dropped from the result list and recorded under {!task_failures} —
     sibling results are never lost.  Completed measurements are identical
-    to the sequential, supervision-free sweep. *)
+    to the sequential, supervision-free sweep.
+
+    [profiler] accumulates the per-pass and per-run attribution: workers
+    profile into private shards that are folded back in task order, so
+    the aggregate matches a sequential profiled sweep.  [trace] records
+    every attempt as a worker-lane span and supervisor decisions as
+    instants (see {!Pool.supervise}); a non-[None] [trace] routes even a
+    [jobs = 1] sweep through the supervised pool so spans are recorded.
+    [metrics] (typically a registry owned by the bench driver, distinct
+    from [log]'s) receives the supervisor tallies as [pool.*] counters
+    on the supervised path. *)
 val run_many :
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
+  ?trace:Telemetry.Trace.t ->
+  ?metrics:Telemetry.Metrics.t ->
   ?jobs:int ->
   ?deadline:float ->
   ?retries:int ->
@@ -93,6 +111,9 @@ val run_many :
 (** [run] over every benchmark in the suite. *)
 val run_suite :
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
+  ?trace:Telemetry.Trace.t ->
+  ?metrics:Telemetry.Metrics.t ->
   ?jobs:int ->
   ?deadline:float ->
   ?retries:int ->

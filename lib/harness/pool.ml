@@ -71,6 +71,18 @@ let no_stats =
 
 let injected s = s.injected_crashes + s.injected_hangs + s.injected_allocs
 
+(* Publish the supervisor tallies as pool.* counters.  The typed registry
+   is the one place sweep-level observability reads them from; the record
+   stays as the programmatic API. *)
+let stats_to_metrics s metrics =
+  let m = Telemetry.Metrics.add metrics in
+  m "pool.injected_crashes" s.injected_crashes;
+  m "pool.injected_hangs" s.injected_hangs;
+  m "pool.injected_allocs" s.injected_allocs;
+  m "pool.retried" s.retried;
+  m "pool.respawned" s.respawned;
+  m "pool.abandoned" s.abandoned
+
 (* --- deterministic backoff --- *)
 
 let backoff ?(base = 0.05) ?(cap = 0.8) attempt =
@@ -167,7 +179,9 @@ type running = {
 (* One worker slot.  [st] is written under the pool mutex by both the
    worker (Busy/Idle/Exited/Died transitions) and never by the parent;
    [retire] tells a worker abandoned by the watchdog not to take more
-   work if it ever returns from its stuck attempt. *)
+   work if it ever returns from its stuck attempt.  [tid] is the slot's
+   stable trace lane: a respawned replacement inherits the dead worker's
+   lane, so a trace shows one timeline per logical worker. *)
 type slot_state =
   | Idle
   | Busy of running
@@ -178,13 +192,41 @@ type slot = {
   mutable st : slot_state;
   mutable dom : unit Domain.t option;
   mutable retire : bool;
+  tid : int;
 }
 
 let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
-    ?chaos f xs =
+    ?chaos ?trace ?label f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in
+  (* Trace plumbing: every record is a no-op without [trace].  Worker
+     spans carry the task's label; supervisor decisions land as instant
+     events on lane 0. *)
+  let task_label =
+    match label with
+    | Some l -> fun i -> l items.(i)
+    | None -> fun i -> Printf.sprintf "task-%d" i
+  in
+  let tr g = match trace with Some t -> g t | None -> () in
+  let span_attempt tid i attempt body =
+    match trace with
+    | None -> body ()
+    | Some t ->
+      Telemetry.Trace.with_span t ~tid ~cat:"task"
+        ~args:[ ("attempt", Telemetry.Json.Int attempt) ]
+        (task_label i) body
+  in
+  let chaos_instant tid kind =
+    tr (fun t ->
+        Telemetry.Trace.instant t ~tid ~cat:"chaos"
+          (Printf.sprintf "chaos-%s" kind))
+  in
+  tr (fun t ->
+      Telemetry.Trace.thread_name t ~tid:0 "supervisor";
+      for k = 1 to jobs do
+        Telemetry.Trace.thread_name t ~tid:k (Printf.sprintf "worker-%d" k)
+      done);
   let inj_crashes = Atomic.make 0 in
   let inj_hangs = Atomic.make 0 in
   let inj_allocs = Atomic.make 0 in
@@ -226,29 +268,41 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
         let budget = Budget.make ?deadline () in
         let started = Unix.gettimeofday () in
         let res =
-          match fault i attempt with
-          | Some `Crash ->
-            Atomic.incr inj_crashes;
-            Error (F_crash (Chaos_crash, ""))
-          | Some `Hang ->
-            Atomic.incr inj_hangs;
-            Error (F_timeout (Option.value deadline ~default:0.))
-          | (Some `Alloc | None) as fl -> (
-            if fl <> None then begin
-              Atomic.incr inj_allocs;
-              alloc_storm ()
-            end;
-            match f budget x with
-            | v -> Ok v
-            | exception Budget.Exhausted _ ->
-              Error (F_timeout (Unix.gettimeofday () -. started))
-            | exception e -> Error (F_crash (e, Printexc.get_backtrace ())))
+          span_attempt 1 i attempt (fun () ->
+              match fault i attempt with
+              | Some `Crash ->
+                Atomic.incr inj_crashes;
+                chaos_instant 1 "crash";
+                Error (F_crash (Chaos_crash, ""))
+              | Some `Hang ->
+                Atomic.incr inj_hangs;
+                chaos_instant 1 "hang";
+                Error (F_timeout (Option.value deadline ~default:0.))
+              | (Some `Alloc | None) as fl -> (
+                if fl <> None then begin
+                  Atomic.incr inj_allocs;
+                  chaos_instant 1 "alloc";
+                  alloc_storm ()
+                end;
+                match f budget x with
+                | v -> Ok v
+                | exception Budget.Exhausted _ ->
+                  Error (F_timeout (Unix.gettimeofday () -. started))
+                | exception e -> Error (F_crash (e, Printexc.get_backtrace ()))))
         in
         match res with
         | Ok v -> Done v
         | Error fl ->
           if attempt <= retries then begin
             incr retried;
+            tr (fun t ->
+                Telemetry.Trace.instant t ~tid:0
+                  ~args:
+                    [
+                      ("task", Telemetry.Json.Str (task_label i));
+                      ("attempt", Telemetry.Json.Int attempt);
+                    ]
+                  "task-retry");
             Unix.sleepf (backoff ~base:backoff_base attempt);
             go (attempt + 1)
           end
@@ -282,35 +336,39 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
           { r_task = i; r_attempt = attempt; r_start = started; r_budget = budget };
       Mutex.unlock mu;
       let res =
-        match fault i attempt with
-        | Some `Crash ->
-          Atomic.incr inj_crashes;
-          (* Unwinds the whole worker function: the domain dies, which is
-             exactly the failure the supervisor's death detection and
-             respawn exist for. *)
-          raise Chaos_crash
-        | Some `Hang ->
-          Atomic.incr inj_hangs;
-          (* A busy-wait that still polls (cpu_relax keeps the domain a
-             GC-friendly citizen) and honors cooperative cancellation. *)
-          while
-            (not (Atomic.get release))
-            && (not (Budget.interrupted budget))
-            && Unix.gettimeofday () -. started < hang_cap
-          do
-            Domain.cpu_relax ()
-          done;
-          Error (F_timeout (Unix.gettimeofday () -. started))
-        | (Some `Alloc | None) as fl -> (
-          if fl <> None then begin
-            Atomic.incr inj_allocs;
-            alloc_storm ()
-          end;
-          match f budget items.(i) with
-          | v -> Ok v
-          | exception Budget.Exhausted _ ->
-            Error (F_timeout (Unix.gettimeofday () -. started))
-          | exception e -> Error (F_crash (e, Printexc.get_backtrace ())))
+        span_attempt slot.tid i attempt (fun () ->
+            match fault i attempt with
+            | Some `Crash ->
+              Atomic.incr inj_crashes;
+              chaos_instant slot.tid "crash";
+              (* Unwinds the whole worker function: the domain dies, which is
+                 exactly the failure the supervisor's death detection and
+                 respawn exist for. *)
+              raise Chaos_crash
+            | Some `Hang ->
+              Atomic.incr inj_hangs;
+              chaos_instant slot.tid "hang";
+              (* A busy-wait that still polls (cpu_relax keeps the domain a
+                 GC-friendly citizen) and honors cooperative cancellation. *)
+              while
+                (not (Atomic.get release))
+                && (not (Budget.interrupted budget))
+                && Unix.gettimeofday () -. started < hang_cap
+              do
+                Domain.cpu_relax ()
+              done;
+              Error (F_timeout (Unix.gettimeofday () -. started))
+            | (Some `Alloc | None) as fl -> (
+              if fl <> None then begin
+                Atomic.incr inj_allocs;
+                chaos_instant slot.tid "alloc";
+                alloc_storm ()
+              end;
+              match f budget items.(i) with
+              | v -> Ok v
+              | exception Budget.Exhausted _ ->
+                Error (F_timeout (Unix.gettimeofday () -. started))
+              | exception e -> Error (F_crash (e, Printexc.get_backtrace ()))))
       in
       Mutex.lock mu;
       slot.st <- Idle;
@@ -348,13 +406,16 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
         slot.st <- Died (running, e, bt);
         Mutex.unlock mu
     in
-    let spawn_slot () =
-      let slot = { st = Idle; dom = None; retire = false } in
+    let spawn_slot tid =
+      let slot = { st = Idle; dom = None; retire = false; tid } in
       slot.dom <- Some (Domain.spawn (worker slot));
       slot
     in
-    let slots = ref (List.init jobs (fun _ -> spawn_slot ())) in
+    let slots = ref (List.init jobs (fun k -> spawn_slot (k + 1))) in
     let zombies = ref [] in
+    (* Lanes of dead/abandoned slots, recycled by the respawn loop so a
+       replacement worker continues its predecessor's trace timeline. *)
+    let free_tids = ref [] in
     (* All three run under [mu]. *)
     let finalize i outcome =
       if results.(i) = None then begin
@@ -369,6 +430,14 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
       if results.(i) = None && attempt >= latest.(i) then begin
         if attempt <= retries then begin
           incr retried;
+          tr (fun t ->
+              Telemetry.Trace.instant t ~tid:0
+                ~args:
+                  [
+                    ("task", Telemetry.Json.Str (task_label i));
+                    ("attempt", Telemetry.Json.Int attempt);
+                  ]
+                "task-retry");
           latest.(i) <- attempt + 1;
           delayed :=
             (now +. backoff ~base:backoff_base attempt, i, attempt + 1)
@@ -403,10 +472,15 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
           (fun slot ->
             match slot.st with
             | Died (running, exn, bt) ->
+              tr (fun t ->
+                  Telemetry.Trace.instant t ~tid:0
+                    ~args:[ ("worker", Telemetry.Json.Int slot.tid) ]
+                    "worker-died");
               Option.iter
                 (fun r -> handle_failure now r.r_task r.r_attempt (F_crash (exn, bt)))
                 running;
               Option.iter (fun d -> to_join := d :: !to_join) slot.dom;
+              free_tids := slot.tid :: !free_tids;
               false
             | Busy r -> (
               match deadline with
@@ -416,13 +490,31 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
                    told to retire if it ever comes back) and give the
                    task a fresh domain. *)
                 incr abandoned;
+                tr (fun t ->
+                    Telemetry.Trace.instant t ~tid:0
+                      ~args:
+                        [
+                          ("worker", Telemetry.Json.Int slot.tid);
+                          ("task", Telemetry.Json.Str (task_label r.r_task));
+                        ]
+                      "deadline-abandon");
                 Budget.cancel r.r_budget;
                 handle_failure now r.r_task r.r_attempt
                   (F_timeout (now -. r.r_start));
                 slot.retire <- true;
                 zombies := slot :: !zombies;
+                free_tids := slot.tid :: !free_tids;
                 false
               | Some d when now -. r.r_start > d ->
+                if not (Budget.interrupted r.r_budget) then
+                  tr (fun t ->
+                      Telemetry.Trace.instant t ~tid:0
+                        ~args:
+                          [
+                            ("worker", Telemetry.Json.Int slot.tid);
+                            ("task", Telemetry.Json.Str (task_label r.r_task));
+                          ]
+                        "deadline-cancel");
                 Budget.cancel r.r_budget;
                 true
               | _ -> true)
@@ -442,7 +534,18 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
       if !remaining > 0 then begin
         for _ = 1 to jobs - live do
           incr respawned;
-          slots := spawn_slot () :: !slots
+          let tid =
+            match !free_tids with
+            | t :: rest ->
+              free_tids := rest;
+              t
+            | [] -> jobs + !respawned (* fresh lane; should not happen *)
+          in
+          tr (fun t ->
+              Telemetry.Trace.instant t ~tid:0
+                ~args:[ ("worker", Telemetry.Json.Int tid) ]
+                "worker-respawn");
+          slots := spawn_slot tid :: !slots
         done;
         Unix.sleepf 0.001
       end

@@ -49,6 +49,19 @@ val no_stats : stats
 (** Total chaos faults injected. *)
 val injected : stats -> int
 
+(** Publish the tallies into a {!Telemetry.Metrics} registry as the
+    [pool.injected_crashes], [pool.injected_hangs], [pool.injected_allocs],
+    [pool.retried], [pool.respawned] and [pool.abandoned] counters.
+    No-op on a disabled registry.
+
+    Determinism: the injected and retried counts derive from the pure
+    chaos schedule, so they are identical at any [jobs] (asserted by the
+    chaos-determinism test).  [respawned] is a scheduling artifact — the
+    inline path never loses a domain, and a crash near the end of the
+    queue may or may not warrant a replacement — so it is excluded from
+    that contract. *)
+val stats_to_metrics : stats -> Telemetry.Metrics.t -> unit
+
 (** [backoff attempt] — seconds to wait before rescheduling after failed
     attempt number [attempt] (1-based): [base * 2^(attempt-1)] capped at
     [cap] (defaults 0.05s and 0.8s).  Pure; no randomized jitter, so
@@ -88,13 +101,25 @@ val chaos_of_string : string -> (chaos, string) result
     accounted, and replaced; an attempt still running at twice the
     deadline is abandoned to a fresh domain and its worker retired.  The
     final join is bounded: a worker wedged in non-cooperative code is
-    left behind rather than wedging the caller. *)
+    left behind rather than wedging the caller.
+
+    With [trace], every attempt is recorded as a complete span on its
+    worker's lane (tid 1..jobs — a respawned replacement inherits its
+    predecessor's lane, and the inline [jobs <= 1] path records on lane
+    1), chaos faults as [chaos-crash]/[chaos-hang]/[chaos-alloc] instants
+    on the same lane, and supervisor decisions ([task-retry],
+    [worker-died], [worker-respawn], [deadline-cancel],
+    [deadline-abandon]) as instants on lane 0.  [label] names each span
+    after its work item (default ["task-N"]).  Tracing never alters
+    scheduling, attempts, or outcomes. *)
 val supervise :
   ?jobs:int ->
   ?deadline:float ->
   ?retries:int ->
   ?backoff_base:float ->
   ?chaos:chaos ->
+  ?trace:Telemetry.Trace.t ->
+  ?label:('a -> string) ->
   (Telemetry.Budget.t -> 'a -> 'b) ->
   'a list ->
   'b outcome list * stats

@@ -66,45 +66,60 @@ let count_ujumps func =
 let shape func = (Func.num_instrs func, Func.num_blocks func, count_ujumps func)
 
 (* Run one named pass under a span: [Pass_begin], the pass, [Pass_end] with
-   the before/after shape and elapsed wall-clock time.  Disabled logs pay
-   one branch and no allocation. *)
-let run_pass log fname (name, pass) func =
-  if not (Telemetry.Log.enabled log) then pass func
+   the before/after shape and elapsed wall-clock time.  When a profiler is
+   attached, the same span also charges the pass's wall time and GC
+   allocation to its (function x pass) row.  Disabled logs and the null
+   profiler pay one branch and no allocation. *)
+let run_pass log profiler fname (name, pass) func =
+  let logging = Telemetry.Log.enabled log in
+  let profiling = Telemetry.Profiler.enabled profiler in
+  if not (logging || profiling) then pass func
   else begin
-    let instrs_before, blocks_before, ujumps_before = shape func in
-    Telemetry.Log.emit log (fun () ->
-        Telemetry.Log.Pass_begin { func = fname; pass = name });
+    let instrs_before, blocks_before, ujumps_before =
+      if logging then shape func else (0, 0, 0)
+    in
+    if logging then
+      Telemetry.Log.emit log (fun () ->
+          Telemetry.Log.Pass_begin { func = fname; pass = name });
+    let alloc0 = if profiling then Telemetry.Profiler.alloc_words () else 0.0 in
     let span = Telemetry.Span.start () in
     let func', changed = pass func in
     let elapsed_ms = Telemetry.Span.elapsed_ms span in
-    let instrs_after, blocks_after, ujumps_after = shape func' in
-    Telemetry.Log.emit log (fun () ->
-        Telemetry.Log.Pass_end
-          {
-            func = fname;
-            pass = name;
-            changed;
-            delta =
-              {
-                instrs_before;
-                instrs_after;
-                blocks_before;
-                blocks_after;
-                ujumps_before;
-                ujumps_after;
-              };
-            elapsed_ms;
-          });
+    if profiling then
+      Telemetry.Profiler.record_pass profiler ~func:fname ~pass:name
+        ~wall_ms:elapsed_ms
+        ~alloc:(Telemetry.Profiler.alloc_words () -. alloc0);
+    if logging then begin
+      let instrs_after, blocks_after, ujumps_after = shape func' in
+      Telemetry.Log.emit log (fun () ->
+          Telemetry.Log.Pass_end
+            {
+              func = fname;
+              pass = name;
+              changed;
+              delta =
+                {
+                  instrs_before;
+                  instrs_after;
+                  blocks_before;
+                  blocks_after;
+                  ujumps_before;
+                  ujumps_after;
+                };
+              elapsed_ms;
+            })
+    end;
     (func', changed)
   end
 
 (* Compose named passes, threading the change flag and spanning each.
    Also reports the name of the last pass that changed the function, for
    the fixpoint-divergence warning. *)
-let seq ?(log = Telemetry.Log.null) ~fname passes func =
+let seq ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
+    ~fname passes func =
   List.fold_left
     (fun (func, changed, last) (name, pass) ->
-      let func, c = run_pass log fname (name, pass) func in
+      let func, c = run_pass log profiler fname (name, pass) func in
       (func, changed || c, if c then name else last))
     (func, false, "") passes
 
@@ -221,7 +236,8 @@ let replication_pass ?log ?budget opts ~size_cap ~allow_irreducible func =
 (* [replicate] abstracts the replication pass so tests can instrument it
    (e.g. cap the number of replacements, or return deliberately broken
    IR to exercise the quarantine path). *)
-let optimize_func_with ?(log = Telemetry.Log.null) ?(diags = ref []) ?oracle
+let optimize_func_with ?(log = Telemetry.Log.null)
+    ?(profiler = Telemetry.Profiler.null) ?(diags = ref []) ?oracle
     ~(replicate : ?allow_irreducible:bool -> Func.t -> Func.t * bool) opts
     machine func =
   let fname = Func.name func in
@@ -243,7 +259,7 @@ let optimize_func_with ?(log = Telemetry.Log.null) ?(diags = ref []) ?oracle
             (String.concat "; " (SSet.elements g.baseline)))
        :: !diags);
   let seq passes func =
-    seq ~log ~fname
+    seq ~log ~profiler ~fname
       (List.map (fun (name, pass) -> (name, guard g name pass)) passes)
       func
   in
@@ -354,7 +370,7 @@ let optimize_func_with ?(log = Telemetry.Log.null) ?(diags = ref []) ?oracle
 
 let next_cheaper = function Jumps -> Some Loops | Loops -> Some Simple | Simple -> None
 
-let optimize_func ?log ?diags ?oracle opts machine func =
+let optimize_func ?log ?profiler ?diags ?oracle opts machine func =
   (* Growth cap for replication, relative to the pre-replication size. *)
   (* The paper's worst growth is ~3x (deroff); 8x is a generous ceiling
      that still bounds pathological replication cascades. *)
@@ -390,7 +406,10 @@ let optimize_func ?log ?diags ?oracle opts machine func =
       | Some _ | None -> ());
       (func', changed)
     in
-    match optimize_func_with ?log ~diags ?oracle ~replicate opts machine func with
+    match
+      optimize_func_with ?log ?profiler ~diags ?oracle ~replicate opts machine
+        func
+    with
     | func' -> func'
     | exception Telemetry.Budget.Exhausted reason -> (
       match next_cheaper level with
@@ -407,12 +426,12 @@ let optimize_func ?log ?diags ?oracle opts machine func =
   in
   attempt opts.level
 
-let optimize ?log ?diags opts machine prog =
+let optimize ?log ?profiler ?diags opts machine prog =
   let oracle =
     if opts.verify_passes then Some (Oracle.make machine prog) else None
   in
   let prog' =
-    Prog.map_funcs (optimize_func ?log ?diags ?oracle opts machine) prog
+    Prog.map_funcs (optimize_func ?log ?profiler ?diags ?oracle opts machine) prog
   in
   (if opts.verify_passes then
      match Check.program_errors prog' with
@@ -427,5 +446,6 @@ let optimize ?log ?diags opts machine prog =
          diags);
   prog'
 
-let compile ?log ?diags opts machine source =
-  optimize ?log ?diags opts machine (Frontend.Codegen.compile_source source)
+let compile ?log ?profiler ?diags opts machine source =
+  optimize ?log ?profiler ?diags opts machine
+    (Frontend.Codegen.compile_source source)

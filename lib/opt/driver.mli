@@ -63,12 +63,19 @@ val options : ?level:level -> unit -> options
     events ({!Replication.Jumps.run}, {!Regalloc.run}).  The disabled
     (null) log costs one branch per pass.
 
+    With [profiler], the same pass boundary charges each pass's wall time
+    and GC allocation to its (function x pass) profiler row
+    ({!Telemetry.Profiler.record_pass}); log and profiler are independent
+    — either may be enabled without the other, and the null profiler
+    costs one branch per pass.
+
     [diags] collects {!Telemetry.Diag.t} records for quarantined passes,
     fixpoint divergence, and ill-formed input; callers that omit it still
     get the telemetry events.  [oracle] supplies the differential
     execution oracle consulted after every changing pass. *)
 val optimize_func :
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
   ?oracle:Oracle.t ->
   options ->
@@ -81,6 +88,7 @@ val optimize_func :
     a deliberately broken pass against the quarantine machinery. *)
 val optimize_func_with :
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
   ?oracle:Oracle.t ->
   replicate:
@@ -96,6 +104,7 @@ val optimize_func_with :
     uniqueness) run on the result. *)
 val optimize :
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
   options ->
   Ir.Machine.t ->
@@ -105,6 +114,7 @@ val optimize :
 (** Parse + compile + optimize C-subset source. *)
 val compile :
   ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
   options ->
   Ir.Machine.t ->

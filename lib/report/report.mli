@@ -1,0 +1,71 @@
+(** Offline reporting over the bench sweep's machine-readable outputs
+    ([jumprepc report]).
+
+    IO-free: {!parse_results} reads the {e contents} of a
+    [BENCH_results.json] document, renderers return markdown strings, and
+    {!dat_files} returns (filename, contents) pairs.  The arithmetic is
+    Harness.Tables' (mean of per-program percentage changes vs SIMPLE,
+    miss-ratio deltas in percentage points), so the rendered tables
+    reproduce the EXPERIMENTS.md Table 4/5/6 numbers from the JSON
+    alone. *)
+
+type cache_row = {
+  cr_config : string;
+  cr_size_kb : int;
+  cr_assoc : int;
+  cr_ctx : bool;  (** context switching simulated *)
+  cr_miss : float;
+  cr_fetch : int;
+}
+
+type row = {
+  program : string;
+  level : string;  (** ["SIMPLE"], ["LOOPS"] or ["JUMPS"] *)
+  machine : string;  (** ["risc"] or ["cisc"] *)
+  static_instrs : int;
+  static_ujumps : int;
+  static_nops : int;
+  dyn_instrs : int;
+  dyn_ujumps : int;
+  dyn_nops : int;
+  dyn_transfers : int;
+  ibb : float;  (** instructions between branches *)
+  output_ok : bool;
+  timed_out : bool;
+  caches : cache_row list;
+}
+
+type doc = { rows : row list; counters : (string * int) list }
+
+(** Parse a [BENCH_results.json] document (the bench driver's [--json]
+    output). *)
+val parse_results : string -> (doc, string) result
+
+val machines : doc -> string list
+val programs : doc -> string list
+
+(** Programs with all three levels measured on the machine — tasks lost
+    to chaos drop out of comparisons instead of skewing them. *)
+val complete_programs : doc -> string -> string list
+
+val find : doc -> program:string -> level:string -> machine:string -> row option
+
+(** The full markdown report: verification verdict, Table 5 shape
+    (static/dynamic % change vs SIMPLE with per-program rows and the
+    mean), Table 4 shape (% unconditional jumps), Table 6 shape
+    (miss-ratio and fetch-cost deltas per cache size). *)
+val render : ?title:string -> doc -> string
+
+(** Markdown delta report between two sweeps: rows present in only one,
+    rows whose static/dynamic counts changed, and the Table-5 means side
+    by side. *)
+val compare_docs : ?name_a:string -> ?name_b:string -> doc -> doc -> string
+
+(** Gnuplot-ready data files: per machine, [instrs_MACHINE.dat]
+    (per-program % changes) and [cache_MACHINE.dat] (per-size deltas,
+    ctx switching off), tab-separated with a [#] header line. *)
+val dat_files : doc -> (string * string) list
+
+(** Markdown summary of a telemetry JSONL event stream
+    ([--trace-out events.jsonl]): event counts by kind. *)
+val summarize_events : string -> string

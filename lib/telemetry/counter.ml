@@ -1,18 +1,11 @@
-let add log name n =
-  if Log.enabled log then begin
-    let tbl = Log.counters log in
-    Hashtbl.replace tbl name
-      (n + Option.value ~default:0 (Hashtbl.find_opt tbl name))
-  end
+(* Thin compatibility face over the log's typed Metrics registry: the
+   original ad-hoc (string -> int) counter table is gone, but the API and
+   the emitted shapes are unchanged. *)
 
+let add log name n = Metrics.add (Log.metrics log) name n
 let incr log name = add log name 1
-
-let get log name =
-  Option.value ~default:0 (Hashtbl.find_opt (Log.counters log) name)
-
-let all log =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (Log.counters log) []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let get log name = Metrics.counter_value (Log.metrics log) name
+let all log = Metrics.counters (Log.metrics log)
 
 let dump log =
   List.iter

@@ -1,4 +1,5 @@
-(** Named monotonic counters attached to a {!Log}.
+(** Named monotonic counters attached to a {!Log} — a compatibility face
+    over the log's {!Metrics} registry ({!Log.metrics}).
 
     Counters accumulate whenever the log is enabled (any non-null sink) and
     are no-ops on {!Log.null}.  [dump] turns the registry into

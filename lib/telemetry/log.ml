@@ -61,7 +61,7 @@ type t = {
   started : float;  (* Unix epoch seconds at creation *)
   mutable seq : int;
   mutable buffer : event list;  (* Memory sink, newest first *)
-  counters : (string, int) Hashtbl.t;
+  metrics : Metrics.t;  (* the registry behind Counter *)
 }
 
 let make sink =
@@ -71,14 +71,14 @@ let make sink =
     started = Unix.gettimeofday ();
     seq = 0;
     buffer = [];
-    counters = Hashtbl.create 16;
+    metrics = (if sink = Null then Metrics.null else Metrics.create ());
   }
 
 let null = make Null
 let enabled t = t.enabled
 let emitted t = t.seq
 let events t = List.rev t.buffer
-let counters t = t.counters
+let metrics t = t.metrics
 
 (* --- JSON encoding (hand-rolled; the library has no dependencies) --- *)
 

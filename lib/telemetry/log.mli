@@ -98,8 +98,11 @@ val emitted : t -> int
 (** Buffered events, oldest first.  Empty unless the sink is [Memory]. *)
 val events : t -> event list
 
-(** The counter registry backing {!Counter}. *)
-val counters : t -> (string, int) Hashtbl.t
+(** The typed metrics registry attached to this log (disabled exactly
+    when the log is): {!Counter} delegates to its counters, and the
+    profiled/parallel paths observe histograms into it.  Sharded logs'
+    registries merge deterministically with {!Metrics.merge}. *)
+val metrics : t -> Metrics.t
 
 val flush : t -> unit
 

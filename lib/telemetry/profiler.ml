@@ -1,0 +1,240 @@
+(* Per-pass and per-run profiler.
+
+   Two attribution tables: (function x pass) -> {calls, wall, alloc} fed
+   by the Opt.Driver pass boundary, and run -> {fuel, interp, cache} fed
+   by Harness.Measure.  Like Metrics, a profiler is single-domain state:
+   worker domains profile into private shards that the parent folds back
+   with [merge] in task order.  Wall-clock and allocation numbers are
+   nondeterministic by nature; the deterministic parts (call counts,
+   fuel) are what the determinism tests pin down. *)
+
+type pass_stat = {
+  mutable calls : int;
+  mutable wall_ms : float;
+  mutable alloc_words : float;
+}
+
+type run_stat = {
+  mutable fuel : int;  (* executed instructions *)
+  mutable interp_ms : float;  (* whole interpreter run, cache sim included *)
+  mutable cache_ms : float;  (* time inside the Icache.Bank on_fetch hook *)
+}
+
+type t = {
+  on : bool;
+  passes : (string * string, pass_stat) Hashtbl.t;  (* (func, pass) *)
+  runs : (string, run_stat) Hashtbl.t;  (* "program/LEVEL/machine" *)
+}
+
+let create () = { on = true; passes = Hashtbl.create 64; runs = Hashtbl.create 32 }
+let null = { on = false; passes = Hashtbl.create 1; runs = Hashtbl.create 1 }
+let enabled t = t.on
+
+(* Words allocated by this domain so far; sample before/after a region
+   and subtract.  Promoted words would otherwise be counted twice. *)
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let record_pass t ~func ~pass ~wall_ms ~alloc =
+  if t.on then
+    let key = (func, pass) in
+    match Hashtbl.find_opt t.passes key with
+    | Some s ->
+      s.calls <- s.calls + 1;
+      s.wall_ms <- s.wall_ms +. wall_ms;
+      s.alloc_words <- s.alloc_words +. alloc
+    | None ->
+      Hashtbl.add t.passes key { calls = 1; wall_ms; alloc_words = alloc }
+
+let record_run t ~run ~fuel ~interp_ms ~cache_ms =
+  if t.on then
+    match Hashtbl.find_opt t.runs run with
+    | Some s ->
+      s.fuel <- s.fuel + fuel;
+      s.interp_ms <- s.interp_ms +. interp_ms;
+      s.cache_ms <- s.cache_ms +. cache_ms
+    | None -> Hashtbl.add t.runs run { fuel; interp_ms; cache_ms }
+
+let merge ~into src =
+  if into.on then begin
+    (* Sort for determinism of table iteration order downstream. *)
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) src.passes []
+    |> List.sort compare
+    |> List.iter (fun ((func, pass), (s : pass_stat)) ->
+           for _ = 2 to s.calls do
+             record_pass into ~func ~pass ~wall_ms:0.0 ~alloc:0.0
+           done;
+           record_pass into ~func ~pass ~wall_ms:s.wall_ms ~alloc:s.alloc_words);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) src.runs []
+    |> List.sort compare
+    |> List.iter (fun (run, (s : run_stat)) ->
+           record_run into ~run ~fuel:s.fuel ~interp_ms:s.interp_ms
+             ~cache_ms:s.cache_ms)
+  end
+
+(* --- reading --- *)
+
+type pass_row = {
+  p_func : string;
+  p_pass : string;
+  p_calls : int;
+  p_wall_ms : float;
+  p_alloc_words : float;
+}
+
+let row_order a b =
+  match compare b.p_wall_ms a.p_wall_ms with
+  | 0 -> compare (a.p_func, a.p_pass) (b.p_func, b.p_pass)
+  | c -> c
+
+(* All (function x pass) rows, hottest (by wall time) first. *)
+let pass_rows t =
+  Hashtbl.fold
+    (fun (p_func, p_pass) (s : pass_stat) acc ->
+      {
+        p_func;
+        p_pass;
+        p_calls = s.calls;
+        p_wall_ms = s.wall_ms;
+        p_alloc_words = s.alloc_words;
+      }
+      :: acc)
+    t.passes []
+  |> List.sort row_order
+
+(* Rows aggregated over functions: one row per pass name. *)
+let by_pass t =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (_, pass) (s : pass_stat) ->
+      match Hashtbl.find_opt tbl pass with
+      | Some r ->
+        r.calls <- r.calls + s.calls;
+        r.wall_ms <- r.wall_ms +. s.wall_ms;
+        r.alloc_words <- r.alloc_words +. s.alloc_words
+      | None ->
+        Hashtbl.add tbl pass
+          { calls = s.calls; wall_ms = s.wall_ms; alloc_words = s.alloc_words })
+    t.passes;
+  Hashtbl.fold
+    (fun pass (s : pass_stat) acc ->
+      {
+        p_func = "";
+        p_pass = pass;
+        p_calls = s.calls;
+        p_wall_ms = s.wall_ms;
+        p_alloc_words = s.alloc_words;
+      }
+      :: acc)
+    tbl []
+  |> List.sort row_order
+
+type run_row = {
+  r_run : string;
+  r_fuel : int;
+  r_interp_ms : float;
+  r_cache_ms : float;
+}
+
+let run_rows t =
+  Hashtbl.fold
+    (fun r_run (s : run_stat) acc ->
+      {
+        r_run;
+        r_fuel = s.fuel;
+        r_interp_ms = s.interp_ms;
+        r_cache_ms = s.cache_ms;
+      }
+      :: acc)
+    t.runs []
+  |> List.sort (fun a b ->
+         match compare b.r_interp_ms a.r_interp_ms with
+         | 0 -> String.compare a.r_run b.r_run
+         | c -> c)
+
+(* --- rendering --- *)
+
+let to_json t =
+  Json.Obj
+    [
+      ( "passes",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("func", Json.Str r.p_func);
+                   ("pass", Json.Str r.p_pass);
+                   ("calls", Json.Int r.p_calls);
+                   ("wall_ms", Json.Raw (Printf.sprintf "%.3f" r.p_wall_ms));
+                   ("alloc_words", Json.Raw (Printf.sprintf "%.0f" r.p_alloc_words));
+                 ])
+             (pass_rows t)) );
+      ( "by_pass",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("pass", Json.Str r.p_pass);
+                   ("calls", Json.Int r.p_calls);
+                   ("wall_ms", Json.Raw (Printf.sprintf "%.3f" r.p_wall_ms));
+                   ("alloc_words", Json.Raw (Printf.sprintf "%.0f" r.p_alloc_words));
+                 ])
+             (by_pass t)) );
+      ( "runs",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("run", Json.Str r.r_run);
+                   ("fuel", Json.Int r.r_fuel);
+                   ("interp_ms", Json.Raw (Printf.sprintf "%.3f" r.r_interp_ms));
+                   ("cache_ms", Json.Raw (Printf.sprintf "%.3f" r.r_cache_ms));
+                 ])
+             (run_rows t)) );
+    ]
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+let pp_table ?(top = 15) ppf t =
+  let pass_rows_all = pass_rows t in
+  let total_wall = List.fold_left (fun a r -> a +. r.p_wall_ms) 0.0 pass_rows_all in
+  Format.fprintf ppf "profile: pass totals (all functions):@.";
+  Format.fprintf ppf "  %-16s %8s %12s %14s %7s@." "pass" "calls" "wall ms"
+    "alloc Mw" "%";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-16s %8d %12.3f %14.3f %6.1f%%@." r.p_pass
+        r.p_calls r.p_wall_ms
+        (r.p_alloc_words /. 1e6)
+        (if total_wall > 0.0 then 100.0 *. r.p_wall_ms /. total_wall else 0.0))
+    (by_pass t);
+  Format.fprintf ppf "profile: top %d (function x pass):@." top;
+  Format.fprintf ppf "  %-24s %-16s %8s %12s %14s@." "function" "pass" "calls"
+    "wall ms" "alloc Mw";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-24s %-16s %8d %12.3f %14.3f@." r.p_func r.p_pass
+        r.p_calls r.p_wall_ms
+        (r.p_alloc_words /. 1e6))
+    (take top pass_rows_all);
+  match run_rows t with
+  | [] -> ()
+  | runs ->
+    Format.fprintf ppf "profile: top %d runs (interpreter + cache bank):@." top;
+    Format.fprintf ppf "  %-32s %12s %12s %12s@." "run" "fuel" "interp ms"
+      "cache ms";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-32s %12d %12.3f %12.3f@." r.r_run r.r_fuel
+          r.r_interp_ms r.r_cache_ms)
+      (take top runs)

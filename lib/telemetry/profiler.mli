@@ -1,0 +1,59 @@
+(** Per-pass and per-run profiler ([--profile]).
+
+    Attribution tables fed by the {!Opt.Driver} pass boundary (wall-clock
+    and GC allocation per function x pass) and by [Harness.Measure]
+    (interpreter fuel, interpreter wall time and cache-bank time per
+    benchmark run).  Single-domain, like {!Metrics}: worker domains
+    profile into private shards, the parent folds them back with {!merge}
+    in task order.  Every recording is a no-op on {!null}. *)
+
+type t
+
+val create : unit -> t
+val null : t
+val enabled : t -> bool
+
+(** Words allocated by this domain so far ([minor + major - promoted]);
+    sample before/after a region and subtract. *)
+val alloc_words : unit -> float
+
+val record_pass :
+  t -> func:string -> pass:string -> wall_ms:float -> alloc:float -> unit
+
+(** [run] is a free-form key — the sweep uses ["program/LEVEL/machine"].
+    Repeated recordings accumulate. *)
+val record_run :
+  t -> run:string -> fuel:int -> interp_ms:float -> cache_ms:float -> unit
+
+(** Fold [src] into [into] (commutative sums; call in task order for a
+    deterministic aggregate). *)
+val merge : into:t -> t -> unit
+
+type pass_row = {
+  p_func : string;  (** [""] in {!by_pass} aggregates *)
+  p_pass : string;
+  p_calls : int;
+  p_wall_ms : float;
+  p_alloc_words : float;
+}
+
+(** All (function x pass) rows, hottest first (wall time, then name). *)
+val pass_rows : t -> pass_row list
+
+(** One row per pass, aggregated over functions, hottest first. *)
+val by_pass : t -> pass_row list
+
+type run_row = {
+  r_run : string;
+  r_fuel : int;
+  r_interp_ms : float;
+  r_cache_ms : float;
+}
+
+val run_rows : t -> run_row list
+
+val to_json : t -> Json.t
+
+(** The [--profile] report: pass totals, top-N (function x pass), top-N
+    runs. *)
+val pp_table : ?top:int -> Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** Chrome/Perfetto trace-event export ([--trace-out]).
+
+    A cross-domain collector of complete spans (phase ["X"]), instant
+    events (["i"]) and thread/process metadata (["M"]), written as the
+    standard trace-event JSON object that [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto} load directly.  Appends are
+    mutex-protected so pool worker domains record concurrently; the
+    supervisor owns lane (tid) 0 and worker slot [k] owns lane [k].
+    Timestamps are microseconds since {!create}. *)
+
+type t
+
+val create : unit -> t
+
+(** Microseconds since the trace was created (pass to {!complete}). *)
+val now_us : t -> float
+
+(** Number of events recorded so far. *)
+val events : t -> int
+
+(** A finished span on lane [tid]. *)
+val complete :
+  t ->
+  tid:int ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  name:string ->
+  ts_us:float ->
+  dur_us:float ->
+  unit ->
+  unit
+
+(** A point event, stamped now, thread-scoped to its lane. *)
+val instant :
+  t -> tid:int -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+(** Run [f] under a span (recorded even if [f] raises). *)
+val with_span :
+  t ->
+  tid:int ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+val thread_name : t -> tid:int -> string -> unit
+val process_name : t -> string -> unit
+
+(** [{"traceEvents":[...],"displayTimeUnit":"ms"}], events sorted by
+    timestamp. *)
+val to_json : t -> Json.t
+
+val write : t -> out_channel -> unit

@@ -1,0 +1,62 @@
+The report subcommand turns the committed golden sweep back into the
+paper-shaped tables, from the JSON alone:
+
+  $ ../../bin/jumprepc.exe report ../../BENCH_baseline.json --title golden > report.md
+  $ head -3 report.md
+  # golden
+  
+  84 measurements (14 programs x 2 machines); all outputs verified.
+
+
+  $ grep '^## ' report.md
+  ## Static and dynamic instructions (Table 5 shape)
+  ## Unconditional jumps (Table 4 shape)
+  ## Instruction cache (Table 6 shape, ctx switching off)
+
+An --events stream appends the telemetry summary section:
+
+  $ printf '%s\n' '{"seq":0,"t_ms":0.1,"ev":"pass_end"}' '{"seq":1,"t_ms":0.2,"ev":"pass_end"}' > ev.jsonl
+  $ ../../bin/jumprepc.exe report ../../BENCH_baseline.json --events ev.jsonl | grep -A 4 '^## Telemetry'
+  ## Telemetry events (2 lines)
+  
+  | event | count |
+  | --- | --- |
+  | pass_end | 2 |
+
+
+Every program appears in each machine's Table-5 block, plus the mean row:
+
+  $ grep -c '| wc |' report.md
+  2
+  $ grep -c '[*][*]mean[*][*]' report.md
+  2
+
+--dat writes gnuplot-ready files per machine:
+
+  $ ../../bin/jumprepc.exe report ../../BENCH_baseline.json --dat plots > /dev/null
+  jumprepc: report: wrote plots/instrs_risc.dat
+  jumprepc: report: wrote plots/cache_risc.dat
+  jumprepc: report: wrote plots/instrs_cisc.dat
+  jumprepc: report: wrote plots/cache_cisc.dat
+
+  $ head -1 plots/instrs_risc.dat
+  # program	static_loops_pct	static_jumps_pct	dyn_loops_pct	dyn_jumps_pct
+  $ grep -c . plots/instrs_risc.dat
+  15
+
+Comparing a sweep against itself reports no movement:
+
+  $ ../../bin/jumprepc.exe report --compare ../../BENCH_baseline.json ../../BENCH_baseline.json | grep 'No measurement'
+  No measurement changed static or dynamic instruction counts.
+
+A perturbed copy is flagged, with the delta:
+
+  $ sed 's/"static_instrs":138/"static_instrs":140/' ../../BENCH_baseline.json > perturbed.json
+  $ ../../bin/jumprepc.exe report --compare ../../BENCH_baseline.json perturbed.json | grep -c 'banner'
+  1
+
+Malformed input is a diagnosed error, not a crash:
+
+  $ echo 'not json' > bad.json
+  $ ../../bin/jumprepc.exe report bad.json 2>&1 | head -1
+  jumprepc: error: [io-error] bad.json: invalid JSON: JSON parse error at offset 0: bad literal (expected null)

@@ -58,23 +58,54 @@ let test_parallel_determinism () =
       Telemetry.Log.Pass_end { e with elapsed_ms = 0.0 }
     | e -> e
   in
+  (* Wall-clock and allocation are nondeterministic; the profiler's
+     deterministic projection is which rows exist, how often each fired
+     and the interpreter fuel. *)
+  let profiler_sig p =
+    ( List.map
+        (fun (r : Telemetry.Profiler.pass_row) ->
+          (r.p_func, r.p_pass, r.p_calls))
+        (List.sort compare (Telemetry.Profiler.pass_rows p)),
+      List.map
+        (fun (r : Telemetry.Profiler.run_row) -> (r.r_run, r.r_fuel))
+        (List.sort compare (Telemetry.Profiler.run_rows p)) )
+  in
+  let histogram_sig m name =
+    List.filter_map
+      (function
+        | n, Telemetry.Metrics.VHistogram { counts; count; _ }
+          when String.equal n name ->
+          Some (Array.to_list counts, count)
+        | _ -> None)
+      (Telemetry.Metrics.snapshot m)
+  in
   let sweep jobs =
     Harness.Measure.reset_cache ();
     let log = Telemetry.Log.make Telemetry.Log.Memory in
+    let profiler = Telemetry.Profiler.create () in
+    let pool_metrics = Telemetry.Metrics.create () in
     let results =
-      Harness.Measure.run_suite ~log ~jobs Opt.Driver.Jumps Ir.Machine.risc
+      Harness.Measure.run_suite ~log ~profiler ~metrics:pool_metrics ~jobs
+        Opt.Driver.Jumps Ir.Machine.risc
     in
     ( List.map Harness.Measure.to_json results,
       Telemetry.Counter.all log,
       List.map norm_event (Telemetry.Log.events log),
-      (Harness.Measure.mismatches (), Harness.Measure.timeouts ()) )
+      (Harness.Measure.mismatches (), Harness.Measure.timeouts ()),
+      profiler_sig profiler,
+      histogram_sig (Telemetry.Log.metrics log) "measure.run_instrs",
+      Telemetry.Metrics.counters pool_metrics )
   in
-  let json1, counters1, events1, verdicts1 = sweep 1 in
+  let json1, counters1, events1, verdicts1, prof1, hist1, _pool1 = sweep 1 in
   Alcotest.(check bool) "sequential sweep nonempty" true (json1 <> []);
   Alcotest.(check bool) "counters accumulated" true (counters1 <> []);
+  (let pass_rows, run_rows = prof1 in
+   Alcotest.(check bool) "profiler saw passes" true (pass_rows <> []);
+   Alcotest.(check bool) "profiler saw runs" true (run_rows <> []));
+  Alcotest.(check bool) "run_instrs histogram filled" true (hist1 <> []);
   List.iter
     (fun jobs ->
-      let json, counters, events, verdicts = sweep jobs in
+      let json, counters, events, verdicts, prof, hist, pool = sweep jobs in
       Alcotest.(check (list string))
         (Printf.sprintf "results at -j %d" jobs)
         json1 json;
@@ -88,7 +119,21 @@ let test_parallel_determinism () =
       Alcotest.(check bool)
         (Printf.sprintf "verdicts at -j %d" jobs)
         true
-        (verdicts = verdicts1))
+        (verdicts = verdicts1);
+      Alcotest.(check bool)
+        (Printf.sprintf "profiler shards merge deterministically at -j %d" jobs)
+        true (prof = prof1);
+      Alcotest.(check bool)
+        (Printf.sprintf "histograms merge deterministically at -j %d" jobs)
+        true (hist = hist1);
+      (* The -j 1 fast path bypasses the pool; at higher -j the pool
+         publishes its tallies, all zero without chaos or deadlines. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "pool counters published at -j %d" jobs)
+        true
+        (List.mem ("pool.retried", 0) pool
+        && List.mem ("pool.respawned", 0) pool
+        && List.mem ("pool.injected_crashes", 0) pool))
     [ 2; 4 ]
 
 (* --- the supervised pool --- *)
@@ -249,8 +294,13 @@ let test_chaos_determinism () =
      must reproduce the inline run outcome for outcome, and completed
      tasks keep their correct values. *)
   let chaos = { Pool.crash = 0.4; hang = 0.0; alloc = 0.2; chaos_seed = 42 } in
+  let stats_sig (s : Pool.stats) =
+    let m = Telemetry.Metrics.create () in
+    Pool.stats_to_metrics s m;
+    Telemetry.Metrics.counters m
+  in
   let run jobs =
-    let outcomes, _ =
+    let outcomes, stats =
       Pool.supervise ~jobs ~retries:1 ~backoff_base:0.001 ~chaos
         (fun _budget x -> 3 * x)
         (List.init 12 Fun.id)
@@ -261,13 +311,29 @@ let test_chaos_determinism () =
         | Pool.Done v -> Alcotest.(check int) "completed value correct" (3 * i) v
         | _ -> ())
       outcomes;
-    List.map outcome_sig outcomes
+    (List.map outcome_sig outcomes, stats_sig stats)
   in
-  let inline = run 1 in
-  let par = run 2 in
-  let par' = run 2 in
+  let inline, tallies_inline = run 1 in
+  let par, tallies_par = run 2 in
+  let par', tallies_par' = run 2 in
   Alcotest.(check (list string)) "parallel matches inline schedule" inline par;
   Alcotest.(check (list string)) "parallel run repeatable" par par';
+  (* The chaos tallies are part of the determinism contract too: the
+     fault and retry counts a run publishes through stats_to_metrics must
+     not depend on the domain count (they are derived from the same pure
+     schedule).  pool.respawned is the exception, a scheduling artifact:
+     the inline path has no worker domains to lose, and whether the
+     supervisor bothers respawning after a late crash depends on how
+     much work is left when it notices the death. *)
+  let sans_respawn = List.filter (fun (n, _) -> n <> "pool.respawned") in
+  Alcotest.(check (list (pair string int)))
+    "chaos tallies match inline"
+    (sans_respawn tallies_inline)
+    (sans_respawn tallies_par);
+  Alcotest.(check (list (pair string int)))
+    "chaos tallies repeatable"
+    (sans_respawn tallies_par)
+    (sans_respawn tallies_par');
   let has prefix = List.exists (String.starts_with ~prefix) inline in
   Alcotest.(check bool) "schedule mixes faults and successes" true
     (has "done" && has "crashed")

@@ -18,5 +18,6 @@ let () =
       Test_paper_shapes.tests;
       Test_harness.tests;
       Test_telemetry.tests;
+      Test_report.tests;
       Test_random_c.tests;
     ]

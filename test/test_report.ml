@@ -1,0 +1,145 @@
+(* The offline report library: parsing the bench sweep's JSON back,
+   Table 4/5/6 arithmetic, the compare and gnuplot-data renderers, and
+   the JSONL event summary. *)
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* A miniature BENCH_results.json: one program measured at all three
+   levels on one machine, with round numbers so the expected percentages
+   are obvious by hand.  SIMPLE: 100 static / 1000 dynamic; LOOPS: 110 /
+   900; JUMPS: 120 / 800. *)
+let cache size miss fetch =
+  Printf.sprintf
+    {|{"config":"%dKb/direct/ctx-off","size_kb":%d,"assoc":1,"context_switches":false,"miss_ratio":%f,"fetch_cost":%d}|}
+    size size miss fetch
+
+let result ~level ~static ~dyn ~ujumps ~miss =
+  Printf.sprintf
+    {|{"program":"wc","level":"%s","machine":"risc",
+       "static_instrs":%d,"static_ujumps":%d,"static_nops":1,
+       "dyn_instrs":%d,"dyn_ujumps":%d,"dyn_nops":2,"dyn_transfers":50,
+       "instrs_between_branches":4.5,"output_ok":true,"timed_out":false,
+       "caches":[%s]}|}
+    level static ujumps dyn (ujumps * 10) (cache 1 miss 1234)
+
+let fixture =
+  Printf.sprintf {|{"results":[%s,%s,%s],"counters":{"measure.runs":3}}|}
+    (result ~level:"SIMPLE" ~static:100 ~dyn:1000 ~ujumps:10 ~miss:0.05)
+    (result ~level:"LOOPS" ~static:110 ~dyn:900 ~ujumps:8 ~miss:0.04)
+    (result ~level:"JUMPS" ~static:120 ~dyn:800 ~ujumps:0 ~miss:0.03)
+
+let parse s =
+  match Report.parse_results s with
+  | Ok doc -> doc
+  | Error e -> Alcotest.fail ("fixture rejected: " ^ e)
+
+let test_parse () =
+  let doc = parse fixture in
+  Alcotest.(check int) "three rows" 3 (List.length doc.Report.rows);
+  Alcotest.(check (list string)) "machines" [ "risc" ] (Report.machines doc);
+  Alcotest.(check (list string)) "programs" [ "wc" ] (Report.programs doc);
+  Alcotest.(check (list string))
+    "wc complete" [ "wc" ]
+    (Report.complete_programs doc "risc");
+  Alcotest.(check (list (pair string int)))
+    "counters"
+    [ ("measure.runs", 3) ]
+    doc.Report.counters;
+  let r =
+    Option.get (Report.find doc ~program:"wc" ~level:"JUMPS" ~machine:"risc")
+  in
+  Alcotest.(check int) "static" 120 r.Report.static_instrs;
+  Alcotest.(check int) "dyn" 800 r.Report.dyn_instrs;
+  Alcotest.(check int) "no ujumps left" 0 r.Report.dyn_ujumps;
+  (match r.Report.caches with
+  | [ c ] ->
+    Alcotest.(check int) "cache size" 1 c.Report.cr_size_kb;
+    Alcotest.(check bool) "ctx off" false c.Report.cr_ctx
+  | _ -> Alcotest.fail "expected one cache row");
+  (* Junk documents give an error, not an exception. *)
+  List.iter
+    (fun bad ->
+      match Report.parse_results bad with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad)
+      | Error _ -> ())
+    [ "nonsense"; "{}"; {|{"results":[{"program":"p"}]}|} ]
+
+let test_render_tables () =
+  let md = Report.render ~title:"unit fixture" (parse fixture) in
+  Alcotest.(check bool) "title" true (contains md "unit fixture");
+  Alcotest.(check bool) "table 5 section" true (contains md "Table 5 shape");
+  Alcotest.(check bool) "table 4 section" true (contains md "Table 4 shape");
+  Alcotest.(check bool) "table 6 section" true (contains md "Table 6 shape");
+  (* LOOPS static: (110-100)/100 = +10%; JUMPS dynamic: (800-1000)/1000 =
+     -20%.  With one program the mean rows equal the program rows. *)
+  Alcotest.(check bool) "loops static +10%" true (contains md "+10.0");
+  Alcotest.(check bool) "jumps dynamic -20%" true (contains md "-20.0");
+  (* Table 6, 1Kb: miss 0.05 -> 0.03 is -2 percentage points. *)
+  Alcotest.(check bool) "miss delta in pp" true (contains md "-2.0");
+  Alcotest.(check bool) "verification verdict" true (contains md "3 measurement")
+
+let test_compare () =
+  let a = parse fixture in
+  let same = Report.compare_docs ~name_a:"A" ~name_b:"B" a a in
+  Alcotest.(check bool) "self-compare is quiet" true
+    (contains same "No measurement changed");
+  let b =
+    parse
+      (Printf.sprintf {|{"results":[%s,%s,%s],"counters":{"measure.runs":3}}|}
+         (result ~level:"SIMPLE" ~static:100 ~dyn:1000 ~ujumps:10 ~miss:0.05)
+         (result ~level:"LOOPS" ~static:110 ~dyn:900 ~ujumps:8 ~miss:0.04)
+         (result ~level:"JUMPS" ~static:125 ~dyn:790 ~ujumps:0 ~miss:0.03))
+  in
+  let diff = Report.compare_docs ~name_a:"A" ~name_b:"B" a b in
+  Alcotest.(check bool) "changed row reported" true
+    (contains diff "wc" && contains diff "JUMPS");
+  Alcotest.(check bool) "old and new static shown" true
+    (contains diff "120" && contains diff "125")
+
+let test_dat_files () =
+  let files = Report.dat_files (parse fixture) in
+  let names = List.map fst files in
+  Alcotest.(check bool) "instrs file" true (List.mem "instrs_risc.dat" names);
+  Alcotest.(check bool) "cache file" true (List.mem "cache_risc.dat" names);
+  List.iter
+    (fun (name, contents) ->
+      Alcotest.(check bool) (name ^ " has header") true
+        (String.length contents > 0 && contents.[0] = '#');
+      (* Every data line has the same field count as the header. *)
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' contents)
+      in
+      let width l = List.length (String.split_on_char '\t' l) in
+      let w = width (List.hd lines) in
+      List.iter
+        (fun l -> Alcotest.(check int) (name ^ " column count") w (width l))
+        lines)
+    files
+
+let test_event_summary () =
+  let jsonl =
+    String.concat "\n"
+      [
+        {|{"seq":0,"t_ms":0.1,"ev":"pass_end","func":"main"}|};
+        {|{"seq":1,"t_ms":0.2,"ev":"pass_end","func":"wc"}|};
+        {|{"seq":2,"t_ms":0.3,"ev":"warning","message":"m"}|};
+        "not json at all";
+      ]
+  in
+  let md = Report.summarize_events jsonl in
+  Alcotest.(check bool) "counts pass_end" true (contains md "pass_end");
+  Alcotest.(check bool) "counts warning" true (contains md "warning");
+  Alcotest.(check bool) "two pass_ends" true (contains md "2")
+
+let tests =
+  ( "report",
+    [
+      Alcotest.test_case "parse results" `Quick test_parse;
+      Alcotest.test_case "render tables" `Quick test_render_tables;
+      Alcotest.test_case "compare docs" `Quick test_compare;
+      Alcotest.test_case "dat files" `Quick test_dat_files;
+      Alcotest.test_case "event summary" `Quick test_event_summary;
+    ] )

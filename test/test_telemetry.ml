@@ -215,6 +215,222 @@ let test_jsonl_shape () =
   Alcotest.(check bool) "no raw newline" true
     (not (String.contains line '\n'))
 
+(* --- the metrics registry (observability v2) --- *)
+
+module Metrics = Telemetry.Metrics
+module Json = Telemetry.Json
+module Trace = Telemetry.Trace
+module Profiler = Telemetry.Profiler
+
+(* Bucket arithmetic: values at, below and above the edges land where the
+   documentation says — first bucket with [v <= edge], overflow past the
+   last edge. *)
+let test_histogram_buckets () =
+  let edges = [| 1.0; 3.0; 10.0 |] in
+  let idx v = Metrics.bucket_index edges v in
+  Alcotest.(check int) "below first edge" 0 (idx 0.5);
+  Alcotest.(check int) "exactly on edge counts in that bucket" 0 (idx 1.0);
+  Alcotest.(check int) "between edges" 1 (idx 2.0);
+  Alcotest.(check int) "on middle edge" 1 (idx 3.0);
+  Alcotest.(check int) "last in-range bucket" 2 (idx 10.0);
+  Alcotest.(check int) "overflow bucket" 3 (idx 10.0001);
+  Alcotest.(check int) "overflow far out" 3 (idx 1e12);
+  (* Standard layouts are strictly increasing (a histogram with unsorted
+     edges silently miscounts). *)
+  List.iter
+    (fun (name, edges) ->
+      let ok = ref true in
+      Array.iteri
+        (fun i e -> if i > 0 && e <= edges.(i - 1) then ok := false)
+        edges;
+      Alcotest.(check bool) (name ^ " strictly increasing") true !ok)
+    [
+      ("time_ms", Metrics.Buckets.time_ms);
+      ("instrs", Metrics.Buckets.instrs);
+      ("pow2", Metrics.Buckets.pow2 ~lo:0 ~hi:8);
+    ];
+  (* Observations distribute into counts and the sum/count accumulate. *)
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "h" ~buckets:edges) [ 0.5; 2.0; 2.5; 99.0 ];
+  (match Metrics.snapshot m with
+  | [ ("h", Metrics.VHistogram { edges = e; counts; sum; count }) ] ->
+    Alcotest.(check int) "edges kept" 3 (Array.length e);
+    Alcotest.(check (list int)) "counts" [ 1; 2; 0; 1 ] (Array.to_list counts);
+    Alcotest.(check int) "count" 4 count;
+    Alcotest.(check (float 1e-9)) "sum" 104.0 sum
+  | _ -> Alcotest.fail "expected one histogram in the snapshot")
+
+(* Null registry: no-ops, empty reads, and no crosstalk with live ones. *)
+let test_metrics_null () =
+  Metrics.incr Metrics.null "x";
+  Metrics.set Metrics.null "g" 3.0;
+  Metrics.observe Metrics.null "h" ~buckets:[| 1.0 |] 5.0;
+  Alcotest.(check bool) "disabled" false (Metrics.enabled Metrics.null);
+  Alcotest.(check int) "no counter" 0 (Metrics.counter_value Metrics.null "x");
+  Alcotest.(check int) "empty snapshot" 0
+    (List.length (Metrics.snapshot Metrics.null))
+
+(* Sharded merge = sequential: the pool's determinism contract at the
+   registry level.  Updates split across shards then merged in order must
+   equal the same updates applied to one registry. *)
+let test_metrics_merge_determinism () =
+  let edges = Metrics.Buckets.pow2 ~lo:0 ~hi:4 in
+  let apply m (kind, name, v) =
+    match kind with
+    | `C -> Metrics.add m name (int_of_float v)
+    | `G -> Metrics.set m name v
+    | `H -> Metrics.observe m name ~buckets:edges v
+  in
+  (* Counters and histograms commute so any sharding works; a gauge is
+     last-merge-wins, so the discipline is that one shard owns it (here
+     both depth writes land on shard 2 under the round-robin). *)
+  let updates =
+    [
+      (`C, "tasks", 3.0); (`H, "lat", 0.5); (`G, "depth", 2.0);
+      (`C, "tasks", 1.0); (`H, "lat", 7.0); (`C, "retries", 2.0);
+      (`H, "lat", 99.0); (`C, "tasks", 4.0); (`G, "depth", 5.0);
+    ]
+  in
+  let sequential = Metrics.create () in
+  List.iter (apply sequential) updates;
+  (* Shard round-robin over 3 "workers", merge back in order. *)
+  let shards = Array.init 3 (fun _ -> Metrics.create ()) in
+  List.iteri (fun i u -> apply shards.(i mod 3) u) updates;
+  let merged = Metrics.create () in
+  Array.iter (fun s -> Metrics.merge ~into:merged s) shards;
+  Alcotest.(check (list (pair string int)))
+    "counters equal" (Metrics.counters sequential) (Metrics.counters merged);
+  Alcotest.(check string) "full snapshots equal"
+    (Json.to_string (Metrics.to_json sequential))
+    (Json.to_string (Metrics.to_json merged));
+  (* Type clashes are programming errors, loudly. *)
+  (match Metrics.add merged "depth" 1 with
+  | () -> Alcotest.fail "counter update on a gauge should raise"
+  | exception Invalid_argument _ -> ())
+
+(* The JSON emitted by the trace collector is well-formed (our own strict
+   parser accepts it) and structurally what Perfetto expects. *)
+let test_trace_json () =
+  let t = Trace.create () in
+  Trace.process_name t "test";
+  Trace.thread_name t ~tid:0 "supervisor";
+  Trace.thread_name t ~tid:1 "worker-1";
+  let ts = Trace.now_us t in
+  Trace.complete t ~tid:1 ~name:"task \"quoted\"" ~ts_us:ts ~dur_us:42.5
+    ~args:[ ("attempt", Json.Int 1) ] ();
+  Trace.instant t ~tid:0 ~cat:"chaos" "chaos-crash";
+  (let v = Trace.with_span t ~tid:1 "spanned" (fun () -> 7) in
+   Alcotest.(check int) "with_span returns" 7 v);
+  (match Trace.with_span t ~tid:1 "raising" (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  Alcotest.(check int) "all recorded" 7 (Trace.events t);
+  let s = Json.to_string (Trace.to_json t) in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("trace JSON does not re-parse: " ^ e)
+  | Ok doc ->
+    Alcotest.(check (option string))
+      "displayTimeUnit" (Some "ms")
+      (Option.bind (Json.member "displayTimeUnit" doc) Json.get_string);
+    let evs =
+      Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list)
+    in
+    Alcotest.(check int) "seven events" 7 (List.length evs);
+    let field name ev = Option.bind (Json.member name ev) Json.get_string in
+    let phases = List.filter_map (field "ph") evs in
+    Alcotest.(check int) "metadata events" 3
+      (List.length (List.filter (String.equal "M") phases));
+    Alcotest.(check int) "complete spans" 3
+      (List.length (List.filter (String.equal "X") phases));
+    Alcotest.(check int) "instants" 1
+      (List.length (List.filter (String.equal "i") phases));
+    (* Sorted by timestamp, every event stamped with pid/tid/ts. *)
+    let ts_of ev =
+      Option.get (Option.bind (Json.member "ts" ev) Json.get_float)
+    in
+    let stamps = List.map ts_of evs in
+    Alcotest.(check bool) "sorted by ts" true
+      (List.sort compare stamps = stamps);
+    List.iter
+      (fun ev ->
+        Alcotest.(check bool) "pid present" true
+          (Json.member "pid" ev <> None);
+        Alcotest.(check bool) "tid present" true
+          (Json.member "tid" ev <> None))
+      evs
+
+(* The shared JSON value: renderer/parser round-trip, Raw splicing, and
+   escape corners. *)
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd\tt");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("a", Json.Arr [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  let s = Json.to_string doc in
+  (match Json.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    Alcotest.(check string) "print/parse/print fixpoint" s
+      (Json.to_string back));
+  (* Raw splices verbatim — the legacy byte-compat bridge. *)
+  Alcotest.(check string) "raw spliced"
+    "{\"m\":{\"k\":1}}"
+    (Json.to_string (Json.Obj [ ("m", Json.Raw "{\"k\":1}") ]));
+  (* Malformed inputs are rejected, not mangled. *)
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.fail ("accepted malformed: " ^ bad)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "" ]
+
+(* Profiler shards fold like the registry: merged aggregates equal the
+   single-table run, calls/wall/alloc summing. *)
+let test_profiler_merge () =
+  let feed p =
+    Profiler.record_pass p ~func:"main" ~pass:"cse" ~wall_ms:1.0 ~alloc:10.0;
+    Profiler.record_pass p ~func:"main" ~pass:"cse" ~wall_ms:2.0 ~alloc:5.0;
+    Profiler.record_pass p ~func:"wc" ~pass:"replicate" ~wall_ms:5.0
+      ~alloc:100.0;
+    Profiler.record_run p ~run:"wc/JUMPS/risc" ~fuel:1000 ~interp_ms:3.0
+      ~cache_ms:0.5
+  in
+  let whole = Profiler.create () in
+  feed whole;
+  let a = Profiler.create () and b = Profiler.create () in
+  Profiler.record_pass a ~func:"main" ~pass:"cse" ~wall_ms:1.0 ~alloc:10.0;
+  Profiler.record_pass b ~func:"main" ~pass:"cse" ~wall_ms:2.0 ~alloc:5.0;
+  Profiler.record_pass b ~func:"wc" ~pass:"replicate" ~wall_ms:5.0 ~alloc:100.0;
+  Profiler.record_run b ~run:"wc/JUMPS/risc" ~fuel:1000 ~interp_ms:3.0
+    ~cache_ms:0.5;
+  let merged = Profiler.create () in
+  Profiler.merge ~into:merged a;
+  Profiler.merge ~into:merged b;
+  Alcotest.(check string) "merged = sequential"
+    (Json.to_string (Profiler.to_json whole))
+    (Json.to_string (Profiler.to_json merged));
+  (* Hottest-first ordering and by-pass aggregation. *)
+  (match Profiler.pass_rows merged with
+  | { Profiler.p_func = "wc"; p_pass = "replicate"; p_calls = 1; _ } :: _ -> ()
+  | _ -> Alcotest.fail "hottest (function x pass) row first");
+  (match Profiler.by_pass merged with
+  | first :: _ ->
+    Alcotest.(check string) "hottest pass" "replicate" first.Profiler.p_pass;
+    Alcotest.(check string) "aggregate has no func" "" first.Profiler.p_func
+  | [] -> Alcotest.fail "no by-pass rows");
+  (* Null profiler records nothing. *)
+  Profiler.record_pass Profiler.null ~func:"f" ~pass:"p" ~wall_ms:1.0
+    ~alloc:1.0;
+  Alcotest.(check int) "null stays empty" 0
+    (List.length (Profiler.pass_rows Profiler.null))
+
 let tests =
   ( "telemetry",
     [
@@ -227,4 +443,11 @@ let tests =
       Alcotest.test_case "explain covers all jumps" `Quick
         test_explain_covers_all_jumps;
       Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "metrics null" `Quick test_metrics_null;
+      Alcotest.test_case "metrics merge determinism" `Quick
+        test_metrics_merge_determinism;
+      Alcotest.test_case "trace json" `Quick test_trace_json;
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "profiler merge" `Quick test_profiler_merge;
     ] )

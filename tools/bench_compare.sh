@@ -7,11 +7,71 @@
 # the rewrite this script guards.
 #
 # Usage: tools/bench_compare.sh OLD.json NEW.json
+#        tools/bench_compare.sh --trend RESULTS.json [TREND.jsonl]
+#
+# --trend appends one JSON line of per-commit aggregates (totals plus the
+# Table-5 mean percentage changes per machine) to TREND.jsonl (default
+# BENCH_trend.jsonl), building the longitudinal record that
+# `jumprepc report` and ad-hoc plotting consume.  The commit id comes
+# from git, or from $TREND_COMMIT when set (tests use this to fabricate
+# deterministic rows).
 
 set -eu
 
+if [ "${1:-}" = "--trend" ]; then
+    shift
+    if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+        echo "usage: $0 --trend RESULTS.json [TREND.jsonl]" >&2
+        exit 2
+    fi
+    results="$1"
+    trend="${2:-BENCH_trend.jsonl}"
+    commit="${TREND_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+    exec python3 - "$results" "$trend" "$commit" << 'EOF'
+import json, sys, time
+
+results_path, trend_path, commit = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(results_path) as f:
+    doc = json.load(f)
+results = doc.get("results", [])
+
+def change(now, base):
+    return 100.0 * (now - base) / max(1, base)
+
+row = {
+    "commit": commit,
+    "when": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "measurements": len(results),
+    "failures": len(doc.get("failures", [])),
+}
+for field in ("static_instrs", "static_ujumps", "dyn_instrs", "dyn_ujumps"):
+    row[field] = sum(r[field] for r in results)
+
+# Table-5 means: average of per-program percentage changes vs SIMPLE.
+by = {(r["program"], r["level"], r["machine"]): r for r in results}
+for machine in sorted({r["machine"] for r in results}):
+    progs = sorted({r["program"] for r in results if r["machine"] == machine})
+    progs = [p for p in progs
+             if all((p, lvl, machine) in by for lvl in ("SIMPLE", "LOOPS", "JUMPS"))]
+    means = {}
+    for lvl_key, lvl in (("loops", "LOOPS"), ("jumps", "JUMPS")):
+        for f_key, f in (("static", "static_instrs"), ("dyn", "dyn_instrs")):
+            deltas = [change(by[(p, lvl, machine)][f], by[(p, "SIMPLE", machine)][f])
+                      for p in progs]
+            means["%s_%s_pct" % (f_key, lvl_key)] = (
+                round(sum(deltas) / len(deltas), 3) if deltas else 0.0)
+    row[machine] = means
+
+with open(trend_path, "a") as f:
+    f.write(json.dumps(row, sort_keys=True) + "\n")
+print("bench_compare: appended %s (%d measurements) to %s"
+      % (commit, len(results), trend_path))
+EOF
+fi
+
 if [ $# -ne 2 ]; then
     echo "usage: $0 OLD.json NEW.json" >&2
+    echo "       $0 --trend RESULTS.json [TREND.jsonl]" >&2
     exit 2
 fi
 

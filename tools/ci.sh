@@ -25,7 +25,8 @@ dune exec bin/jumprepc.exe -- fuzz --seeds 25 -j 2 --quiet --out _build/fuzz-fai
 echo "== chaos smoke: crash+hang injection at -j 2, zero lost results =="
 dune exec bin/jumprepc.exe -- fuzz --seeds 10 -j 2 --quiet \
   --chaos crash:0.2,seed:9 --out _build/fuzz-chaos
-dune exec bench/main.exe -- --json -j 2 --chaos crash:0.1,hang:0.05,seed:11
+dune exec bench/main.exe -- --json -j 2 --chaos crash:0.1,hang:0.05,seed:11 \
+  --trace-out _build/trace-chaos.json
 python3 - << 'EOF'
 import json
 doc = json.load(open("BENCH_results.json"))
@@ -34,11 +35,69 @@ total = len(results) + len(failures)
 assert total == 84, f"lost results: {len(results)} done + {len(failures)} failed != 84"
 print(f"chaos sweep accounted for all 84 tasks "
       f"({len(results)} done, {len(failures)} failed)")
+# The chaos sweep's trace must show the supervisor at work: injected
+# faults as chaos instants and at least one retry decision on lane 0.
+trace = json.load(open("_build/trace-chaos.json"))
+evs = trace["traceEvents"]
+chaos = [e for e in evs if e.get("cat") == "chaos"]
+retries = [e for e in evs if e["name"] == "task-retry"]
+assert chaos, "no chaos instants in the chaos sweep's trace"
+assert retries, "no task-retry events in the chaos sweep's trace"
+assert all(e["tid"] == 0 for e in retries), "retry events must be on lane 0"
+print(f"chaos trace: {len(evs)} events, {len(chaos)} chaos instants, "
+      f"{len(retries)} retries")
 EOF
 
 echo "== bench --json sweep (2 domains) vs golden baseline =="
 dune exec bench/main.exe -- --json -j 2 > /dev/null
 tools/bench_compare.sh BENCH_baseline.json BENCH_results.json
+
+echo "== profiled+traced sweep stays byte-identical to the baseline =="
+dune exec bench/main.exe -- --json -j 2 --profile \
+  --profile-out _build/profile.json --trace-out _build/trace.json > /dev/null
+cmp BENCH_results.json BENCH_baseline.json
+python3 - << 'EOF'
+import json
+# Tiny schema check: the trace must load as trace-event JSON with at
+# least one complete span per worker lane, and the profile document must
+# carry all three sections.
+trace = json.load(open("_build/trace.json"))
+assert isinstance(trace["traceEvents"], list) and trace["displayTimeUnit"] == "ms"
+spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+for e in spans:
+    assert {"name", "ph", "ts", "dur", "pid", "tid"} <= e.keys(), e
+lanes = {e["tid"] for e in spans}
+assert {1, 2} <= lanes, f"expected spans on worker lanes 1 and 2, got {lanes}"
+profile = json.load(open("_build/profile.json"))
+assert {"profile", "metrics", "pool"} <= profile.keys()
+assert profile["profile"]["passes"], "no (function x pass) profiler rows"
+assert profile["profile"]["runs"], "no per-run profiler rows"
+assert any(k.startswith("pool.") for k in profile["pool"]), "no pool counters"
+print(f"trace: {len(spans)} spans on lanes {sorted(lanes)}; "
+      f"profile: {len(profile['profile']['passes'])} pass rows, "
+      f"{len(profile['profile']['runs'])} run rows")
+EOF
+
+echo "== report: paper tables from the sweep JSON =="
+dune exec bin/jumprepc.exe -- report BENCH_results.json \
+  --out _build/report.md --dat _build/report-dat
+dune exec bin/jumprepc.exe -- report --compare \
+  BENCH_baseline.json BENCH_results.json > _build/report-compare.md
+grep -q "No measurement changed" _build/report-compare.md
+grep -q "Table 5 shape" _build/report.md
+
+echo "== bench trend: two synthetic snapshots =="
+rm -f _build/ci-trend.jsonl
+TREND_COMMIT=ci-a tools/bench_compare.sh --trend BENCH_baseline.json _build/ci-trend.jsonl
+TREND_COMMIT=ci-b tools/bench_compare.sh --trend BENCH_results.json _build/ci-trend.jsonl
+python3 - << 'EOF'
+import json
+rows = [json.loads(l) for l in open("_build/ci-trend.jsonl")]
+assert [r["commit"] for r in rows] == ["ci-a", "ci-b"], rows
+for r in rows:
+    assert r["measurements"] == 84 and "risc" in r and "cisc" in r, r
+print("trend file grew to %d rows with per-machine means" % len(rows))
+EOF
 
 echo "== bechamel smoke (time-bounded) =="
 dune exec bench/main.exe -- --bechamel --bechamel-quota 0.05 -t 1 > /dev/null
