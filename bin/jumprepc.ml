@@ -9,6 +9,13 @@
 open Cmdliner
 module Diag = Telemetry.Diag
 module Json = Telemetry.Json
+module Ops = Daemon.Ops
+
+(* `jumprepc report … | head` and friends: with SIGPIPE ignored, a write
+   to a closed pipe surfaces as [Sys_error] (EPIPE), which the typed
+   backstop at the bottom turns into a clean io-error diagnostic instead
+   of a raw signal death. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 (* The one JSON emission path: every machine-readable output (compile/run
    --stats-json, measure, lint --json, explain --json, report) assembles a
@@ -214,36 +221,20 @@ let make_log trace trace_out =
   | true, None ->
     (Telemetry.Log.make (Telemetry.Log.Jsonl stderr), fun () -> flush stderr)
 
+(* A failed shared operation ({!Daemon.Ops}): the CLI maps it straight to
+   its typed-diagnostic death, the daemon to a wire error code. *)
+let fail_op (f : Ops.failure) = fail_diag ~code:f.exit_code f.diag
+
 (* Surface front-end failures as typed diagnostics with a file:line
-   position, not OCaml backtraces. *)
-let compile_source ?log ?(diags = ref []) opts machine ~path source =
-  let diag code fmt =
-    Printf.ksprintf
-      (fun message -> fail_diag (Diag.make code ~func:"" ~pass:"" message))
-      fmt
-  in
-  try Opt.Driver.compile ?log ~diags opts machine source with
-  | Frontend.Lexer.Error (msg, line) ->
-    diag Diag.Parse_error "%s:%d: lexical error: %s" path line msg
-  | Frontend.Parser.Error (msg, line) ->
-    diag Diag.Parse_error "%s:%d: syntax error: %s" path line msg
-  | Frontend.Codegen.Error msg ->
-    diag Diag.Semantic_error "%s: %s" path msg
-  | Telemetry.Diag.Error d ->
-    fail_diag
-      (Diag.make d.Diag.code ~func:d.Diag.func ~pass:d.Diag.pass
-         (Printf.sprintf "%s: %s" path d.Diag.message))
+   position, not OCaml backtraces.  The mapping lives in [Ops] so the
+   daemon reports the same diagnostics. *)
+let compile_source ?log ?diags opts machine ~path source =
+  match Ops.compile_source ?log ?diags opts machine ~path source with
+  | Ok prog -> prog
+  | Error f -> fail_op f
 
 let compile_prog ?log ?diags opts machine path =
   compile_source ?log ?diags opts machine ~path (read_file path)
-
-let func_ujumps f =
-  Array.fold_left
-    (fun n b ->
-      match Flow.Func.terminator b with
-      | Some (Ir.Rtl.Jump _) | Some (Ir.Rtl.Ijump _) -> n + 1
-      | Some _ | None -> n)
-    0 (Flow.Func.blocks f)
 
 (* --- compile --- *)
 
@@ -278,30 +269,8 @@ let compile_cmd =
         (Sim.Asm.static_ujumps asm)
         (Sim.Asm.static_nops asm)
     end;
-    if stats_json then begin
-      let asm = Sim.Asm.assemble machine prog in
-      print_json
-        (Json.Obj
-           [
-             ("level", Json.Str (Opt.Driver.level_name level));
-             ("machine", Json.Str machine.Ir.Machine.short);
-             ("static_instrs", Json.Int (Sim.Asm.static_instrs asm));
-             ("static_ujumps", Json.Int (Sim.Asm.static_ujumps asm));
-             ("static_nops", Json.Int (Sim.Asm.static_nops asm));
-             ( "funcs",
-               Json.Arr
-                 (List.map
-                    (fun f ->
-                      Json.Obj
-                        [
-                          ("name", Json.Str (Flow.Func.name f));
-                          ("instrs", Json.Int (Flow.Func.num_instrs f));
-                          ("blocks", Json.Int (Flow.Func.num_blocks f));
-                          ("ujumps", Json.Int (func_ujumps f));
-                        ])
-                    prog.Flow.Prog.funcs) );
-           ])
-    end;
+    if stats_json then
+      print_json (Ops.compile_stats ~level ~machine prog);
     report_diags diags;
     finish ();
     strict_exit strict diags
@@ -455,28 +424,20 @@ let measure_cmd =
     let source = read_file path in
     let input = Option.map read_file input_file |> Option.value ~default:"" in
     let log, finish = make_log trace trace_out in
-    let name = Filename.basename path in
-    let adhoc ?expected_output level =
-      try
-        Harness.Measure.run_adhoc
-          ~opts:(make_opts ~verify level)
-          ~log ~name ~source ~input ?expected_output level machine
-      with Sim.Interp.Runtime_error msg ->
-        Printf.eprintf "%s: runtime error: %s\n" path msg;
-        exit 2
-    in
-    (* The SIMPLE run is the reference output the other levels must match. *)
-    let simple = adhoc Opt.Driver.Simple in
     let rows =
-      simple
-      :: List.map
-           (fun level -> adhoc ~expected_output:simple.output level)
-           [ Opt.Driver.Loops; Opt.Driver.Jumps ]
+      match
+        Ops.measure_rows ~log ~verify ~path ~name:(Filename.basename path)
+          ~source ~input machine
+      with
+      | Ok rows -> rows
+      | Error (f : Ops.failure) when f.exit_code = 2 ->
+        (* A simulated-program fault keeps its bare one-line rendering
+           (no "jumprepc: error:" prefix), as it always had. *)
+        Printf.eprintf "%s\n" f.diag.Diag.message;
+        exit 2
+      | Error f -> fail_op f
     in
-    if stats_json then
-      print_json
-        (Json.Arr
-           (List.map (fun m -> Json.Raw (Harness.Measure.to_json m)) rows))
+    if stats_json then print_json (Ops.measure_json rows)
     else begin
       Printf.printf "%-8s %10s %10s %10s %10s %8s  %s\n" "level" "static"
         "dynamic" "dyn-jumps" "nops" "miss%" "status";
@@ -602,37 +563,18 @@ let lint_cmd =
             "jumprepc: lint: %s is neither a file nor a bundled benchmark\n" t;
           exit 2
     in
-    (* Lint the pre-allocation RTL: virtual registers must survive so the
-       uninitialized-read analysis can see them. *)
-    let opts = { (make_opts level) with Opt.Driver.allocate = false } in
     let all_diags = ref [] in
     let reports =
       List.map
         (fun t ->
-          let diags = ref [] in
-          let prog = compile_source ~diags opts machine ~path:t (source_of t) in
-          (* Pipeline diagnostics (quarantined passes etc.) and lint
-             findings share the rendering and the --strict policy. *)
-          let findings = List.rev !diags @ Lint.check_prog prog in
-          all_diags := !all_diags @ findings;
-          (t, findings))
+          match Ops.lint_findings ~level ~machine ~path:t (source_of t) with
+          | Error f -> fail_op f
+          | Ok findings ->
+            all_diags := !all_diags @ findings;
+            (t, findings))
         targets
     in
-    if json then
-      print_json
-        (Json.Arr
-           (List.map
-              (fun (t, findings) ->
-                Json.Obj
-                  [
-                    ("target", Json.Str t);
-                    ( "findings",
-                      Json.Arr
-                        (List.map
-                           (fun d -> Json.Raw (Telemetry.Diag.to_json d))
-                           findings) );
-                  ])
-              reports))
+    if json then print_json (Ops.lint_json reports)
     else
       List.iter
         (fun (t, findings) ->
@@ -680,42 +622,15 @@ let explain_cmd =
              objects.")
   in
   let run level machine path json =
-    (* Trace the whole compilation in memory, then audit what is left. *)
-    let log = Telemetry.Log.make Telemetry.Log.Memory in
-    let prog = compile_prog ~log (make_opts level) machine path in
-    let events = Telemetry.Log.events log in
+    (* Trace the whole compilation in memory, then audit what is left
+       (shared with the daemon's explain handler via {!Ops}). *)
+    let prog, events =
+      match Ops.explain_report ~level ~machine ~path (read_file path) with
+      | Ok r -> r
+      | Error f -> fail_op f
+    in
     if json then begin
-      (* The remaining jumps reuse the lint renderer: each decision is the
-         same typed diagnostic `jumprepc lint --json` emits. *)
-      print_json
-        (Json.Arr
-           (List.map
-              (fun f ->
-                let fname = Flow.Func.name f in
-                let applied =
-                  List.length
-                    (List.filter
-                       (function
-                         | Telemetry.Log.Replication_applied { func; _ } ->
-                           String.equal func fname
-                         | _ -> false)
-                       events)
-                in
-                Json.Obj
-                  [
-                    ("func", Json.Str fname);
-                    ("replicated", Json.Int applied);
-                    ( "remaining",
-                      Json.Arr
-                        (List.map
-                           (fun jd ->
-                             Json.Raw
-                               (Telemetry.Diag.to_json
-                                  (Lint.diag_of_decision ~func:fname
-                                     ~pass:"explain" jd)))
-                           (Replication.Jumps.explain f)) );
-                  ])
-              prog.Flow.Prog.funcs));
+      print_json (Ops.explain_json prog events);
       exit 0
     end;
     let total_applied = ref 0 and total_remaining = ref 0 in
@@ -861,6 +776,315 @@ let fuzz_cmd =
     Term.(
       const run $ seeds $ start $ out_dir $ max_steps $ quiet $ jobs
       $ verify_arg $ inject_fault_arg $ chaos_arg)
+
+(* --- serve / client: the compilation-as-a-service daemon --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path.  Mind the platform's ~100-byte \
+           socket-path limit; a short path under /tmp is safest.")
+
+let serve_cmd =
+  let jobs =
+    (* [None] defers the [default_jobs] env lookup (and its warning on a
+       malformed JUMPREP_JOBS) until serve actually runs. *)
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Resident worker domains (default \\$JUMPREP_JOBS or 1).  \
+             Workers keep their decode caches warm across requests.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests in flight beyond $(docv) are \
+             rejected with an explicit $(b,overloaded) error instead of \
+             buffered without bound.")
+  in
+  let drain_deadline =
+    Arg.(
+      value & opt float 10.0
+      & info [ "drain-deadline" ] ~docv:"SECS"
+          ~doc:
+            "On SIGTERM (or a $(b,drain) request): stop accepting, finish \
+             in-flight requests for at most $(docv) seconds, then \
+             force-stop.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Close connections idle (or stuck half-open mid-frame) for \
+             $(docv) seconds with no request in flight.")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Default per-request deadline when a request's QoS names none \
+             (cooperative cancel, abandon at 2x).")
+  in
+  let fuzz_out =
+    Arg.(
+      value
+      & opt string "fuzz-failures"
+      & info [ "fuzz-out" ] ~docv:"DIR"
+          ~doc:"Reproducer directory for $(b,fuzz) requests.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"No connection/drain lifecycle lines on stderr.")
+  in
+  let run socket jobs queue_cap drain_deadline idle_timeout default_deadline
+      fuzz_out trace_out quiet =
+    let trace =
+      Option.map (fun _ -> Telemetry.Trace.create ()) trace_out
+    in
+    let res =
+      Daemon.Server.serve
+        {
+          Daemon.Server.socket_path = socket;
+          jobs =
+            (match jobs with
+            | Some j -> max 1 j
+            | None -> Harness.Pool.default_jobs ());
+          queue_cap = max 1 queue_cap;
+          drain_deadline;
+          idle_timeout;
+          default_deadline;
+          fuzz_out;
+          trace;
+          quiet;
+        }
+    in
+    (match (trace_out, trace) with
+    | Some path, Some tr ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (Telemetry.Trace.to_json tr));
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "jumprepd: wrote %s\n" path
+    | _ -> ());
+    if not res.Daemon.Server.clean then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve compile/measure/lint/explain/fuzz requests over a \
+          Unix-domain socket: bounded admission, per-request QoS \
+          (deadline, budgets, retries, chaos) on the supervised worker \
+          pool, crash isolation, and graceful deadline-bounded drain on \
+          SIGTERM")
+    Term.(
+      const run $ socket_arg $ jobs $ queue_cap $ drain_deadline
+      $ idle_timeout $ default_deadline $ fuzz_out $ trace_out_arg $ quiet)
+
+let client_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (Arg.enum
+                [
+                  ("compile", `Compile);
+                  ("measure", `Measure);
+                  ("lint", `Lint);
+                  ("explain", `Explain);
+                  ("fuzz", `Fuzz);
+                  ("status", `Status);
+                  ("ping", `Ping);
+                  ("drain", `Drain);
+                ]))
+          None
+      & info [] ~docv:"KIND"
+          ~doc:
+            "Request kind: $(b,compile), $(b,measure), $(b,lint), \
+             $(b,explain), $(b,fuzz), $(b,status), $(b,ping) or \
+             $(b,drain).")
+  in
+  let file_opt =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"C source file (compile/measure/lint/explain kinds).")
+  in
+  let input_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input-file" ] ~docv:"FILE"
+          ~doc:"Standard input for $(b,measure) runs, from a file.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-request deadline (cooperative cancel, abandon at 2x).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a crashed or timed-out request up to $(docv) times on \
+             the server's deterministic backoff.")
+  in
+  let worker_chaos =
+    Arg.(
+      value
+      & opt (some chaos_conv) None
+      & info [ "worker-chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Testing only: per-request worker fault injection on the \
+             server ($(b,crash)/$(b,hang)/$(b,alloc)[:RATE],seed:N), the \
+             pool supervisor's grammar.")
+  in
+  let conn_chaos =
+    let conn_chaos_conv =
+      Arg.conv
+        ( (fun s ->
+            match Daemon.Protocol.conn_chaos_of_string s with
+            | Ok c -> Ok c
+            | Error e -> Error (`Msg e)),
+          fun ppf (c : Daemon.Protocol.conn_chaos) ->
+            Format.fprintf ppf "disconnect:%g,slowloris:%g,garbage:%g,seed:%d"
+              c.disconnect c.slowloris c.garbage c.conn_seed )
+    in
+    Arg.(
+      value
+      & opt (some conn_chaos_conv) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Testing only: connection-level fault injection — \
+             $(b,disconnect), $(b,slowloris) and $(b,garbage), each \
+             optionally $(b,:RATE) (default 0.1), plus $(b,seed:N).  \
+             Faults are staged on throwaway connections, a pure function \
+             of (seed, request index); the real requests run undisturbed, \
+             so results are byte-identical to a quiet run.")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "Stream the request's JSONL event log back over the socket \
+             (printed to stderr before the result).")
+  in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Send the request $(docv) times (load generation).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"Seeds for $(b,fuzz) requests.")
+  in
+  let start =
+    Arg.(
+      value & opt int 0
+      & info [ "start" ] ~docv:"N" ~doc:"First seed for $(b,fuzz) requests.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt int 3_000_000
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Per-run instruction budget for $(b,fuzz) requests.")
+  in
+  let run socket level machine kind file input_file deadline wall_budget
+      growth_budget retries worker_chaos conn_chaos telemetry count seeds
+      start max_steps =
+    let source_file what =
+      match file with
+      | Some f -> (f, read_file f)
+      | None ->
+        Printf.eprintf "jumprepc: client: %s needs a FILE argument\n" what;
+        exit 2
+    in
+    let req =
+      match kind with
+      | `Compile ->
+        let path, source = source_file "compile" in
+        Daemon.Protocol.Compile { path; source; level; machine }
+      | `Measure ->
+        let path, source = source_file "measure" in
+        let input =
+          Option.map read_file input_file |> Option.value ~default:""
+        in
+        Daemon.Protocol.Measure { path; source; input; machine }
+      | `Lint ->
+        let path, source = source_file "lint" in
+        Daemon.Protocol.Lint { path; source; level; machine }
+      | `Explain ->
+        let path, source = source_file "explain" in
+        Daemon.Protocol.Explain { path; source; level; machine }
+      | `Fuzz -> Daemon.Protocol.Fuzz { seeds; start; max_steps }
+      | `Status -> Daemon.Protocol.Status
+      | `Ping -> Daemon.Protocol.Ping
+      | `Drain -> Daemon.Protocol.Drain
+    in
+    let qos =
+      {
+        Daemon.Protocol.deadline;
+        wall_budget;
+        growth_budget;
+        retries;
+        chaos = worker_chaos;
+        telemetry;
+      }
+    in
+    match Daemon.Client.connect ?chaos:conn_chaos socket with
+    | Error e -> fail_diag (Diag.make Diag.Io_error ~func:"" ~pass:"" e)
+    | Ok c ->
+      let finish code =
+        Daemon.Client.close c;
+        if code <> 0 then exit code
+      in
+      let rec go left =
+        if left > 0 then
+          match
+            Daemon.Client.request c ~qos
+              ~on_telemetry:(fun line -> Printf.eprintf "%s\n" line)
+              req
+          with
+          | Ok (payload, _elapsed_ms) ->
+            print_endline payload;
+            go (left - 1)
+          | Error (code, message) ->
+            Printf.eprintf "jumprepc: error: %s\n" message;
+            finish (Daemon.Client.exit_of_code code)
+      in
+      go count;
+      finish 0
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running $(b,jumprepc serve) daemon; result \
+          payloads print byte-identically to the corresponding one-shot \
+          $(b,jumprepc) --json output")
+    Term.(
+      const run $ socket_arg $ level_arg $ machine_arg $ kind_arg $ file_opt
+      $ input_file $ deadline $ wall_budget_arg $ growth_budget_arg $ retries
+      $ worker_chaos $ conn_chaos $ telemetry $ count $ seeds $ start
+      $ max_steps)
 
 (* --- report: render the bench sweep's JSON into paper-shaped tables --- *)
 
@@ -1018,6 +1242,8 @@ let main =
       bench_cmd;
       lint_cmd;
       explain_cmd;
+      serve_cmd;
+      client_cmd;
       report_cmd;
       fuzz_cmd;
       list_cmd;
@@ -1029,6 +1255,14 @@ let () =
   match Cmd.eval ~catch:false main with
   | code -> exit code
   | exception Sys_error msg ->
+    (* On EPIPE (e.g. `jumprepc report ... | head`) stdout still holds
+       unflushable bytes; point fd 1 at /dev/null so the at_exit flush
+       cannot raise a second, unhandled Sys_error over the diagnostic. *)
+    (try
+       let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+       Unix.dup2 null Unix.stdout;
+       Unix.close null
+     with _ -> ());
     fail_diag (Diag.make Diag.Io_error ~func:"" ~pass:"" msg)
   | exception Telemetry.Diag.Error d -> fail_diag d
   | exception Harness.Budget.Exhausted r ->

@@ -1,0 +1,32 @@
+(** Client side of the jumprepd protocol (see {!Protocol}): one blocking
+    connection, with optional connection-level chaos.
+
+    Chaos faults ({!Protocol.conn_chaos}) are staged on throwaway
+    connections — half-frame disconnects, one-byte-at-a-time slowloris
+    sends, corrupted payloads — while the real request runs undisturbed,
+    so results under chaos stay byte-identical to a quiet run. *)
+
+type t
+
+(** Connect to the daemon's Unix-domain socket. *)
+val connect : ?chaos:Protocol.conn_chaos -> string -> (t, string) result
+
+val close : t -> unit
+
+(** Send one request and block for its result.  [on_telemetry] receives
+    each streamed JSONL line (when the qos asked for telemetry) before
+    the result arrives.  [Ok (payload, elapsed_ms)] carries the rendered
+    result document — printed verbatim it is byte-identical to the
+    one-shot CLI's stdout — and the server-side latency.  Transport
+    failures surface as [Error (Internal, _)]. *)
+val request :
+  t ->
+  ?qos:Protocol.qos ->
+  ?on_telemetry:(string -> unit) ->
+  Protocol.request ->
+  (string * float, Protocol.error_code * string) result
+
+(** The exit code the one-shot CLI would have produced: 1 bad-request,
+    2 runtime-error, 124 deadline, 125 crashed/internal, 75 (EX_TEMPFAIL)
+    overloaded/draining. *)
+val exit_of_code : Protocol.error_code -> int

@@ -24,6 +24,17 @@ type t = {
 let instrs_between_branches t =
   float_of_int t.dyn_instrs /. float_of_int (max 1 t.dyn_transfers)
 
+(* One lock for all module-level state (memo, mismatch/timeout/failure
+   lists): the daemon's resident workers call the measurement entry
+   points concurrently, where the bench sweeps only ever touched this
+   state from the supervising domain.  Never held across a measurement —
+   only across the bookkeeping around one. *)
+let state_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock state_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mu) f
+
 (* The memo key hashes source/input/expectation so ad-hoc files measured
    under the same name (or a re-generated suite) can never alias. *)
 let memo : (string * string * Opt.Driver.level * string, t) Hashtbl.t =
@@ -36,18 +47,18 @@ let memo_key (b : Programs.Suite.benchmark) level machine =
     level,
     machine.Ir.Machine.short )
 
-let reset_cache () = Hashtbl.reset memo
+let reset_cache () = locked (fun () -> Hashtbl.reset memo)
 
 (* Output mismatches found this process, in discovery order.  [run_suite]
    and the bench drivers use this to fail loudly instead of relying on
    every caller to inspect [output_ok]. *)
 let failed : (string * Opt.Driver.level * string) list ref = ref []
-let mismatches () = List.rev !failed
+let mismatches () = locked (fun () -> List.rev !failed)
 
 (* Step-limit exhaustions, kept apart from mismatches: a hang is a
    distinct verdict (the output comparison is meaningless for it). *)
 let hung : (string * Opt.Driver.level * string) list ref = ref []
-let timeouts () = List.rev !hung
+let timeouts () = locked (fun () -> List.rev !hung)
 
 (* Supervised tasks that produced no measurement at all — the worker
    crashed or the deadline expired on every attempt.  Kept apart from
@@ -64,7 +75,7 @@ type task_failure = {
 }
 
 let task_failed : task_failure list ref = ref []
-let task_failures () = List.rev !task_failed
+let task_failures () = locked (fun () -> List.rev !task_failed)
 
 let last_pool_stats = ref Pool.no_stats
 let pool_stats () = !last_pool_stats
@@ -82,17 +93,18 @@ let failure_to_json f =
 
 let record_task_failure log ~kind ~detail ~attempts ~elapsed
     (b : Programs.Suite.benchmark) level (machine : Ir.Machine.t) =
-  task_failed :=
-    {
-      f_program = b.name;
-      f_level = level;
-      f_machine = machine.Ir.Machine.short;
-      f_kind = kind;
-      f_detail = detail;
-      f_attempts = attempts;
-      f_elapsed = elapsed;
-    }
-    :: !task_failed;
+  locked (fun () ->
+      task_failed :=
+        {
+          f_program = b.name;
+          f_level = level;
+          f_machine = machine.Ir.Machine.short;
+          f_kind = kind;
+          f_detail = detail;
+          f_attempts = attempts;
+          f_elapsed = elapsed;
+        }
+        :: !task_failed);
   Telemetry.Log.emit log (fun () ->
       Telemetry.Log.Warning
         {
@@ -106,7 +118,8 @@ let record_task_failure log ~kind ~detail ~attempts ~elapsed
         })
 
 let record_mismatch log (m : t) ~expected =
-  failed := (m.program, m.level, m.machine.Ir.Machine.short) :: !failed;
+  locked (fun () ->
+      failed := (m.program, m.level, m.machine.Ir.Machine.short) :: !failed);
   Telemetry.Log.emit log (fun () ->
       Telemetry.Log.Warning
         {
@@ -119,7 +132,8 @@ let record_mismatch log (m : t) ~expected =
         })
 
 let record_timeout log (m : t) =
-  hung := (m.program, m.level, m.machine.Ir.Machine.short) :: !hung;
+  locked (fun () ->
+      hung := (m.program, m.level, m.machine.Ir.Machine.short) :: !hung);
   Telemetry.Log.emit log (fun () ->
       Telemetry.Log.Warning
         {
@@ -224,32 +238,35 @@ let measure_raw ?opts ?(log = Telemetry.Log.null)
   m
 
 (* The stateful tail of a measurement — mismatch/timeout bookkeeping in
-   the module-level lists.  Parent-domain only. *)
+   the module-level lists (lock-guarded; daemon workers land here
+   concurrently). *)
 let record log (b : Programs.Suite.benchmark) m =
   if m.timed_out then record_timeout log m
   else if not m.output_ok then record_mismatch log m ~expected:b.expected_output
 
-let measure ?opts ?(log = Telemetry.Log.null) ?profiler ?verify
+let measure ?opts ?(log = Telemetry.Log.null) ?profiler ?verify ?budget
     (b : Programs.Suite.benchmark) level machine =
-  let m = measure_raw ?opts ~log ?profiler ?verify b level machine in
+  let m = measure_raw ?opts ~log ?profiler ?verify ?budget b level machine in
   record log b m;
   m
 
-let run ?opts ?log ?profiler ?verify (b : Programs.Suite.benchmark) level
-    machine =
+let run ?opts ?log ?profiler ?verify ?budget (b : Programs.Suite.benchmark)
+    level machine =
   match opts with
-  | Some _ -> measure ?opts ?log ?profiler ?verify b level machine
+  | Some _ -> measure ?opts ?log ?profiler ?verify ?budget b level machine
   | None -> (
     let key = memo_key b level machine in
-    match Hashtbl.find_opt memo key with
+    (* The lock never spans the measurement itself: a racing miss computes
+       twice and both add the same (deterministic) value. *)
+    match locked (fun () -> Hashtbl.find_opt memo key) with
     | Some t -> t
     | None ->
-      let t = measure ?log ?profiler ?verify b level machine in
-      Hashtbl.add memo key t;
+      let t = measure ?log ?profiler ?verify ?budget b level machine in
+      locked (fun () -> Hashtbl.replace memo key t);
       t)
 
-let run_adhoc ?opts ?log ~name ~source ?(input = "") ?expected_output level
-    machine =
+let run_adhoc ?opts ?log ?budget ~name ~source ?(input = "") ?expected_output
+    level machine =
   (* Without an expectation, the run is its own reference: [output_ok] is
      forced true and callers compare outputs across levels instead. *)
   let b =
@@ -262,7 +279,7 @@ let run_adhoc ?opts ?log ~name ~source ?(input = "") ?expected_output level
       expected_output = Option.value ~default:"" expected_output;
     }
   in
-  run ?opts ?log ~verify:(expected_output <> None) b level machine
+  run ?opts ?log ?budget ~verify:(expected_output <> None) b level machine
 
 (* Parallel sweep over (benchmark, level, machine) tasks.  The memo
    table, mismatch/timeout lists and the caller's log stay on this
@@ -284,7 +301,8 @@ let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
       List.filter
         (fun (b, level, m) ->
           let key = memo_key b level m in
-          (not (Hashtbl.mem memo key)) && not (Hashtbl.mem pending key)
+          (not (locked (fun () -> Hashtbl.mem memo key)))
+          && (not (Hashtbl.mem pending key))
           && (Hashtbl.add pending key (); true))
         tasks
     in
@@ -326,7 +344,7 @@ let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
           end;
           if profiling then Telemetry.Profiler.merge ~into:profiler wprof;
           record log b res;
-          Hashtbl.add memo (memo_key b level machine) res
+          locked (fun () -> Hashtbl.replace memo (memo_key b level machine) res)
         | Pool.Crashed { exn; backtrace; attempts } ->
           let detail =
             match String.trim backtrace with
@@ -343,7 +361,8 @@ let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
     (* Failed tasks have no measurement: the sweep's result list simply
        omits them (callers consult [task_failures] for the rest). *)
     List.filter_map
-      (fun (b, level, m) -> Hashtbl.find_opt memo (memo_key b level m))
+      (fun (b, level, m) ->
+        locked (fun () -> Hashtbl.find_opt memo (memo_key b level m)))
       tasks
   end
 

@@ -43,12 +43,20 @@ val instrs_between_branches : t -> float
     wall time and cache-bank time land in a ["program/LEVEL/machine"]
     run row.  [verify] (default true) controls the output comparison;
     ad-hoc sources without a known-good output pass [~verify:false]
-    through {!run_adhoc}. *)
+    through {!run_adhoc}.  [budget] is threaded into the interpreter
+    (its fuel accounting is the poll point): a cancelled or expired
+    budget raises {!Budget.Exhausted} out of the run rather than
+    returning a silently different measurement.
+
+    Thread-safety: the memo and the mismatch/timeout records are
+    lock-guarded, so the daemon's resident workers may call the
+    measurement entry points concurrently. *)
 val run :
   ?opts:Opt.Driver.options ->
   ?log:Telemetry.Log.t ->
   ?profiler:Telemetry.Profiler.t ->
   ?verify:bool ->
+  ?budget:Telemetry.Budget.t ->
   Programs.Suite.benchmark ->
   Opt.Driver.level ->
   Ir.Machine.t ->
@@ -60,6 +68,7 @@ val run :
 val run_adhoc :
   ?opts:Opt.Driver.options ->
   ?log:Telemetry.Log.t ->
+  ?budget:Telemetry.Budget.t ->
   name:string ->
   source:string ->
   ?input:string ->

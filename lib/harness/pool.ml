@@ -590,6 +590,468 @@ let supervise ?(jobs = 1) ?deadline ?(retries = 2) ?(backoff_base = 0.05)
     (outcomes, stats ())
   end
 
+(* --- persistent supervised service (the daemon's scheduler) --- *)
+
+(* [supervise] is a batch API: it owns the calling domain until the last
+   task lands.  A long-running server needs the same fault isolation —
+   worker domains, respawn, deadlines, retries, deterministic chaos —
+   with tasks arriving one at a time and the supervisor tick driven from
+   the server's own event loop.  [Service] is that shape: [submit] hands
+   a task to resident workers, [tick] is one non-blocking supervisor
+   pass (call it from the event loop), [poll] reads a task's structured
+   outcome, [shutdown] is the bounded join.
+
+   Every handle write happens under the service mutex; a task function
+   runs on a worker domain and stores its own [Done] result, while
+   retries, deadline abandonment and failure finalization belong to the
+   tick.  Resident workers also keep their domain-local decode caches
+   warm across requests — the space-for-latency trade the daemon
+   serves. *)
+module Service = struct
+  type task = {
+    t_seq : int;
+    t_label : string;
+    t_fn : Budget.t -> unit;  (* runs the user fn; stores Done itself *)
+    t_fail : failure -> int -> unit;  (* finalize; caller holds [mu] *)
+    t_finalized : unit -> bool;  (* caller holds [mu] *)
+    t_deadline : float option;
+    t_retries : int;
+    t_chaos : chaos option;
+    mutable t_latest : int;  (* newest scheduled attempt number *)
+  }
+
+  type trunning = {
+    q_task : task;
+    q_attempt : int;
+    q_start : float;
+    q_budget : Budget.t;
+  }
+
+  type sstate =
+    | S_idle
+    | S_busy of trunning
+    | S_exited
+    | S_died of trunning option * exn * string
+
+  type sslot = {
+    mutable s_st : sstate;
+    mutable s_dom : unit Domain.t option;
+    mutable s_retire : bool;
+    s_tid : int;
+  }
+
+  type t = {
+    mu : Mutex.t;
+    cond : Condition.t;
+    jobs : int;
+    pending : (task * int) Queue.t;
+    reports : (task * int * (unit, failure) result) Queue.t;
+    mutable delayed : (float * task * int) list;
+    mutable slots : sslot list;
+    mutable zombies : sslot list;
+    mutable free_tids : int list;
+    mutable quit : bool;
+    release : bool Atomic.t;
+    mutable seq : int;
+    mutable in_flight : int;
+    mutable submitted : int;
+    backoff_base : float;
+    trace : Telemetry.Trace.t option;
+    inj_crashes : int Atomic.t;
+    inj_hangs : int Atomic.t;
+    inj_allocs : int Atomic.t;
+    mutable s_retried : int;
+    mutable s_respawned : int;
+    mutable s_abandoned : int;
+  }
+
+  type 'a handle = { mutable h_out : 'a outcome option }
+
+  let tr svc g = match svc.trace with Some t -> g t | None -> ()
+
+  let alloc_storm () =
+    for _ = 1 to 64 do
+      ignore (Sys.opaque_identity (Bytes.create (1 lsl 20)))
+    done
+
+  (* One attempt on a worker domain.  The chaos fault schedule is the
+     supervise one: a pure function of (seed, submission sequence number,
+     attempt).  An injected crash unwinds the worker — domain death and
+     respawn are exactly the failure mode being drilled. *)
+  let run_attempt svc slot task attempt =
+    let budget = Budget.make ?deadline:task.t_deadline () in
+    let started = Unix.gettimeofday () in
+    Mutex.lock svc.mu;
+    slot.s_st <-
+      S_busy { q_task = task; q_attempt = attempt; q_start = started; q_budget = budget };
+    Mutex.unlock svc.mu;
+    let hang_cap =
+      match task.t_deadline with Some d -> 4. *. d | None -> 2.0
+    in
+    let body () =
+      let fault =
+        match task.t_chaos with
+        | None -> None
+        | Some c -> chaos_fault c ~task:task.t_seq ~attempt
+      in
+      match fault with
+      | Some `Crash ->
+        Atomic.incr svc.inj_crashes;
+        tr svc (fun t ->
+            Telemetry.Trace.instant t ~tid:slot.s_tid ~cat:"chaos" "chaos-crash");
+        raise Chaos_crash
+      | Some `Hang ->
+        Atomic.incr svc.inj_hangs;
+        tr svc (fun t ->
+            Telemetry.Trace.instant t ~tid:slot.s_tid ~cat:"chaos" "chaos-hang");
+        while
+          (not (Atomic.get svc.release))
+          && (not (Budget.interrupted budget))
+          && Unix.gettimeofday () -. started < hang_cap
+        do
+          Domain.cpu_relax ()
+        done;
+        Error (F_timeout (Unix.gettimeofday () -. started))
+      | (Some `Alloc | None) as fl -> (
+        if fl <> None then begin
+          Atomic.incr svc.inj_allocs;
+          tr svc (fun t ->
+              Telemetry.Trace.instant t ~tid:slot.s_tid ~cat:"chaos" "chaos-alloc");
+          alloc_storm ()
+        end;
+        match task.t_fn budget with
+        | () -> Ok ()
+        | exception Budget.Exhausted _ ->
+          Error (F_timeout (Unix.gettimeofday () -. started))
+        | exception e -> Error (F_crash (e, Printexc.get_backtrace ())))
+    in
+    let res =
+      match svc.trace with
+      | None -> body ()
+      | Some t ->
+        Telemetry.Trace.with_span t ~tid:slot.s_tid ~cat:"request"
+          ~args:[ ("attempt", Telemetry.Json.Int attempt) ]
+          task.t_label body
+    in
+    Mutex.lock svc.mu;
+    slot.s_st <- S_idle;
+    Queue.push (task, attempt, res) svc.reports;
+    Mutex.unlock svc.mu
+
+  let rec worker_loop svc slot =
+    Mutex.lock svc.mu;
+    let rec next () =
+      if svc.quit || slot.s_retire then None
+      else if Queue.is_empty svc.pending then begin
+        Condition.wait svc.cond svc.mu;
+        next ()
+      end
+      else Some (Queue.pop svc.pending)
+    in
+    let job = next () in
+    Mutex.unlock svc.mu;
+    match job with
+    | None -> ()
+    | Some (task, attempt) ->
+      run_attempt svc slot task attempt;
+      worker_loop svc slot
+
+  let worker svc slot () =
+    match worker_loop svc slot with
+    | () ->
+      Mutex.lock svc.mu;
+      slot.s_st <- S_exited;
+      Mutex.unlock svc.mu
+    | exception e ->
+      let bt = Printexc.get_backtrace () in
+      Mutex.lock svc.mu;
+      let running = match slot.s_st with S_busy r -> Some r | _ -> None in
+      slot.s_st <- S_died (running, e, bt);
+      Mutex.unlock svc.mu
+
+  let spawn_slot svc tid =
+    let slot = { s_st = S_idle; s_dom = None; s_retire = false; s_tid = tid } in
+    slot.s_dom <- Some (Domain.spawn (worker svc slot));
+    slot
+
+  let create ?(jobs = 1) ?trace () =
+    let jobs = max 1 jobs in
+    let svc =
+      {
+        mu = Mutex.create ();
+        cond = Condition.create ();
+        jobs;
+        pending = Queue.create ();
+        reports = Queue.create ();
+        delayed = [];
+        slots = [];
+        zombies = [];
+        free_tids = [];
+        quit = false;
+        release = Atomic.make false;
+        seq = 0;
+        in_flight = 0;
+        submitted = 0;
+        backoff_base = 0.05;
+        trace;
+        inj_crashes = Atomic.make 0;
+        inj_hangs = Atomic.make 0;
+        inj_allocs = Atomic.make 0;
+        s_retried = 0;
+        s_respawned = 0;
+        s_abandoned = 0;
+      }
+    in
+    (match trace with
+    | Some t ->
+      Telemetry.Trace.thread_name t ~tid:0 "supervisor";
+      for k = 1 to jobs do
+        Telemetry.Trace.thread_name t ~tid:k (Printf.sprintf "worker-%d" k)
+      done
+    | None -> ());
+    svc.slots <- List.init jobs (fun k -> spawn_slot svc (k + 1));
+    svc
+
+  let stats svc =
+    {
+      injected_crashes = Atomic.get svc.inj_crashes;
+      injected_hangs = Atomic.get svc.inj_hangs;
+      injected_allocs = Atomic.get svc.inj_allocs;
+      retried = svc.s_retried;
+      respawned = svc.s_respawned;
+      abandoned = svc.s_abandoned;
+    }
+
+  let in_flight svc =
+    Mutex.lock svc.mu;
+    let n = svc.in_flight in
+    Mutex.unlock svc.mu;
+    n
+
+  let submitted svc =
+    Mutex.lock svc.mu;
+    let n = svc.submitted in
+    Mutex.unlock svc.mu;
+    n
+
+  let submit svc ?deadline ?(retries = 0) ?chaos ?label f =
+    let h = { h_out = None } in
+    Mutex.lock svc.mu;
+    if svc.quit then begin
+      Mutex.unlock svc.mu;
+      invalid_arg "Pool.Service.submit: service is shut down"
+    end;
+    svc.seq <- svc.seq + 1;
+    svc.in_flight <- svc.in_flight + 1;
+    svc.submitted <- svc.submitted + 1;
+    let seq = svc.seq in
+    (* Finalization is once-only: a stale attempt completing after an
+       abandonment (or after the retry that superseded it) finds the
+       handle already written and leaves it alone — the task function is
+       deterministic, so whichever attempt lands first defines the
+       outcome. *)
+    let finalize o =
+      if h.h_out = None then begin
+        h.h_out <- Some o;
+        svc.in_flight <- svc.in_flight - 1
+      end
+    in
+    let task =
+      {
+        t_seq = seq;
+        t_label =
+          (match label with Some l -> l | None -> Printf.sprintf "req-%d" seq);
+        t_fn =
+          (fun budget ->
+            let v = f budget in
+            Mutex.lock svc.mu;
+            finalize (Done v);
+            Mutex.unlock svc.mu);
+        t_fail =
+          (fun fl attempts ->
+            finalize
+              (match fl with
+              | F_crash (exn, backtrace) -> Crashed { exn; backtrace; attempts }
+              | F_timeout elapsed -> Timed_out { elapsed; attempts }));
+        t_finalized = (fun () -> h.h_out <> None);
+        t_deadline = deadline;
+        t_retries = retries;
+        t_chaos = chaos;
+        t_latest = 1;
+      }
+    in
+    Queue.push (task, 1) svc.pending;
+    Condition.broadcast svc.cond;
+    Mutex.unlock svc.mu;
+    h
+
+  let poll svc h =
+    Mutex.lock svc.mu;
+    let o = h.h_out in
+    Mutex.unlock svc.mu;
+    o
+
+  (* Retry/finalize bookkeeping for a failed attempt; caller holds [mu]. *)
+  let handle_failure svc now task attempt fl =
+    if (not (task.t_finalized ())) && attempt >= task.t_latest then begin
+      if attempt <= task.t_retries then begin
+        svc.s_retried <- svc.s_retried + 1;
+        tr svc (fun t ->
+            Telemetry.Trace.instant t ~tid:0
+              ~args:
+                [
+                  ("task", Telemetry.Json.Str task.t_label);
+                  ("attempt", Telemetry.Json.Int attempt);
+                ]
+              "task-retry");
+        task.t_latest <- attempt + 1;
+        svc.delayed <-
+          (now +. backoff ~base:svc.backoff_base attempt, task, attempt + 1)
+          :: svc.delayed
+      end
+      else task.t_fail fl attempt
+    end
+
+  (* One supervisor pass: deliver reports, detect dead workers, enforce
+     deadlines, release due retries, respawn.  Non-blocking — the server
+     calls this from its select loop. *)
+  let tick svc =
+    let to_join = ref [] in
+    Mutex.lock svc.mu;
+    let now = Unix.gettimeofday () in
+    while not (Queue.is_empty svc.reports) do
+      let task, attempt, res = Queue.pop svc.reports in
+      match res with
+      | Ok () -> ()  (* the task function already stored its Done *)
+      | Error fl -> handle_failure svc now task attempt fl
+    done;
+    let keep =
+      List.filter
+        (fun slot ->
+          match slot.s_st with
+          | S_died (running, exn, bt) ->
+            tr svc (fun t ->
+                Telemetry.Trace.instant t ~tid:0
+                  ~args:[ ("worker", Telemetry.Json.Int slot.s_tid) ]
+                  "worker-died");
+            Option.iter
+              (fun r ->
+                handle_failure svc now r.q_task r.q_attempt (F_crash (exn, bt)))
+              running;
+            Option.iter (fun d -> to_join := d :: !to_join) slot.s_dom;
+            svc.free_tids <- slot.s_tid :: svc.free_tids;
+            false
+          | S_busy r -> (
+            match r.q_task.t_deadline with
+            | Some d when now -. r.q_start > 2. *. d ->
+              svc.s_abandoned <- svc.s_abandoned + 1;
+              tr svc (fun t ->
+                  Telemetry.Trace.instant t ~tid:0
+                    ~args:
+                      [
+                        ("worker", Telemetry.Json.Int slot.s_tid);
+                        ("task", Telemetry.Json.Str r.q_task.t_label);
+                      ]
+                    "deadline-abandon");
+              Budget.cancel r.q_budget;
+              handle_failure svc now r.q_task r.q_attempt
+                (F_timeout (now -. r.q_start));
+              slot.s_retire <- true;
+              svc.zombies <- slot :: svc.zombies;
+              svc.free_tids <- slot.s_tid :: svc.free_tids;
+              false
+            | Some d when now -. r.q_start > d ->
+              if not (Budget.interrupted r.q_budget) then
+                tr svc (fun t ->
+                    Telemetry.Trace.instant t ~tid:0
+                      ~args:
+                        [
+                          ("worker", Telemetry.Json.Int slot.s_tid);
+                          ("task", Telemetry.Json.Str r.q_task.t_label);
+                        ]
+                      "deadline-cancel");
+              Budget.cancel r.q_budget;
+              true
+            | _ -> true)
+          | S_idle | S_exited -> true)
+        svc.slots
+    in
+    svc.slots <- keep;
+    let ready, not_ready =
+      List.partition (fun (t, _, _) -> t <= now) svc.delayed
+    in
+    svc.delayed <- not_ready;
+    List.iter
+      (fun (_, task, attempt) -> Queue.push (task, attempt) svc.pending)
+      ready;
+    if not (Queue.is_empty svc.pending) then Condition.broadcast svc.cond;
+    let live = List.length svc.slots in
+    let quit = svc.quit in
+    Mutex.unlock svc.mu;
+    List.iter Domain.join !to_join;
+    if not quit then
+      for _ = 1 to svc.jobs - live do
+        Mutex.lock svc.mu;
+        svc.s_respawned <- svc.s_respawned + 1;
+        let tid =
+          match svc.free_tids with
+          | t :: rest ->
+            svc.free_tids <- rest;
+            t
+          | [] -> svc.jobs + svc.s_respawned
+        in
+        tr svc (fun t ->
+            Telemetry.Trace.instant t ~tid:0
+              ~args:[ ("worker", Telemetry.Json.Int tid) ]
+              "worker-respawn");
+        let slot = spawn_slot svc tid in
+        svc.slots <- slot :: svc.slots;
+        Mutex.unlock svc.mu
+      done
+
+  (* Bounded shutdown, same discipline as [supervise]: wake everyone,
+     cancel whatever is still running, then wait at most [deadline]
+     seconds — a worker wedged in non-cooperative code is left behind
+     rather than wedging the caller.  Returns [true] when every worker
+     joined (no stragglers). *)
+  let shutdown ?(deadline = 2.0) svc =
+    Mutex.lock svc.mu;
+    svc.quit <- true;
+    Atomic.set svc.release true;
+    List.iter
+      (fun s ->
+        match s.s_st with S_busy r -> Budget.cancel r.q_budget | _ -> ())
+      (svc.slots @ svc.zombies);
+    Condition.broadcast svc.cond;
+    let all = svc.slots @ svc.zombies in
+    Mutex.unlock svc.mu;
+    let finished s =
+      Mutex.lock svc.mu;
+      let r =
+        match s.s_st with
+        | S_exited | S_died _ -> true
+        | S_idle | S_busy _ -> false
+      in
+      Mutex.unlock svc.mu;
+      r
+    in
+    let give_up = Unix.gettimeofday () +. Float.max 0.1 deadline in
+    let rec drain waiting =
+      let still = List.filter (fun s -> not (finished s)) waiting in
+      if still = [] || Unix.gettimeofday () > give_up then still
+      else begin
+        Unix.sleepf 0.001;
+        drain still
+      end
+    in
+    let stragglers = drain all in
+    List.iter
+      (fun s ->
+        if not (List.memq s stragglers) then Option.iter Domain.join s.s_dom)
+      all;
+    stragglers = []
+end
+
 let map ?(jobs = 1) f xs =
   let outcomes, _ = supervise ~jobs ~retries:0 (fun _budget x -> f x) xs in
   List.map

@@ -124,6 +124,65 @@ val supervise :
   'a list ->
   'b outcome list * stats
 
+(** Persistent supervised worker pool — the {!supervise} fault-isolation
+    discipline (resident worker domains, respawn on death, per-task
+    deadlines with cooperative cancel then abandon at 2x, deterministic
+    retries and chaos) for tasks that arrive one at a time, e.g. daemon
+    requests.  The supervisor is not a loop here: {!Service.tick} is one
+    non-blocking pass, driven from the caller's own event loop.
+
+    Resident workers keep their domain-local decode caches warm across
+    tasks, which is the daemon's cross-request cache sharing. *)
+module Service : sig
+  type t
+
+  (** A submitted task's future outcome. *)
+  type 'a handle
+
+  (** Spawn [jobs] resident worker domains (default 1).  With [trace],
+      attempts are recorded as spans on worker lanes 1..jobs and
+      supervisor decisions (retry, death, respawn, deadline
+      cancel/abandon) as instants on lane 0, as in {!supervise}. *)
+  val create : ?jobs:int -> ?trace:Telemetry.Trace.t -> unit -> t
+
+  (** Queue [f] for execution on a worker domain.  Each attempt gets a
+      fresh cancellable budget carrying [deadline]; failures retry up to
+      [retries] times (default 0) on the {!backoff} schedule; [chaos]
+      draws per-attempt faults from the pure (seed, submission number,
+      attempt) hash.  [label] names the task in traces.
+      @raise Invalid_argument after {!shutdown}. *)
+  val submit :
+    t ->
+    ?deadline:float ->
+    ?retries:int ->
+    ?chaos:chaos ->
+    ?label:string ->
+    (Telemetry.Budget.t -> 'a) ->
+    'a handle
+
+  (** The task's outcome, once every attempt has resolved. *)
+  val poll : t -> 'a handle -> 'a outcome option
+
+  (** One supervisor pass: deliver completed attempts, detect and respawn
+      dead workers, enforce deadlines, release due retries.  Non-blocking;
+      call it every few milliseconds. *)
+  val tick : t -> unit
+
+  (** Tasks submitted but not yet finalized (queued or running). *)
+  val in_flight : t -> int
+
+  (** Tasks submitted over the service's lifetime. *)
+  val submitted : t -> int
+
+  val stats : t -> stats
+
+  (** Bounded join: stop the workers and wait at most [deadline] seconds
+      (default 2).  [true] when every worker joined — a worker wedged in
+      non-cooperative code is left behind and reported as [false] rather
+      than wedging the caller. *)
+  val shutdown : ?deadline:float -> t -> bool
+end
+
 (** [map ~jobs f xs] is [List.map f xs] computed by [jobs] worker domains
     ([jobs = 1] spawns none): {!supervise} with no deadline, no retries
     and no chaos.  If any application raises, the raising task with the

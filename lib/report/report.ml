@@ -404,14 +404,23 @@ let compare_docs ?(name_a = "A") ?(name_b = "B") a b =
   if shared <> [] then begin
     Buffer.add_string buf "Table-5 means (static L/J, dynamic L/J):\n\n";
     buf_table buf
-      [ "machine"; name_a; name_b ]
+      [ "machine"; name_a; name_b; "delta" ]
       (List.map
          (fun m ->
            let fmt (sl, sj, dl, dj) =
              Printf.sprintf "%s / %s, %s / %s" (signed sl) (signed sj)
                (signed dl) (signed dj)
            in
-           [ m; fmt (means a m); fmt (means b m) ])
+           let sla, sja, dla, dja = means a m in
+           let slb, sjb, dlb, djb = means b m in
+           (* Identical sweeps render an explicit all-zero delta, so "no
+              movement" is a visible assertion rather than an absence. *)
+           [
+             m;
+             fmt (sla, sja, dla, dja);
+             fmt (slb, sjb, dlb, djb);
+             fmt (slb -. sla, sjb -. sja, dlb -. dla, djb -. dja);
+           ])
          shared)
   end;
   Buffer.contents buf

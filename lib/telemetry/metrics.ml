@@ -103,6 +103,9 @@ let observe t name ~buckets v =
 let counter_value t name =
   match Hashtbl.find_opt t.tbl name with Some (Counter r) -> !r | _ -> 0
 
+let gauge_value t name =
+  match Hashtbl.find_opt t.tbl name with Some (Gauge r) -> !r | _ -> 0.
+
 let counters t =
   Hashtbl.fold
     (fun k v acc -> match v with Counter r -> (k, !r) :: acc | _ -> acc)

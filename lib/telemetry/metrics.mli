@@ -55,6 +55,9 @@ val observe : t -> string -> buckets:float array -> float -> unit
 (** Current value of a counter (0 if absent or not a counter). *)
 val counter_value : t -> string -> int
 
+(** Current value of a gauge (0 if absent or not a gauge). *)
+val gauge_value : t -> string -> float
+
 (** All counters, sorted by name — the shape the legacy
     {!Counter.all} API exposes. *)
 val counters : t -> (string * int) list

@@ -1,0 +1,76 @@
+The daemon front door: jumprepc serve owns a Unix-domain socket, jumprepc
+client speaks the framed JSON protocol to it.  Socket paths live in /tmp
+because the sandbox cwd overflows the ~100-byte sun_path limit.
+
+  $ SOCK=/tmp/jrd-cram-$$.sock
+  $ rm -f $SOCK
+  $ ../../bin/jumprepc.exe serve --socket $SOCK --quiet > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 100); do [ -S $SOCK ] && break; sleep 0.1; done
+
+Liveness:
+
+  $ ../../bin/jumprepc.exe client --socket $SOCK ping
+  {"pong":true}
+
+A compile through the daemon is byte-identical to the one-shot CLI:
+
+  $ cat > tiny.c <<'SRC'
+  > int main() {
+  >   int i, s;
+  >   s = 0;
+  >   for (i = 0; i < 4; i++) s = s + i;
+  >   putchar('0' + s);
+  >   putchar('\n');
+  >   return 0;
+  > }
+  > SRC
+  $ ../../bin/jumprepc.exe client --socket $SOCK compile tiny.c -O jumps -m risc > daemon.json
+  $ ../../bin/jumprepc.exe compile tiny.c -O jumps -m risc --stats-json > oneshot.json
+  $ cmp daemon.json oneshot.json && echo byte-identical
+  byte-identical
+
+So is a measure — the rows carry float formatting that must survive the
+wire untouched:
+
+  $ ../../bin/jumprepc.exe client --socket $SOCK measure tiny.c -m cisc > dmeasure.json
+  $ ../../bin/jumprepc.exe measure tiny.c -m cisc --stats-json > omeasure.json
+  $ cmp dmeasure.json omeasure.json && echo byte-identical
+  byte-identical
+
+Connection-level chaos (disconnects, slowloris dribble, garbage frames on
+throwaway connections) does not perturb results:
+
+  $ ../../bin/jumprepc.exe client --socket $SOCK compile tiny.c -O jumps -m risc \
+  >   --chaos disconnect:0.4,slowloris:0.3,garbage:0.3,seed:5 --count 3 > chaos.json
+  $ cat oneshot.json oneshot.json oneshot.json | cmp chaos.json - && echo byte-identical
+  byte-identical
+
+A guest program fault is a typed error with the one-shot exit code (2),
+not a server casualty:
+
+  $ cat > div0.c <<'SRC'
+  > int main() { return 1 / (1 - 1); }
+  > SRC
+  $ ../../bin/jumprepc.exe client --socket $SOCK measure div0.c -m risc
+  jumprepc: error: div0.c: runtime error: division by zero
+  [2]
+  $ ../../bin/jumprepc.exe client --socket $SOCK ping
+  {"pong":true}
+
+A drain request shuts the server down gracefully: in-flight work
+finishes, the socket is unlinked, exit is clean.
+
+  $ ../../bin/jumprepc.exe client --socket $SOCK drain
+  {"draining":true}
+  $ wait $SRV
+  $ grep -c 'drained:' serve.log
+  1
+  $ [ ! -e $SOCK ] && echo socket unlinked
+  socket unlinked
+
+Once the server is gone, connecting is a typed io-error, not a hang or a
+backtrace:
+
+  $ ../../bin/jumprepc.exe client --socket $SOCK ping 2>&1 | grep -c 'error: \[io-error\] cannot connect'
+  1

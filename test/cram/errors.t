@@ -67,3 +67,17 @@ warnings — the program still compiles, runs and answers correctly:
   6
   jumprepc: warning: [budget-exhausted] main/budget: growth budget exhausted at JUMPS; degrading to LOOPS
   jumprepc: warning: [budget-exhausted] main/budget: growth budget exhausted at LOOPS; degrading to SIMPLE
+
+A downstream consumer hanging up early (EPIPE) is a typed io-error and a
+clean exit, not a fatal Sys_error backtrace.  The source is made large
+enough that the listing overflows the pipe buffer after `head` exits:
+
+  $ { echo 'int main() {'
+  >   for i in $(seq 8000); do echo '  putchar(65);'; done
+  >   echo '  return 0;'
+  >   echo '}'; } > wide.c
+  $ (../../bin/jumprepc.exe compile wide.c -O jumps -m risc 2> epipe.log \
+  >   || echo "exit: $?" >> epipe.log) | head -1 > /dev/null
+  $ cat epipe.log
+  jumprepc: error: [io-error] Broken pipe
+  exit: 1

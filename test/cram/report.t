@@ -44,10 +44,15 @@ Every program appears in each machine's Table-5 block, plus the mean row:
   $ grep -c . plots/instrs_risc.dat
   15
 
-Comparing a sweep against itself reports no movement:
+Comparing a sweep against itself reports no movement, and the Table-5
+means delta column renders explicit all-zero deltas for every machine —
+"unchanged" is a visible assertion, not an absent row:
 
   $ ../../bin/jumprepc.exe report --compare ../../BENCH_baseline.json ../../BENCH_baseline.json | grep 'No measurement'
   No measurement changed static or dynamic instruction counts.
+  $ ../../bin/jumprepc.exe report --compare ../../BENCH_baseline.json ../../BENCH_baseline.json \
+  >   | grep -E '^\| (risc|cisc) ' | grep -c '+0.00% / +0.00%, +0.00% / +0.00% |$'
+  2
 
 A perturbed copy is flagged, with the delta:
 

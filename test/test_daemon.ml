@@ -1,0 +1,585 @@
+(* The daemon stack: wire protocol (framing, strict envelope/response
+   parsing, fuzzed decoder robustness), connection-level chaos draws, the
+   supervised Pool.Service it schedules onto, and one in-process
+   end-to-end server exercise asserting the byte-identity contract. *)
+
+open Daemon
+module Json = Telemetry.Json
+
+let sample_source =
+  "int main() {\n\
+  \  int i, s;\n\
+  \  s = 0;\n\
+  \  for (i = 0; i < 6; i++) { s = s + i; }\n\
+  \  putchar(48 + (s % 10));\n\
+  \  putchar(10);\n\
+  \  return 0;\n\
+   }\n"
+
+(* --- framing --- *)
+
+let test_frame_roundtrip () =
+  let payloads = [ "{}"; String.make 70000 'x'; ""; "{\"a\":1}" ] in
+  let stream = String.concat "" (List.map Protocol.encode_frame payloads) in
+  (* One byte at a time: the decoder must reassemble every frame in
+     order regardless of chunking. *)
+  let dec = Protocol.decoder () in
+  let out = ref [] in
+  String.iter
+    (fun c ->
+      Protocol.decoder_feed dec (String.make 1 c);
+      let rec drain () =
+        match Protocol.decoder_next dec with
+        | Ok (Some p) ->
+          out := p :: !out;
+          drain ()
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "decoder poisoned: %s" e
+      in
+      drain ())
+    stream;
+  Alcotest.(check (list int))
+    "all frames, in order, byte-exact"
+    (List.map String.length payloads)
+    (List.rev_map String.length !out);
+  Alcotest.(check bool)
+    "payloads equal" true
+    (List.rev !out = payloads);
+  Alcotest.(check int) "nothing buffered" 0 (Protocol.decoder_pending dec);
+  (match Protocol.encode_frame (String.make (Protocol.max_frame + 1) 'y') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized encode_frame must raise")
+
+let test_decoder_poisoning () =
+  let dec = Protocol.decoder () in
+  (* A header announcing more than max_frame poisons permanently. *)
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 (Int32.of_int (Protocol.max_frame + 1));
+  Protocol.decoder_feed dec (Bytes.to_string huge);
+  (match Protocol.decoder_next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length must poison the decoder");
+  Protocol.decoder_feed dec (Protocol.encode_frame "{}");
+  (match Protocol.decoder_next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "poisoned decoder must stay poisoned")
+
+let test_decoder_fuzz () =
+  (* Seeded byte mutations over valid streams, plus pure garbage: the
+     decoder must never raise, only yield frames, wait, or poison.  The
+     same Random.State discipline as Harness.Gen keeps every run
+     identical. *)
+  let exercised = ref 0 in
+  for seed = 1 to 60 do
+    let st = Random.State.make [| 0xDAE; seed |] in
+    let payloads =
+      List.init
+        (1 + Random.State.int st 4)
+        (fun _ ->
+          String.init (Random.State.int st 200) (fun _ ->
+              Char.chr (Random.State.int st 256)))
+    in
+    let stream =
+      Bytes.of_string
+        (String.concat "" (List.map Protocol.encode_frame payloads))
+    in
+    let mutations = 1 + Random.State.int st 4 in
+    for _ = 1 to mutations do
+      if Bytes.length stream > 0 then
+        Bytes.set stream
+          (Random.State.int st (Bytes.length stream))
+          (Char.chr (Random.State.int st 256))
+    done;
+    let dec = Protocol.decoder () in
+    let pos = ref 0 in
+    (try
+       while !pos < Bytes.length stream do
+         let chunk = min (1 + Random.State.int st 97) (Bytes.length stream - !pos) in
+         Protocol.decoder_feed dec (Bytes.sub_string stream !pos chunk);
+         pos := !pos + chunk;
+         let rec drain () =
+           match Protocol.decoder_next dec with
+           | Ok (Some _) ->
+             incr exercised;
+             drain ()
+           | Ok None | Error _ -> ()
+         in
+         drain ()
+       done
+     with e ->
+       Alcotest.failf "decoder raised on mutated stream (seed %d): %s" seed
+         (Printexc.to_string e))
+  done;
+  Alcotest.(check bool)
+    "some mutated streams still yielded frames" true (!exercised > 0)
+
+(* --- envelopes and responses --- *)
+
+let qos_full =
+  {
+    Protocol.deadline = Some 2.5;
+    wall_budget = Some 1.25;
+    growth_budget = Some 64;
+    retries = 3;
+    chaos =
+      (match Harness.Pool.chaos_of_string "crash:0.25,seed:7" with
+      | Ok c -> Some c
+      | Error e -> Alcotest.failf "chaos spec: %s" e);
+    telemetry = true;
+  }
+
+let roundtrip env =
+  match Protocol.envelope_of_json (Protocol.envelope_to_json env) with
+  | Ok env' -> env'
+  | Error e ->
+    Alcotest.failf "envelope %s failed roundtrip: %s"
+      (Protocol.kind_name env.Protocol.req)
+      e
+
+let test_envelope_roundtrip () =
+  let reqs =
+    [
+      Protocol.Compile
+        {
+          path = "t.c";
+          source = sample_source;
+          level = Opt.Driver.Jumps;
+          machine = Ir.Machine.risc;
+        };
+      Protocol.Measure
+        {
+          path = "t.c";
+          source = sample_source;
+          input = "abc";
+          machine = Ir.Machine.cisc;
+        };
+      Protocol.Lint
+        {
+          path = "t.c";
+          source = sample_source;
+          level = Opt.Driver.Loops;
+          machine = Ir.Machine.cisc;
+        };
+      Protocol.Explain
+        {
+          path = "t.c";
+          source = sample_source;
+          level = Opt.Driver.Simple;
+          machine = Ir.Machine.risc;
+        };
+      Protocol.Fuzz { seeds = 5; start = 11; max_steps = 1000 };
+      Protocol.Status;
+      Protocol.Ping;
+      Protocol.Drain;
+    ]
+  in
+  List.iteri
+    (fun i req ->
+      let env = { Protocol.id = i + 1; qos = qos_full; req } in
+      let env' = roundtrip env in
+      Alcotest.(check int) "id" env.Protocol.id env'.Protocol.id;
+      Alcotest.(check string)
+        "kind"
+        (Protocol.kind_name env.Protocol.req)
+        (Protocol.kind_name env'.Protocol.req);
+      Alcotest.(check (option (float 1e-9)))
+        "deadline" env.Protocol.qos.deadline env'.Protocol.qos.deadline;
+      Alcotest.(check int) "retries" 3 env'.Protocol.qos.retries;
+      Alcotest.(check bool) "telemetry" true env'.Protocol.qos.telemetry)
+    reqs
+
+let reject name payload =
+  match Protocol.parse_envelope payload with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s must be rejected" name
+
+let test_envelope_strictness () =
+  reject "not json" "pong";
+  reject "trailing garbage" "{\"id\":1,\"kind\":\"ping\"} trailing";
+  reject "missing id" "{\"kind\":\"ping\"}";
+  reject "zero id" "{\"id\":0,\"kind\":\"ping\"}";
+  reject "negative id" "{\"id\":-3,\"kind\":\"ping\"}";
+  reject "unknown kind" "{\"id\":1,\"kind\":\"transmogrify\"}";
+  reject "compile without source"
+    "{\"id\":1,\"kind\":\"compile\",\"path\":\"t.c\"}";
+  reject "bad level"
+    "{\"id\":1,\"kind\":\"compile\",\"path\":\"t.c\",\"source\":\"\",\"level\":\"mega\"}";
+  reject "bad machine"
+    "{\"id\":1,\"kind\":\"compile\",\"path\":\"t.c\",\"source\":\"\",\"machine\":\"vax\"}";
+  reject "retries out of range"
+    "{\"id\":1,\"kind\":\"ping\",\"qos\":{\"retries\":11}}";
+  reject "negative deadline"
+    "{\"id\":1,\"kind\":\"ping\",\"qos\":{\"deadline\":-1.0}}";
+  reject "bad chaos spec"
+    "{\"id\":1,\"kind\":\"ping\",\"qos\":{\"chaos\":\"sparks:0.5\"}}";
+  reject "oversized source"
+    (Printf.sprintf "{\"id\":1,\"kind\":\"compile\",\"path\":\"t.c\",\"source\":%s}"
+       (Json.to_string (Json.Str (String.make (Protocol.max_frame / 2 + 1) 'x'))));
+  (* Duplicate keys: strict parser keeps the document, [member] takes the
+     first binding — the envelope id must be 1, not 2. *)
+  match Protocol.parse_envelope "{\"id\":1,\"id\":2,\"kind\":\"ping\"}" with
+  | Ok env -> Alcotest.(check int) "first id wins" 1 env.Protocol.id
+  | Error e -> Alcotest.failf "duplicate-key envelope: %s" e
+
+let test_response_roundtrip () =
+  (* The Result payload is an opaque pre-rendered document: its bytes —
+     including float formatting — must survive the wire untouched. *)
+  let payload = "{\"miss_ratio\":0.123457,\"x\":1.000000}" in
+  let rt r =
+    match Protocol.parse_response (Json.to_string (Protocol.response_to_json r)) with
+    | Ok r' -> r'
+    | Error e -> Alcotest.failf "response roundtrip: %s" e
+  in
+  (match rt (Protocol.Result { id = 9; payload; elapsed_ms = 1.5 }) with
+  | Protocol.Result { id = 9; payload = p; _ } ->
+    Alcotest.(check string) "payload bytes survive" payload p
+  | _ -> Alcotest.fail "result response shape");
+  (match rt (Protocol.Telemetry { id = 4; line = "{\"ev\":\"pass_end\"}" }) with
+  | Protocol.Telemetry { id = 4; line } ->
+    Alcotest.(check string) "telemetry line" "{\"ev\":\"pass_end\"}" line
+  | _ -> Alcotest.fail "telemetry response shape");
+  List.iter
+    (fun code ->
+      let name = Protocol.error_code_name code in
+      (match Protocol.error_code_of_name name with
+      | Some c when c = code -> ()
+      | _ -> Alcotest.failf "error code %s does not roundtrip" name);
+      match rt (Protocol.Error_resp { id = 2; code; message = "m " ^ name }) with
+      | Protocol.Error_resp { id = 2; code = c; message } when c = code ->
+        Alcotest.(check string) "message" ("m " ^ name) message
+      | _ -> Alcotest.failf "error response shape for %s" name)
+    Protocol.
+      [
+        Overloaded; Draining; Bad_request; Crashed; Deadline; Runtime_error;
+        Internal;
+      ]
+
+(* --- connection chaos --- *)
+
+let test_conn_chaos () =
+  (match Protocol.conn_chaos_of_string "disconnect" with
+  | Ok c ->
+    Alcotest.(check (float 1e-9)) "default rate" 0.1 c.Protocol.disconnect;
+    Alcotest.(check int) "default seed" 1 c.Protocol.conn_seed
+  | Error e -> Alcotest.failf "plain spec: %s" e);
+  (match Protocol.conn_chaos_of_string "garbage:0.5,slowloris:0.2,seed:9" with
+  | Ok c ->
+    Alcotest.(check (float 1e-9)) "garbage rate" 0.5 c.Protocol.garbage;
+    Alcotest.(check (float 1e-9)) "slowloris rate" 0.2 c.Protocol.slowloris;
+    Alcotest.(check int) "seed" 9 c.Protocol.conn_seed
+  | Error e -> Alcotest.failf "full spec: %s" e);
+  List.iter
+    (fun bad ->
+      match Protocol.conn_chaos_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" bad)
+    [ ""; "bogus"; "disconnect:1.5"; "disconnect:-0.1"; "seed:x" ];
+  (* The draw is a pure function of (seed, request index). *)
+  let c =
+    match Protocol.conn_chaos_of_string "disconnect:0.3,garbage:0.3,seed:5" with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "spec: %s" e
+  in
+  let draws () = List.init 128 (fun i -> Protocol.conn_fault c ~req:i) in
+  Alcotest.(check bool) "deterministic" true (draws () = draws ());
+  let faults = List.filter Option.is_some (draws ()) in
+  Alcotest.(check bool)
+    "some faults at rate 0.6" true
+    (List.length faults > 20 && List.length faults < 128);
+  let quiet = { c with Protocol.disconnect = 0.; garbage = 0. } in
+  Alcotest.(check bool)
+    "zero rates draw nothing" true
+    (List.for_all
+       (fun i -> Protocol.conn_fault quiet ~req:i = None)
+       (List.init 128 Fun.id));
+  let always = { c with Protocol.disconnect = 1.0 } in
+  Alcotest.(check bool)
+    "rate 1.0 always fires" true
+    (List.for_all
+       (fun i -> Protocol.conn_fault always ~req:i = Some `Disconnect)
+       (List.init 32 Fun.id))
+
+(* --- the supervised service --- *)
+
+let wait_outcome svc h =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    Harness.Pool.Service.tick svc;
+    match Harness.Pool.Service.poll svc h with
+    | Some o -> o
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "service outcome not delivered within 20s";
+      Unix.sleepf 0.002;
+      go ()
+  in
+  go ()
+
+let test_service () =
+  let svc = Harness.Pool.Service.create ~jobs:2 () in
+  (* Plain completion. *)
+  let h = Harness.Pool.Service.submit svc (fun _ -> 21 * 2) in
+  (match wait_outcome svc h with
+  | Harness.Pool.Done v -> Alcotest.(check int) "done value" 42 v
+  | _ -> Alcotest.fail "plain task must complete");
+  (* A crash is isolated to its task and reported with its attempts. *)
+  let h = Harness.Pool.Service.submit svc (fun _ -> failwith "boom") in
+  (match wait_outcome svc h with
+  | Harness.Pool.Crashed { attempts = 1; _ } -> ()
+  | Harness.Pool.Crashed { attempts; _ } ->
+    Alcotest.failf "crash after %d attempts (wanted 1)" attempts
+  | _ -> Alcotest.fail "crashing task must report Crashed");
+  (* Retries resurrect a flaky task; the service survives the crash. *)
+  let tries = Atomic.make 0 in
+  let h =
+    Harness.Pool.Service.submit svc ~retries:2 (fun _ ->
+        if Atomic.fetch_and_add tries 1 = 0 then failwith "flaky" else 7)
+  in
+  (match wait_outcome svc h with
+  | Harness.Pool.Done v -> Alcotest.(check int) "retried value" 7 v
+  | _ -> Alcotest.fail "flaky task must succeed on retry");
+  (* A cooperative task past its deadline is cancelled and reported. *)
+  let h =
+    Harness.Pool.Service.submit svc ~deadline:0.05 (fun budget ->
+        let rec spin () =
+          Telemetry.Budget.check budget;
+          Unix.sleepf 0.005;
+          spin ()
+        in
+        spin ())
+  in
+  (match wait_outcome svc h with
+  | Harness.Pool.Timed_out _ -> ()
+  | Harness.Pool.Done _ -> Alcotest.fail "deadline task cannot finish"
+  | Harness.Pool.Crashed { exn; _ } ->
+    Alcotest.failf "deadline task crashed: %s" (Printexc.to_string exn));
+  Alcotest.(check int) "nothing in flight" 0
+    (Harness.Pool.Service.in_flight svc);
+  Alcotest.(check int) "four submissions" 4
+    (Harness.Pool.Service.submitted svc);
+  Alcotest.(check bool) "workers join" true
+    (Harness.Pool.Service.shutdown svc)
+
+(* --- end to end --- *)
+
+let test_socket = Printf.sprintf "/tmp/jrd-alcotest-%d.sock" (Unix.getpid ())
+
+let connect_retry path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match Client.connect path with
+    | Ok c -> c
+    | Error _ when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.02;
+      go ()
+    | Error e -> Alcotest.failf "cannot connect to test server: %s" e
+  in
+  go ()
+
+let must_result name = function
+  | Ok (payload, _ms) -> payload
+  | Error (code, msg) ->
+    Alcotest.failf "%s failed: %s: %s" name (Protocol.error_code_name code) msg
+
+let compile_req =
+  Protocol.Compile
+    {
+      path = "inline.c";
+      source = sample_source;
+      level = Opt.Driver.Jumps;
+      machine = Ir.Machine.risc;
+    }
+
+let test_server_end_to_end () =
+  let cfg =
+    {
+      (Server.default_config test_socket) with
+      Server.jobs = 2;
+      quiet = true;
+      drain_deadline = 5.0;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.serve cfg) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink test_socket with _ -> ())
+    (fun () ->
+      let c = connect_retry test_socket in
+      (* Liveness. *)
+      let pong = must_result "ping" (Client.request c Protocol.Ping) in
+      Alcotest.(check string) "pong" "{\"pong\":true}" pong;
+      (* Byte identity: the daemon's compile payload is exactly the
+         in-process Ops rendering (the CLI's --stats-json bytes). *)
+      let expected =
+        match
+          Ops.compile_payload ~level:Opt.Driver.Jumps
+            ~machine:Ir.Machine.risc ~path:"inline.c" sample_source
+        with
+        | Ok j -> Json.to_string j
+        | Error f -> Alcotest.failf "local compile: %s" f.Ops.diag.message
+      in
+      let got = must_result "compile" (Client.request c compile_req) in
+      Alcotest.(check string) "compile payload byte-identical" expected got;
+      (* Telemetry streaming: requesting it yields at least one JSONL
+         line before the result. *)
+      let lines = ref [] in
+      let qos = { Protocol.default_qos with telemetry = true } in
+      let got_t =
+        must_result "compile+telemetry"
+          (Client.request c ~qos
+             ~on_telemetry:(fun l -> lines := l :: !lines)
+             compile_req)
+      in
+      Alcotest.(check string) "telemetry does not perturb result" expected
+        got_t;
+      Alcotest.(check bool) "telemetry lines streamed" true (!lines <> []);
+      List.iter
+        (fun l ->
+          match Json.parse l with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "telemetry line not JSON (%s): %s" e l)
+        !lines;
+      (* A runtime fault in the guest program is a typed error, not a
+         server casualty. *)
+      (match
+         Client.request c
+           (Protocol.Measure
+              {
+                path = "div.c";
+                source = "int main() { return 1 / (1 - 1); }";
+                input = "";
+                machine = Ir.Machine.risc;
+              })
+       with
+      | Error (Protocol.Runtime_error, _) -> ()
+      | Error (code, m) ->
+        Alcotest.failf "guest fault miscoded %s: %s"
+          (Protocol.error_code_name code)
+          m
+      | Ok _ -> Alcotest.fail "dividing by zero cannot succeed");
+      (* Worker chaos at rate 1.0 with no retries: the request crashes,
+         the server survives and answers the next request. *)
+      let all_crash =
+        match Harness.Pool.chaos_of_string "crash:1.0,seed:3" with
+        | Ok ch -> ch
+        | Error e -> Alcotest.failf "chaos: %s" e
+      in
+      (match
+         Client.request c
+           ~qos:{ Protocol.default_qos with chaos = Some all_crash }
+           compile_req
+       with
+      | Error (Protocol.Crashed, _) -> ()
+      | Error (code, m) ->
+        Alcotest.failf "chaos crash miscoded %s: %s"
+          (Protocol.error_code_name code)
+          m
+      | Ok _ -> Alcotest.fail "crash:1.0 with no retries cannot succeed");
+      let after =
+        must_result "compile after crash" (Client.request c compile_req)
+      in
+      Alcotest.(check string) "server survived the crash" expected after;
+      (* ... and with retries, chaos that always crashes the first
+         attempt still converges to the identical payload. *)
+      let flaky =
+        match Harness.Pool.chaos_of_string "crash:0.4,seed:11" with
+        | Ok ch -> ch
+        | Error e -> Alcotest.failf "chaos: %s" e
+      in
+      let retried =
+        must_result "compile under retried chaos"
+          (Client.request c
+             ~qos:
+               { Protocol.default_qos with chaos = Some flaky; retries = 8 }
+             compile_req)
+      in
+      Alcotest.(check string) "retried chaos byte-identical" expected retried;
+      Client.close c;
+      (* Connection-level chaos: faults land on throwaway connections,
+         results stay byte-identical. *)
+      let conn_chaos =
+        match
+          Protocol.conn_chaos_of_string
+            "disconnect:0.4,slowloris:0.3,garbage:0.3,seed:2"
+        with
+        | Ok cc -> cc
+        | Error e -> Alcotest.failf "conn chaos: %s" e
+      in
+      (match Client.connect ~chaos:conn_chaos test_socket with
+      | Error e -> Alcotest.failf "chaos connect: %s" e
+      | Ok cc ->
+        for i = 1 to 4 do
+          let p =
+            must_result
+              (Printf.sprintf "chaos request %d" i)
+              (Client.request cc compile_req)
+          in
+          Alcotest.(check string) "chaos-run payload byte-identical" expected
+            p
+        done;
+        Client.close cc);
+      (* An unparseable envelope is answered (id 0, bad-request), then
+         the connection is dropped; the server keeps serving. *)
+      let raw = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Unix.connect raw (ADDR_UNIX test_socket);
+      let junk = Protocol.encode_frame "]junk[" in
+      ignore (Unix.write_substring raw junk 0 (String.length junk));
+      let dec = Protocol.decoder () in
+      let buf = Bytes.create 4096 in
+      let rec read_resp () =
+        match Protocol.decoder_next dec with
+        | Ok (Some p) -> p
+        | Ok None ->
+          let n = Unix.read raw buf 0 (Bytes.length buf) in
+          if n = 0 then Alcotest.fail "server closed before answering junk";
+          Protocol.decoder_feed dec (Bytes.sub_string buf 0 n);
+          read_resp ()
+        | Error e -> Alcotest.failf "client decoder poisoned: %s" e
+      in
+      (match Protocol.parse_response (read_resp ()) with
+      | Ok (Protocol.Error_resp { id = 0; code = Protocol.Bad_request; _ }) ->
+        ()
+      | Ok _ -> Alcotest.fail "junk envelope must yield bad-request id 0"
+      | Error e -> Alcotest.failf "junk response unparseable: %s" e);
+      Unix.close raw;
+      (* Status reflects the traffic so far; then drain shuts the server
+         down cleanly. *)
+      let c2 = connect_retry test_socket in
+      let status = must_result "status" (Client.request c2 Protocol.Status) in
+      (match Json.parse status with
+      | Ok doc ->
+        Alcotest.(check (option bool))
+          "not draining" (Some false)
+          (Option.bind (Json.member "draining" doc) Json.get_bool);
+        let metric name =
+          match Json.member "metrics" doc with
+          | Some m -> Option.bind (Json.member name m) Json.get_float
+          | None -> None
+        in
+        (match metric "daemon.admitted" with
+        | Some n -> Alcotest.(check bool) "admissions counted" true (n >= 6.0)
+        | None -> Alcotest.fail "no daemon.admitted metric");
+        (match metric "daemon.errors.crashed" with
+        | Some n ->
+          Alcotest.(check bool) "crash rejection counted" true (n >= 1.0)
+        | None -> Alcotest.fail "no daemon.errors.crashed metric")
+      | Error e -> Alcotest.failf "status payload unparseable: %s" e);
+      ignore (must_result "drain" (Client.request c2 Protocol.Drain));
+      Client.close c2;
+      let res = Domain.join server in
+      Alcotest.(check bool) "clean drain" true res.Server.clean;
+      Alcotest.(check int) "nothing force-stopped" 0 res.Server.force_stopped)
+
+let tests =
+  ( "daemon",
+    [
+      Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+      Alcotest.test_case "decoder poisoning" `Quick test_decoder_poisoning;
+      Alcotest.test_case "decoder fuzz" `Quick test_decoder_fuzz;
+      Alcotest.test_case "envelope roundtrip" `Quick test_envelope_roundtrip;
+      Alcotest.test_case "envelope strictness" `Quick
+        test_envelope_strictness;
+      Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+      Alcotest.test_case "connection chaos" `Quick test_conn_chaos;
+      Alcotest.test_case "service lifecycle" `Quick test_service;
+      Alcotest.test_case "server end to end" `Quick test_server_end_to_end;
+    ] )

@@ -18,6 +18,7 @@ let () =
       Test_paper_shapes.tests;
       Test_harness.tests;
       Test_telemetry.tests;
+      Test_daemon.tests;
       Test_report.tests;
       Test_random_c.tests;
     ]

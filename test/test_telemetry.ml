@@ -391,6 +391,69 @@ let test_json_roundtrip () =
       | Error _ -> ())
     [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "" ]
 
+let astring_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* Strict-parser edges: truncation at every prefix, trailing garbage,
+   duplicate keys, and deep nesting all land in defined behavior. *)
+let test_json_strict_edges () =
+  let doc = "{\"a\":[1,2.5,\"x\\n\"],\"b\":{\"c\":null,\"d\":false}}" in
+  (* Every proper prefix of a valid document must be an [Error] (no
+     prefix of this one happens to be a complete document). *)
+  for i = 0 to String.length doc - 1 do
+    match Json.parse (String.sub doc 0 i) with
+    | Ok _ -> Alcotest.failf "accepted truncation at %d: %s" i (String.sub doc 0 i)
+    | Error _ -> ()
+  done;
+  (match Json.parse doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected the full document: %s" e);
+  (* One document per parse: anything after the value is an error, and
+     the offset in the message points past the value. *)
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted trailing garbage: %s" bad
+      | Error e ->
+        Alcotest.(check bool)
+          ("trailing diagnosis for " ^ bad)
+          true
+          (astring_contains e "trailing"))
+    [ "{} {}"; "null null"; "[1] 2"; "42 trailing"; "\"s\"x" ];
+  (* Duplicate object keys: the parser keeps the document; [member]
+     resolves to the first binding. *)
+  (match Json.parse "{\"k\":1,\"k\":2,\"other\":3}" with
+  | Ok v ->
+    Alcotest.(check (option int))
+      "first binding wins" (Some 1)
+      (Option.bind (Json.member "k" v) Json.get_int)
+  | Error e -> Alcotest.failf "rejected duplicate keys: %s" e);
+  (* Deep nesting parses and round-trips (bounded here well under stack
+     limits; the parser is recursive by design). *)
+  let depth = 2000 in
+  let deep =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "7"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  (match Json.parse deep with
+  | Ok v ->
+    let rec unwrap n v =
+      match v with
+      | Json.Arr [ inner ] -> unwrap (n + 1) inner
+      | Json.Int 7 -> n
+      | _ -> Alcotest.fail "deep value mangled"
+    in
+    Alcotest.(check int) "depth preserved" depth (unwrap 0 v);
+    Alcotest.(check string) "deep round-trip" deep (Json.to_string v)
+  | Error e -> Alcotest.failf "rejected depth-%d nesting: %s" depth e);
+  (* An unbalanced deep document is an error, not a crash. *)
+  match Json.parse (String.concat "" (List.init depth (fun _ -> "["))) with
+  | Ok _ -> Alcotest.fail "accepted unbalanced nesting"
+  | Error _ -> ()
+
 (* Profiler shards fold like the registry: merged aggregates equal the
    single-table run, calls/wall/alloc summing. *)
 let test_profiler_merge () =
@@ -449,5 +512,6 @@ let tests =
         test_metrics_merge_determinism;
       Alcotest.test_case "trace json" `Quick test_trace_json;
       Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json strict edges" `Quick test_json_strict_edges;
       Alcotest.test_case "profiler merge" `Quick test_profiler_merge;
     ] )

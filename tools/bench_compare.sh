@@ -62,6 +62,22 @@ for machine in sorted({r["machine"] for r in results}):
                 round(sum(deltas) / len(deltas), 3) if deltas else 0.0)
     row[machine] = means
 
+# Re-running the bench at the same commit must not grow the trend file:
+# if the last row already carries this commit id, skip the append so the
+# longitudinal record stays one row per commit.
+last = None
+try:
+    with open(trend_path) as f:
+        for line in f:
+            if line.strip():
+                last = line
+except FileNotFoundError:
+    pass
+if last is not None and json.loads(last).get("commit") == commit:
+    print("bench_compare: %s already the last row of %s; not appending"
+          % (commit, trend_path))
+    sys.exit(0)
+
 with open(trend_path, "a") as f:
     f.write(json.dumps(row, sort_keys=True) + "\n")
 print("bench_compare: appended %s (%d measurements) to %s"
