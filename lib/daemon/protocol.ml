@@ -32,37 +32,58 @@ let encode_frame payload =
 
 (* --- incremental decoder --- *)
 
+(* Arriving bytes accumulate in a [Buffer]; consumption advances an
+   offset instead of rebuilding an immutable string per read, so feeding
+   a near-max frame in 64KB reads costs O(frame) total, not O(frame^2)
+   on the single-threaded event loop.  The consumed prefix is dropped
+   once it outweighs the remainder, which keeps both memory and
+   compaction copying proportional to the unconsumed bytes. *)
 type decoder = {
-  mutable buf : string;  (* unconsumed bytes *)
+  buf : Buffer.t;  (* everything fed, minus compactions *)
+  mutable off : int;  (* consumed prefix of [buf] *)
   mutable dead : string option;  (* first protocol error, if any *)
 }
 
-let decoder () = { buf = ""; dead = None }
+let decoder () = { buf = Buffer.create 1024; off = 0; dead = None }
 
 let decoder_feed d s =
-  if d.dead = None && s <> "" then d.buf <- d.buf ^ s
+  if d.dead = None && s <> "" then Buffer.add_string d.buf s
 
 (* Bytes buffered but not yet returned as a frame. *)
-let decoder_pending d = String.length d.buf
+let decoder_pending d = Buffer.length d.buf - d.off
+
+let compact d =
+  let len = Buffer.length d.buf in
+  if d.off = len then begin
+    Buffer.clear d.buf;
+    d.off <- 0
+  end
+  else if d.off >= len - d.off then begin
+    let rest = Buffer.sub d.buf d.off (len - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
 
 let decoder_next d =
   match d.dead with
   | Some e -> Error e
   | None ->
-    let len = String.length d.buf in
-    if len < header_len then Ok None
+    let avail = decoder_pending d in
+    if avail < header_len then Ok None
     else begin
-      let byte i = Char.code d.buf.[i] in
+      let byte i = Char.code (Buffer.nth d.buf (d.off + i)) in
       let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
       if n > max_frame then begin
         let e = Printf.sprintf "frame length %d exceeds %d-byte cap" n max_frame in
         d.dead <- Some e;
         Error e
       end
-      else if len < header_len + n then Ok None
+      else if avail < header_len + n then Ok None
       else begin
-        let payload = String.sub d.buf header_len n in
-        d.buf <- String.sub d.buf (header_len + n) (len - header_len - n);
+        let payload = Buffer.sub d.buf (d.off + header_len) n in
+        d.off <- d.off + header_len + n;
+        compact d;
         Ok (Some payload)
       end
     end

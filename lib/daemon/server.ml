@@ -328,6 +328,19 @@ let accept_loop t =
       go ()
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (ECONNABORTED, _, _) ->
+      (* The peer gave up between connect and accept; nothing lost. *)
+      go ()
+    | exception Unix.Unix_error ((EMFILE | ENFILE as e), _, _) ->
+      (* Fd exhaustion: the pending connection stays queued; stop
+         accepting this tick and let reaping/drains free descriptors.
+         Crashing here would take every connected client down with us. *)
+      Metrics.incr t.metrics "daemon.accept_errors";
+      say t "accept: %s; backing off until descriptors free up"
+        (Unix.error_message e)
+    | exception Unix.Unix_error (e, _, _) ->
+      Metrics.incr t.metrics "daemon.accept_errors";
+      say t "accept failed: %s" (Unix.error_message e)
   in
   go ()
 
@@ -366,8 +379,12 @@ let drain_decoder t conn =
 let write_conn t conn =
   let len = Buffer.length conn.c_out in
   if len > conn.c_sent then begin
-    let chunk = Buffer.to_bytes conn.c_out in
-    match Unix.write conn.c_fd chunk conn.c_sent (len - conn.c_sent) with
+    (* Copy out a bounded window, never the whole outbox: re-snapshotting
+       a multi-MB buffer on every partial write is the same quadratic
+       trap as the string-concat decoder was. *)
+    let chunk_len = min (len - conn.c_sent) 65536 in
+    let chunk = Bytes.unsafe_of_string (Buffer.sub conn.c_out conn.c_sent chunk_len) in
+    match Unix.write conn.c_fd chunk 0 chunk_len with
     | n ->
       conn.c_sent <- conn.c_sent + n;
       conn.c_last <- Unix.gettimeofday ();
@@ -423,12 +440,37 @@ let reap_conns t now =
 type drain_result = { clean : bool; force_stopped : int }
 
 let serve cfg =
+  (* A leftover socket file is only ours to replace if no daemon answers
+     on it: unlinking a live endpoint would silently steal the address
+     and orphan the running server.  A connection refused means the
+     previous owner is gone (a stale file); anything else refuses. *)
+  if Sys.file_exists cfg.socket_path then begin
+    let probe = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect probe (ADDR_UNIX cfg.socket_path) with
+      | () -> `Live
+      | exception Unix.Unix_error (ECONNREFUSED, _, _) -> `Stale
+      | exception Unix.Unix_error (ENOENT, _, _) -> `Gone
+      | exception Unix.Unix_error (e, _, _) -> `Other (Unix.error_message e)
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    let refuse detail =
+      raise
+        (Telemetry.Diag.Error
+           (Telemetry.Diag.make Telemetry.Diag.Io_error ~func:"" ~pass:""
+              (Printf.sprintf "%s: %s" cfg.socket_path detail)))
+    in
+    match verdict with
+    | `Live -> refuse "a daemon is already serving on this socket"
+    | `Stale -> Unix.unlink cfg.socket_path
+    | `Gone -> ()
+    | `Other e -> refuse (Printf.sprintf "refusing to replace this path (%s)" e)
+  end;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Atomic.set sig_drain false;
   let on_signal _ = Atomic.set sig_drain true in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
-  if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
   let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
   Unix.bind listen_fd (ADDR_UNIX cfg.socket_path);
   Unix.listen listen_fd 64;

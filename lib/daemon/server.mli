@@ -35,7 +35,10 @@ type drain_result = {
 }
 
 (** Run the daemon until drained.  Binds and listens on
-    [config.socket_path] (replacing a stale socket file), prints one
+    [config.socket_path] — a stale socket file (nobody answers) is
+    replaced, but if a daemon is already serving on it the call raises
+    [Telemetry.Diag.Error] with an [io-error] diagnostic instead of
+    stealing the endpoint.  Prints one
     [jumprepd: listening on ...] readiness line on stdout, serves until
     SIGTERM/SIGINT or a [drain] request, then drains and reports.
     Installs its own SIGTERM/SIGINT handlers (restored on exit) and

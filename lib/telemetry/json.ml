@@ -68,6 +68,14 @@ let to_string j =
 
 exception Parse_fail of string * int
 
+(* The descent recurses once per nesting level, so unbounded input depth
+   would translate into unbounded stack: a wire frame of a few million
+   '[' characters (well under the daemon's 16MB frame cap) must come
+   back as [Error], not [Stack_overflow].  The cap is far above any
+   document we emit, and low enough that the recursion never nears a
+   real stack limit. *)
+let max_depth = 4096
+
 let parse s =
   let n = String.length s in
   let pos = ref 0 in
@@ -162,8 +170,10 @@ let parse s =
       | Some f -> Float f
       | None -> fail (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then
+      fail (Printf.sprintf "nesting deeper than %d levels" max_depth);
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
@@ -179,7 +189,7 @@ let parse s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -201,7 +211,7 @@ let parse s =
       end
       else begin
         let rec elements acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -221,7 +231,7 @@ let parse s =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos < n then fail "trailing garbage after value";
     v
@@ -229,6 +239,10 @@ let parse s =
   | v -> Ok v
   | exception Parse_fail (msg, at) ->
     Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+  | exception Stack_overflow ->
+    (* Unreachable while [max_depth] holds, but the never-raises contract
+       must survive even if the descent grows a new recursion path. *)
+    Error "JSON parse error: document exhausted the parser stack"
 
 (* --- accessors --- *)
 

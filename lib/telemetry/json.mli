@@ -24,8 +24,13 @@ val to_string : t -> string
 
 (** Strict parse of one JSON document ([Error] carries offset + reason).
     Numbers without [.]/[e] that fit an OCaml [int] come back as [Int];
-    everything else numeric as [Float]. *)
+    everything else numeric as [Float].  Never raises on any input:
+    nesting beyond {!max_depth} levels is an [Error], not a
+    [Stack_overflow] — the wire-protocol codec depends on this. *)
 val parse : string -> (t, string) result
+
+(** Maximum nesting depth {!parse} accepts (4096). *)
+val max_depth : int
 
 (** [member name (Obj ...)] is the named field, if any. *)
 val member : string -> t -> t option

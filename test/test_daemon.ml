@@ -113,6 +113,27 @@ let test_decoder_fuzz () =
   Alcotest.(check bool)
     "some mutated streams still yielded frames" true (!exercised > 0)
 
+let test_decoder_deep_nesting () =
+  (* A legal frame (under the 16MB cap) whose payload is millions of
+     nested '[': the decoder must hand it over and [parse_envelope] must
+     answer a parse [Error] — on the server this path runs on the
+     supervisor loop, so a [Stack_overflow] here would kill the whole
+     daemon, not one request. *)
+  let payload = String.make 4_000_000 '[' in
+  let dec = Protocol.decoder () in
+  Protocol.decoder_feed dec (Protocol.encode_frame payload);
+  match Protocol.decoder_next dec with
+  | Ok (Some p) -> (
+    Alcotest.(check int) "payload intact" (String.length payload) (String.length p);
+    match Protocol.parse_envelope p with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "deeply nested garbage must not parse"
+    | exception e ->
+      Alcotest.failf "parse_envelope raised on deep nesting: %s"
+        (Printexc.to_string e))
+  | Ok None -> Alcotest.fail "complete frame not yielded"
+  | Error e -> Alcotest.failf "legal frame poisoned the decoder: %s" e
+
 (* --- envelopes and responses --- *)
 
 let qos_full =
@@ -575,6 +596,8 @@ let tests =
       Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
       Alcotest.test_case "decoder poisoning" `Quick test_decoder_poisoning;
       Alcotest.test_case "decoder fuzz" `Quick test_decoder_fuzz;
+      Alcotest.test_case "decoder deep nesting" `Quick
+        test_decoder_deep_nesting;
       Alcotest.test_case "envelope roundtrip" `Quick test_envelope_roundtrip;
       Alcotest.test_case "envelope strictness" `Quick
         test_envelope_strictness;

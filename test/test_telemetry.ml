@@ -430,9 +430,11 @@ let test_json_strict_edges () =
       "first binding wins" (Some 1)
       (Option.bind (Json.member "k" v) Json.get_int)
   | Error e -> Alcotest.failf "rejected duplicate keys: %s" e);
-  (* Deep nesting parses and round-trips (bounded here well under stack
-     limits; the parser is recursive by design). *)
+  (* Deep nesting parses and round-trips up to [max_depth]; past it the
+     parser answers [Error] instead of recursing toward the stack
+     limit. *)
   let depth = 2000 in
+  assert (depth <= Json.max_depth);
   let deep =
     String.concat "" (List.init depth (fun _ -> "["))
     ^ "7"
@@ -450,8 +452,26 @@ let test_json_strict_edges () =
     Alcotest.(check string) "deep round-trip" deep (Json.to_string v)
   | Error e -> Alcotest.failf "rejected depth-%d nesting: %s" depth e);
   (* An unbalanced deep document is an error, not a crash. *)
-  match Json.parse (String.concat "" (List.init depth (fun _ -> "["))) with
+  (match Json.parse (String.concat "" (List.init depth (fun _ -> "["))) with
   | Ok _ -> Alcotest.fail "accepted unbalanced nesting"
+  | Error _ -> ());
+  (* One level past the cap: a balanced document is rejected with the
+     depth diagnostic, not parsed. *)
+  let over = Json.max_depth + 1 in
+  let capped =
+    String.make over '[' ^ "7" ^ String.make over ']'
+  in
+  (match Json.parse capped with
+  | Ok _ -> Alcotest.failf "accepted depth-%d nesting past the cap" over
+  | Error e ->
+    Alcotest.(check bool)
+      "depth diagnosis" true
+      (astring_contains e "nesting"));
+  (* The attack shape from the wire: millions of '[' in one document
+     (well under the daemon's 16MB frame cap) must come back as [Error],
+     never [Stack_overflow]. *)
+  match Json.parse (String.make 2_000_000 '[') with
+  | Ok _ -> Alcotest.fail "accepted a 2M-deep document"
   | Error _ -> ()
 
 (* Profiler shards fold like the registry: merged aggregates equal the
