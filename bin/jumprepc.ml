@@ -127,10 +127,26 @@ let inject_fault_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "inject-fault" ] ~docv:"PASS"
+    & info [ "inject-fault" ] ~docv:"PASS[:MODE]"
         ~doc:
-          "Testing only: corrupt the named pass's output with a dangling \
-           jump, to exercise the verifier's quarantine-and-rollback path.")
+          "Testing only: corrupt the named pass's output to exercise the \
+           detection paths.  Modes: $(b,dangling-jump) (ill-formed IR, \
+           caught by the verifier — the default), $(b,flip-branch) and \
+           $(b,drop-store) (well-formed miscompilations, caught by the \
+           static certifier under $(b,--certify) or by the execution \
+           oracle under $(b,--verify-passes)).")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Static translation validation: after every changing pass, try \
+           to prove the output simulates the input.  A refutation \
+           quarantines the pass and rolls the function back with a \
+           $(b,certify-refuted) diagnostic carrying the counterexample \
+           path; uncertifiable passes warn.  See also the $(b,certify) \
+           subcommand for per-pass verdict reports.")
 
 (* Shared by fuzz and the bench drivers: deterministic worker-level fault
    injection against the pool supervisor. *)
@@ -172,11 +188,13 @@ let report_diags diags =
 let strict_exit strict diags =
   if strict && Telemetry.Diag.has_errors !diags then exit 3
 
-let make_opts ?(verify = false) ?inject_fault ?budget level =
+let make_opts ?(verify = false) ?(certify = false) ?inject_fault ?budget level
+    =
   {
     Opt.Driver.default_options with
     level;
     verify_passes = verify;
+    certify;
     inject_fault;
     budget;
   }
@@ -248,13 +266,13 @@ let compile_cmd =
       & info [ "dump-asm" ] ~doc:"Print the assembled code with addresses.")
   in
   let run level machine path dump_rtl dump_asm trace trace_out stats_json
-      verify strict inject_fault wall_budget growth_budget =
+      verify certify strict inject_fault wall_budget growth_budget =
     let log, finish = make_log trace trace_out in
     let diags = ref [] in
     let budget = make_budget wall_budget growth_budget in
     let prog =
       compile_prog ~log ~diags
-        (make_opts ~verify ?inject_fault ?budget level)
+        (make_opts ~verify ~certify ?inject_fault ?budget level)
         machine path
     in
     if dump_rtl || not (dump_asm || stats_json) then
@@ -279,8 +297,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a C-subset file and print the result")
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ dump_rtl $ dump_asm
-      $ trace_arg $ trace_out_arg $ stats_json_arg $ verify_arg $ strict_arg
-      $ inject_fault_arg $ wall_budget_arg $ growth_budget_arg)
+      $ trace_arg $ trace_out_arg $ stats_json_arg $ verify_arg $ certify_arg
+      $ strict_arg $ inject_fault_arg $ wall_budget_arg $ growth_budget_arg)
 
 (* --- run --- *)
 
@@ -318,14 +336,14 @@ let run_cmd =
              error.")
   in
   let run level machine path input input_file stats trace max_steps
-      trace_passes trace_out stats_json verify strict inject_fault wall_budget
-      growth_budget =
+      trace_passes trace_out stats_json verify certify strict inject_fault
+      wall_budget growth_budget =
     let log, finish = make_log trace_passes trace_out in
     let diags = ref [] in
     let budget = make_budget wall_budget growth_budget in
     let prog =
       compile_prog ~log ~diags
-        (make_opts ~verify ?inject_fault ?budget level)
+        (make_opts ~verify ~certify ?inject_fault ?budget level)
         machine path
     in
     let asm = Sim.Asm.assemble machine prog in
@@ -399,8 +417,8 @@ let run_cmd =
     Term.(
       const run $ level_arg $ machine_arg $ file_arg $ input $ input_file
       $ stats $ trace $ max_steps $ trace_arg $ trace_out_arg $ stats_json_arg
-      $ verify_arg $ strict_arg $ inject_fault_arg $ wall_budget_arg
-      $ growth_budget_arg)
+      $ verify_arg $ certify_arg $ strict_arg $ inject_fault_arg
+      $ wall_budget_arg $ growth_budget_arg)
 
 (* --- measure --- *)
 
@@ -608,6 +626,117 @@ let lint_cmd =
     Term.(
       const run $ level_arg $ machine_arg $ targets $ benches $ json
       $ strict_arg)
+
+(* --- certify: per-pass translation-validation verdicts --- *)
+
+let certify_cmd =
+  let targets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:"A C source file or a bundled benchmark name (see $(b,list)).")
+  in
+  let benches =
+    Arg.(
+      value & flag
+      & info [ "benches" ] ~doc:"Certify every bundled benchmark as well.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: a JSON array with one object per \
+             target, each carrying its per-pass verdicts (with reasons \
+             and counterexample paths) and summary counts.")
+  in
+  let run level machine targets benches json inject_fault =
+    let targets =
+      targets
+      @ (if benches then
+           List.map (fun (b : Programs.Suite.benchmark) -> b.name)
+             Programs.Suite.all
+         else [])
+    in
+    if targets = [] then begin
+      Printf.eprintf
+        "jumprepc: certify: no targets (name files or benchmarks, or pass \
+         --benches)\n";
+      exit 2
+    end;
+    let source_of t =
+      if Sys.file_exists t then read_file t
+      else
+        match Programs.Suite.find t with
+        | Some b -> b.source
+        | None ->
+          Printf.eprintf
+            "jumprepc: certify: %s is neither a file nor a bundled benchmark\n"
+            t;
+          exit 2
+    in
+    let reports =
+      List.map
+        (fun t ->
+          match
+            Ops.certify_report ?inject_fault ~level ~machine ~path:t
+              (source_of t)
+          with
+          | Error f -> fail_op f
+          | Ok (verdicts, diags) -> (t, verdicts, diags))
+        targets
+    in
+    if json then
+      print_json
+        (Json.Arr
+           (List.map
+              (fun (t, verdicts, _) ->
+                Ops.certify_json ~target:t ~level ~machine verdicts)
+              reports))
+    else
+      List.iter
+        (fun (t, verdicts, _) ->
+          let certified, unknown, refuted = Ops.certify_summary verdicts in
+          Printf.printf "%s: %d certified, %d unknown, %d refuted\n" t
+            certified unknown refuted;
+          List.iter
+            (fun (r : Tv.record) ->
+              match r.Tv.verdict with
+              | Tv.Certified -> ()
+              | Tv.Unknown { reason; timeout } ->
+                Printf.printf "  %s/%s: unknown%s: %s\n" r.Tv.vfunc r.Tv.vpass
+                  (if timeout then " (timeout)" else "")
+                  reason
+              | Tv.Refuted { reason; path } ->
+                Printf.printf "  %s/%s: REFUTED: %s\n    path: %s\n" r.Tv.vfunc
+                  r.Tv.vpass reason
+                  (String.concat " -> " path))
+            verdicts)
+        reports;
+    (* Pipeline diagnostics (quarantines, warns) go to stderr as usual. *)
+    List.iter (fun (_, _, diags) -> report_diags (ref (List.rev diags))) reports;
+    if
+      List.exists
+        (fun (_, verdicts, _) ->
+          List.exists
+            (fun (r : Tv.record) ->
+              match r.Tv.verdict with Tv.Refuted _ -> true | _ -> false)
+            verdicts)
+        reports
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Statically validate the optimizer on the given targets: after \
+          every changing pass, prove the output simulates the input \
+          (certified), or report a counterexample path (refuted, exit 1), \
+          or conservatively give up (unknown).  No execution involved; \
+          pair with $(b,--inject-fault PASS:flip-branch) to watch a \
+          miscompilation get caught")
+    Term.(
+      const run $ level_arg $ machine_arg $ targets $ benches $ json
+      $ inject_fault_arg)
 
 (* --- explain: per-function replication report --- *)
 
@@ -1241,6 +1370,7 @@ let main =
       measure_cmd;
       bench_cmd;
       lint_cmd;
+      certify_cmd;
       explain_cmd;
       serve_cmd;
       client_cmd;

@@ -67,7 +67,7 @@ module S = Dataflow.Solver (struct
   let join = Key_set.inter
 end)
 
-let solve ~graph ~instrs =
+let solve ?max_visits ~graph ~instrs () =
   let n = Array.length instrs in
   let universe =
     Array.fold_left
@@ -104,7 +104,8 @@ let solve ~graph ~instrs =
           is)
       instrs;
     let r =
-      S.solve ~direction:Dataflow.Forward ~graph ~empty:Key_set.empty
+      S.solve ~name:"avail" ?max_visits ~direction:Dataflow.Forward ~graph
+        ~empty:Key_set.empty
         ~init:(fun _ -> universe)
         ~transfer:(fun b inb ->
           Key_set.union gen.(b) (Key_set.diff inb kill.(b)))

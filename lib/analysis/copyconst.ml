@@ -105,9 +105,10 @@ module S = Dataflow.Solver (struct
   let join = join
 end)
 
-let solve ~graph ~instrs =
+let solve ?max_visits ~graph ~instrs () =
   let r =
-    S.solve ~direction:Dataflow.Forward ~graph ~empty:entry
+    S.solve ~name:"copyconst" ?max_visits ~direction:Dataflow.Forward ~graph
+      ~empty:entry
       ~init:(fun _ -> top)
       ~transfer:(fun b f -> List.fold_left (fun f i -> step i f) f instrs.(b))
       ()

@@ -40,4 +40,5 @@ type t = {
   stats : Dataflow.stats;
 }
 
-val solve : graph:Dataflow.graph -> instrs:Rtl.instr list array -> t
+val solve :
+  ?max_visits:int -> graph:Dataflow.graph -> instrs:Rtl.instr list array -> unit -> t

@@ -28,7 +28,7 @@ end
 module Solver (L : LATTICE) = struct
   type result = { input : L.t array; output : L.t array; stats : stats }
 
-  let solve ?max_visits ~direction ~graph ~empty ~init ~transfer () =
+  let solve ?name ?max_visits ~direction ~graph ~empty ~init ~transfer () =
     let n = graph.nodes in
     let sources, dependents =
       match direction with
@@ -73,8 +73,11 @@ module Solver (L : LATTICE) = struct
         raise
           (Diverged
              (Printf.sprintf
-                "no fixpoint after %d node visits (%d nodes); transfer \
+                "%sno fixpoint after %d node visits (%d nodes); transfer \
                  function is not monotone or the lattice has unbounded height"
+                (match name with
+                | Some a -> Printf.sprintf "analysis %s: " a
+                | None -> "")
                 !visits n));
       let inp =
         match sources i with

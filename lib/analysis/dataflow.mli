@@ -67,8 +67,11 @@ module Solver (L : LATTICE) : sig
       - [transfer n fact] pushes a fact through node [n].
 
       @raise Diverged after [max_visits] node evaluations (default
-      [max 4096 ((nodes + 1) * 256)]). *)
+      [max 4096 ((nodes + 1) * 256)]); [name] identifies the analysis in
+      the divergence message (and in the [analysis-diverged] diagnostic
+      the catchers emit). *)
   val solve :
+    ?name:string ->
     ?max_visits:int ->
     direction:direction ->
     graph:graph ->

@@ -19,9 +19,10 @@ module S = Dataflow.Solver (struct
   let join = Reg.Set.union
 end)
 
-let solve ~graph ~instrs =
+let solve ?max_visits ~graph ~instrs () =
   let r =
-    S.solve ~direction:Dataflow.Backward ~graph ~empty:Reg.Set.empty
+    S.solve ~name:"live" ?max_visits ~direction:Dataflow.Backward ~graph
+      ~empty:Reg.Set.empty
       ~init:(fun _ -> Reg.Set.empty)
       ~transfer:(fun i out -> block_transfer instrs.(i) out)
       ()

@@ -17,4 +17,5 @@ val step : Rtl.instr -> Reg.Set.t -> Reg.Set.t
 (** [step] folded over a whole block, last instruction first. *)
 val block_transfer : Rtl.instr list -> Reg.Set.t -> Reg.Set.t
 
-val solve : graph:Dataflow.graph -> instrs:Rtl.instr list array -> t
+val solve :
+  ?max_visits:int -> graph:Dataflow.graph -> instrs:Rtl.instr list array -> unit -> t

@@ -24,7 +24,7 @@ module Must = Dataflow.Solver (struct
   let join = Reg.Set.inter
 end)
 
-let solve ~graph ~instrs =
+let solve ?max_visits ~graph ~instrs () =
   let n = Array.length instrs in
   (* Number every definition site, index them by register, and remember
      the last site of each register per block. *)
@@ -68,14 +68,16 @@ let solve ~graph ~instrs =
         tbl)
     last;
   let may =
-    May.solve ~direction:Dataflow.Forward ~graph ~empty:Int_set.empty
+    May.solve ~name:"reaching" ?max_visits ~direction:Dataflow.Forward ~graph
+      ~empty:Int_set.empty
       ~init:(fun _ -> Int_set.empty)
       ~transfer:(fun b inb -> Int_set.union gen.(b) (Int_set.diff inb kill.(b)))
       ()
   in
   let universe = Array.fold_left Reg.Set.union Reg.Set.empty defs in
   let must =
-    Must.solve ~direction:Dataflow.Forward ~graph ~empty:Reg.Set.empty
+    Must.solve ~name:"reaching" ?max_visits ~direction:Dataflow.Forward ~graph
+      ~empty:Reg.Set.empty
       ~init:(fun _ -> universe)
       ~transfer:(fun b inb -> Reg.Set.union inb defs.(b))
       ()

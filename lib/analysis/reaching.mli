@@ -28,7 +28,8 @@ type t = {
   stats : Dataflow.stats;  (** combined visits of both solves *)
 }
 
-val solve : graph:Dataflow.graph -> instrs:Rtl.instr list array -> t
+val solve :
+  ?max_visits:int -> graph:Dataflow.graph -> instrs:Rtl.instr list array -> unit -> t
 
 (** Uses of [keep]-eligible registers that are not defined on every path
     from the entry, as [(block, instruction index, register)] in program

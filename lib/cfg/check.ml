@@ -143,7 +143,7 @@ let def_before_use f =
     let instrs =
       Array.map (fun (b : Func.block) -> b.instrs) (Func.blocks f)
     in
-    let facts = Analysis.Reaching.solve ~graph ~instrs in
+    let facts = Analysis.Reaching.solve ~graph ~instrs () in
     Analysis.Reaching.uninitialized_uses facts ~instrs ~keep:Reg.is_virt
       ~reachable:(fun i -> reach.(i))
     |> List.map (fun (b, _, r) ->

@@ -11,7 +11,7 @@ let cache : (Func.t, Analysis.Live.t) Analysis.Cache.t =
 let solve func =
   let graph = Cfg.graph (Cfg.make func) in
   let instrs = Array.map (fun (b : Func.block) -> b.instrs) (Func.blocks func) in
-  Analysis.Live.solve ~graph ~instrs
+  Analysis.Live.solve ~graph ~instrs ()
 
 let compute func = { func; facts = Analysis.Cache.find cache func solve }
 let live_in t i = t.facts.Analysis.Live.live_in.(i)

@@ -28,14 +28,14 @@ let make_opts ?(verify = false) ?inject_fault ?budget level =
 
 (* Front-end failures as typed diagnostics with a file:line position —
    the same mapping (and message bytes) the CLI's error path prints. *)
-let compile_source ?log ?(diags = ref []) opts machine ~path source =
+let compile_source ?log ?(diags = ref []) ?verdicts opts machine ~path source =
   let err ?exit_code code fmt =
     Printf.ksprintf
       (fun message ->
         fail ?exit_code (Diag.make code ~func:"" ~pass:"" message))
       fmt
   in
-  try Ok (Opt.Driver.compile ?log ~diags opts machine source) with
+  try Ok (Opt.Driver.compile ?log ~diags ?verdicts opts machine source) with
   | Frontend.Lexer.Error (msg, line) ->
     err Diag.Parse_error "%s:%d: lexical error: %s" path line msg
   | Frontend.Parser.Error (msg, line) ->
@@ -161,6 +161,63 @@ let lint_payload ~level ~machine ~path source =
   match lint_findings ~level ~machine ~path source with
   | Error _ as e -> e
   | Ok findings -> Ok (lint_json [ (path, findings) ])
+
+(* --- certify: per-pass translation-validation verdicts --- *)
+
+let certify_report ?log ?inject_fault ~level ~machine ~path source =
+  let opts =
+    { (make_opts ?inject_fault level) with Opt.Driver.certify = true }
+  in
+  let diags = ref [] in
+  let verdicts = ref [] in
+  match compile_source ?log ~diags ~verdicts opts machine ~path source with
+  | Error _ as e -> e
+  | Ok _prog -> Ok (List.rev !verdicts, List.rev !diags)
+
+let certify_summary verdicts =
+  List.fold_left
+    (fun (c, u, r) (v : Tv.record) ->
+      match v.Tv.verdict with
+      | Tv.Certified -> (c + 1, u, r)
+      | Tv.Unknown _ -> (c, u + 1, r)
+      | Tv.Refuted _ -> (c, u, r + 1))
+    (0, 0, 0) verdicts
+
+let certify_json ~target ~level ~(machine : Ir.Machine.t) verdicts =
+  let verdict_fields = function
+    | Tv.Certified -> []
+    | Tv.Unknown { reason; timeout } ->
+      [ ("reason", Json.Str reason); ("timeout", Json.Bool timeout) ]
+    | Tv.Refuted { reason; path } ->
+      [
+        ("reason", Json.Str reason);
+        ("path", Json.Arr (List.map (fun p -> Json.Str p) path));
+      ]
+  in
+  let certified, unknown, refuted = certify_summary verdicts in
+  Json.Obj
+    [
+      ("target", Json.Str target);
+      ("level", Json.Str (Opt.Driver.level_name level));
+      ("machine", Json.Str machine.Ir.Machine.short);
+      ( "verdicts",
+        Json.Arr
+          (List.map
+             (fun (r : Tv.record) ->
+               Json.Obj
+                 (("func", Json.Str r.Tv.vfunc)
+                 :: ("pass", Json.Str r.Tv.vpass)
+                 :: ("verdict", Json.Str (Tv.verdict_name r.Tv.verdict))
+                 :: verdict_fields r.Tv.verdict))
+             verdicts) );
+      ( "summary",
+        Json.Obj
+          [
+            ("certified", Json.Int certified);
+            ("unknown", Json.Int unknown);
+            ("refuted", Json.Int refuted);
+          ] );
+    ]
 
 (* --- explain: the per-function replication report --- *)
 

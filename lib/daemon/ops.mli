@@ -27,6 +27,7 @@ val make_opts :
 val compile_source :
   ?log:Telemetry.Log.t ->
   ?diags:Telemetry.Diag.t list ref ->
+  ?verdicts:Tv.record list ref ->
   Opt.Driver.options ->
   Ir.Machine.t ->
   path:string ->
@@ -102,6 +103,32 @@ val lint_payload :
   path:string ->
   string ->
   (Telemetry.Json.t, failure) result
+
+(** Compile under [options.certify] and collect the static certifier's
+    per-pass verdicts (chronological) alongside the pipeline diagnostics
+    they produced.  [inject_fault] passes a PASS[:MODE] corruption spec
+    through, so a deliberately broken pass shows up as a refutation. *)
+val certify_report :
+  ?log:Telemetry.Log.t ->
+  ?inject_fault:string ->
+  level:Opt.Driver.level ->
+  machine:Ir.Machine.t ->
+  path:string ->
+  string ->
+  (Tv.record list * Telemetry.Diag.t list, failure) result
+
+(** (certified, unknown, refuted) counts over a verdict list. *)
+val certify_summary : Tv.record list -> int * int * int
+
+(** The [certify --json] object for one target: the verdict list (each
+    with its reason and, for refutations, the counterexample path) and
+    the summary counts. *)
+val certify_json :
+  target:string ->
+  level:Opt.Driver.level ->
+  machine:Ir.Machine.t ->
+  Tv.record list ->
+  Telemetry.Json.t
 
 (** Compile with an in-memory event log: the optimized program plus the
     events the explain report audits. *)

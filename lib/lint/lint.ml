@@ -21,7 +21,7 @@ let uninit_reads fname func cfg reach instrs =
   let graph =
     Analysis.Dataflow.restrict (Cfg.graph cfg) ~keep:(fun i -> reach.(i))
   in
-  let facts = Analysis.Reaching.solve ~graph ~instrs in
+  let facts = Analysis.Reaching.solve ~graph ~instrs () in
   Analysis.Reaching.uninitialized_uses facts ~instrs ~keep:Reg.is_virt
     ~reachable:(fun i -> reach.(i))
   |> List.map (fun (b, k, r) ->
@@ -62,7 +62,7 @@ let dead_stores fname func reach =
    operands of the compare a branch keys on. *)
 let const_branches fname func reach instrs =
   let graph = Cfg.graph (Cfg.make func) in
-  let facts = Analysis.Copyconst.solve ~graph ~instrs in
+  let facts = Analysis.Copyconst.solve ~graph ~instrs () in
   let out = ref [] in
   Array.iteri
     (fun bi is ->
@@ -170,18 +170,29 @@ let check_func ?(config = Replication.Jumps.default_config) func =
         (Printf.sprintf "ill-formed function, lint skipped:\n  %s"
            (String.concat "\n  " errs));
     ]
-  | [] ->
+  | [] -> (
     let cfg = Cfg.make func in
     let reach = Cfg.reachable cfg in
     let instrs =
       Array.map (fun (b : Func.block) -> b.instrs) (Func.blocks func)
     in
-    uninit_reads fname func cfg reach instrs
-    @ dead_stores fname func reach
-    @ const_branches fname func reach instrs
-    @ jump_chains fname func reach
-    @ unreachable_blocks fname func reach
-    @ replication_outlook config fname func
+    (* A diverging fixpoint is a finding about the function, not a crash:
+       surface it as one typed diagnostic and skip the fact-based rules. *)
+    match
+      uninit_reads fname func cfg reach instrs
+      @ dead_stores fname func reach
+      @ const_branches fname func reach instrs
+    with
+    | exception Analysis.Dataflow.Diverged msg ->
+      Diag.make Diag.Analysis_diverged ~func:fname ~pass:"lint" msg
+      :: jump_chains fname func reach
+      @ unreachable_blocks fname func reach
+      @ replication_outlook config fname func
+    | fact_findings ->
+      fact_findings
+      @ jump_chains fname func reach
+      @ unreachable_blocks fname func reach
+      @ replication_outlook config fname func)
 
 let check_prog ?config (prog : Prog.t) =
   List.concat_map (fun f -> check_func ?config f) prog.funcs

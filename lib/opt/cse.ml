@@ -46,7 +46,8 @@ let run func =
   let blocks = Func.blocks func in
   let entry_state =
     let r =
-      S.solve ~direction:Analysis.Dataflow.Forward ~graph:forest
+      S.solve ~name:"cse-valnum" ~direction:Analysis.Dataflow.Forward
+        ~graph:forest
         ~empty:Analysis.Valnum.empty
         ~init:(fun _ -> Analysis.Valnum.empty)
         ~transfer:(fun bi st ->

@@ -28,6 +28,7 @@ type options = {
   enable_strength : bool;
   enable_isel : bool;
   verify_passes : bool;
+  certify : bool;
   inject_fault : string option;
   budget : Telemetry.Budget.t option;
 }
@@ -45,11 +46,16 @@ let default_options =
     enable_strength = true;
     enable_isel = true;
     verify_passes = false;
+    certify = false;
     inject_fault = None;
     budget = None;
   }
 
 let options ?(level = Simple) () = { default_options with level }
+
+(* How [inject_fault] corrupts the named pass's output; the spec syntax is
+   PASS or PASS:MODE (default mode: dangling-jump). *)
+type fault_mode = Fault_dangling | Fault_flip_branch | Fault_drop_store
 
 (* --- telemetry: per-pass spans with IR deltas --- *)
 
@@ -137,7 +143,12 @@ type boundary = {
   b_opts : options;
   b_oracle : Oracle.t option;
   b_diags : Diag.t list ref;
+  b_fault : (string * fault_mode) option;
+  b_verdicts : Tv.record list ref;
   mutable quarantined : SSet.t;
+  mutable warned : SSet.t;
+      (* (pass, unknown-kind) pairs already diagnosed, so the fixpoint loop
+         does not repeat the same certifier warning every iteration *)
   mutable baseline : SSet.t;
       (* violations already present in the last accepted IR; only new ones
          convict a pass *)
@@ -153,17 +164,71 @@ let pass_postconditions name func =
   | "regalloc" -> Check.no_virtuals func
   | _ -> []
 
-(* Test-only fault injection: corrupt the named pass's output with a jump
-   to a label that does not exist, proving the quarantine-and-rollback path
-   end to end from the CLI. *)
-let inject_corruption func =
-  let bad =
-    {
-      Func.label = Func.fresh_label func;
-      instrs = [ Ir.Rtl.Jump (Ir.Label.of_int 424242) ];
-    }
-  in
-  Func.with_blocks func (Array.append (Func.blocks func) [| bad |])
+(* Test-only fault injection: corrupt the named pass's output, proving the
+   detection paths end to end from the CLI.  [Fault_dangling] (a jump to a
+   label that does not exist) is caught by the structural verifier;
+   [Fault_flip_branch] and [Fault_drop_store] produce well-formed but
+   miscompiled IR that only the static certifier (or the dynamic oracle)
+   can convict. *)
+let fault_mode_of_string = function
+  | "dangling-jump" -> Some Fault_dangling
+  | "flip-branch" -> Some Fault_flip_branch
+  | "drop-store" -> Some Fault_drop_store
+  | _ -> None
+
+let parse_fault spec =
+  match String.index_opt spec ':' with
+  | None -> Ok (spec, Fault_dangling)
+  | Some i ->
+    let pass = String.sub spec 0 i in
+    let mode = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match fault_mode_of_string mode with
+    | Some m -> Ok (pass, m)
+    | None -> Error mode)
+
+(* Returns whether the corruption applied (a branch/store was found to
+   break); an applied corruption forces the pass's changed flag so the
+   certifier and oracle actually look at it. *)
+let inject_corruption mode func =
+  match mode with
+  | Fault_dangling ->
+    let bad =
+      {
+        Func.label = Func.fresh_label func;
+        instrs = [ Ir.Rtl.Jump (Ir.Label.of_int 424242) ];
+      }
+    in
+    (Func.with_blocks func (Array.append (Func.blocks func) [| bad |]), true)
+  | Fault_flip_branch ->
+    let hit = ref false in
+    let func' =
+      Func.map_instrs
+        (List.map (fun i ->
+             match i with
+             | Ir.Rtl.Branch (c, l) when not !hit ->
+               hit := true;
+               Ir.Rtl.Branch (Ir.Rtl.negate_cond c, l)
+             | i -> i))
+        func
+    in
+    (func', !hit)
+  | Fault_drop_store ->
+    let hit = ref false in
+    let func' =
+      Func.map_instrs
+        (List.filter (fun i ->
+             if !hit then true
+             else
+               match i with
+               | Ir.Rtl.Move (Ir.Rtl.Lmem _, _)
+               | Ir.Rtl.Binop (_, Ir.Rtl.Lmem _, _, _)
+               | Ir.Rtl.Unop (_, Ir.Rtl.Lmem _, _) ->
+                 hit := true;
+                 false
+               | _ -> true))
+        func
+    in
+    (func', !hit)
 
 let quarantine g name code violations message =
   g.quarantined <- SSet.add name g.quarantined;
@@ -171,6 +236,35 @@ let quarantine g name code violations message =
   Telemetry.Log.emit g.b_log (fun () ->
       Telemetry.Log.Pass_quarantined
         { func = g.b_fname; pass = name; code = Diag.code_name code; violations })
+
+(* The static certifier, consulted after every changing pass under
+   [--certify].  A refutation convicts the pass like an oracle mismatch:
+   quarantine plus rollback.  Unknown verdicts are recorded (once per
+   (pass, kind) per function — the fixpoint loop would otherwise repeat
+   them) as warnings and the output is kept: Unknown is absence of a
+   proof, not evidence of a bug. *)
+let certify_after g name ~before ~after =
+  let verdict = Tv.certify_pass ~pass:name ~before ~after () in
+  g.b_verdicts :=
+    { Tv.vfunc = g.b_fname; vpass = name; verdict } :: !(g.b_verdicts);
+  match verdict with
+  | Tv.Certified -> true
+  | Tv.Unknown { reason; timeout } ->
+    let key = name ^ if timeout then "/timeout" else "/unknown" in
+    if not (SSet.mem key g.warned) then begin
+      g.warned <- SSet.add key g.warned;
+      g.b_diags :=
+        Diag.make ~severity:Diag.Warn
+          (if timeout then Diag.Certifier_timeout else Diag.Uncertifiable_pass)
+          ~func:g.b_fname ~pass:name reason
+        :: !(g.b_diags)
+    end;
+    true
+  | Tv.Refuted { reason; path } ->
+    quarantine g name Diag.Certify_refuted path
+      (Printf.sprintf "%s; counterexample path: %s" reason
+         (String.concat " -> " path));
+    false
 
 let guard g name pass func =
   if SSet.mem name g.quarantined then (func, false)
@@ -183,13 +277,19 @@ let guard g name pass func =
     (* Budget exhaustion is not a pass failure: it must reach the
        degradation loop in [optimize_func], not quarantine the pass. *)
     | exception (Telemetry.Budget.Exhausted _ as e) -> raise e
+    | exception Analysis.Dataflow.Diverged msg ->
+      quarantine g name Diag.Analysis_diverged [] msg;
+      (func, false)
     | exception exn ->
       quarantine g name Diag.Pass_raised [] (Printexc.to_string exn);
       (func, false)
     | func', changed -> (
-      let func' =
-        if g.b_opts.inject_fault = Some name then inject_corruption func'
-        else func'
+      let func', changed =
+        match g.b_fault with
+        | Some (target, mode) when String.equal target name ->
+          let func', applied = inject_corruption mode func' in
+          (func', changed || applied)
+        | _ -> (func', changed)
       in
       let viols = generic_violations g.b_opts func' in
       let fresh =
@@ -201,6 +301,10 @@ let guard g name pass func =
           (Printf.sprintf "verifier: %s" (String.concat "; " fresh));
         (func, false)
       end
+      else if
+        g.b_opts.certify && changed
+        && not (certify_after g name ~before:func ~after:func')
+      then (func, false)
       else
         let accept () =
           g.baseline <- SSet.of_list viols;
@@ -237,10 +341,23 @@ let replication_pass ?log ?budget opts ~size_cap ~allow_irreducible func =
    (e.g. cap the number of replacements, or return deliberately broken
    IR to exercise the quarantine path). *)
 let optimize_func_with ?(log = Telemetry.Log.null)
-    ?(profiler = Telemetry.Profiler.null) ?(diags = ref []) ?oracle
+    ?(profiler = Telemetry.Profiler.null) ?(diags = ref [])
+    ?(verdicts = ref []) ?oracle
     ~(replicate : ?allow_irreducible:bool -> Func.t -> Func.t * bool) opts
     machine func =
   let fname = Func.name func in
+  let fault =
+    match opts.inject_fault with
+    | None -> None
+    | Some spec -> (
+      match parse_fault spec with
+      | Ok pm -> Some pm
+      | Error mode ->
+        Diag.error Diag.Semantic_error ~func:fname ~pass:"inject-fault"
+          "unknown fault mode %S (expected dangling-jump, flip-branch or \
+           drop-store)"
+          mode)
+  in
   let g =
     {
       b_log = log;
@@ -248,7 +365,10 @@ let optimize_func_with ?(log = Telemetry.Log.null)
       b_opts = opts;
       b_oracle = oracle;
       b_diags = diags;
+      b_fault = fault;
+      b_verdicts = verdicts;
       quarantined = SSet.empty;
+      warned = SSet.empty;
       baseline = SSet.of_list (generic_violations opts func);
     }
   in
@@ -370,12 +490,13 @@ let optimize_func_with ?(log = Telemetry.Log.null)
 
 let next_cheaper = function Jumps -> Some Loops | Loops -> Some Simple | Simple -> None
 
-let optimize_func ?log ?profiler ?diags ?oracle opts machine func =
+let optimize_func ?log ?profiler ?diags ?verdicts ?oracle opts machine func =
   (* Growth cap for replication, relative to the pre-replication size. *)
   (* The paper's worst growth is ~3x (deroff); 8x is a generous ceiling
      that still bounds pathological replication cascades. *)
   let size_cap = max 2000 (8 * Func.num_instrs func) in
   let diags = match diags with Some d -> d | None -> ref [] in
+  let verdicts = match verdicts with Some v -> v | None -> ref [] in
   let input_rtls = max 1 (Func.num_instrs func) in
   (* Budget exhaustion degrades the function to the next-cheaper
      configuration (JUMPS -> LOOPS -> SIMPLE) instead of aborting: the
@@ -386,6 +507,8 @@ let optimize_func ?log ?profiler ?diags ?oracle opts machine func =
   let rec attempt level =
     let opts = { opts with level } in
     let budget = if level = Simple then None else opts.budget in
+    (* Verdicts of an abandoned attempt describe IR that was thrown away. *)
+    let verdicts_before = !verdicts in
     let repl_added = ref 0 in
     let growth_cap =
       match budget with
@@ -407,11 +530,12 @@ let optimize_func ?log ?profiler ?diags ?oracle opts machine func =
       (func', changed)
     in
     match
-      optimize_func_with ?log ?profiler ~diags ?oracle ~replicate opts machine
-        func
+      optimize_func_with ?log ?profiler ~diags ~verdicts ?oracle ~replicate
+        opts machine func
     with
     | func' -> func'
     | exception Telemetry.Budget.Exhausted reason -> (
+      verdicts := verdicts_before;
       match next_cheaper level with
       | None -> raise (Telemetry.Budget.Exhausted reason)
       | Some lower ->
@@ -426,12 +550,14 @@ let optimize_func ?log ?profiler ?diags ?oracle opts machine func =
   in
   attempt opts.level
 
-let optimize ?log ?profiler ?diags opts machine prog =
+let optimize ?log ?profiler ?diags ?verdicts opts machine prog =
   let oracle =
     if opts.verify_passes then Some (Oracle.make machine prog) else None
   in
   let prog' =
-    Prog.map_funcs (optimize_func ?log ?profiler ?diags ?oracle opts machine) prog
+    Prog.map_funcs
+      (optimize_func ?log ?profiler ?diags ?verdicts ?oracle opts machine)
+      prog
   in
   (if opts.verify_passes then
      match Check.program_errors prog' with
@@ -446,6 +572,6 @@ let optimize ?log ?profiler ?diags opts machine prog =
          diags);
   prog'
 
-let compile ?log ?profiler ?diags opts machine source =
-  optimize ?log ?profiler ?diags opts machine
+let compile ?log ?profiler ?diags ?verdicts opts machine source =
+  optimize ?log ?profiler ?diags ?verdicts opts machine
     (Frontend.Codegen.compile_source source)

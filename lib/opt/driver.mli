@@ -36,9 +36,19 @@ type options = {
       (** expensive per-pass verification: dominance-based def-before-use,
           program-level label uniqueness, and the differential execution
           oracle ({!Oracle}) on examples-sized functions *)
+  certify : bool;
+      (** static translation validation: after every changing pass, {!Tv}
+          tries to prove the output simulates the input.  A refutation
+          quarantines the pass and rolls the function back (like an oracle
+          mismatch) with a [certify-refuted] diagnostic carrying the
+          counterexample path; Unknown verdicts are warn-severity
+          [uncertifiable-pass] / [certifier-timeout] diagnostics. *)
   inject_fault : string option;
-      (** test-only: corrupt the named pass's output with a dangling jump,
-          to exercise the quarantine-and-rollback path end to end *)
+      (** test-only: corrupt the named pass's output to exercise the
+          detection paths end to end.  Spec syntax PASS[:MODE]; modes:
+          [dangling-jump] (ill-formed IR, caught by the verifier — the
+          default), [flip-branch] and [drop-store] (well-formed
+          miscompilations, caught by the static certifier or the oracle) *)
   budget : Telemetry.Budget.t option;
       (** resource budget for the compilation: the replication passes poll
           its wall-clock deadline and cancel flag, and its growth axis caps
@@ -52,6 +62,12 @@ type options = {
 
 val default_options : options
 val options : ?level:level -> unit -> options
+
+(** How {!options.inject_fault} corrupts the named pass's output. *)
+type fault_mode = Fault_dangling | Fault_flip_branch | Fault_drop_store
+
+(** Parse a PASS[:MODE] fault spec; [Error mode] names the unknown mode. *)
+val parse_fault : string -> (string * fault_mode, string) result
 
 (** Optimize one function for the machine.
 
@@ -71,12 +87,15 @@ val options : ?level:level -> unit -> options
 
     [diags] collects {!Telemetry.Diag.t} records for quarantined passes,
     fixpoint divergence, and ill-formed input; callers that omit it still
-    get the telemetry events.  [oracle] supplies the differential
-    execution oracle consulted after every changing pass. *)
+    get the telemetry events.  [verdicts] collects the static certifier's
+    per-pass {!Tv.record}s under [options.certify].  [oracle] supplies
+    the differential execution oracle consulted after every changing
+    pass. *)
 val optimize_func :
   ?log:Telemetry.Log.t ->
   ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
+  ?verdicts:Tv.record list ref ->
   ?oracle:Oracle.t ->
   options ->
   Ir.Machine.t ->
@@ -90,6 +109,7 @@ val optimize_func_with :
   ?log:Telemetry.Log.t ->
   ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
+  ?verdicts:Tv.record list ref ->
   ?oracle:Oracle.t ->
   replicate:
     (?allow_irreducible:bool -> Flow.Func.t -> Flow.Func.t * bool) ->
@@ -106,6 +126,7 @@ val optimize :
   ?log:Telemetry.Log.t ->
   ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
+  ?verdicts:Tv.record list ref ->
   options ->
   Ir.Machine.t ->
   Flow.Prog.t ->
@@ -116,6 +137,7 @@ val compile :
   ?log:Telemetry.Log.t ->
   ?profiler:Telemetry.Profiler.t ->
   ?diags:Telemetry.Diag.t list ref ->
+  ?verdicts:Tv.record list ref ->
   options ->
   Ir.Machine.t ->
   string ->

@@ -13,7 +13,7 @@ let run func =
   let instrs =
     Array.map (fun (b : Func.block) -> b.Func.instrs) (Func.blocks func)
   in
-  let av = Av.solve ~graph:(Cfg.graph g) ~instrs in
+  let av = Av.solve ~graph:(Cfg.graph g) ~instrs () in
   if Av.Key_set.is_empty av.Av.universe then (func, false)
   else begin
     let universe = av.Av.universe in

@@ -18,6 +18,10 @@ type code =
   | Loop_replication
   | Code_growth
   | Jump_residual
+  | Certify_refuted
+  | Uncertifiable_pass
+  | Certifier_timeout
+  | Analysis_diverged
 
 type severity = Warn | Err
 
@@ -51,6 +55,10 @@ let code_name = function
   | Loop_replication -> "loop-replication"
   | Code_growth -> "code-growth"
   | Jump_residual -> "jump-residual"
+  | Certify_refuted -> "certify-refuted"
+  | Uncertifiable_pass -> "uncertifiable-pass"
+  | Certifier_timeout -> "certifier-timeout"
+  | Analysis_diverged -> "analysis-diverged"
 
 let severity_name = function Warn -> "warning" | Err -> "error"
 

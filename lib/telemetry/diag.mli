@@ -33,6 +33,17 @@ type code =
   | Loop_replication  (** replication copied a whole loop body *)
   | Code_growth  (** estimated code growth from replicating a jump *)
   | Jump_residual  (** an unconditional jump replication could not remove *)
+  | Certify_refuted
+      (** the static translation validator proved a pass's output does not
+          simulate its input; carries the counterexample path *)
+  | Uncertifiable_pass
+      (** the validator could not decide a pass (renaming, restructuring,
+          or symbolic values it cannot ground): verdict Unknown *)
+  | Certifier_timeout
+      (** the validator's pair budget ran out before closure *)
+  | Analysis_diverged
+      (** a dataflow analysis exhausted its visit budget without reaching
+          a fixpoint (a non-monotone transfer function) *)
 
 type severity = Warn | Err
 

@@ -1,0 +1,60 @@
+Static per-pass translation validation from the CLI.  A program with
+real memory traffic (a global accumulator) certifies cleanly; licm is
+outside the certifier's scope, so it is reported unknown — never
+silently trusted, never falsely refuted:
+
+  $ cat > store.c <<'SRC'
+  > int g;
+  > int main() {
+  >   int i;
+  >   for (i = 0; i < 5; i++) { g = g + i; }
+  >   putchar('0' + g);
+  >   putchar(10);
+  >   return 0;
+  > }
+  > SRC
+
+  $ ../../bin/jumprepc.exe certify store.c -O jumps 2>/dev/null
+  store.c: 5 certified, 1 unknown, 0 refuted
+    main/licm: unknown: loop-invariant code motion inserts preheaders and moves code across blocks
+
+The --json schema: one object per target carrying the run coordinates
+(target, level, machine), one verdict per (function x changing pass),
+and the summary counts:
+
+  $ ../../bin/jumprepc.exe certify store.c -O jumps --json 2>/dev/null
+  [{"target":"store.c","level":"JUMPS","machine":"risc","verdicts":[{"func":"main","pass":"branch-chain","verdict":"certified"},{"func":"main","pass":"replicate","verdict":"certified"},{"func":"main","pass":"isel","verdict":"certified"},{"func":"main","pass":"cse","verdict":"certified"},{"func":"main","pass":"deadvars","verdict":"certified"},{"func":"main","pass":"licm","verdict":"unknown","reason":"loop-invariant code motion inserts preheaders and moves code across blocks","timeout":false}],"summary":{"certified":5,"unknown":1,"refuted":0}}]
+
+An injected drop-store miscompilation is statically refuted — no
+execution involved — with a counterexample path of paired
+old-block/new-block labels, and the command exits 1.  The refuted pass
+is rolled back, so the rest of the pipeline still certifies:
+
+  $ ../../bin/jumprepc.exe certify store.c -O jumps --inject-fault isel:drop-store 2>/dev/null
+  store.c: 4 certified, 1 unknown, 1 refuted
+    main/isel: REFUTED: effect count differs: 1 vs 0 at blocks L1/L1
+      path: L5/L5 -> L6/L6 -> L1/L1
+    main/licm: unknown: loop-invariant code motion inserts preheaders and moves code across blocks
+  [1]
+
+The refuted verdict carries the reason and the counterexample path in
+JSON as well:
+
+  $ ../../bin/jumprepc.exe certify store.c -O jumps --inject-fault isel:drop-store --json 2>/dev/null | grep -o '{"func":"main","pass":"isel"[^]]*]}'
+  {"func":"main","pass":"isel","verdict":"refuted","reason":"effect count differs: 1 vs 0 at blocks L1/L1","path":["L5/L5","L6/L6","L1/L1"]}
+
+The lint --json schema alongside, for the shared diag renderer: one
+object per target, findings as typed diagnostic objects:
+
+  $ ../../bin/jumprepc.exe lint store.c -O jumps --json
+  [{"target":"store.c","findings":[{"code":"const-branch","severity":"warning","func":"main","pass":"lint","message":"L6: branch to L4 is never taken"}]}]
+
+Every bundled benchmark certifies with zero refutations at all three
+optimization levels:
+
+  $ for lvl in simple loops jumps; do
+  >   ../../bin/jumprepc.exe certify --benches -O $lvl 2>/dev/null | grep -c ' 0 refuted$'
+  > done
+  17
+  17
+  17

@@ -1,7 +1,8 @@
-The bundled benchmark list names the paper's 14 programs:
+The bundled benchmark list names the paper's 14 programs plus the
+three control-flow-heavy corpus additions:
 
   $ ../../bin/jumprepc.exe list | wc -l
-  14
+  17
 
 Compile and run a tiny program end to end:
 

@@ -5,7 +5,7 @@ paper-shaped tables, from the JSON alone:
   $ head -3 report.md
   # golden
   
-  84 measurements (14 programs x 2 machines); all outputs verified.
+  102 measurements (17 programs x 2 machines); all outputs verified.
 
 
   $ grep '^## ' report.md
@@ -42,7 +42,7 @@ Every program appears in each machine's Table-5 block, plus the mean row:
   $ head -1 plots/instrs_risc.dat
   # program	static_loops_pct	static_jumps_pct	dyn_loops_pct	dyn_jumps_pct
   $ grep -c . plots/instrs_risc.dat
-  15
+  18
 
 Comparing a sweep against itself reports no movement, and the Table-5
 means delta column renders explicit all-zero deltas for every machine —

@@ -100,7 +100,9 @@ let instrs_of func =
 let test_reaching_diamond () =
   let f = Test_flow.diamond () in
   let cfg = Cfg.make f in
-  let r = Analysis.Reaching.solve ~graph:(Cfg.graph cfg) ~instrs:(instrs_of f) in
+  let r =
+    Analysis.Reaching.solve ~graph:(Cfg.graph cfg) ~instrs:(instrs_of f) ()
+  in
   let must = r.Analysis.Reaching.must_defined_in in
   Alcotest.(check bool) "entry def on every path to the join" true
     (Reg.Set.mem (Reg.Virt 0) must.(3));
@@ -165,7 +167,7 @@ let test_avail_join () =
       |]
   in
   let g = Cfg.graph (Cfg.make f) in
-  let a = Analysis.Avail.solve ~graph:g ~instrs:(instrs_of f) in
+  let a = Analysis.Avail.solve ~graph:g ~instrs:(instrs_of f) () in
   let has_add b =
     Analysis.Avail.Key_set.exists
       (function
@@ -197,7 +199,7 @@ let test_avail_join () =
   let a' =
     Analysis.Avail.solve
       ~graph:(Cfg.graph (Cfg.make f'))
-      ~instrs:(instrs_of f')
+      ~instrs:(instrs_of f') ()
   in
   let has_add' b =
     Analysis.Avail.Key_set.exists
@@ -234,7 +236,7 @@ let test_copyconst_join () =
   let c =
     Analysis.Copyconst.solve
       ~graph:(Cfg.graph (Cfg.make f))
-      ~instrs:(instrs_of f)
+      ~instrs:(instrs_of f) ()
   in
   let at3 = c.Analysis.Copyconst.fact_in.(3) in
   Alcotest.(check bool) "join reached" true (Analysis.Copyconst.reached at3);

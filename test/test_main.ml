@@ -11,6 +11,7 @@ let () =
       Test_lint.tests;
       Test_replication.tests;
       Test_opt.tests;
+      Test_tv.tests;
       Test_regalloc.tests;
       Test_sim.tests;
       Test_icache.tests;

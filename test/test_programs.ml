@@ -1,6 +1,7 @@
-(* Integration: the paper's 14 programs, each compiled at all three
-   optimization levels for both machines, must reproduce the gcc-verified
-   expected output — 84 end-to-end configurations. *)
+(* Integration: the paper's 14 programs plus the 3 control-flow-heavy
+   corpus additions (fannkuch, lexer, rdparse), each compiled at all
+   three optimization levels for both machines, must reproduce the
+   gcc-verified expected output — 102 end-to-end configurations. *)
 
 let run_one (b : Programs.Suite.benchmark) level machine =
   let opts = { Opt.Driver.default_options with level } in
@@ -47,7 +48,7 @@ let test_paper_class_coverage () =
   Alcotest.(check (list string)) "Table 3 classes"
     [ "Benchmark"; "User code"; "Utility" ]
     classes;
-  Alcotest.(check int) "fourteen programs" 14 (List.length Programs.Suite.all)
+  Alcotest.(check int) "seventeen programs" 17 (List.length Programs.Suite.all)
 
 let test_savings_direction () =
   (* Dynamic instruction counts must not increase under LOOPS or JUMPS

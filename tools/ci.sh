@@ -32,8 +32,8 @@ import json
 doc = json.load(open("BENCH_results.json"))
 results, failures = doc["results"], doc.get("failures", [])
 total = len(results) + len(failures)
-assert total == 84, f"lost results: {len(results)} done + {len(failures)} failed != 84"
-print(f"chaos sweep accounted for all 84 tasks "
+assert total == 102, f"lost results: {len(results)} done + {len(failures)} failed != 102"
+print(f"chaos sweep accounted for all 102 tasks "
       f"({len(results)} done, {len(failures)} failed)")
 # The chaos sweep's trace must show the supervisor at work: injected
 # faults as chaos instants and at least one retry decision on lane 0.
@@ -97,7 +97,7 @@ import json
 rows = [json.loads(l) for l in open("_build/ci-trend.jsonl")]
 assert [r["commit"] for r in rows] == ["ci-a", "ci-b"], rows
 for r in rows:
-    assert r["measurements"] == 84 and "risc" in r and "cisc" in r, r
+    assert r["measurements"] == 102 and "risc" in r and "cisc" in r, r
 print("trend file has %d rows (same-commit rerun deduplicated)" % len(rows))
 EOF
 
@@ -109,6 +109,42 @@ for f in examples/c/*.c; do
   dune exec bin/jumprepc.exe -- lint "$f" -O jumps --strict > /dev/null
 done
 dune exec bin/jumprepc.exe -- lint --benches -O jumps --strict > /dev/null
+
+echo "== examples with bundled inputs reproduce their golden outputs =="
+for f in examples/c/*.c; do
+  b=$(basename "$f" .c)
+  if [ -f "examples/c/$b.expected" ]; then
+    if [ -f "examples/c/$b.input" ]; then
+      dune exec bin/jumprepc.exe -- run "$f" -O jumps -m risc \
+        --input-file "examples/c/$b.input" 2> /dev/null > "_build/golden-$b.out"
+    else
+      dune exec bin/jumprepc.exe -- run "$f" -O jumps -m risc \
+        2> /dev/null > "_build/golden-$b.out"
+    fi
+    cmp "_build/golden-$b.out" "examples/c/$b.expected"
+  fi
+done
+
+echo "== certify: static translation validation, all targets x levels =="
+for lvl in simple loops jumps; do
+  dune exec bin/jumprepc.exe -- certify --benches examples/c/*.c -O "$lvl" \
+    > "_build/certify-$lvl.txt" 2> /dev/null
+  grep -q ' 0 refuted' "_build/certify-$lvl.txt"
+  if grep -v ' 0 refuted' "_build/certify-$lvl.txt" | grep -q 'refuted'; then
+    echo "certify: refutations at level $lvl"; exit 1
+  fi
+done
+echo "certify: $(grep -c ' 0 refuted' _build/certify-jumps.txt) targets x 3 levels, zero refutations"
+
+# A deliberately corrupted pass must be statically refuted (exit 1) with
+# a counterexample path, and the rolled-back pipeline must stay correct.
+if dune exec bin/jumprepc.exe -- certify examples/c/collatz.c -O jumps \
+     --inject-fault isel:flip-branch > _build/certify-refute.txt 2> /dev/null; then
+  echo "certify: injected flip-branch was not refuted"; exit 1
+fi
+grep -q 'REFUTED' _build/certify-refute.txt
+grep -q 'path: ' _build/certify-refute.txt
+echo "certify: injected flip-branch refuted with a counterexample path"
 
 echo "== verify-passes strict run =="
 cat > _build/ci-verify.c <<'EOF'

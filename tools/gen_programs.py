@@ -5,8 +5,13 @@ Each benchmark below is written in the compiler's C subset (which is plain
 C89), compiled with the system gcc (-funsigned-char to match the simulator's
 zero-extending byte loads), run on its input, and the captured stdout is
 embedded as the expected output. The resulting OCaml module carries
-(name, description, source, input, expected_output) for all 14 programs of
-the paper's Table 3.
+(name, description, source, input, expected_output) for the 14 programs of
+the paper's Table 3 plus 3 control-flow-heavy additions (fannkuch, lexer,
+rdparse) grown for the translation-validation corpus.
+
+The additions are also emitted as examples/c/<name>.c with their bundled
+input (<name>.input) and gcc-captured golden output (<name>.expected), so
+the CLI, lint, daemon, and certify CI legs exercise them as source files.
 """
 
 import subprocess, tempfile, os, sys
@@ -837,6 +842,295 @@ int main() {
 }
 """
 
+# ---------------------------------------------------------------- fannkuch
+# Pancake flips over every permutation of 0..5 (Heap's algorithm drives the
+# enumeration).  The flip loop + reversal inner loop is the densest branchy
+# kernel in the corpus: every iteration ends in a conditional the replicator
+# wants to duplicate.
+FANNKUCH = r"""
+int a[8];
+int maxflips, checksum, nperm;
+
+int countflips() {
+  int q[8], i, j, t, f, k;
+  for (i = 0; i < 6; i++) q[i] = a[i];
+  f = 0;
+  k = q[0];
+  while (k != 0) {
+    i = 0; j = k;
+    while (i < j) { t = q[i]; q[i] = q[j]; q[j] = t; i = i + 1; j = j - 1; }
+    f = f + 1;
+    k = q[0];
+  }
+  return f;
+}
+
+void visit() {
+  int f;
+  f = countflips();
+  if (f > maxflips) maxflips = f;
+  if (nperm % 2 == 0) checksum = checksum + f;
+  else checksum = checksum - f;
+  nperm = nperm + 1;
+}
+
+void permute(int k) {
+  int i, t;
+  if (k == 1) { visit(); return; }
+  for (i = 0; i < k; i++) {
+    permute(k - 1);
+    if (k % 2 == 0) { t = a[i]; a[i] = a[k - 1]; a[k - 1] = t; }
+    else { t = a[0]; a[0] = a[k - 1]; a[k - 1] = t; }
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 6; i++) a[i] = i;
+  maxflips = 0; checksum = 0; nperm = 0;
+  permute(6);
+  putnum(checksum); putchar(' '); putnum(maxflips); putchar('\n');
+  return 0;
+}
+"""
+
+# ---------------------------------------------------------------- lexer
+# A one-pass DFA over a C-like token stream.  The state variable is threaded
+# through an explicit transition function; tokens are echoed as one tag
+# letter each, then counted.  Terminates immediately on empty input, so the
+# daemon CI leg can run it with no stdin.
+LEXER = r"""
+int state, nident, nnum, nstr, nop, ncmt, len, maxlen, col;
+
+void emit(int kind) {
+  putchar(kind);
+  col = col + 1;
+  if (col == 40) { putchar('\n'); col = 0; }
+}
+
+int isletter(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+int isdigit2(int c) { return c >= '0' && c <= '9'; }
+
+/* Finish a pending identifier or number token. */
+void endtok() {
+  if (state == 1) { nident = nident + 1; emit('I'); }
+  else { nnum = nnum + 1; emit('N'); }
+  if (len > maxlen) maxlen = len;
+  state = 0;
+}
+
+/* One DFA transition on c; returns 1 when c was consumed.
+   States: 0 start, 1 identifier, 2 number, 3 string, 4 line comment,
+   5 block comment, 6 saw '/', 7 saw '*' in a block comment,
+   8 escape inside a string. */
+int step(int c) {
+  if (state == 0) {
+    if (isletter(c)) { state = 1; len = 1; return 1; }
+    if (isdigit2(c)) { state = 2; len = 1; return 1; }
+    if (c == '"') { state = 3; return 1; }
+    if (c == '/') { state = 6; return 1; }
+    if (c == ' ' || c == '\t' || c == '\n') return 1;
+    nop = nop + 1; emit('O'); return 1;
+  }
+  if (state == 1) {
+    if (isletter(c) || isdigit2(c)) { len = len + 1; return 1; }
+    endtok(); return 0;
+  }
+  if (state == 2) {
+    if (isdigit2(c)) { len = len + 1; return 1; }
+    endtok(); return 0;
+  }
+  if (state == 3) {
+    if (c == '\\') { state = 8; return 1; }
+    if (c == '"') { nstr = nstr + 1; emit('S'); state = 0; return 1; }
+    return 1;
+  }
+  if (state == 8) { state = 3; return 1; }
+  if (state == 6) {
+    if (c == '*') { state = 5; return 1; }
+    if (c == '/') { state = 4; return 1; }
+    nop = nop + 1; emit('O'); state = 0; return 0;
+  }
+  if (state == 4) {
+    if (c == '\n') { ncmt = ncmt + 1; emit('C'); state = 0; }
+    return 1;
+  }
+  if (state == 5) {
+    if (c == '*') state = 7;
+    return 1;
+  }
+  if (state == 7) {
+    if (c == '/') { ncmt = ncmt + 1; emit('C'); state = 0; return 1; }
+    if (c != '*') state = 5;
+    return 1;
+  }
+  state = 0;
+  return 1;
+}
+
+int main() {
+  int c;
+  state = 0; nident = 0; nnum = 0; nstr = 0; nop = 0; ncmt = 0;
+  len = 0; maxlen = 0; col = 0;
+  c = getchar();
+  while (c != -1) {
+    if (step(c)) c = getchar();
+  }
+  if (state == 1 || state == 2) endtok();
+  else if (state == 4) { ncmt = ncmt + 1; emit('C'); }
+  else if (state == 6) { nop = nop + 1; emit('O'); }
+  if (col != 0) putchar('\n');
+  putnum(nident); putchar(' ');
+  putnum(nnum); putchar(' ');
+  putnum(nstr); putchar(' ');
+  putnum(nop); putchar(' ');
+  putnum(ncmt); putchar(' ');
+  putnum(maxlen); putchar('\n');
+  return 0;
+}
+"""
+
+# ---------------------------------------------------------------- rdparse
+# A recursive-descent parser/evaluator for integer expressions with
+# single-letter variables: expr := term (('+'|'-') term)*, term :=
+# factor (('*'|'/'|'%') factor)*, factor := number | var | (expr) |
+# -factor.  One value (or "error") per input line; mutual recursion
+# through factor -> expr exercises call-heavy branchy control flow.
+RDPARSE = r"""
+char line[128];
+int pos, err;
+int vars[26];
+
+void skipws() {
+  while (line[pos] == ' ') pos = pos + 1;
+}
+
+int parse_factor() {
+  int v, c;
+  skipws();
+  c = line[pos];
+  if (c == '(') {
+    pos = pos + 1;
+    v = parse_expr();
+    skipws();
+    if (line[pos] == ')') pos = pos + 1;
+    else err = 1;
+    return v;
+  }
+  if (c == '-') { pos = pos + 1; return -parse_factor(); }
+  if (c >= '0' && c <= '9') {
+    v = 0;
+    while (line[pos] >= '0' && line[pos] <= '9') {
+      v = v * 10 + (line[pos] - '0');
+      pos = pos + 1;
+    }
+    return v;
+  }
+  if (c >= 'a' && c <= 'z') { pos = pos + 1; return vars[c - 'a']; }
+  err = 1;
+  return 0;
+}
+
+int parse_term() {
+  int v, d, c;
+  v = parse_factor();
+  for (;;) {
+    skipws();
+    c = line[pos];
+    if (c == '*') { pos = pos + 1; v = v * parse_factor(); }
+    else if (c == '/') {
+      pos = pos + 1;
+      d = parse_factor();
+      if (d == 0) err = 1;
+      else v = v / d;
+    }
+    else if (c == '%') {
+      pos = pos + 1;
+      d = parse_factor();
+      if (d == 0) err = 1;
+      else v = v % d;
+    }
+    else return v;
+  }
+}
+
+int parse_expr() {
+  int v, c;
+  v = parse_term();
+  for (;;) {
+    skipws();
+    c = line[pos];
+    if (c == '+') { pos = pos + 1; v = v + parse_term(); }
+    else if (c == '-') { pos = pos + 1; v = v - parse_term(); }
+    else return v;
+  }
+}
+
+int main() {
+  int c, i, v, target, save;
+  for (i = 0; i < 26; i++) vars[i] = 0;
+  c = 0;
+  while (c != -1) {
+    i = 0;
+    while ((c = getchar()) != -1 && c != '\n') {
+      if (i < 127) { line[i] = c; i = i + 1; }
+    }
+    line[i] = 0;
+    if (i > 0) {
+      pos = 0; err = 0; target = -1;
+      skipws();
+      if (line[pos] >= 'a' && line[pos] <= 'z') {
+        /* assignment lookahead: var '=' (but not '==') */
+        save = pos;
+        pos = pos + 1;
+        skipws();
+        if (line[pos] == '=' && line[pos + 1] != '=') {
+          pos = pos + 1;
+          target = line[save] - 'a';
+        }
+        else pos = save;
+      }
+      v = parse_expr();
+      skipws();
+      if (line[pos] != 0) err = 1;
+      if (err) { putstr("error"); putchar('\n'); }
+      else {
+        if (target >= 0) vars[target] = v;
+        putnum(v); putchar('\n');
+      }
+    }
+  }
+  return 0;
+}
+"""
+
+LEXER_INPUT = r"""/* a small C-like input
+   spanning a block comment */
+int main() {
+  int x1, y2;
+  x1 = 42 + 7 * foo(bar, 19);
+  y2 = x1 / 3; // integer half
+  print("hello \"world\"\n");
+  while (y2 > 0) { y2 = y2 - 1; }
+  return 0;
+}
+"""
+
+RDPARSE_INPUT = """1 + 2 * 3
+(1 + 2) * 3
+x = 10
+y = x * x - 5
+y % 7
+-4 + 2 * (3 - 1)
+100 / 7
+8 * (2 +
+bad!
+z - 1
+"""
+
 LOREM = (
     "the quick brown fox jumps over the lazy dog\n"
     "pack my box with five dozen liquor jugs\n"
@@ -883,6 +1177,9 @@ PROGRAMS = [
     ("queens", "8-queens problem", ["putnum"], QUEENS, ""),
     ("quicksort", "sort numbers (iterative)", ["putnum"], QUICKSORT, ""),
     ("mincost", "VLSI circuit partitioning", ["putnum"], MINCOST, ""),
+    ("fannkuch", "pancake flips over all permutations", ["putnum"], FANNKUCH, ""),
+    ("lexer", "state-machine lexer for C-like tokens", ["putnum"], LEXER, LEXER_INPUT),
+    ("rdparse", "recursive-descent expression evaluator", ["putstr", "putnum"], RDPARSE, RDPARSE_INPUT),
 ]
 
 CLASSES = {
@@ -892,7 +1189,12 @@ CLASSES = {
     "bubblesort": "Benchmark", "matmult": "Benchmark", "sieve": "Benchmark",
     "queens": "Benchmark", "quicksort": "Benchmark",
     "mincost": "User code",
+    "fannkuch": "Benchmark", "lexer": "Utility", "rdparse": "User code",
 }
+
+# The corpus additions are also materialized as example source files with
+# bundled inputs and golden outputs.
+EXAMPLES = ["fannkuch", "lexer", "rdparse"]
 
 
 def build_source(helpers, body):
@@ -964,6 +1266,20 @@ def main():
         f.write("let all = [ " + "; ".join(n for n, *_ in entries) + " ]\n\n")
         f.write("let find name = List.find_opt (fun b -> String.equal b.name name) all\n")
     print("wrote lib/programs/suite.ml", file=sys.stderr)
+
+    for name, desc, source, input_text, expected in entries:
+        if name not in EXAMPLES:
+            continue
+        with open(f"examples/c/{name}.c", "w") as f:
+            f.write(f"/* {desc}; generated by tools/gen_programs.py — do not\n")
+            f.write("   edit by hand.  Bundled input: %s.input; golden output\n" % name)
+            f.write("   (captured from gcc -funsigned-char -O0): %s.expected. */\n" % name)
+            f.write(source)
+        with open(f"examples/c/{name}.input", "w") as f:
+            f.write(input_text)
+        with open(f"examples/c/{name}.expected", "w") as f:
+            f.write(expected)
+        print(f"wrote examples/c/{name}.{{c,input,expected}}", file=sys.stderr)
 
 
 if __name__ == "__main__":
