@@ -109,6 +109,21 @@ let bechamel_tests () =
       src := !src + 8
     done
   in
+  (* The largest linearized CISC function of the JUMPS build — input for
+     the branch-displacement solver micro. *)
+  let disp_code, disp_labels =
+    let prog =
+      Opt.Driver.compile
+        { Opt.Driver.default_options with level = Opt.Driver.Jumps }
+        Ir.Machine.cisc quicksort.source
+    in
+    List.fold_left
+      (fun (bc, bl) f ->
+        let c, l = Sim.Asm.linearize f in
+        if Array.length c > Array.length bc then (c, l) else (bc, bl))
+      ([||], Ir.Label.Map.empty)
+      prog.Flow.Prog.funcs
+  in
   let t name f = Test.make ~name (Staged.stage f) in
   [
     t "parse/quicksort" (fun () ->
@@ -129,10 +144,15 @@ let bechamel_tests () =
              Ir.Machine.risc compiled));
     t "decode/quicksort" (fun () ->
         ignore (Sim.Interp.Decoded.decode asm_simple prog_simple));
-    t "interp/quicksort" (fun () ->
+    t "engine-threaded/quicksort" (fun () ->
+        ignore (Sim.Engine.run asm_simple prog_simple));
+    t "interp-decoded/quicksort" (fun () ->
         ignore (Sim.Interp.run asm_simple prog_simple));
     t "interp-reference/quicksort" (fun () ->
         ignore (Sim.Interp.run_reference asm_simple prog_simple));
+    t "engine-compile/quicksort" (fun () ->
+        ignore
+          (Sim.Engine.compile (Sim.Interp.Decoded.decode asm_simple prog_simple)));
     t "cachesim-bank/quicksort-trace" (fun () ->
         Icache.Bank.reset bank;
         for i = 0 to trace_len - 1 do
@@ -169,6 +189,9 @@ let bechamel_tests () =
           (Opt.Driver.compile
              { Opt.Driver.default_options with level = Opt.Driver.Jumps }
              Ir.Machine.cisc sieve.source));
+    t
+      (Printf.sprintf "displace-encode/quicksort-%di" (Array.length disp_code))
+      (fun () -> ignore (Ir.Encode.solve Ir.Machine.cisc disp_code disp_labels));
   ]
 
 let run_bechamel ?(quota = 0.5) () =
@@ -202,7 +225,7 @@ let run_bechamel ?(quota = 0.5) () =
    totals of the sweep, in one JSON document.  The numbers come from the
    same Harness.Measure/Telemetry path the tables use.  [run_many]
    guarantees the document is byte-identical at any [jobs]. *)
-let write_json ~jobs ?deadline ?retries ?chaos ?(profile = false)
+let write_json ~jobs ?deadline ?retries ?chaos ?engine ?(profile = false)
     ?(profile_out = "") ?(profile_top = 15) ?(trace_out = "") path =
   let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ] in
   let machines = [ Ir.Machine.risc; Ir.Machine.cisc ] in
@@ -235,8 +258,14 @@ let write_json ~jobs ?deadline ?retries ?chaos ?(profile = false)
   in
   let results =
     Harness.Measure.run_many ~log ~profiler ?trace ~metrics:pool_metrics ~jobs
-      ?deadline ?retries ?chaos tasks
+      ?deadline ?retries ?chaos ?engine tasks
   in
+  (* The supervising domain's decode/compile cache tallies (workers'
+     shards are domain-local and die with their domain; a -j 1 sweep sees
+     the full picture).  They live beside the pool tallies, never in the
+     sweep log — the results document must not depend on scheduling. *)
+  Sim.Interp.publish_cache_metrics pool_metrics;
+  Sim.Engine.publish_cache_metrics pool_metrics;
   let counters =
     Telemetry.Counter.all log
     |> List.map (fun (name, value) ->
@@ -252,7 +281,12 @@ let write_json ~jobs ?deadline ?retries ?chaos ?(profile = false)
         (String.concat "," (List.map Harness.Measure.failure_to_json fs))
   in
   let oc = open_out path in
-  Printf.fprintf oc "{\"results\":[%s],\"counters\":{%s}%s}\n"
+  (* The engine label is provenance, not a measurement: every engine
+     must produce the same results array, so the label is the only field
+     that could differ between sweeps of different engines. *)
+  Printf.fprintf oc "{\"engine\":\"%s\",\"results\":[%s],\"counters\":{%s}%s}\n"
+    (Sim.Engine.kind_name
+       (Option.value ~default:Sim.Engine.Threaded engine))
     (String.concat "," (List.map Harness.Measure.to_json results))
     (String.concat "," counters)
     failures;
@@ -298,6 +332,13 @@ let write_json ~jobs ?deadline ?retries ?chaos ?(profile = false)
   end
 
 let () =
+  (* The sweep is allocation-heavy (functional IR rewriting promotes
+     hundreds of megawords through the default 256K-word minor heap); a
+     larger nursery and a lazier major collector trade a few MB of RSS
+     for a large cut in GC time.  Purely a scheduling change — results
+     are GC-invariant. *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 20; space_overhead = 200 };
   let tables = ref [] in
   let list_only = ref false in
   let bech = ref false in
@@ -311,6 +352,7 @@ let () =
   let profile_out = ref "" in
   let profile_top = ref 15 in
   let trace_out = ref "" in
+  let engine = ref None in
   let spec =
     [
       ( "-t",
@@ -364,6 +406,17 @@ let () =
         Arg.Set_string trace_out,
         "PATH  write a Chrome/Perfetto trace of the --json sweep (worker \
          spans, supervisor and chaos events)" );
+      ( "--engine",
+        Arg.String
+          (fun s ->
+            match Sim.Engine.kind_of_string s with
+            | Some k -> engine := Some k
+            | None ->
+              Printf.eprintf "bad --engine (threaded|decoded|reference)\n";
+              exit 2),
+        "ENGINE  execution engine for the --json sweep: threaded (default), \
+         decoded or reference — observationally equivalent, only speed \
+         differs" );
     ]
   in
   Arg.parse spec
@@ -399,8 +452,8 @@ let () =
         | None, _ -> None
       in
       write_json ~jobs:(max 1 !jobs) ?deadline ?retries:!retries ?chaos:!chaos
-        ~profile:!profile ~profile_out:!profile_out ~profile_top:!profile_top
-        ~trace_out:!trace_out "BENCH_results.json"
+        ?engine:!engine ~profile:!profile ~profile_out:!profile_out
+        ~profile_top:!profile_top ~trace_out:!trace_out "BENCH_results.json"
     end;
     if !bech then run_bechamel ~quota:!bech_quota ();
     (* Timeouts and mismatches are distinct verdicts; either fails the

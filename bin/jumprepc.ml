@@ -77,6 +77,25 @@ let machine_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file.")
 
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Sim.Engine.kind_of_string s with
+          | Some k -> Ok k
+          | None -> Error (`Msg (Printf.sprintf "unknown engine %S" s))),
+        fun ppf k -> Format.pp_print_string ppf (Sim.Engine.kind_name k) )
+  in
+  Arg.(
+    value
+    & opt engine_conv Sim.Engine.Threaded
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,threaded) (closure chains with superblock \
+           fusion, the default), $(b,decoded) (pre-decoded array \
+           interpreter) or $(b,reference) (the re-resolving oracle).  All \
+           three are observationally equivalent; only speed differs.")
+
 (* --- telemetry arguments (shared by compile/run/measure/bench) --- *)
 
 let trace_arg =
@@ -282,10 +301,26 @@ let compile_cmd =
     if dump_asm then begin
       let asm = Sim.Asm.assemble machine prog in
       List.iter (fun f -> Format.printf "%a@." Sim.Asm.pp_afunc f) asm.funcs;
-      Printf.printf "\n%d instructions, %d unconditional jumps, %d nops\n"
+      Printf.printf
+        "\n%d instructions, %d unconditional jumps, %d nops, %d code bytes\n"
         (Sim.Asm.static_instrs asm)
         (Sim.Asm.static_ujumps asm)
         (Sim.Asm.static_nops asm)
+        (Sim.Asm.code_bytes asm);
+      (* Displacement summary, when the pass attached plans (CISC). *)
+      let plans =
+        List.filter_map Flow.Func.encoding prog.Flow.Prog.funcs
+      in
+      if plans <> [] then begin
+        let sum f = List.fold_left (fun n p -> n + f p) 0 plans in
+        Printf.printf
+          "displacement: %d short, %d word, %d long (%d bytes, fixed %d)\n"
+          (sum (fun p -> p.Ir.Encode.shorts))
+          (sum (fun p -> p.Ir.Encode.words))
+          (sum (fun p -> p.Ir.Encode.longs))
+          (sum (fun p -> p.Ir.Encode.total))
+          (sum (fun p -> p.Ir.Encode.fixed_total))
+      end
     end;
     if stats_json then
       print_json (Ops.compile_stats ~level ~machine prog);
@@ -337,7 +372,7 @@ let run_cmd =
   in
   let run level machine path input input_file stats trace max_steps
       trace_passes trace_out stats_json verify certify strict inject_fault
-      wall_budget growth_budget =
+      wall_budget growth_budget engine =
     let log, finish = make_log trace_passes trace_out in
     let diags = ref [] in
     let budget = make_budget wall_budget growth_budget in
@@ -367,8 +402,8 @@ let run_cmd =
           end
     in
     let res =
-      try Sim.Interp.run ~input ~on_fetch ~log ?max_steps ?budget asm prog
-      with
+      let exec = Sim.Engine.select engine in
+      try exec ~input ~on_fetch ~log ?max_steps ?budget asm prog with
       | Sim.Interp.Runtime_error msg ->
         Printf.eprintf "%s: runtime error: %s\n" path msg;
         exit 2
@@ -418,7 +453,7 @@ let run_cmd =
       const run $ level_arg $ machine_arg $ file_arg $ input $ input_file
       $ stats $ trace $ max_steps $ trace_arg $ trace_out_arg $ stats_json_arg
       $ verify_arg $ certify_arg $ strict_arg $ inject_fault_arg
-      $ wall_budget_arg $ growth_budget_arg)
+      $ wall_budget_arg $ growth_budget_arg $ engine_arg)
 
 (* --- measure --- *)
 
@@ -438,14 +473,14 @@ let measure_cmd =
     100.0
     *. (List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios))
   in
-  let run machine path input_file trace trace_out stats_json verify =
+  let run machine path input_file trace trace_out stats_json verify engine =
     let source = read_file path in
     let input = Option.map read_file input_file |> Option.value ~default:"" in
     let log, finish = make_log trace trace_out in
     let rows =
       match
-        Ops.measure_rows ~log ~verify ~path ~name:(Filename.basename path)
-          ~source ~input machine
+        Ops.measure_rows ~log ~verify ~engine ~path
+          ~name:(Filename.basename path) ~source ~input machine
       with
       | Ok rows -> rows
       | Error (f : Ops.failure) when f.exit_code = 2 ->
@@ -487,7 +522,7 @@ let measure_cmd =
        ~doc:"Compare the three optimization levels on one source file")
     Term.(
       const run $ machine_arg $ file_arg $ input $ trace_arg $ trace_out_arg
-      $ stats_json_arg $ verify_arg)
+      $ stats_json_arg $ verify_arg $ engine_arg)
 
 (* --- bench: run a bundled benchmark --- *)
 
@@ -498,7 +533,7 @@ let bench_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
   in
-  let run level machine name trace trace_out stats_json verify =
+  let run level machine name trace trace_out stats_json verify engine =
     match Programs.Suite.find name with
     | None ->
       Printf.eprintf "unknown benchmark %s\n" name;
@@ -506,16 +541,16 @@ let bench_cmd =
     | Some b ->
       let log, finish = make_log trace trace_out in
       let opts = if verify then Some (make_opts ~verify level) else None in
-      let m = Harness.Measure.run ?opts ~log b level machine in
+      let m = Harness.Measure.run ?opts ~log ~engine b level machine in
       if stats_json then print_endline (Harness.Measure.to_json m)
       else begin
         Printf.printf
-          "%s at %s on %s:\n  static %d instrs (%d jumps, %d nops)\n  dynamic \
-           %d instrs (%d jumps, %d nops)\n  output %s\n"
+          "%s at %s on %s:\n  static %d instrs (%d jumps, %d nops, %d bytes)\n\
+          \  dynamic %d instrs (%d jumps, %d nops)\n  output %s\n"
           b.name
           (Opt.Driver.level_name level)
           machine.Ir.Machine.name m.static_instrs m.static_ujumps m.static_nops
-          m.dyn_instrs m.dyn_ujumps m.dyn_nops
+          m.code_bytes m.dyn_instrs m.dyn_ujumps m.dyn_nops
           (if m.timed_out then "TIMEOUT (step limit exhausted)"
            else if m.output_ok then "matches the gcc-verified expectation"
            else "MISMATCH");
@@ -533,7 +568,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Measure one bundled benchmark")
     Term.(
       const run $ level_arg $ machine_arg $ bench_name $ trace_arg
-      $ trace_out_arg $ stats_json_arg $ verify_arg)
+      $ trace_out_arg $ stats_json_arg $ verify_arg $ engine_arg)
 
 (* --- lint: static-analysis findings over the compiled RTL --- *)
 

@@ -54,8 +54,41 @@ let killed_by universe (i : Rtl.instr) =
       (fun k -> not (Reg.Set.is_empty (Reg.Set.inter (key_regs k) defs)))
       universe
 
+(* [killed_by] rescans the whole universe per instruction — the kill-set
+   construction and the clients' replay loops made it the optimizer's
+   hottest spot on expression-heavy functions.  Inverting the universe
+   once (register -> keys reading it) turns each query into a map lookup
+   per defined register; for the overwhelmingly common single-def
+   instruction the result is the precomputed set itself, shared, with no
+   set construction at all.  [kills] agrees with [killed_by] by
+   construction (a key is in [index(r)] iff [r] is in its [key_regs]);
+   the analysis tests pin the two to each other. *)
+type index = Key_set.t Reg.Map.t
+
+let kill_index universe =
+  Key_set.fold
+    (fun k acc ->
+      Reg.Set.fold
+        (fun r acc ->
+          Reg.Map.update r
+            (function
+              | None -> Some (Key_set.singleton k)
+              | Some s -> Some (Key_set.add k s))
+            acc)
+        (key_regs k) acc)
+    universe Reg.Map.empty
+
+let kills index (i : Rtl.instr) =
+  Reg.Set.fold
+    (fun r acc ->
+      match Reg.Map.find_opt r index with
+      | Some s -> if Key_set.is_empty acc then s else Key_set.union s acc
+      | None -> acc)
+    (Rtl.defs i) Key_set.empty
+
 type t = {
   universe : Key_set.t;
+  index : index;
   avail_in : Key_set.t array;
   stats : Dataflow.stats;
 }
@@ -83,17 +116,19 @@ let solve ?max_visits ~graph ~instrs () =
   if Key_set.is_empty universe then
     {
       universe;
+      index = Reg.Map.empty;
       avail_in = Array.make n Key_set.empty;
       stats = { Dataflow.visits = 0 };
     }
   else begin
+    let index = kill_index universe in
     let gen = Array.make n Key_set.empty in
     let kill = Array.make n Key_set.empty in
     Array.iteri
       (fun bi is ->
         List.iter
           (fun i ->
-            let dead = killed_by universe i in
+            let dead = kills index i in
             gen.(bi) <- Key_set.diff gen.(bi) dead;
             kill.(bi) <- Key_set.union kill.(bi) dead;
             match generates i with
@@ -111,5 +146,5 @@ let solve ?max_visits ~graph ~instrs () =
           Key_set.union gen.(b) (Key_set.diff inb kill.(b)))
         ()
     in
-    { universe; avail_in = r.S.input; stats = r.S.stats }
+    { universe; index; avail_in = r.S.input; stats = r.S.stats }
   end

@@ -28,11 +28,22 @@ val key_of : Rtl.instr -> (Reg.t * key) option
 val generates : Rtl.instr -> (Reg.t * key) option
 
 (** Keys of [universe] invalidated by the instruction: every expression
-    reading a register it defines. *)
+    reading a register it defines.  The reference definition — a full
+    scan of [universe] per query; hot paths use a prebuilt {!index}. *)
 val killed_by : Key_set.t -> Rtl.instr -> Key_set.t
+
+(** Inverted universe: register -> keys reading it. *)
+type index
+
+val kill_index : Key_set.t -> index
+
+(** [kills index i] equals [killed_by universe i] for the universe the
+    index was built from, in one map lookup per defined register. *)
+val kills : index -> Rtl.instr -> Key_set.t
 
 type t = {
   universe : Key_set.t;  (** every key computed anywhere in the function *)
+  index : index;  (** {!kill_index} of [universe] *)
   avail_in : Key_set.t array;  (** keys available at each block's entry *)
   stats : Dataflow.stats;
 }

@@ -8,6 +8,9 @@ type t = {
   lsupply : Label.Supply.t;
   vsupply : Reg.Supply.t;
   index : (Label.t, int) Hashtbl.t;
+  encoding : Encode.plan option;
+      (* advisory branch-displacement plan; valid only for this exact
+         block array, so [with_blocks] drops it *)
 }
 
 let build_index blocks =
@@ -24,16 +27,18 @@ let build_index blocks =
 
 let make ~name ~blocks ~lsupply ~vsupply =
   if Array.length blocks = 0 then invalid_arg "Func.make: no blocks";
-  { name; blocks; lsupply; vsupply; index = build_index blocks }
+  { name; blocks; lsupply; vsupply; index = build_index blocks; encoding = None }
 
 let name f = f.name
 let blocks f = f.blocks
 let lsupply f = f.lsupply
 let vsupply f = f.vsupply
+let encoding f = f.encoding
+let set_encoding f encoding = { f with encoding }
 
 let with_blocks f blocks =
   if Array.length blocks = 0 then invalid_arg "Func.with_blocks: no blocks";
-  { f with blocks; index = build_index blocks }
+  { f with blocks; index = build_index blocks; encoding = None }
 
 let num_blocks f = Array.length f.blocks
 let block f i = f.blocks.(i)

@@ -28,9 +28,18 @@ val make :
   vsupply:Reg.Supply.t ->
   t
 
-(** Replace the block array, rebuilding the label index.
+(** Replace the block array, rebuilding the label index.  Any attached
+    {!encoding} plan is dropped: it described the old linearization.
     @raise Invalid_argument on duplicate labels. *)
 val with_blocks : t -> block array -> t
+
+(** The advisory branch-displacement plan, when the displacement pass
+    has run and no later pass touched the blocks. *)
+val encoding : t -> Encode.plan option
+
+(** Attach (or clear) a displacement plan.  The caller warrants that the
+    plan was solved for this function's current linearization. *)
+val set_encoding : t -> Encode.plan option -> t
 
 val num_blocks : t -> int
 val block : t -> int -> block

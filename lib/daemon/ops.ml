@@ -65,6 +65,7 @@ let compile_stats ~level ~(machine : Ir.Machine.t) prog =
       ("static_instrs", Json.Int (Sim.Asm.static_instrs asm));
       ("static_ujumps", Json.Int (Sim.Asm.static_ujumps asm));
       ("static_nops", Json.Int (Sim.Asm.static_nops asm));
+      ("code_bytes", Json.Int (Sim.Asm.code_bytes asm));
       ( "funcs",
         Json.Arr
           (List.map
@@ -88,12 +89,12 @@ let compile_payload ?log ?diags ?budget ~level ~machine ~path source =
 
 (* --- measure: the three-level comparison rows --- *)
 
-let measure_rows ?log ?budget ?(verify = false) ~path ~name ~source ~input
-    machine =
+let measure_rows ?log ?budget ?(verify = false) ?engine ~path ~name ~source
+    ~input machine =
   let adhoc ?expected_output level =
     Harness.Measure.run_adhoc
       ~opts:(make_opts ~verify level)
-      ?log ?budget ~name ~source ~input ?expected_output level machine
+      ?log ?budget ?engine ~name ~source ~input ?expected_output level machine
   in
   let err ?exit_code code fmt =
     Printf.ksprintf

@@ -60,6 +60,7 @@ val measure_rows :
   ?log:Telemetry.Log.t ->
   ?budget:Telemetry.Budget.t ->
   ?verify:bool ->
+  ?engine:Sim.Engine.kind ->
   path:string ->
   name:string ->
   source:string ->

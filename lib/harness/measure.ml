@@ -11,6 +11,7 @@ type t = {
   static_instrs : int;
   static_ujumps : int;
   static_nops : int;
+  code_bytes : int;
   dyn_instrs : int;
   dyn_ujumps : int;
   dyn_nops : int;
@@ -151,7 +152,8 @@ let record_timeout log (m : t) =
    private log. *)
 let measure_raw ?opts ?(log = Telemetry.Log.null)
     ?(profiler = Telemetry.Profiler.null) ?(verify = true) ?budget
-    (b : Programs.Suite.benchmark) level machine =
+    ?(engine = Sim.Engine.Threaded) (b : Programs.Suite.benchmark) level machine
+    =
   let profiling = Telemetry.Profiler.enabled profiler in
   let opts =
     match opts with
@@ -182,7 +184,8 @@ let measure_raw ?opts ?(log = Telemetry.Log.null)
      never as a silently different measurement — completed results stay
      identical to a sequential, budget-free sweep. *)
   let interp_t0 = Unix.gettimeofday () in
-  let res = Sim.Interp.run ~input:b.input ~on_fetch ~log ?budget asm prog in
+  let exec = Sim.Engine.select engine in
+  let res = exec ~input:b.input ~on_fetch ~log ?budget asm prog in
   let interp_ms = (Unix.gettimeofday () -. interp_t0) *. 1e3 in
   let m =
     {
@@ -192,6 +195,7 @@ let measure_raw ?opts ?(log = Telemetry.Log.null)
       static_instrs = Sim.Asm.static_instrs asm;
       static_ujumps = Sim.Asm.static_ujumps asm;
       static_nops = Sim.Asm.static_nops asm;
+      code_bytes = Sim.Asm.code_bytes asm;
       dyn_instrs = res.counts.total;
       dyn_ujumps = Sim.Interp.uncond_jumps res.counts;
       dyn_nops = res.counts.nops;
@@ -244,16 +248,22 @@ let record log (b : Programs.Suite.benchmark) m =
   if m.timed_out then record_timeout log m
   else if not m.output_ok then record_mismatch log m ~expected:b.expected_output
 
-let measure ?opts ?(log = Telemetry.Log.null) ?profiler ?verify ?budget
+let measure ?opts ?(log = Telemetry.Log.null) ?profiler ?verify ?budget ?engine
     (b : Programs.Suite.benchmark) level machine =
-  let m = measure_raw ?opts ~log ?profiler ?verify ?budget b level machine in
+  let m =
+    measure_raw ?opts ~log ?profiler ?verify ?budget ?engine b level machine
+  in
   record log b m;
   m
 
-let run ?opts ?log ?profiler ?verify ?budget (b : Programs.Suite.benchmark)
-    level machine =
+(* The memo key carries no engine: the engines are observationally
+   equivalent (the test suite holds them to it), so a measurement is a
+   valid answer whichever engine computed it. *)
+let run ?opts ?log ?profiler ?verify ?budget ?engine
+    (b : Programs.Suite.benchmark) level machine =
   match opts with
-  | Some _ -> measure ?opts ?log ?profiler ?verify ?budget b level machine
+  | Some _ ->
+    measure ?opts ?log ?profiler ?verify ?budget ?engine b level machine
   | None -> (
     let key = memo_key b level machine in
     (* The lock never spans the measurement itself: a racing miss computes
@@ -261,12 +271,12 @@ let run ?opts ?log ?profiler ?verify ?budget (b : Programs.Suite.benchmark)
     match locked (fun () -> Hashtbl.find_opt memo key) with
     | Some t -> t
     | None ->
-      let t = measure ?log ?profiler ?verify ?budget b level machine in
+      let t = measure ?log ?profiler ?verify ?budget ?engine b level machine in
       locked (fun () -> Hashtbl.replace memo key t);
       t)
 
-let run_adhoc ?opts ?log ?budget ~name ~source ?(input = "") ?expected_output
-    level machine =
+let run_adhoc ?opts ?log ?budget ?engine ~name ~source ?(input = "")
+    ?expected_output level machine =
   (* Without an expectation, the run is its own reference: [output_ok] is
      forced true and callers compare outputs across levels instead. *)
   let b =
@@ -279,7 +289,8 @@ let run_adhoc ?opts ?log ?budget ~name ~source ?(input = "") ?expected_output
       expected_output = Option.value ~default:"" expected_output;
     }
   in
-  run ?opts ?log ?budget ~verify:(expected_output <> None) b level machine
+  run ?opts ?log ?budget ?engine ~verify:(expected_output <> None) b level
+    machine
 
 (* Parallel sweep over (benchmark, level, machine) tasks.  The memo
    table, mismatch/timeout lists and the caller's log stay on this
@@ -290,9 +301,9 @@ let run_adhoc ?opts ?log ?budget ~name ~source ?(input = "") ?expected_output
    of the sequential sweep, whatever [jobs] is. *)
 let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
     ?trace ?(metrics = Telemetry.Metrics.null) ?(jobs = 1) ?deadline ?retries
-    ?chaos tasks =
+    ?chaos ?engine tasks =
   if jobs <= 1 && deadline = None && chaos = None && trace = None then
-    List.map (fun (b, level, m) -> run ~log ~profiler b level m) tasks
+    List.map (fun (b, level, m) -> run ~log ~profiler ?engine b level m) tasks
   else begin
     let logging = Telemetry.Log.enabled log in
     let profiling = Telemetry.Profiler.enabled profiler in
@@ -322,7 +333,9 @@ let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
             if profiling then Telemetry.Profiler.create ()
             else Telemetry.Profiler.null
           in
-          (measure_raw ~log:wlog ~profiler:wprof ~budget b level m, wlog, wprof))
+          ( measure_raw ~log:wlog ~profiler:wprof ~budget ?engine b level m,
+            wlog,
+            wprof ))
         to_run
     in
     last_pool_stats := stats;
@@ -367,8 +380,9 @@ let run_many ?(log = Telemetry.Log.null) ?(profiler = Telemetry.Profiler.null)
   end
 
 let run_suite ?log ?profiler ?trace ?metrics ?jobs ?deadline ?retries ?chaos
-    level machine =
+    ?engine level machine =
   run_many ?log ?profiler ?trace ?metrics ?jobs ?deadline ?retries ?chaos
+    ?engine
     (List.map (fun b -> (b, level, machine)) Programs.Suite.all)
 
 (* --- JSON rendering (the bench drivers' machine-readable output) --- *)
@@ -385,14 +399,16 @@ let cache_to_json (c : cache_stats) =
 let to_json m =
   Printf.sprintf
     "{\"program\":%s,\"level\":%s,\"machine\":%s,\"static_instrs\":%d,\
-     \"static_ujumps\":%d,\"static_nops\":%d,\"dyn_instrs\":%d,\
+     \"static_ujumps\":%d,\"static_nops\":%d,\"code_bytes\":%d,\
+     \"dyn_instrs\":%d,\
      \"dyn_ujumps\":%d,\"dyn_nops\":%d,\"dyn_transfers\":%d,\
      \"instrs_between_branches\":%.3f,\"output_ok\":%b,\"timed_out\":%b,\
      \"caches\":[%s]}"
     (Telemetry.Log.json_string m.program)
     (Telemetry.Log.json_string (Opt.Driver.level_name m.level))
     (Telemetry.Log.json_string m.machine.Ir.Machine.short)
-    m.static_instrs m.static_ujumps m.static_nops m.dyn_instrs m.dyn_ujumps
+    m.static_instrs m.static_ujumps m.static_nops m.code_bytes m.dyn_instrs
+    m.dyn_ujumps
     m.dyn_nops m.dyn_transfers
     (instrs_between_branches m)
     m.output_ok m.timed_out

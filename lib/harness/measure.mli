@@ -15,6 +15,9 @@ type t = {
   static_instrs : int;
   static_ujumps : int;  (** unconditional jumps incl. indirect *)
   static_nops : int;
+  code_bytes : int;
+      (** total code bytes (alignment padding excluded); on CISC this
+          reflects the branch-displacement plans *)
   dyn_instrs : int;
   dyn_ujumps : int;
   dyn_nops : int;
@@ -48,6 +51,11 @@ val instrs_between_branches : t -> float
     budget raises {!Budget.Exhausted} out of the run rather than
     returning a silently different measurement.
 
+    [engine] selects the execution engine (default
+    {!Sim.Engine.Threaded}).  The engines are observationally
+    equivalent, so the choice never changes a measurement — only how
+    fast it is computed — and the memo is engine-agnostic.
+
     Thread-safety: the memo and the mismatch/timeout records are
     lock-guarded, so the daemon's resident workers may call the
     measurement entry points concurrently. *)
@@ -57,6 +65,7 @@ val run :
   ?profiler:Telemetry.Profiler.t ->
   ?verify:bool ->
   ?budget:Telemetry.Budget.t ->
+  ?engine:Sim.Engine.kind ->
   Programs.Suite.benchmark ->
   Opt.Driver.level ->
   Ir.Machine.t ->
@@ -69,6 +78,7 @@ val run_adhoc :
   ?opts:Opt.Driver.options ->
   ?log:Telemetry.Log.t ->
   ?budget:Telemetry.Budget.t ->
+  ?engine:Sim.Engine.kind ->
   name:string ->
   source:string ->
   ?input:string ->
@@ -114,6 +124,7 @@ val run_many :
   ?deadline:float ->
   ?retries:int ->
   ?chaos:Pool.chaos ->
+  ?engine:Sim.Engine.kind ->
   (Programs.Suite.benchmark * Opt.Driver.level * Ir.Machine.t) list ->
   t list
 
@@ -127,6 +138,7 @@ val run_suite :
   ?deadline:float ->
   ?retries:int ->
   ?chaos:Pool.chaos ->
+  ?engine:Sim.Engine.kind ->
   Opt.Driver.level ->
   Ir.Machine.t ->
   t list

@@ -19,7 +19,7 @@ let run func =
               let dead =
                 Rtl.is_pure instr
                 && (not (Reg.Set.is_empty defs))
-                && Reg.Set.is_empty (Reg.Set.inter defs live_after)
+                && not (Reg.Set.exists (fun d -> Reg.Set.mem d live_after) defs)
               in
               if self_move || dead then begin
                 changed := true;

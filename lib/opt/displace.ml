@@ -1,0 +1,24 @@
+(* Branch-displacement selection, the last pass of the CISC pipeline.
+
+   Runs after register allocation on the final block layout: it solves
+   the linear-time pessimistic form assignment (see {!Ir.Encode}) over
+   the same linearization the assembler will use and attaches the plan
+   to the function.  The pass never edits an instruction — displacement
+   forms exist only in the size model — so the driver's oracle and
+   certifier see an unchanged function body; what the boundary actually
+   guards here is that the pass output still *is* that unchanged body
+   (an injected fault shows up as an oracle mismatch or verifier
+   violation like any other pass bug).
+
+   "Changed" means the plan prices the function differently from the
+   fixed-size model, i.e. at least one transfer left the 4-byte word
+   form. *)
+
+let run machine func =
+  match machine.Ir.Machine.kind with
+  | Ir.Machine.Risc -> (func, false)
+  | Ir.Machine.Cisc ->
+    let code, label_pos = Sim.Asm.linearize func in
+    let plan = Ir.Encode.solve machine code label_pos in
+    ( Flow.Func.set_encoding func (Some plan),
+      plan.Ir.Encode.total <> plan.Ir.Encode.fixed_total )

@@ -1,0 +1,9 @@
+(** Branch-displacement selection (CISC only; a no-op on RISC).
+
+    Solves {!Ir.Encode.solve} over the function's final linearization
+    and attaches the plan via {!Flow.Func.set_encoding}.  Must run after
+    every block-changing pass (in practice: last, after register
+    allocation) — {!Flow.Func.with_blocks} drops the plan precisely so a
+    stale one can never misprice a reshaped function.  Reports a change
+    when the plan's total differs from the fixed-size model's. *)
+val run : Ir.Machine.t -> Flow.Func.t -> Flow.Func.t * bool

@@ -29,6 +29,7 @@ type options = {
   enable_isel : bool;
   verify_passes : bool;
   certify : bool;
+  displace : bool;
   inject_fault : string option;
   budget : Telemetry.Budget.t option;
 }
@@ -47,6 +48,7 @@ let default_options =
     enable_isel = true;
     verify_passes = false;
     certify = false;
+    displace = true;
     inject_fault = None;
     budget = None;
   }
@@ -378,8 +380,9 @@ let optimize_func_with ?(log = Telemetry.Log.null)
          (Printf.sprintf "pipeline input already ill-formed: %s"
             (String.concat "; " (SSet.elements g.baseline)))
        :: !diags);
+  let seq_raw = seq in
   let seq passes func =
-    seq ~log ~profiler ~fname
+    seq_raw ~log ~profiler ~fname
       (List.map (fun (name, pass) -> (name, guard g name pass)) passes)
       func
   in
@@ -400,13 +403,37 @@ let optimize_func_with ?(log = Telemetry.Log.null)
       ]
       func
   in
+  (* The fixpoint keeps re-presenting passes with functions they have
+     already reported no change on — the final iteration consists of
+     nothing else.  Passes are deterministic on an unchanged input
+     ([Func.t] is immutable and a no-change run draws no fresh names), so
+     the previous no-change verdict, including the boundary's verification
+     of that exact IR, can be replayed without running anything.  The memo
+     sits outside the guard on purpose: re-verifying an already-accepted
+     function is as redundant as re-optimizing it. *)
+  let nochange : (string, Func.t) Hashtbl.t = Hashtbl.create 16 in
+  let memo name pass f =
+    match Hashtbl.find_opt nochange name with
+    | Some f0 when f0 == f -> (f, false)
+    | _ ->
+      let f', c = pass f in
+      if not c then Hashtbl.replace nochange name f';
+      (f', c)
+  in
+  let seq_fix passes func =
+    seq_raw ~log ~profiler ~fname
+      (List.map
+         (fun (name, pass) -> (name, memo name (guard g name pass)))
+         passes)
+      func
+  in
   (* The Figure-3 do-while loop. *)
   let rec fix func n =
     if n = 0 then func
     else begin
       let gate enabled pass = if enabled then pass else fun f -> (f, false) in
       let func, changed, last_pass =
-        seq
+        seq_fix
           [
             ("isel", gate opts.enable_isel (Isel.run machine));
             ("cse", gate opts.enable_cse Cse.run);
@@ -470,6 +497,16 @@ let optimize_func_with ?(log = Telemetry.Log.null)
       let func, _, _ =
         seq [ ("regalloc", fun f -> (Regalloc.run ~log machine f, false)) ] func
       in
+      func
+    else func
+  in
+  (* Displacement selection prices the final layout, so it must be the
+     very last pass.  It goes through the boundary like any other pass:
+     an injected `displace:*` fault is caught by the verifier or oracle
+     and rolls the function back to its fixed-size encoding. *)
+  let func =
+    if opts.displace then
+      let func, _, _ = seq [ ("displace", Displace.run machine) ] func in
       func
     else func
   in

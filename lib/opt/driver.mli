@@ -43,6 +43,11 @@ type options = {
           mismatch) with a [certify-refuted] diagnostic carrying the
           counterexample path; Unknown verdicts are warn-severity
           [uncertifiable-pass] / [certifier-timeout] diagnostics. *)
+  displace : bool;
+      (** run {!Displace} (branch-displacement selection) as the final
+          pass on CISC, so the assembler prices short/word/long branch
+          forms instead of the fixed 4-byte encoding.  On by default; a
+          no-op on RISC. *)
   inject_fault : string option;
       (** test-only: corrupt the named pass's output to exercise the
           detection paths end to end.  Spec syntax PASS[:MODE]; modes:

@@ -16,7 +16,6 @@ let run func =
   let av = Av.solve ~graph:(Cfg.graph g) ~instrs () in
   if Av.Key_set.is_empty av.Av.universe then (func, false)
   else begin
-    let universe = av.Av.universe in
     (* Which expressions are actually worth rewriting: available at a site
        that recomputes them. *)
     let redundant = ref Av.Key_set.empty in
@@ -29,7 +28,7 @@ let run func =
             | Some (_, k) when Av.Key_set.mem k !avail ->
               redundant := Av.Key_set.add k !redundant
             | _ -> ());
-            avail := Av.Key_set.diff !avail (Av.killed_by universe i);
+            avail := Av.Key_set.diff !avail (Av.kills av.Av.index i);
             match Av.generates i with
             | Some (_, k) -> avail := Av.Key_set.add k !avail
             | None -> ())
@@ -65,7 +64,7 @@ let run func =
                         [ i; Rtl.Move (Lreg (Av.Key_map.find k temp_of), Reg d) ]
                       | Some _ | None -> [ i ])
                   in
-                  avail := Av.Key_set.diff !avail (Av.killed_by universe i);
+                  avail := Av.Key_set.diff !avail (Av.kills av.Av.index i);
                   (match Av.generates i with
                   | Some (_, k) -> avail := Av.Key_set.add k !avail
                   | None -> ());

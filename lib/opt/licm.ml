@@ -72,20 +72,25 @@ let insert_preheader func (loop : Loops.loop) =
 (* Definitions of each register inside the loop: count, and the list of
    (block, instr) sites. *)
 let loop_defs func (loop : Loops.loop) =
-  Loops.Int_set.fold
-    (fun bi acc ->
-      List.fold_left
-        (fun acc i ->
-          Reg.Set.fold
-            (fun r acc ->
-              Reg.Map.update r
-                (function
-                  | None -> Some [ (bi, i) ]
-                  | Some sites -> Some ((bi, i) :: sites))
-                acc)
-            (Rtl.defs i) acc)
-        acc (Func.block func bi).instrs)
-    loop.body Reg.Map.empty
+  (* Only ever queried point-wise, so a mutable table beats rebuilding a
+     balanced tree once per definition. *)
+  let defs = Hashtbl.create 64 in
+  Loops.Int_set.iter
+    (fun bi ->
+      List.iter
+        (fun i ->
+          Reg.Set.iter
+            (fun r ->
+              let sites =
+                match Hashtbl.find_opt defs r with
+                | Some sites -> sites
+                | None -> []
+              in
+              Hashtbl.replace defs r ((bi, i) :: sites))
+            (Rtl.defs i))
+        (Func.block func bi).instrs)
+    loop.body;
+  defs
 
 let loop_has_mem_effects func (loop : Loops.loop) =
   Loops.Int_set.exists
@@ -101,12 +106,15 @@ let loop_has_mem_effects func (loop : Loops.loop) =
 let hoist_loop func g dom live (loop : Loops.loop) =
   let defs = loop_defs func loop in
   let def_sites r =
-    match Reg.Map.find_opt r defs with Some sites -> sites | None -> []
+    match Hashtbl.find_opt defs r with Some sites -> sites | None -> []
   in
   let def_count r = List.length (def_sites r) in
   let mem_dirty = loop_has_mem_effects func loop in
   let exits = Loops.exit_edges g loop in
-  let header_live_in = Liveness.live_in live loop.header in
+  (* Liveness is only consulted by the exit-safety check, and most loops
+     have no syntactically hoistable group at all — keep the whole
+     dataflow computation unforced until a candidate actually needs it. *)
+  let header_live_in = lazy (Liveness.live_in (Lazy.force live) loop.header) in
   (* The preheader runs even when the loop body would not (zero-iteration
      entry), so hoisted instructions must be unable to fault: no division by
      a possibly-zero value, and loads only through always-mapped addresses
@@ -161,11 +169,11 @@ let hoist_loop func g dom live (loop : Loops.loop) =
     | _ -> false
   in
   let exit_safe_sites d sites =
-    (not (Reg.Set.mem d header_live_in))
+    (not (Reg.Set.mem d (Lazy.force header_live_in)))
     && List.for_all
          (fun (u, vout) ->
            List.exists (fun (bd, _) -> Dom.dominates dom bd u) sites
-           || not (Reg.Set.mem d (Liveness.live_in live vout)))
+           || not (Reg.Set.mem d (Liveness.live_in (Lazy.force live) vout)))
          exits
   in
   (* The hoistable definition group of [d], if any: [`Single i] when every
@@ -299,7 +307,7 @@ let run func =
     else begin
       let g = Cfg.make func in
       let dom = Dom.compute g in
-      let live = Liveness.compute func in
+      let live = lazy (Liveness.compute func) in
       let loops = Loops.innermost_first (Loops.natural_loops g dom) in
       let rec try_loops = function
         | [] -> None

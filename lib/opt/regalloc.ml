@@ -29,27 +29,23 @@ let add_edge g a b =
     Hashtbl.replace g.adj b (Reg.Set.add a (adj_of g b))
   end
 
-let count_occurrences g instr =
-  Reg.Set.iter
-    (fun r ->
-      if Reg.is_virt r then
-        Hashtbl.replace g.occ r
-          (1 + Option.value ~default:0 (Hashtbl.find_opt g.occ r)))
-    (Reg.Set.union (Rtl.uses instr) (Rtl.defs instr))
-
 let build_graph func =
   let live = Liveness.compute func in
   let g = { adj = Hashtbl.create 256; moves = []; occ = Hashtbl.create 256 } in
-  (* Make sure every virtual has a node even if it never interferes. *)
+  (* Make sure every virtual has a node even if it never interferes, and
+     tally occurrence counts (spill costs) over the same traversal. *)
   Array.iter
     (fun (b : Func.block) ->
       List.iter
         (fun i ->
-          count_occurrences g i;
           Reg.Set.iter
             (fun r ->
-              if Reg.is_virt r && not (Hashtbl.mem g.adj r) then
-                Hashtbl.replace g.adj r Reg.Set.empty)
+              if Reg.is_virt r then begin
+                Hashtbl.replace g.occ r
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt g.occ r));
+                if not (Hashtbl.mem g.adj r) then
+                  Hashtbl.replace g.adj r Reg.Set.empty
+              end)
             (Reg.Set.union (Rtl.uses i) (Rtl.defs i)))
         b.instrs)
     (Func.blocks func);
@@ -65,6 +61,7 @@ let build_graph func =
                Some s
              | _ -> None
            in
+           let base = Reg.Set.union live_after defs in
            Reg.Set.iter
              (fun d ->
                Reg.Set.iter
@@ -72,7 +69,7 @@ let build_graph func =
                    match exclude with
                    | Some s when Reg.equal x s -> ()
                    | _ -> add_edge g d x)
-                 (Reg.Set.remove d (Reg.Set.union live_after defs)))
+                 (Reg.Set.remove d base))
              defs;
            ())
          bi ~init:())

@@ -27,6 +27,7 @@ type row = {
   static_instrs : int;
   static_ujumps : int;
   static_nops : int;
+  code_bytes : int;
   dyn_instrs : int;
   dyn_ujumps : int;
   dyn_nops : int;
@@ -66,6 +67,12 @@ let row_of_json j =
     static_instrs = get "static_instrs" Json.get_int j;
     static_ujumps = get "static_ujumps" Json.get_int j;
     static_nops = get "static_nops" Json.get_int j;
+    (* Absent in pre-displacement documents: comparisons against an old
+       sweep must still parse, so fall back to 0 (sections that need
+       code size skip rows without it). *)
+    code_bytes =
+      Option.value ~default:0
+        (Option.bind (Json.member "code_bytes" j) Json.get_int);
     dyn_instrs = get "dyn_instrs" Json.get_int j;
     dyn_ujumps = get "dyn_ujumps" Json.get_int j;
     dyn_nops = get "dyn_nops" Json.get_int j;
@@ -221,6 +228,56 @@ let static_dynamic_section b doc =
         (rows @ [ mean_row ]))
     (machines doc)
 
+(* Static code size in bytes.  On RISC this is 4x the static instruction
+   count; on CISC it reflects the variable-length encodings, including
+   the branch-displacement plans, so the column moves when displacement
+   selection shortens branches. *)
+let code_size_section b doc =
+  let have_bytes = List.for_all (fun r -> r.code_bytes > 0) doc.rows in
+  if have_bytes then begin
+    Buffer.add_string b "## Static code size (bytes)\n\n";
+    Buffer.add_string b
+      "Per-program percentage change vs SIMPLE.  CISC sizes use the \
+       variable-length encoding model with branch-displacement selection; \
+       RISC instructions are fixed at four bytes.\n\n";
+    List.iter
+      (fun machine ->
+        Buffer.add_string b (Printf.sprintf "### %s\n\n" machine);
+        let progs = complete_programs doc machine in
+        let rows =
+          List.filter_map
+            (fun p ->
+              Option.map
+                (fun (s, l, j) ->
+                  [
+                    p;
+                    string_of_int s.code_bytes;
+                    signed (change l.code_bytes s.code_bytes);
+                    signed (change j.code_bytes s.code_bytes);
+                  ])
+                (triple doc ~program:p ~machine))
+            progs
+        in
+        let avg f =
+          mean
+            (List.filter_map
+               (fun p -> Option.map f (triple doc ~program:p ~machine))
+               progs)
+        in
+        let mean_row =
+          [
+            "**mean**";
+            "";
+            signed (avg (fun (s, l, _) -> change l.code_bytes s.code_bytes));
+            signed (avg (fun (s, _, j) -> change j.code_bytes s.code_bytes));
+          ]
+        in
+        buf_table b
+          [ "program"; "bytes SIMPLE"; "LOOPS"; "JUMPS" ]
+          (rows @ [ mean_row ]))
+      (machines doc)
+  end
+
 (* Table 4 shape: average percent of instructions that are unconditional
    jumps. *)
 let ujumps_section b doc =
@@ -322,6 +379,7 @@ let render ?(title = "Benchmark report") doc =
   Buffer.add_string b (Printf.sprintf "# %s\n\n" title);
   verdict_section b doc;
   static_dynamic_section b doc;
+  code_size_section b doc;
   ujumps_section b doc;
   cache_section b doc;
   Buffer.contents b

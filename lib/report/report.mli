@@ -25,6 +25,9 @@ type row = {
   static_instrs : int;
   static_ujumps : int;
   static_nops : int;
+  code_bytes : int;
+      (** total code bytes under the machine's encoding model (0 when the
+          document predates the field) *)
   dyn_instrs : int;
   dyn_ujumps : int;
   dyn_nops : int;
@@ -52,7 +55,8 @@ val find : doc -> program:string -> level:string -> machine:string -> row option
 
 (** The full markdown report: verification verdict, Table 5 shape
     (static/dynamic % change vs SIMPLE with per-program rows and the
-    mean), Table 4 shape (% unconditional jumps), Table 6 shape
+    mean), static code size in bytes (when every row carries
+    [code_bytes]), Table 4 shape (% unconditional jumps), Table 6 shape
     (miss-ratio and fetch-cost deltas per cache size). *)
 val render : ?title:string -> doc -> string
 

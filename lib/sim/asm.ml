@@ -141,7 +141,15 @@ let assemble_func machine base func =
   if machine.Machine.delay_slots then
     fill_from_targets code label_pos annulled target_override;
   let n = Array.length code in
-  let sizes = Array.map (Machine.instr_size machine) code in
+  (* A displacement plan (CISC only) overrides the fixed sizes.  Delay
+     slots never run here (delay_slots implies RISC), so the plan's
+     linearization is exactly ours; [matches] guards the pairing. *)
+  let sizes =
+    match (machine.Machine.kind, Flow.Func.encoding func) with
+    | Machine.Cisc, Some plan when Encode.matches plan code -> Encode.sizes plan
+    | (Machine.Cisc | Machine.Risc), _ ->
+      Array.map (Machine.instr_size machine) code
+  in
   let addrs = Array.make n 0 in
   let a = ref base in
   for k = 0 to n - 1 do
@@ -187,6 +195,12 @@ let static_ujumps t =
     t
 
 let static_nops t = count_static (function Rtl.Nop -> true | _ -> false) t
+
+(* Pure code bytes, without the inter-function alignment padding. *)
+let code_bytes t =
+  List.fold_left
+    (fun n f -> n + Array.fold_left ( + ) 0 f.sizes)
+    0 t.funcs
 
 let addr_index t =
   let tbl = Hashtbl.create 1024 in

@@ -47,6 +47,12 @@ val find_label : afunc -> Label.t -> int
 
 val find_func : t -> string -> afunc option
 
+(** Lay a function's blocks out in positional order: the linear
+    instruction stream and the label->index map.  This is the exact
+    linearization {!assemble} starts from, exported so the displacement
+    pass solves against the same stream the assembler will price. *)
+val linearize : Flow.Func.t -> Rtl.instr array * int Label.Map.t
+
 (** Assemble a whole program.  [code_base] is the address of the first
     function (default 0x100000). *)
 val assemble : ?code_base:int -> Machine.t -> Flow.Prog.t -> t
@@ -59,6 +65,11 @@ val static_ujumps : t -> int
 
 (** Static count of [Nop] instructions (delay-slot padding). *)
 val static_nops : t -> int
+
+(** Total code bytes (sum of instruction sizes, alignment padding
+    excluded).  On CISC this reflects any attached displacement plans;
+    on RISC it is always [4 * static_instrs]. *)
+val code_bytes : t -> int
 
 (** Map every instruction's address to its owning function's name and the
     instruction itself — the lookup a tracer or profiler needs when hooking

@@ -727,12 +727,65 @@ let dbuiltin st b =
   | Exit -> raise (Exit_program (arg 0))
 
 (* Re-running the same assembled program (benchmark reps, differential
-   checks) re-decodes identically: [Image.build] lays data out as a pure
-   function of the program, so symbol addresses cannot change between
-   runs.  One slot keyed by physical identity is enough for those
-   loops; domain-local so parallel sweeps race on nothing. *)
-let decode_cache : (Asm.t * Flow.Prog.t * Decoded.t) option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+   checks, the engine/interpreter pair sharing a decode) re-decodes
+   identically: [Image.build] lays data out as a pure function of the
+   program, so symbol addresses cannot change between runs.  A small
+   LRU keyed by physical identity replaces the old one-slot cache — the
+   daemon's resident workers and the differential tests interleave a
+   handful of programs, which a single slot thrashed on.  Domain-local,
+   so parallel sweeps race on nothing; the hit/miss tallies are
+   domain-local too and surface through [decode_cache_counters], never
+   through a sweep's log (whose counters must stay independent of how
+   tasks were scheduled over domains). *)
+let decode_cache_capacity = 8
+
+type cache_entry = {
+  ckey_asm : Asm.t;
+  ckey_prog : Flow.Prog.t;
+  cval : Decoded.t;
+}
+
+type cache_shard = {
+  mutable entries : cache_entry list;  (** most recent first *)
+  mutable chits : int;
+  mutable cmisses : int;
+}
+
+let decode_cache : cache_shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { entries = []; chits = 0; cmisses = 0 })
+
+let decode_cached ~symbol (asm : Asm.t) (prog : Flow.Prog.t) =
+  let shard = Domain.DLS.get decode_cache in
+  let rec find acc = function
+    | [] -> None
+    | e :: rest ->
+      if e.ckey_asm == asm && e.ckey_prog == prog then
+        Some (e, List.rev_append acc rest)
+      else find (e :: acc) rest
+  in
+  match find [] shard.entries with
+  | Some (e, rest) ->
+    shard.chits <- shard.chits + 1;
+    shard.entries <- e :: rest;
+    e.cval
+  | None ->
+    shard.cmisses <- shard.cmisses + 1;
+    let d = Decoded.decode_with symbol asm in
+    let entry = { ckey_asm = asm; ckey_prog = prog; cval = d } in
+    let kept =
+      List.filteri (fun i _ -> i < decode_cache_capacity - 1) shard.entries
+    in
+    shard.entries <- entry :: kept;
+    d
+
+let decode_cache_counters () =
+  let shard = Domain.DLS.get decode_cache in
+  (shard.chits, shard.cmisses)
+
+let publish_cache_metrics metrics =
+  let hits, misses = decode_cache_counters () in
+  Telemetry.Metrics.add metrics "sim.decode_cache.hits" hits;
+  Telemetry.Metrics.add metrics "sim.decode_cache.misses" misses
 
 let no_fetch ~addr:_ ~size:_ = ()
 
@@ -740,21 +793,13 @@ let run ?(max_steps = 400_000_000) ?(input = "") ?on_fetch
     ?(log = Telemetry.Log.null) ?budget (asm : Asm.t) (prog : Flow.Prog.t) =
   let max_steps = effective_steps budget max_steps in
   let image = Image.build_scratch prog in
-  let decode_cache = Domain.DLS.get decode_cache in
   let decoded =
-    match !decode_cache with
-    | Some (a, p, d) when a == asm && p == prog -> d
-    | _ ->
-      let d =
-        Decoded.decode_with
-          (fun sym ->
-            match Image.symbol image sym with
-            | a -> Some a
-            | exception Not_found -> None)
-          asm
-      in
-      decode_cache := Some (asm, prog, d);
-      d
+    decode_cached
+      ~symbol:(fun sym ->
+        match Image.symbol image sym with
+        | a -> Some a
+        | exception Not_found -> None)
+      asm prog
   in
   let main =
     match Hashtbl.find_opt decoded.Decoded.findex "main" with

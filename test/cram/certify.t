@@ -55,6 +55,6 @@ optimization levels:
   $ for lvl in simple loops jumps; do
   >   ../../bin/jumprepc.exe certify --benches -O $lvl 2>/dev/null | grep -c ' 0 refuted$'
   > done
-  17
-  17
-  17
+  19
+  19
+  19

@@ -1,8 +1,8 @@
 The bundled benchmark list names the paper's 14 programs plus the
-three control-flow-heavy corpus additions:
+five corpus additions (three control-flow-heavy, two arithmetic-heavy):
 
   $ ../../bin/jumprepc.exe list | wc -l
-  17
+  19
 
 Compile and run a tiny program end to end:
 
@@ -92,6 +92,38 @@ measure reports a per-level status verdict in its last column:
   ok
   ok
   ok
+
+The three execution engines are observationally equivalent — same
+output, same exit code — whichever one runs the program:
+
+  $ for e in threaded decoded reference; do
+  >   ../../bin/jumprepc.exe run tiny.c -O jumps -m risc --engine $e
+  > done
+  6
+  6
+  6
+
+  $ ../../bin/jumprepc.exe run tiny.c --engine warp
+  jumprepc: option '--engine': unknown engine "warp"
+  Usage: jumprepc run [OPTION]… FILE
+  Try 'jumprepc run --help' or 'jumprepc --help' for more information.
+  [124]
+
+On CISC the displacement pass picks short branch forms where the span
+allows, so the assembled code is smaller than the fixed 4-byte-branch
+encoding (the "fixed" figure):
+
+  $ ../../bin/jumprepc.exe compile tiny.c -O jumps -m cisc --dump-asm | tail -2
+  21 instructions, 0 unconditional jumps, 0 nops, 62 code bytes
+  displacement: 2 short, 0 word, 0 long (62 bytes, fixed 66)
+
+RISC keeps fixed four-byte instructions and prints no displacement
+summary:
+
+  $ ../../bin/jumprepc.exe compile tiny.c -O jumps -m risc --dump-asm | tail -2
+  
+  22 instructions, 0 unconditional jumps, 2 nops, 88 code bytes
+
 
 Step-limit exhaustion is a distinct timeout outcome (exit 124), not a
 runtime error:

@@ -5,11 +5,12 @@ paper-shaped tables, from the JSON alone:
   $ head -3 report.md
   # golden
   
-  102 measurements (17 programs x 2 machines); all outputs verified.
+  114 measurements (19 programs x 2 machines); all outputs verified.
 
 
   $ grep '^## ' report.md
   ## Static and dynamic instructions (Table 5 shape)
+  ## Static code size (bytes)
   ## Unconditional jumps (Table 4 shape)
   ## Instruction cache (Table 6 shape, ctx switching off)
 
@@ -27,9 +28,9 @@ An --events stream appends the telemetry summary section:
 Every program appears in each machine's Table-5 block, plus the mean row:
 
   $ grep -c '| wc |' report.md
-  2
+  4
   $ grep -c '[*][*]mean[*][*]' report.md
-  2
+  4
 
 --dat writes gnuplot-ready files per machine:
 
@@ -42,7 +43,7 @@ Every program appears in each machine's Table-5 block, plus the mean row:
   $ head -1 plots/instrs_risc.dat
   # program	static_loops_pct	static_jumps_pct	dyn_loops_pct	dyn_jumps_pct
   $ grep -c . plots/instrs_risc.dat
-  18
+  20
 
 Comparing a sweep against itself reports no movement, and the Table-5
 means delta column renders explicit all-zero deltas for every machine —

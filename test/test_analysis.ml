@@ -321,6 +321,41 @@ let prop_liveness_equivalent =
       List.for_all check_liveness_agrees raw.Prog.funcs
       && List.for_all check_liveness_agrees opt.Prog.funcs)
 
+(* The indexed kill query is a performance rewrite of the reference
+   full-scan definition; pin their equality on every instruction of real
+   compiled functions. *)
+let test_kills_matches_killed_by () =
+  List.iter
+    (fun name ->
+      let b = Option.get (Programs.Suite.find name) in
+      let prog =
+        Opt.Driver.compile
+          { Opt.Driver.default_options with level = Opt.Driver.Jumps }
+          Machine.cisc b.source
+      in
+      List.iter
+        (fun f ->
+          let a =
+            Analysis.Avail.solve
+              ~graph:(Cfg.graph (Cfg.make f))
+              ~instrs:(instrs_of f) ()
+          in
+          Array.iter
+            (fun (blk : Func.block) ->
+              List.iter
+                (fun i ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s/%s: kills = killed_by" name
+                       (Func.name f))
+                    true
+                    (Analysis.Avail.Key_set.equal
+                       (Analysis.Avail.kills a.Analysis.Avail.index i)
+                       (Analysis.Avail.killed_by a.Analysis.Avail.universe i)))
+                blk.instrs)
+            (Func.blocks f))
+        prog.Prog.funcs)
+    [ "wc"; "queens"; "matmult"; "nbody" ]
+
 let tests =
   ( "analysis",
     [
@@ -335,5 +370,7 @@ let tests =
         test_avail_join;
       Alcotest.test_case "copy/constant facts at a join" `Quick
         test_copyconst_join;
+      Alcotest.test_case "indexed kills equal reference killed_by" `Quick
+        test_kills_matches_killed_by;
       QCheck_alcotest.to_alcotest prop_liveness_equivalent;
     ] )

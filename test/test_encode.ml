@@ -1,0 +1,235 @@
+(* Branch-displacement encoding (Ir.Encode / Opt.Displace): form
+   boundaries under the pessimistic model, monotone safety of the
+   committed plan over the whole corpus, and the plan's lifecycle as
+   advisory function metadata. *)
+
+open Ir
+
+let l0 = Label.of_int 0
+
+(* Solve a hand-built stream on the CISC model with a single label. *)
+let solve_at code label_at =
+  Encode.solve Machine.cisc (Array.of_list code)
+    (Label.Map.singleton l0 label_at)
+
+(* [k] Nops then a branch back to the top: displacement -2k. *)
+let backward k =
+  solve_at (List.init k (fun _ -> Rtl.Nop) @ [ Rtl.Branch (Rtl.Eq, l0) ]) 0
+
+(* A jump over [n] Nops to the end: pessimistic displacement 6 + 2n
+   (the span includes the transfer's own longest form). *)
+let forward n = solve_at (Rtl.Jump l0 :: List.init n (fun _ -> Rtl.Nop)) (n + 1)
+
+let form = Alcotest.testable (Fmt.of_to_string Encode.form_name) ( = )
+
+let check_form name expected (p : Encode.plan) k =
+  match p.forms.(k) with
+  | Some f -> Alcotest.check form name expected f
+  | None -> Alcotest.failf "%s: no form at index %d" name k
+
+let test_backward_boundary () =
+  (* disp -126 still fits the 8-bit form; -128 forces the word form. *)
+  check_form "63 nops back is short" Encode.Short (backward 63) 63;
+  check_form "64 nops back is word" Encode.Word (backward 64) 64;
+  let p = backward 63 in
+  Alcotest.(check int) "short saves two bytes" (p.fixed_total - 2) p.total;
+  let p = backward 64 in
+  Alcotest.(check int) "word is the legacy size" p.fixed_total p.total
+
+let test_forward_boundary () =
+  (* Forward spans are measured with the transfer at its own longest
+     form: 60 Nops give pessimistic disp 126, 61 give 128. *)
+  check_form "60 nops ahead is short" Encode.Short (forward 60) 0;
+  check_form "61 nops ahead is word" Encode.Word (forward 61) 0
+
+let test_long_boundary () =
+  (* -2k past -32767 needs the 32-bit form. *)
+  check_form "16383 nops back is word" Encode.Word (backward 16383) 16383;
+  check_form "16384 nops back is long" Encode.Long (backward 16384) 16384;
+  let p = backward 16384 in
+  Alcotest.(check int) "long costs two extra bytes" (p.fixed_total + 2) p.total;
+  Alcotest.(check int) "counted as long" 1 p.longs
+
+let test_dangling_label_is_word () =
+  (* A target outside the map keeps the fixed encoding. *)
+  let p =
+    Encode.solve Machine.cisc
+      [| Rtl.Nop; Rtl.Jump (Label.of_int 9) |]
+      Label.Map.empty
+  in
+  check_form "dangling is word" Encode.Word p 1;
+  Alcotest.(check int) "no size change" p.fixed_total p.total
+
+let test_sizes_and_counts_consistent () =
+  let p = backward 63 in
+  Alcotest.(check int) "length" 64 (Encode.length p);
+  Alcotest.(check int) "total is the size sum"
+    (Array.fold_left ( + ) 0 (Encode.sizes p))
+    p.total;
+  Alcotest.(check int) "one eligible transfer" 1 (p.shorts + p.words + p.longs)
+
+let test_matches_rejects_reshaped_code () =
+  let code = [| Rtl.Nop; Rtl.Branch (Rtl.Eq, l0) |] in
+  let p = Encode.solve Machine.cisc code (Label.Map.singleton l0 0) in
+  Alcotest.(check bool) "matches its own code" true (Encode.matches p code);
+  Alcotest.(check bool) "rejects a different length" false
+    (Encode.matches p [| Rtl.Nop |]);
+  Alcotest.(check bool) "rejects moved transfers" false
+    (Encode.matches p [| Rtl.Branch (Rtl.Eq, l0); Rtl.Nop |])
+
+(* --- monotone safety over the corpus ---
+
+   The solver promises that committing smaller forms never invalidates a
+   choice: every chosen form must still cover the displacement computed
+   from the FINAL addresses.  Check that promise on every function of
+   every corpus program at every level. *)
+
+let fits disp = function
+  | Encode.Short -> disp >= -127 && disp <= 127
+  | Encode.Word -> disp >= -32767 && disp <= 32767
+  | Encode.Long -> true
+
+let test_monotone_safety_on_corpus () =
+  let machine = Machine.cisc in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (b : Programs.Suite.benchmark) ->
+          let prog =
+            Opt.Driver.compile
+              { Opt.Driver.default_options with level }
+              machine b.source
+          in
+          List.iter
+            (fun f ->
+              let code, label_pos = Sim.Asm.linearize f in
+              let p = Encode.solve machine code label_pos in
+              let n = Array.length code in
+              let final = Array.make (n + 1) 0 in
+              for k = 0 to n - 1 do
+                final.(k + 1) <- final.(k) + p.Encode.sizes.(k)
+              done;
+              Array.iteri
+                (fun k fo ->
+                  match fo with
+                  | None -> ()
+                  | Some fm ->
+                    let t =
+                      match code.(k) with
+                      | Rtl.Branch (_, l) | Rtl.Jump l ->
+                        Label.Map.find_opt l label_pos
+                      | _ -> None
+                    in
+                    (match t with
+                    | None -> ()
+                    | Some t ->
+                      let disp = final.(t) - final.(k) in
+                      if not (fits disp fm) then
+                        Alcotest.failf
+                          "%s/%s %s: index %d form %s does not cover final \
+                           disp %d"
+                          b.name (Flow.Func.name f)
+                          (Opt.Driver.level_name level)
+                          k (Encode.form_name fm) disp))
+                p.Encode.forms)
+            prog.Flow.Prog.funcs)
+        Programs.Suite.all)
+    [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ]
+
+let test_corpus_shrinks () =
+  (* The acceptance bar: at JUMPS on CISC, displacement must shrink the
+     static code of at least half the corpus, and may never grow it. *)
+  let machine = Machine.cisc in
+  let shrunk, grew, total =
+    List.fold_left
+      (fun (s, g, n) (b : Programs.Suite.benchmark) ->
+        let prog =
+          Opt.Driver.compile
+            { Opt.Driver.default_options with level = Jumps }
+            machine b.source
+        in
+        let planned, fixed =
+          List.fold_left
+            (fun (p, f) func ->
+              match Flow.Func.encoding func with
+              | Some plan -> (p + plan.Encode.total, f + plan.Encode.fixed_total)
+              | None -> (p, f))
+            (0, 0) prog.Flow.Prog.funcs
+        in
+        ((if planned < fixed then s + 1 else s),
+         (if planned > fixed then g + 1 else g),
+         n + 1))
+      (0, 0, 0) Programs.Suite.all
+  in
+  Alcotest.(check int) "never grows a program" 0 grew;
+  Alcotest.(check bool)
+    (Printf.sprintf "shrinks at least half the corpus (%d of %d)" shrunk total)
+    true
+    (shrunk * 2 >= total)
+
+(* --- plan lifecycle --- *)
+
+let compile_func machine =
+  let prog =
+    Opt.Driver.compile
+      { Opt.Driver.default_options with level = Jumps }
+      machine "int main() { int i; for (i = 0; i < 3; i++) putchar('a' + i); return 0; }"
+  in
+  List.hd prog.Flow.Prog.funcs
+
+let test_with_blocks_drops_plan () =
+  let f = compile_func Machine.cisc in
+  Alcotest.(check bool) "cisc compile attaches a plan" true
+    (Flow.Func.encoding f <> None);
+  let f' = Flow.Func.with_blocks f (Flow.Func.blocks f) in
+  Alcotest.(check bool) "with_blocks drops it" true
+    (Flow.Func.encoding f' = None)
+
+let test_displace_noop_on_risc () =
+  let f = compile_func Machine.risc in
+  Alcotest.(check bool) "risc compile attaches no plan" true
+    (Flow.Func.encoding f = None);
+  let f' = Flow.Func.set_encoding f None in
+  let f'', changed = Opt.Displace.run Machine.risc f' in
+  Alcotest.(check bool) "risc run reports no change" false changed;
+  Alcotest.(check bool) "risc run attaches no plan" true
+    (Flow.Func.encoding f'' = None)
+
+let test_displace_run_on_cisc () =
+  let f = compile_func Machine.cisc in
+  let bare = Flow.Func.set_encoding f None in
+  let f', changed = Opt.Displace.run Machine.cisc bare in
+  match Flow.Func.encoding f' with
+  | None -> Alcotest.fail "cisc run must attach a plan"
+  | Some p ->
+    Alcotest.(check bool) "changed iff total differs" changed
+      (p.Encode.total <> p.Encode.fixed_total);
+    let code, _ = Sim.Asm.linearize f' in
+    Alcotest.(check bool) "plan matches the linearized code" true
+      (Encode.matches p code)
+
+let tests =
+  ( "encode",
+    [
+      Alcotest.test_case "backward short/word boundary" `Quick
+        test_backward_boundary;
+      Alcotest.test_case "forward short/word boundary" `Quick
+        test_forward_boundary;
+      Alcotest.test_case "word/long boundary" `Quick test_long_boundary;
+      Alcotest.test_case "dangling label keeps fixed form" `Quick
+        test_dangling_label_is_word;
+      Alcotest.test_case "sizes and counts consistent" `Quick
+        test_sizes_and_counts_consistent;
+      Alcotest.test_case "matches rejects reshaped code" `Quick
+        test_matches_rejects_reshaped_code;
+      Alcotest.test_case "monotone safety on corpus" `Slow
+        test_monotone_safety_on_corpus;
+      Alcotest.test_case "shrinks half the corpus at JUMPS" `Quick
+        test_corpus_shrinks;
+      Alcotest.test_case "with_blocks drops the plan" `Quick
+        test_with_blocks_drops_plan;
+      Alcotest.test_case "displace is a no-op on risc" `Quick
+        test_displace_noop_on_risc;
+      Alcotest.test_case "displace attaches a matching plan" `Quick
+        test_displace_run_on_cisc;
+    ] )

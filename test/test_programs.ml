@@ -48,7 +48,7 @@ let test_paper_class_coverage () =
   Alcotest.(check (list string)) "Table 3 classes"
     [ "Benchmark"; "User code"; "Utility" ]
     classes;
-  Alcotest.(check int) "seventeen programs" 17 (List.length Programs.Suite.all)
+  Alcotest.(check int) "nineteen programs" 19 (List.length Programs.Suite.all)
 
 let test_savings_direction () =
   (* Dynamic instruction counts must not increase under LOOPS or JUMPS

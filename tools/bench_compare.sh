@@ -41,6 +41,9 @@ def change(now, base):
 row = {
     "commit": commit,
     "when": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    # Which execution engine produced the sweep (older documents predate
+    # the label and were measured by the decoded interpreter).
+    "engine": doc.get("engine", "decoded"),
     "measurements": len(results),
     "failures": len(doc.get("failures", [])),
 }

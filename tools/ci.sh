@@ -32,8 +32,8 @@ import json
 doc = json.load(open("BENCH_results.json"))
 results, failures = doc["results"], doc.get("failures", [])
 total = len(results) + len(failures)
-assert total == 102, f"lost results: {len(results)} done + {len(failures)} failed != 102"
-print(f"chaos sweep accounted for all 102 tasks "
+assert total == 114, f"lost results: {len(results)} done + {len(failures)} failed != 114"
+print(f"chaos sweep accounted for all 114 tasks "
       f"({len(results)} done, {len(failures)} failed)")
 # The chaos sweep's trace must show the supervisor at work: injected
 # faults as chaos instants and at least one retry decision on lane 0.
@@ -51,6 +51,12 @@ EOF
 echo "== bench --json sweep (2 domains) vs golden baseline =="
 dune exec bench/main.exe -- --json -j 2 > /dev/null
 tools/bench_compare.sh BENCH_baseline.json BENCH_results.json
+
+echo "== threaded engine sweep byte-identical at -j 1 and -j 4 =="
+dune exec bench/main.exe -- --json -j 1 --engine threaded > /dev/null
+cmp BENCH_results.json BENCH_baseline.json
+dune exec bench/main.exe -- --json -j 4 --engine threaded > /dev/null
+cmp BENCH_results.json BENCH_baseline.json
 
 echo "== profiled+traced sweep stays byte-identical to the baseline =="
 dune exec bench/main.exe -- --json -j 2 --profile \
@@ -97,7 +103,8 @@ import json
 rows = [json.loads(l) for l in open("_build/ci-trend.jsonl")]
 assert [r["commit"] for r in rows] == ["ci-a", "ci-b"], rows
 for r in rows:
-    assert r["measurements"] == 102 and "risc" in r and "cisc" in r, r
+    assert r["measurements"] == 114 and "risc" in r and "cisc" in r, r
+    assert r["engine"] == "threaded", r
 print("trend file has %d rows (same-commit rerun deduplicated)" % len(rows))
 EOF
 

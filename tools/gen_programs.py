@@ -7,7 +7,9 @@ zero-extending byte loads), run on its input, and the captured stdout is
 embedded as the expected output. The resulting OCaml module carries
 (name, description, source, input, expected_output) for the 14 programs of
 the paper's Table 3 plus 3 control-flow-heavy additions (fannkuch, lexer,
-rdparse) grown for the translation-validation corpus.
+rdparse) grown for the translation-validation corpus and 2 arithmetic-heavy
+shootout-style kernels (nbody, spectral) in pure integer / fixed-point form
+(the compiler has no floating point).
 
 The additions are also emitted as examples/c/<name>.c with their bundled
 input (<name>.input) and gcc-captured golden output (<name>.expected), so
@@ -1161,6 +1163,107 @@ NROFF_DOC = (
 
 GREP_INPUT = "[jpq]u[a-z]+k" + "\n" + LOREM
 
+# ---------------------------------------------------------------- nbody
+# Shootout-style gravitational n-body in pure integer arithmetic: fixed-point
+# positions (x16), Newton integer square root for distances.  Signed overflow
+# is defined (-fwrapv matches the simulator's 32-bit wrapping), and every
+# divisor is clamped positive, so the trajectory is bit-deterministic.
+NBODY = r"""
+int x[5], y[5], z[5], vx[5], vy[5], vz[5], m[5];
+
+int isqrt(int n) {
+  int r, t;
+  if (n <= 0) return 0;
+  r = n;
+  t = (r + n / r) / 2;
+  while (t < r) { r = t; t = (r + n / r) / 2; }
+  return r;
+}
+
+int main() {
+  int i, j, step, dx, dy, dz, d2, d, f, sum;
+  for (i = 0; i < 5; i++) {
+    x[i] = (i * 371 % 97 - 48) * 16;
+    y[i] = (i * 533 % 89 - 44) * 16;
+    z[i] = (i * 719 % 83 - 41) * 16;
+    vx[i] = i * 7 % 13 - 6;
+    vy[i] = i * 11 % 17 - 8;
+    vz[i] = i * 13 % 19 - 9;
+    m[i] = 20 + i * 30 % 70;
+  }
+  for (step = 0; step < 50; step++) {
+    for (i = 0; i < 5; i++)
+      for (j = 0; j < 5; j++) {
+        if (i == j) continue;
+        dx = x[j] - x[i];
+        dy = y[j] - y[i];
+        dz = z[j] - z[i];
+        d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 < 4) d2 = 4;
+        d = isqrt(d2);
+        f = m[j] * 256 / d2;
+        vx[i] = vx[i] + f * dx / d;
+        vy[i] = vy[i] + f * dy / d;
+        vz[i] = vz[i] + f * dz / d;
+      }
+    for (i = 0; i < 5; i++) {
+      x[i] = x[i] + vx[i] / 4;
+      y[i] = y[i] + vy[i] / 4;
+      z[i] = z[i] + vz[i] / 4;
+    }
+  }
+  sum = 0;
+  for (i = 0; i < 5; i++)
+    sum = sum + x[i] + y[i] + z[i] + vx[i] + vy[i] + vz[i];
+  putnum(sum); putchar('\n');
+  for (i = 0; i < 5; i++) {
+    putnum(x[i]); putchar(' ');
+    putnum(y[i]); putchar(' ');
+    putnum(z[i]); putchar('\n');
+  }
+  return 0;
+}
+"""
+
+# ---------------------------------------------------------------- spectral
+# Shootout spectral-norm in fixed point: power iteration with the implicit
+# matrix A(i,j) = 1/((i+j)(i+j+1)/2 + i + 1), vectors renormalized to 1000
+# each round so every intermediate stays small and positive (all divisors
+# provably nonzero).
+SPECTRAL = r"""
+int u[16], v[16], tmp[16];
+
+int aden(int i, int j) {
+  return (i + j) * (i + j + 1) / 2 + i + 1;
+}
+
+int main() {
+  int i, j, s, it, maxv;
+  for (i = 0; i < 16; i++) u[i] = 1000;
+  maxv = 1000;
+  for (it = 0; it < 10; it++) {
+    for (i = 0; i < 16; i++) {
+      s = 0;
+      for (j = 0; j < 16; j++) s = s + u[j] * 256 / aden(i, j);
+      tmp[i] = s;
+    }
+    for (i = 0; i < 16; i++) {
+      s = 0;
+      for (j = 0; j < 16; j++) s = s + tmp[j] / aden(j, i);
+      v[i] = s / 256;
+    }
+    maxv = 0;
+    for (i = 0; i < 16; i++)
+      if (v[i] > maxv) maxv = v[i];
+    for (i = 0; i < 16; i++) u[i] = v[i] * 1000 / maxv;
+  }
+  putnum(maxv); putchar('\n');
+  for (i = 0; i < 16; i++) { putnum(u[i]); putchar(' '); }
+  putchar('\n');
+  return 0;
+}
+"""
+
 PROGRAMS = [
     # name, description, helpers, source, input
     ("banner", "banner generator", ["putstr"], BANNER, "HELLO\n"),
@@ -1180,6 +1283,8 @@ PROGRAMS = [
     ("fannkuch", "pancake flips over all permutations", ["putnum"], FANNKUCH, ""),
     ("lexer", "state-machine lexer for C-like tokens", ["putnum"], LEXER, LEXER_INPUT),
     ("rdparse", "recursive-descent expression evaluator", ["putstr", "putnum"], RDPARSE, RDPARSE_INPUT),
+    ("nbody", "integer n-body simulation (fixed point)", ["putnum"], NBODY, ""),
+    ("spectral", "spectral norm by power iteration (fixed point)", ["putnum"], SPECTRAL, ""),
 ]
 
 CLASSES = {
@@ -1190,11 +1295,12 @@ CLASSES = {
     "queens": "Benchmark", "quicksort": "Benchmark",
     "mincost": "User code",
     "fannkuch": "Benchmark", "lexer": "Utility", "rdparse": "User code",
+    "nbody": "Benchmark", "spectral": "Benchmark",
 }
 
 # The corpus additions are also materialized as example source files with
 # bundled inputs and golden outputs.
-EXAMPLES = ["fannkuch", "lexer", "rdparse"]
+EXAMPLES = ["fannkuch", "lexer", "rdparse", "nbody", "spectral"]
 
 
 def build_source(helpers, body):
