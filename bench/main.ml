@@ -331,7 +331,115 @@ let write_json ~jobs ?deadline ?retries ?chaos ?engine ?(profile = false)
       s.Harness.Pool.retried s.Harness.Pool.respawned s.Harness.Pool.abandoned
   end
 
+(* --- campaign mode: the sweep against a content-addressed store --- *)
+
+(* Same document, computed through Campaign.Runner: cached rows are
+   spliced back verbatim and counter deltas replayed, so the output is
+   byte-identical to the cold [write_json] path above at any worker
+   count, with or without a kill-and-resume in between. *)
+let write_json_campaign ~dir ~resume ~workers ~jobs ?deadline ?retries ?chaos
+    ?engine path =
+  let levels = [ Opt.Driver.Simple; Opt.Driver.Loops; Opt.Driver.Jumps ] in
+  let machines = [ Ir.Machine.risc; Ir.Machine.cisc ] in
+  let log = Telemetry.Log.make Telemetry.Log.Memory in
+  let tasks =
+    List.concat_map
+      (fun machine ->
+        List.concat_map
+          (fun level ->
+            List.map (fun b -> (b, level, machine)) Programs.Suite.all)
+          levels)
+      machines
+  in
+  let store = Campaign.Store.open_ dir in
+  let worker_argv = [| Sys.executable_name; "--worker"; "--store"; dir |] in
+  let engine = Option.value ~default:Sim.Engine.Threaded engine in
+  let rows, s =
+    Campaign.Runner.sweep ~store ~resume ~workers ~worker_argv ~jobs ?deadline
+      ?retries ?chaos ~engine ~log tasks
+  in
+  List.iter
+    (fun d ->
+      Printf.eprintf "jumprepc: warning: %s\n" (Telemetry.Diag.to_string d))
+    s.Campaign.Runner.diags;
+  let counters =
+    Telemetry.Counter.all log
+    |> List.map (fun (name, value) ->
+           Printf.sprintf "%s:%d" (Telemetry.Log.json_string name) value)
+  in
+  let failures =
+    match s.Campaign.Runner.failures with
+    | [] -> ""
+    | fs ->
+      Printf.sprintf ",\"failures\":[%s]"
+        (String.concat "," (List.map Harness.Measure.failure_to_json fs))
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"engine\":\"%s\",\"results\":[%s],\"counters\":{%s}%s}\n"
+    (Sim.Engine.kind_name engine)
+    (String.concat ","
+       (List.map (fun r -> r.Campaign.Runner.r_row) rows))
+    (String.concat "," counters)
+    failures;
+  close_out oc;
+  Printf.printf "wrote %s (%d measurements, %d tasks failed)\n" path
+    (List.length rows)
+    (List.length s.Campaign.Runner.failures);
+  Printf.printf
+    "campaign: %d tasks, %d cached, %d computed, %d corrupt, %d worker kills, \
+     %d respawns\n"
+    s.Campaign.Runner.total s.Campaign.Runner.hits s.Campaign.Runner.computed
+    s.Campaign.Runner.corrupt s.Campaign.Runner.kills
+    s.Campaign.Runner.respawns;
+  (* The cold path's verdicts live in Harness.Measure's process-global
+     records; campaign rows carry their own flags, so re-derive the same
+     report (and exit discipline) from them. *)
+  let failed = ref false in
+  List.iter
+    (fun (r : Campaign.Runner.row) ->
+      if r.r_timed_out then begin
+        failed := true;
+        Printf.eprintf "TIMEOUT: %s at %s on %s\n" r.r_program r.r_level
+          r.r_machine
+      end
+      else if not r.r_output_ok then begin
+        failed := true;
+        Printf.eprintf "MISMATCH: %s at %s on %s\n" r.r_program r.r_level
+          r.r_machine
+      end)
+    rows;
+  (match s.Campaign.Runner.failures with
+  | [] -> ()
+  | fs ->
+    if chaos = None then failed := true;
+    List.iter
+      (fun (f : Harness.Measure.task_failure) ->
+        Printf.eprintf "TASK %s: %s at %s on %s (%d attempts: %s)\n"
+          (String.uppercase_ascii f.f_kind)
+          f.f_program
+          (Opt.Driver.level_name f.f_level)
+          f.f_machine f.f_attempts f.f_detail)
+      fs);
+  !failed
+
+(* Worker-process mode: serve measure frames over stdin/stdout.  Handled
+   before [Arg.parse] so the protocol loop owns stdout from the first
+   byte. *)
+let worker_main () =
+  let dir = ref Campaign.Store.default_dir in
+  Array.iteri
+    (fun i a ->
+      if a = "--store" && i + 1 < Array.length Sys.argv then
+        dir := Sys.argv.(i + 1))
+    Sys.argv;
+  let store = Campaign.Store.open_ !dir in
+  Campaign.Shard.serve ~handler:(Campaign.Runner.worker_handler store) ()
+
 let () =
+  if Array.exists (( = ) "--worker") Sys.argv then begin
+    worker_main ();
+    exit 0
+  end;
   (* The sweep is allocation-heavy (functional IR rewriting promotes
      hundreds of megawords through the default 256K-word minor heap); a
      larger nursery and a lazier major collector trade a few MB of RSS
@@ -353,6 +461,9 @@ let () =
   let profile_top = ref 15 in
   let trace_out = ref "" in
   let engine = ref None in
+  let store = ref "" in
+  let resume = ref false in
+  let workers = ref 0 in
   let spec =
     [
       ( "-t",
@@ -417,6 +528,23 @@ let () =
         "ENGINE  execution engine for the --json sweep: threaded (default), \
          decoded or reference — observationally equivalent, only speed \
          differs" );
+      ( "--store",
+        Arg.Set_string store,
+        "DIR  content-addressed result store for the --json sweep (campaign \
+         mode: every result is committed as it completes)" );
+      ( "--resume",
+        Arg.Set resume,
+        " reuse committed store entries and compute only the delta \
+         (requires --store)" );
+      ( "--workers",
+        Arg.Int
+          (fun n -> workers := Harness.Pool.clamp_jobs ~what:"--workers" n),
+        "N  shard the campaign over N worker processes (requires --store; \
+         0 = compute in-process)" );
+      ( "--worker",
+        Arg.Unit (fun () -> ()),
+        " internal: serve measure frames over stdin/stdout (handled before \
+         argument parsing)" );
     ]
   in
   Arg.parse spec
@@ -443,6 +571,7 @@ let () =
         print ppf;
         Format.pp_print_flush ppf ())
       selected;
+    let campaign_failed = ref false in
     if !json then begin
       (* Injected hangs need a deadline to be cancelled against. *)
       let deadline =
@@ -451,9 +580,21 @@ let () =
         | None, Some c when c.Harness.Pool.hang > 0. -> Some 1.0
         | None, _ -> None
       in
-      write_json ~jobs:(max 1 !jobs) ?deadline ?retries:!retries ?chaos:!chaos
-        ?engine:!engine ~profile:!profile ~profile_out:!profile_out
-        ~profile_top:!profile_top ~trace_out:!trace_out "BENCH_results.json"
+      if !store <> "" then
+        campaign_failed :=
+          write_json_campaign ~dir:!store ~resume:!resume ~workers:!workers
+            ~jobs:(max 1 !jobs) ?deadline ?retries:!retries ?chaos:!chaos
+            ?engine:!engine "BENCH_results.json"
+      else begin
+        if !resume || !workers > 0 then begin
+          Printf.eprintf "--resume/--workers need --store DIR\n";
+          exit 2
+        end;
+        write_json ~jobs:(max 1 !jobs) ?deadline ?retries:!retries
+          ?chaos:!chaos ?engine:!engine ~profile:!profile
+          ~profile_out:!profile_out ~profile_top:!profile_top
+          ~trace_out:!trace_out "BENCH_results.json"
+      end
     end;
     if !bech then run_bechamel ~quota:!bech_quota ();
     (* Timeouts and mismatches are distinct verdicts; either fails the
@@ -493,5 +634,5 @@ let () =
             (Opt.Driver.level_name f.f_level)
             f.f_machine f.f_attempts f.f_detail)
         fs);
-    if !failed then exit 1
+    if !failed || !campaign_failed then exit 1
   end

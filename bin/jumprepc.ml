@@ -662,6 +662,30 @@ let lint_cmd =
       const run $ level_arg $ machine_arg $ targets $ benches $ json
       $ strict_arg)
 
+(* --- campaign store plumbing (fuzz/certify/serve; the bench driver has
+   its own copy of the flags) --- *)
+
+let store_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed result store directory: completed results \
+           are committed there, and $(b,--resume) replays them so a \
+           killed campaign recomputes only the missing delta.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resolve tasks against the store ($(b,--store)) before \
+           computing anything; a corrupted entry is recomputed after a \
+           $(b,store-corrupt) warning, never trusted.")
+
+let warn_diag d =
+  Printf.eprintf "jumprepc: warning: %s\n" (Telemetry.Diag.to_string d)
+
 (* --- certify: per-pass translation-validation verdicts --- *)
 
 let certify_cmd =
@@ -685,7 +709,11 @@ let certify_cmd =
              target, each carrying its per-pass verdicts (with reasons \
              and counterexample paths) and summary counts.")
   in
-  let run level machine targets benches json inject_fault =
+  let run level machine targets benches json inject_fault store resume =
+    if resume && store = "" then begin
+      Printf.eprintf "jumprepc: certify: --resume requires --store DIR\n";
+      exit 2
+    end;
     let targets =
       targets
       @ (if benches then
@@ -710,55 +738,140 @@ let certify_cmd =
             t;
           exit 2
     in
+    let st = if store = "" then None else Some (Campaign.Store.open_ store) in
+    (* Render one target's report to its cacheable form: the stdout text
+       block, the --json array element, the stderr diagnostic lines and
+       the exit verdict — everything a resumed run must replay
+       byte-for-byte. *)
+    let render t verdicts diags =
+      let buf = Buffer.create 256 in
+      let certified, unknown, refuted = Ops.certify_summary verdicts in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %d certified, %d unknown, %d refuted\n" t
+           certified unknown refuted);
+      List.iter
+        (fun (r : Tv.record) ->
+          match r.Tv.verdict with
+          | Tv.Certified -> ()
+          | Tv.Unknown { reason; timeout } ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s/%s: unknown%s: %s\n" r.Tv.vfunc r.Tv.vpass
+                 (if timeout then " (timeout)" else "")
+                 reason)
+          | Tv.Refuted { reason; path } ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s/%s: REFUTED: %s\n    path: %s\n" r.Tv.vfunc
+                 r.Tv.vpass reason
+                 (String.concat " -> " path)))
+        verdicts;
+      let anyref =
+        List.exists
+          (fun (r : Tv.record) ->
+            match r.Tv.verdict with Tv.Refuted _ -> true | _ -> false)
+          verdicts
+      in
+      let stderr_lines =
+        List.map
+          (fun d ->
+            Printf.sprintf "jumprepc: %s: %s"
+              (match d.Telemetry.Diag.severity with
+              | Telemetry.Diag.Warn -> "warning"
+              | Telemetry.Diag.Err -> "error")
+              (Telemetry.Diag.to_string d))
+          diags
+      in
+      ( Buffer.contents buf,
+        Json.to_string (Ops.certify_json ~target:t ~level ~machine verdicts),
+        anyref,
+        stderr_lines )
+    in
+    let n_cached = ref 0 and n_computed = ref 0 in
     let reports =
       List.map
         (fun t ->
-          match
-            Ops.certify_report ?inject_fault ~level ~machine ~path:t
-              (source_of t)
-          with
-          | Error f -> fail_op f
-          | Ok (verdicts, diags) -> (t, verdicts, diags))
+          let key =
+            (* Only bundled benchmarks are cacheable: a file target's
+               bytes are not part of {!Campaign.Key.certify}. *)
+            match st with
+            | Some _ when not (Sys.file_exists t) ->
+              Option.map
+                (Campaign.Key.certify ~level ~machine ~inject_fault)
+                (Programs.Suite.find t)
+            | _ -> None
+          in
+          let compute () =
+            incr n_computed;
+            match
+              Ops.certify_report ?inject_fault ~level ~machine ~path:t
+                (source_of t)
+            with
+            | Error f -> fail_op f
+            | Ok (verdicts, diags) -> render t verdicts diags
+          in
+          let compute_and_commit sth key =
+            let ((text, jsonel, anyref, lines) as r) = compute () in
+            Campaign.Store.lease sth key;
+            Campaign.Store.commit sth ~key
+              (Json.Obj
+                 [
+                   ("kind", Json.Str "certify/1");
+                   ("target", Json.Str t);
+                   ("text", Json.Str text);
+                   ("json", Json.Str jsonel);
+                   ("refuted", Json.Bool anyref);
+                   ( "stderr",
+                     Json.Arr (List.map (fun l -> Json.Str l) lines) );
+                 ]);
+            r
+          in
+          match (st, key) with
+          | None, _ | _, None -> compute ()
+          | Some sth, Some key ->
+            if not resume then compute_and_commit sth key
+            else (
+              match Campaign.Store.find sth key with
+              | Campaign.Store.Miss -> compute_and_commit sth key
+              | Campaign.Store.Corrupt d ->
+                warn_diag d;
+                compute_and_commit sth key
+              | Campaign.Store.Hit e -> (
+                let fstr n = Option.bind (Json.member n e) Json.get_string in
+                let lines =
+                  Option.map
+                    (List.filter_map Json.get_string)
+                    (Option.bind (Json.member "stderr" e) Json.to_list)
+                in
+                match
+                  ( fstr "text",
+                    fstr "json",
+                    Option.bind (Json.member "refuted" e) Json.get_bool,
+                    lines )
+                with
+                | Some text, Some jsonel, Some anyref, Some lines ->
+                  incr n_cached;
+                  (text, jsonel, anyref, lines)
+                | _ ->
+                  warn_diag
+                    (Campaign.Store.note_corrupt sth key
+                       "entry is missing certify fields");
+                  compute_and_commit sth key)))
         targets
     in
     if json then
       print_json
-        (Json.Arr
-           (List.map
-              (fun (t, verdicts, _) ->
-                Ops.certify_json ~target:t ~level ~machine verdicts)
-              reports))
-    else
-      List.iter
-        (fun (t, verdicts, _) ->
-          let certified, unknown, refuted = Ops.certify_summary verdicts in
-          Printf.printf "%s: %d certified, %d unknown, %d refuted\n" t
-            certified unknown refuted;
-          List.iter
-            (fun (r : Tv.record) ->
-              match r.Tv.verdict with
-              | Tv.Certified -> ()
-              | Tv.Unknown { reason; timeout } ->
-                Printf.printf "  %s/%s: unknown%s: %s\n" r.Tv.vfunc r.Tv.vpass
-                  (if timeout then " (timeout)" else "")
-                  reason
-              | Tv.Refuted { reason; path } ->
-                Printf.printf "  %s/%s: REFUTED: %s\n    path: %s\n" r.Tv.vfunc
-                  r.Tv.vpass reason
-                  (String.concat " -> " path))
-            verdicts)
-        reports;
-    (* Pipeline diagnostics (quarantines, warns) go to stderr as usual. *)
-    List.iter (fun (_, _, diags) -> report_diags (ref (List.rev diags))) reports;
-    if
-      List.exists
-        (fun (_, verdicts, _) ->
-          List.exists
-            (fun (r : Tv.record) ->
-              match r.Tv.verdict with Tv.Refuted _ -> true | _ -> false)
-            verdicts)
-        reports
-    then exit 1
+        (Json.Arr (List.map (fun (_, j, _, _) -> Json.Raw j) reports))
+    else List.iter (fun (text, _, _, _) -> print_string text) reports;
+    (* Pipeline diagnostics (quarantines, warns) go to stderr as usual —
+       cached targets replay the lines they produced when computed. *)
+    List.iter
+      (fun (_, _, _, lines) ->
+        List.iter (fun l -> Printf.eprintf "%s\n" l) lines)
+      reports;
+    if st <> None then
+      Printf.eprintf
+        "jumprepc: certify campaign: %d targets, %d cached, %d computed\n"
+        (List.length targets) !n_cached !n_computed;
+    if List.exists (fun (_, _, anyref, _) -> anyref) reports then exit 1
   in
   Cmd.v
     (Cmd.info "certify"
@@ -771,7 +884,7 @@ let certify_cmd =
           miscompilation get caught")
     Term.(
       const run $ level_arg $ machine_arg $ targets $ benches $ json
-      $ inject_fault_arg)
+      $ inject_fault_arg $ store_arg $ resume_arg)
 
 (* --- explain: per-function replication report --- *)
 
@@ -895,7 +1008,12 @@ let fuzz_cmd =
             "Worker domains for the campaign (default \\$JUMPREP_JOBS or 1). \
              Results are identical at any job count.")
   in
-  let run seeds start out_dir max_steps quiet jobs verify inject_fault chaos =
+  let run seeds start out_dir max_steps quiet jobs verify inject_fault chaos
+      store resume =
+    if resume && store = "" then begin
+      Printf.eprintf "jumprepc: fuzz: --resume requires --store DIR\n";
+      exit 2
+    end;
     let on_seed seed outcome =
       if not quiet then
         match outcome with
@@ -905,22 +1023,140 @@ let fuzz_cmd =
             (Harness.Fuzz.kind_name f.kind)
             f.config f.detail
     in
+    let seed_ids = List.init seeds (fun i -> start + i) in
+    let st = if store = "" then None else Some (Campaign.Store.open_ store) in
+    let key_of seed =
+      Campaign.Key.fuzz ~max_steps ~verify ~inject_fault seed
+    in
+    (* Resume: replay completed verdicts from the store (a cached failure
+       keeps its reduced reproducer); only the delta is fuzzed.  Seeds
+       aborted by chaos were never committed, so they rerun. *)
+    let cached = Hashtbl.create 16 in
+    let to_run =
+      match st with
+      | Some st when resume ->
+        List.filter
+          (fun seed ->
+            let key = key_of seed in
+            match Campaign.Store.find st key with
+            | Campaign.Store.Miss -> true
+            | Campaign.Store.Corrupt d ->
+              warn_diag d;
+              true
+            | Campaign.Store.Hit e -> (
+              let fstr n = Option.bind (Json.member n e) Json.get_string in
+              match Option.bind (Json.member "failed" e) Json.get_bool with
+              | Some false ->
+                Hashtbl.replace cached seed None;
+                false
+              | Some true -> (
+                match
+                  (fstr "fkind", fstr "config", fstr "reproducer")
+                with
+                | Some k, Some c, Some r ->
+                  Hashtbl.replace cached seed (Some (k, c, r));
+                  false
+                | _ ->
+                  warn_diag
+                    (Campaign.Store.note_corrupt st key
+                       "entry is missing fuzz verdict fields");
+                  true)
+              | None ->
+                warn_diag
+                  (Campaign.Store.note_corrupt st key
+                     "entry is missing fuzz verdict fields");
+                true))
+          seed_ids
+      | _ -> seed_ids
+    in
     let stats =
       Harness.Fuzz.campaign ~max_steps ~verify ?inject_fault ~out_dir ~start
-        ~on_seed ~jobs:(max 1 jobs) ?chaos ~seeds ()
+        ~on_seed ~jobs:(max 1 jobs) ?chaos ~seed_list:to_run ~seeds ()
+    in
+    (* Commit every seed that reached a verdict; chaos-aborted seeds have
+       no verdict to replay and stay uncached. *)
+    (match st with
+    | None -> ()
+    | Some st ->
+      let failed_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (seed, (f : Harness.Fuzz.failure), path) ->
+          Hashtbl.replace failed_tbl seed (f, path))
+        stats.failures;
+      let aborted_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (seed, _) -> Hashtbl.replace aborted_tbl seed ())
+        stats.aborted;
+      List.iter
+        (fun seed ->
+          if not (Hashtbl.mem aborted_tbl seed) then begin
+            let key = key_of seed in
+            let entry =
+              match Hashtbl.find_opt failed_tbl seed with
+              | Some ((f : Harness.Fuzz.failure), path) ->
+                Json.Obj
+                  [
+                    ("kind", Json.Str "fuzz/1");
+                    ("seed", Json.Int seed);
+                    ("failed", Json.Bool true);
+                    ("fkind", Json.Str (Harness.Fuzz.kind_name f.kind));
+                    ("config", Json.Str f.config);
+                    ("detail", Json.Str f.detail);
+                    ("reproducer", Json.Str (read_file path));
+                  ]
+              | None ->
+                Json.Obj
+                  [
+                    ("kind", Json.Str "fuzz/1");
+                    ("seed", Json.Int seed);
+                    ("failed", Json.Bool false);
+                  ]
+            in
+            Campaign.Store.lease st key;
+            Campaign.Store.commit st ~key entry
+          end)
+        to_run);
+    (* Cached failures: the reproducer file is part of the verdict, so
+       rewrite it, then report cached and fresh failures in seed order. *)
+    let cached_failures =
+      Hashtbl.fold
+        (fun seed v acc ->
+          match v with
+          | None -> acc
+          | Some (k, c, repro) ->
+            if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+            let path =
+              Filename.concat out_dir (Printf.sprintf "seed-%d.c" seed)
+            in
+            let oc = open_out path in
+            output_string oc repro;
+            close_out oc;
+            (seed, k, c, path) :: acc)
+        cached []
+    in
+    let all_failures =
+      List.sort compare
+        (cached_failures
+        @ List.map
+            (fun (seed, (f : Harness.Fuzz.failure), path) ->
+              (seed, Harness.Fuzz.kind_name f.kind, f.config, path))
+            stats.failures)
     in
     List.iter
-      (fun (seed, (f : Harness.Fuzz.failure), path) ->
-        Printf.printf "seed %d: %s at %s, reduced reproducer: %s\n" seed
-          (Harness.Fuzz.kind_name f.kind)
-          f.config path)
-      stats.failures;
+      (fun (seed, kind, config, path) ->
+        Printf.printf "seed %d: %s at %s, reduced reproducer: %s\n" seed kind
+          config path)
+      all_failures;
     List.iter
       (fun (seed, detail) ->
         Printf.printf "seed %d: no verdict, task %s\n" seed detail)
       stats.aborted;
-    Printf.printf "fuzz: %d seeds, %d failures%s\n" stats.seeds_run
-      (List.length stats.failures)
+    if st <> None then
+      Printf.eprintf "jumprepc: fuzz campaign: %d seeds, %d cached, %d computed\n"
+        (List.length seed_ids) (Hashtbl.length cached) stats.seeds_run;
+    Printf.printf "fuzz: %d seeds, %d failures%s\n"
+      (Hashtbl.length cached + stats.seeds_run)
+      (List.length all_failures)
       (if chaos = None then ""
        else
          Printf.sprintf
@@ -928,7 +1164,7 @@ let fuzz_cmd =
            (List.length stats.aborted)
            (Harness.Pool.injected stats.pool)
            stats.pool.Harness.Pool.retried stats.pool.Harness.Pool.respawned);
-    if stats.failures <> [] then exit 1
+    if all_failures <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -939,7 +1175,7 @@ let fuzz_cmd =
           reproducers")
     Term.(
       const run $ seeds $ start $ out_dir $ max_steps $ quiet $ jobs
-      $ verify_arg $ inject_fault_arg $ chaos_arg)
+      $ verify_arg $ inject_fault_arg $ chaos_arg $ store_arg $ resume_arg)
 
 (* --- serve / client: the compilation-as-a-service daemon --- *)
 
@@ -951,6 +1187,50 @@ let socket_arg =
         ~doc:
           "Unix-domain socket path.  Mind the platform's ~100-byte \
            socket-path limit; a short path under /tmp is safest.")
+
+(* The daemon-side result cache: measure payloads keyed on (source
+   bytes, input, machine, compiler fingerprint) in a campaign store.
+   The store's bookkeeping is mutex-guarded internally — [rc_measure]
+   runs concurrently on the daemon's worker domains. *)
+let store_cache dir =
+  let st = Campaign.Store.open_ dir in
+  {
+    Daemon.Server.rc_measure =
+      (fun ~source ~input ~machine compute ->
+        let key =
+          Campaign.Key.hex ~kind:"daemon-measure/1"
+            [
+              ("source", source);
+              ("input", input);
+              ("machine", machine);
+              ("compiler", Campaign.Key.fingerprint ());
+            ]
+        in
+        let recompute () =
+          Campaign.Store.lease st key;
+          match compute () with
+          | Ok payload ->
+            Campaign.Store.commit st ~key
+              (Json.Obj
+                 [
+                   ("kind", Json.Str "daemon-measure/1");
+                   ("payload", Json.Str (Json.to_string payload));
+                 ]);
+            Ok payload
+          | Error _ as e -> e
+        in
+        match Campaign.Store.find st key with
+        | Campaign.Store.Hit e -> (
+          match Option.bind (Json.member "payload" e) Json.get_string with
+          | Some payload -> Ok (Json.Raw payload)
+          | None ->
+            ignore
+              (Campaign.Store.note_corrupt st key
+                 "entry is missing the payload field");
+            recompute ())
+        | Campaign.Store.Miss | Campaign.Store.Corrupt _ -> recompute ());
+    rc_stats = (fun () -> Campaign.Store.stats st);
+  }
 
 let serve_cmd =
   let jobs =
@@ -1011,8 +1291,19 @@ let serve_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"No connection/drain lifecycle lines on stderr.")
   in
+  let store_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Memoize measure payloads in a campaign result store under \
+             $(docv): repeated measure requests for identical source \
+             bytes are served from disk (surviving daemon restarts), and \
+             $(b,status) reports the store's hit/miss/corrupt gauges.")
+  in
   let run socket jobs queue_cap drain_deadline idle_timeout default_deadline
-      fuzz_out trace_out quiet =
+      fuzz_out trace_out quiet store_dir =
     let trace =
       Option.map (fun _ -> Telemetry.Trace.create ()) trace_out
     in
@@ -1031,6 +1322,7 @@ let serve_cmd =
           fuzz_out;
           trace;
           quiet;
+          store = Option.map store_cache store_dir;
         }
     in
     (match (trace_out, trace) with
@@ -1053,7 +1345,8 @@ let serve_cmd =
           SIGTERM")
     Term.(
       const run $ socket_arg $ jobs $ queue_cap $ drain_deadline
-      $ idle_timeout $ default_deadline $ fuzz_out $ trace_out_arg $ quiet)
+      $ idle_timeout $ default_deadline $ fuzz_out $ trace_out_arg $ quiet
+      $ store_dir)
 
 let client_cmd =
   let kind_arg =
@@ -1381,6 +1674,100 @@ let report_cmd =
       const run $ results_arg $ compare_flag $ out_arg $ dat_arg $ events_arg
       $ title_arg)
 
+(* --- worker: campaign shard worker process --- *)
+
+let worker_cmd =
+  let store =
+    Arg.(
+      value
+      & opt string Campaign.Store.default_dir
+      & info [ "store" ] ~docv:"DIR" ~doc:"Result store directory.")
+  in
+  let run store =
+    let st = Campaign.Store.open_ store in
+    Campaign.Shard.serve ~handler:(Campaign.Runner.worker_handler st) ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Campaign shard worker (spawned by a sharded $(b,bench) \
+          campaign): serve framed measure requests on stdin/stdout, \
+          committing each result to the store before replying, so a \
+          SIGKILLed campaign loses at most its in-flight task")
+    Term.(const run $ store)
+
+(* --- store: campaign result-store inspection and GC --- *)
+
+let store_cmd =
+  let action =
+    Arg.(
+      value
+      & pos 0 (Arg.enum [ ("stats", `Stats); ("gc", `Gc) ]) `Stats
+      & info [] ~docv:"ACTION" ~doc:"$(b,stats) (the default) or $(b,gc).")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt string Campaign.Store.default_dir
+      & info [ "store" ] ~docv:"DIR" ~doc:"Result store directory.")
+  in
+  let max_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:
+            "With $(b,gc): evict the oldest committed entries beyond \
+             $(docv) (in addition to the staged-file and journal \
+             cleanup gc always performs).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable $(b,stats) output.")
+  in
+  let run action dir max_entries json =
+    if not (Sys.file_exists dir) then begin
+      Printf.eprintf "jumprepc: store: no store at %s\n" dir;
+      exit 2
+    end;
+    let st = Campaign.Store.open_ ~create:false dir in
+    match action with
+    | `Stats ->
+      let entries, bytes = Campaign.Store.disk_usage st in
+      let pending = Campaign.Store.pending st in
+      if json then
+        print_json
+          (Json.Obj
+             [
+               ("dir", Json.Str dir);
+               ("entries", Json.Int entries);
+               ("payload_bytes", Json.Int bytes);
+               ("pending", Json.Arr (List.map (fun k -> Json.Str k) pending));
+             ])
+      else begin
+        Printf.printf
+          "store %s: %d entries, %d payload bytes, %d pending lease%s\n" dir
+          entries bytes (List.length pending)
+          (if List.length pending = 1 then "" else "s");
+        List.iter (fun k -> Printf.printf "  pending: %s\n" k) pending
+      end
+    | `Gc ->
+      let evicted, tmp_removed = Campaign.Store.gc ?max_entries st in
+      Printf.printf "store %s: evicted %d entr%s, removed %d staged file%s\n"
+        dir evicted
+        (if evicted = 1 then "y" else "ies")
+        tmp_removed
+        (if tmp_removed = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Inspect or garbage-collect a campaign result store: entry and \
+          pending-lease counts, staged-file cleanup, journal compaction, \
+          and oldest-first eviction down to $(b,--max-entries)")
+    Term.(const run $ action $ dir $ max_entries $ json)
+
 let list_cmd =
   let run () =
     List.iter
@@ -1411,6 +1798,8 @@ let main =
       client_cmd;
       report_cmd;
       fuzz_cmd;
+      worker_cmd;
+      store_cmd;
       list_cmd;
     ]
 

@@ -134,7 +134,14 @@ let sanitize_comment s =
 
 let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
     ?(out_dir = "fuzz-failures") ?(start = 0) ?(on_seed = fun _ _ -> ())
-    ?(jobs = 1) ?chaos ~seeds () =
+    ?(jobs = 1) ?chaos ?seed_list ~seeds () =
+  (* [seed_list] (store-resume: only the uncached delta) overrides the
+     contiguous [start .. start + seeds - 1] range. *)
+  let seed_ids =
+    match seed_list with
+    | Some l -> l
+    | None -> List.init seeds (fun i -> start + i)
+  in
   let check_src src = check ~max_steps ~verify ?inject_fault src in
   let failures = ref [] in
   let aborted = ref [] in
@@ -157,23 +164,24 @@ let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
      [on_seed] fires as each seed finishes rather than after the pool
      drains. *)
   if jobs <= 1 && chaos = None then
-    for seed = start to start + seeds - 1 do
-      let p = Gen.generate (Random.State.make [| seed |]) in
-      let outcome = check_src (Gen.to_c p) in
-      (match outcome with
-      | None -> ()
-      | Some f ->
-        let p', f' = reduce ~check:check_src p f in
-        write_reproducer seed p' f');
-      on_seed seed outcome
-    done
+    List.iter
+      (fun seed ->
+        let p = Gen.generate (Random.State.make [| seed |]) in
+        let outcome = check_src (Gen.to_c p) in
+        (match outcome with
+        | None -> ()
+        | Some f ->
+          let p', f' = reduce ~check:check_src p f in
+          write_reproducer seed p' f');
+        on_seed seed outcome)
+      seed_ids
   else begin
     (* Supervised path: a seed whose task crashes or times out (only
        possible under chaos — the check itself never raises) lands in
        [aborted] instead of silently disappearing, and the sibling seeds'
        results are untouched. *)
     let outcomes, pstats =
-      List.init seeds (fun i -> start + i)
+      seed_ids
       |> Pool.supervise ~jobs ?chaos (fun _budget seed ->
              let p = Gen.generate (Random.State.make [| seed |]) in
              match check_src (Gen.to_c p) with
@@ -183,9 +191,8 @@ let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
                Some (f, p', f'))
     in
     pool := pstats;
-    List.iteri
-      (fun i outcome ->
-        let seed = start + i in
+    List.iter2
+      (fun seed outcome ->
         match outcome with
         | Pool.Done r ->
           (match r with
@@ -208,10 +215,10 @@ let campaign ?(max_steps = 3_000_000) ?(verify = false) ?inject_fault
                 (if attempts = 1 then "" else "s")
                 elapsed )
             :: !aborted)
-      outcomes
+      seed_ids outcomes
   end;
   {
-    seeds_run = seeds;
+    seeds_run = List.length seed_ids;
     failures = List.rev !failures;
     aborted = List.rev !aborted;
     pool = !pool;

@@ -61,7 +61,9 @@ type stats = {
     no chaos, [on_seed] additionally streams as each seed completes).
     [chaos] injects deterministic worker faults ({!Pool.chaos}) to drill
     the supervisor; affected seeds land in [aborted], sibling seeds keep
-    their verdicts. *)
+    their verdicts.  [seed_list] overrides the contiguous range with an
+    explicit seed set — how a store-resumed campaign runs only the
+    uncached delta. *)
 val campaign :
   ?max_steps:int ->
   ?verify:bool ->
@@ -71,6 +73,7 @@ val campaign :
   ?on_seed:(int -> failure option -> unit) ->
   ?jobs:int ->
   ?chaos:Pool.chaos ->
+  ?seed_list:int list ->
   seeds:int ->
   unit ->
   stats

@@ -71,6 +71,23 @@ val run :
   Ir.Machine.t ->
   t
 
+(** The side-effect-free core of {!run}: compile, assemble, execute,
+    bump the [measure.*] counters on [log] — but no memo and no
+    mismatch/timeout recording.  This is what pool worker domains and
+    campaign worker processes run against a private in-memory log whose
+    counters are folded back (or stored) by the parent. *)
+val measure_raw :
+  ?opts:Opt.Driver.options ->
+  ?log:Telemetry.Log.t ->
+  ?profiler:Telemetry.Profiler.t ->
+  ?verify:bool ->
+  ?budget:Telemetry.Budget.t ->
+  ?engine:Sim.Engine.kind ->
+  Programs.Suite.benchmark ->
+  Opt.Driver.level ->
+  Ir.Machine.t ->
+  t
+
 (** Measure a source file that is not part of the bundled suite.  Without
     [expected_output] the run is unverified: [output_ok] is forced true and
     the caller compares outputs across levels instead. *)

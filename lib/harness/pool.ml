@@ -19,24 +19,31 @@ module Budget = Telemetry.Budget
 let warn fmt =
   Printf.ksprintf (fun s -> Printf.eprintf "jumprepc: warning: %s\n%!" s) fmt
 
+let clamp_jobs ?(what = "JUMPREP_JOBS") n =
+  let cap = Domain.recommended_domain_count () in
+  if n < 1 then begin
+    warn "%s=%d is not a positive integer; using 1" what n;
+    1
+  end
+  else if n > 4 * cap then begin
+    warn "%s=%d exceeds 4x the %d recommended domain%s; using %d" what n cap
+      (if cap = 1 then "" else "s")
+      cap;
+    cap
+  end
+  else n
+
+let parse_jobs ?(what = "JUMPREP_JOBS") s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> clamp_jobs ~what n
+  | Some _ | None ->
+    warn "%s=%S is not a positive integer; using 1" what s;
+    1
+
 let default_jobs () =
   match Sys.getenv_opt "JUMPREP_JOBS" with
   | None -> 1
-  | Some s -> (
-    let cap = Domain.recommended_domain_count () in
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 ->
-      if n > 4 * cap then begin
-        warn "JUMPREP_JOBS=%d exceeds 4x the %d recommended domain%s; using %d"
-          n cap
-          (if cap = 1 then "" else "s")
-          cap;
-        cap
-      end
-      else n
-    | Some _ | None ->
-      warn "JUMPREP_JOBS=%S is not a positive integer; using 1" s;
-      1)
+  | Some s -> parse_jobs s
 
 (* --- task outcomes and supervisor statistics --- *)
 
@@ -831,6 +838,16 @@ module Service = struct
   let submitted svc =
     Mutex.lock svc.mu;
     let n = svc.submitted in
+    Mutex.unlock svc.mu;
+    n
+
+  let lease_depth svc =
+    Mutex.lock svc.mu;
+    let n =
+      List.fold_left
+        (fun acc s -> match s.s_st with S_busy _ -> acc + 1 | _ -> acc)
+        0 svc.slots
+    in
     Mutex.unlock svc.mu;
     n
 

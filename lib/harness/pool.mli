@@ -23,6 +23,19 @@
     recommended count. *)
 val default_jobs : unit -> int
 
+(** [clamp_jobs ~what n] — the shared worker-count clamp behind
+    {!default_jobs}: a non-positive [n] warns (naming [what], default
+    ["JUMPREP_JOBS"]) and falls back to 1; over 4x
+    [Domain.recommended_domain_count ()] warns and clamps to the
+    recommended count.  Campaign [--workers] counts go through the same
+    clamp as the domain pool. *)
+val clamp_jobs : ?what:string -> int -> int
+
+(** [parse_jobs ~what s] — parse a job count string with the
+    {!clamp_jobs} discipline; unparsable input warns and falls back
+    to 1. *)
+val parse_jobs : ?what:string -> string -> int
+
 (** How one supervised task ended. *)
 type 'a outcome =
   | Done of 'a
@@ -81,6 +94,13 @@ type chaos = {
 
 (** The exception an injected crash raises through the worker. *)
 exception Chaos_crash
+
+(** The pure fault draw behind chaos injection: the fault (if any) for
+    attempt [attempt] of task index [task].  Exposed so campaign shards
+    can drill worker-*process* kills from the same deterministic
+    schedule the domain pool uses. *)
+val chaos_fault :
+  chaos -> task:int -> attempt:int -> [ `Crash | `Hang | `Alloc ] option
 
 (** Parse a [--chaos] spec: comma-separated [crash], [hang], [alloc]
     (each optionally [:RATE], default 0.1) and [seed:N] (default 1).
@@ -173,6 +193,12 @@ module Service : sig
 
   (** Tasks submitted over the service's lifetime. *)
   val submitted : t -> int
+
+  (** Worker slots currently leased to a running attempt ([S_busy]) —
+      how much of the resident pool is occupied right now.  Bounded by
+      the pool's [jobs]; [in_flight] additionally counts queued and
+      backoff-delayed tasks. *)
+  val lease_depth : t -> int
 
   val stats : t -> stats
 

@@ -612,3 +612,26 @@ let optimize ?log ?profiler ?diags ?verdicts opts machine prog =
 let compile ?log ?profiler ?diags ?verdicts opts machine source =
   optimize ?log ?profiler ?diags ?verdicts opts machine
     (Frontend.Codegen.compile_source source)
+
+(* Keep in sync with [optimize_func_with]: any pass added, removed or
+   reordered must change this string, or campaign stores will reuse
+   results computed by a different compiler. *)
+let pipeline_signature =
+  String.concat ","
+    [
+      "legalize";
+      "branch-chain";
+      "unreachable";
+      "reorder";
+      "branch-chain";
+      "replicate";
+      "unreachable";
+      "fix(isel,cse,gcse,deadvars,licm,strength,isel,branch-chain,constfold,replicate,unreachable)";
+      "replicate-final";
+      "unreachable";
+      "branch-chain";
+      "unreachable";
+      "deadvars";
+      "regalloc";
+      "displace";
+    ]

@@ -147,3 +147,9 @@ val compile :
   Ir.Machine.t ->
   string ->
   Flow.Prog.t
+
+(** A stable textual signature of the pass pipeline — a component of the
+    campaign store's compiler fingerprint.  Adding, removing or
+    reordering passes changes this string, so cached results keyed by an
+    older pipeline are never reused. *)
+val pipeline_signature : string

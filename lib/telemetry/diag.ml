@@ -22,6 +22,7 @@ type code =
   | Uncertifiable_pass
   | Certifier_timeout
   | Analysis_diverged
+  | Store_corrupt
 
 type severity = Warn | Err
 
@@ -59,6 +60,7 @@ let code_name = function
   | Uncertifiable_pass -> "uncertifiable-pass"
   | Certifier_timeout -> "certifier-timeout"
   | Analysis_diverged -> "analysis-diverged"
+  | Store_corrupt -> "store-corrupt"
 
 let severity_name = function Warn -> "warning" | Err -> "error"
 

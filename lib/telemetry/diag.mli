@@ -44,6 +44,9 @@ type code =
   | Analysis_diverged
       (** a dataflow analysis exhausted its visit budget without reaching
           a fixpoint (a non-monotone transfer function) *)
+  | Store_corrupt
+      (** a campaign result-store entry failed its integrity check
+          (truncated or bit-flipped); the result is recomputed *)
 
 type severity = Warn | Err
 

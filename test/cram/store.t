@@ -1,0 +1,83 @@
+The campaign result store from the CLI: certify and fuzz campaigns
+commit their completed results to a content-addressed store, a resumed
+rerun replays them without recomputing, corruption is detected by the
+integrity header and recovered behind a typed store-corrupt diagnostic,
+and the store subcommand inspects and garbage-collects the tree.
+
+A cold certify campaign computes the target and commits one entry:
+
+  $ ../../bin/jumprepc.exe certify wc --store st --resume 2>&1
+  wc: 9 certified, 2 unknown, 0 refuted
+    putnum/gcse: unknown: blocks L9/L9: argument to putchar not provably equal: M0[((v1 + -1) + (r20 + -16))] vs M0[(v15 + (v1 + -1))]
+    putnum/licm: unknown: loop-invariant code motion inserts preheaders and moves code across blocks
+  jumprepc: warning: [uncertifiable-pass] putnum/gcse: blocks L9/L9: argument to putchar not provably equal: M0[((v1 + -1) + (r20 + -16))] vs M0[(v15 + (v1 + -1))]
+  jumprepc: warning: [uncertifiable-pass] putnum/licm: loop-invariant code motion inserts preheaders and moves code across blocks
+  jumprepc: certify campaign: 1 targets, 0 cached, 1 computed
+
+The resumed rerun replays stdout and the diagnostic lines byte-for-byte
+from the store, computing nothing:
+
+  $ ../../bin/jumprepc.exe certify wc --store st --resume 2>&1
+  wc: 9 certified, 2 unknown, 0 refuted
+    putnum/gcse: unknown: blocks L9/L9: argument to putchar not provably equal: M0[((v1 + -1) + (r20 + -16))] vs M0[(v15 + (v1 + -1))]
+    putnum/licm: unknown: loop-invariant code motion inserts preheaders and moves code across blocks
+  jumprepc: warning: [uncertifiable-pass] putnum/gcse: blocks L9/L9: argument to putchar not provably equal: M0[((v1 + -1) + (r20 + -16))] vs M0[(v15 + (v1 + -1))]
+  jumprepc: warning: [uncertifiable-pass] putnum/licm: loop-invariant code motion inserts preheaders and moves code across blocks
+  jumprepc: certify campaign: 1 targets, 1 cached, 0 computed
+
+Truncating the committed entry fails the integrity header: the next
+resume warns with the typed store-corrupt diagnostic, recomputes, and
+recommits — same output, never a crash:
+
+  $ truncate -s 10 st/objects/*/*.json
+  $ ../../bin/jumprepc.exe certify wc --store st --resume 2>&1 | sed 's/entry [0-9a-f]*/entry KEY/'
+  wc: 9 certified, 2 unknown, 0 refuted
+    putnum/gcse: unknown: blocks L9/L9: argument to putchar not provably equal: M0[((v1 + -1) + (r20 + -16))] vs M0[(v15 + (v1 + -1))]
+    putnum/licm: unknown: loop-invariant code motion inserts preheaders and moves code across blocks
+  jumprepc: warning: [store-corrupt] store: entry KEY: no header line; recomputing
+  jumprepc: warning: [uncertifiable-pass] putnum/gcse: blocks L9/L9: argument to putchar not provably equal: M0[((v1 + -1) + (r20 + -16))] vs M0[(v15 + (v1 + -1))]
+  jumprepc: warning: [uncertifiable-pass] putnum/licm: loop-invariant code motion inserts preheaders and moves code across blocks
+  jumprepc: certify campaign: 1 targets, 0 cached, 1 computed
+
+A bit flip in the payload fails the digest check the same way:
+
+  $ python3 -c "
+  > import glob
+  > p = glob.glob('st/objects/*/*.json')[0]
+  > data = bytearray(open(p, 'rb').read())
+  > data[len(data) // 2] ^= 0x40
+  > open(p, 'wb').write(data)" > /dev/null
+  $ ../../bin/jumprepc.exe certify wc --store st --resume 2>&1 | grep store-corrupt | sed 's/entry [0-9a-f]*/entry KEY/'
+  jumprepc: warning: [store-corrupt] store: entry KEY: payload digest mismatch (bit flip?); recomputing
+
+Fuzz campaigns share the store discipline — per-seed verdict entries,
+zero recomputes on the warm rerun:
+
+  $ ../../bin/jumprepc.exe fuzz --seeds 2 --store st --resume --quiet
+  fuzz: 2 seeds, 0 failures
+  jumprepc: fuzz campaign: 2 seeds, 0 cached, 2 computed
+  $ ../../bin/jumprepc.exe fuzz --seeds 2 --store st --resume --quiet
+  fuzz: 2 seeds, 0 failures
+  jumprepc: fuzz campaign: 2 seeds, 2 cached, 0 computed
+
+--resume without a store is refused rather than silently ignored:
+
+  $ ../../bin/jumprepc.exe fuzz --seeds 1 --resume --quiet
+  jumprepc: fuzz: --resume requires --store DIR
+  [2]
+
+The store subcommand reports committed entries and pending leases, and
+gc evicts the oldest entries beyond --max-entries:
+
+  $ ../../bin/jumprepc.exe store stats --store st | sed 's/[0-9]* payload bytes/N payload bytes/'
+  store st: 3 entries, N payload bytes, 0 pending leases
+  $ ../../bin/jumprepc.exe store gc --store st --max-entries 1
+  store st: evicted 2 entries, removed 0 staged files
+  $ ../../bin/jumprepc.exe store stats --store st --json | sed 's/"payload_bytes":[0-9]*/"payload_bytes":0/'
+  {"dir":"st","entries":1,"payload_bytes":0,"pending":[]}
+
+A missing store is a clean usage error:
+
+  $ ../../bin/jumprepc.exe store stats --store nosuch
+  jumprepc: store: no store at nosuch
+  [2]

@@ -21,6 +21,7 @@ let () =
       Test_harness.tests;
       Test_telemetry.tests;
       Test_daemon.tests;
+      Test_campaign.tests;
       Test_report.tests;
       Test_random_c.tests;
     ]

@@ -7,7 +7,7 @@
 # the rewrite this script guards.
 #
 # Usage: tools/bench_compare.sh OLD.json NEW.json
-#        tools/bench_compare.sh --trend RESULTS.json [TREND.jsonl]
+#        tools/bench_compare.sh --trend [--no-gate] RESULTS.json [TREND.jsonl]
 #
 # --trend appends one JSON line of per-commit aggregates (totals plus the
 # Table-5 mean percentage changes per machine) to TREND.jsonl (default
@@ -15,22 +15,35 @@
 # `jumprepc report` and ad-hoc plotting consume.  The commit id comes
 # from git, or from $TREND_COMMIT when set (tests use this to fabricate
 # deterministic rows).
+#
+# When $TREND_WALL_S is set (the sweep's wall-clock seconds, measured by
+# the caller), the row also records it and the gate fires: a wall time
+# more than 15% over the median of the last three recorded rows fails
+# with exit 1, so a perf regression trips CI the commit it lands.
+# --no-gate still records the row but never fails — the escape hatch for
+# machines with known-unstable timing.
 
 set -eu
 
 if [ "${1:-}" = "--trend" ]; then
     shift
+    gate=1
+    if [ "${1:-}" = "--no-gate" ]; then
+        gate=0
+        shift
+    fi
     if [ $# -lt 1 ] || [ $# -gt 2 ]; then
-        echo "usage: $0 --trend RESULTS.json [TREND.jsonl]" >&2
+        echo "usage: $0 --trend [--no-gate] RESULTS.json [TREND.jsonl]" >&2
         exit 2
     fi
     results="$1"
     trend="${2:-BENCH_trend.jsonl}"
     commit="${TREND_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
-    exec python3 - "$results" "$trend" "$commit" << 'EOF'
-import json, sys, time
+    exec python3 - "$results" "$trend" "$commit" "$gate" << 'EOF'
+import json, os, sys, time
 
 results_path, trend_path, commit = sys.argv[1], sys.argv[2], sys.argv[3]
+gate = sys.argv[4] == "1"
 with open(results_path) as f:
     doc = json.load(f)
 results = doc.get("results", [])
@@ -50,6 +63,10 @@ row = {
 for field in ("static_instrs", "static_ujumps", "dyn_instrs", "dyn_ujumps"):
     row[field] = sum(r[field] for r in results)
 
+wall_s = os.environ.get("TREND_WALL_S")
+if wall_s is not None:
+    row["wall_s"] = round(float(wall_s), 3)
+
 # Table-5 means: average of per-program percentage changes vs SIMPLE.
 by = {(r["program"], r["level"], r["machine"]): r for r in results}
 for machine in sorted({r["machine"] for r in results}):
@@ -65,26 +82,53 @@ for machine in sorted({r["machine"] for r in results}):
                 round(sum(deltas) / len(deltas), 3) if deltas else 0.0)
     row[machine] = means
 
+# The regression gate compares this sweep's wall time against the median
+# of the last three *prior* rows that recorded one.  The row is appended
+# either way — a regression should be on the record, not hidden by its
+# own failure.
+prior = []
+try:
+    with open(trend_path) as f:
+        prior = [json.loads(line) for line in f if line.strip()]
+except FileNotFoundError:
+    pass
+
+def wall_gate():
+    if "wall_s" not in row:
+        return None
+    history = [r["wall_s"] for r in prior if "wall_s" in r][-3:]
+    if not history:
+        return None
+    median = sorted(history)[len(history) // 2]
+    if row["wall_s"] > 1.15 * median:
+        return (
+            "bench_compare: wall-time regression: %.3fs is %.1f%% over the "
+            "median %.3fs of the last %d row(s) of %s (gate: +15%%)"
+            % (row["wall_s"], 100.0 * (row["wall_s"] / median - 1.0),
+               median, len(history), trend_path))
+    print("bench_compare: wall time %.3fs within 15%% of the median %.3fs "
+          "of the last %d row(s)" % (row["wall_s"], median, len(history)))
+    return None
+
+regression = wall_gate()
+
 # Re-running the bench at the same commit must not grow the trend file:
 # if the last row already carries this commit id, skip the append so the
 # longitudinal record stays one row per commit.
-last = None
-try:
-    with open(trend_path) as f:
-        for line in f:
-            if line.strip():
-                last = line
-except FileNotFoundError:
-    pass
-if last is not None and json.loads(last).get("commit") == commit:
+if prior and prior[-1].get("commit") == commit:
     print("bench_compare: %s already the last row of %s; not appending"
           % (commit, trend_path))
-    sys.exit(0)
+else:
+    with open(trend_path, "a") as f:
+        f.write(json.dumps(row, sort_keys=True) + "\n")
+    print("bench_compare: appended %s (%d measurements) to %s"
+          % (commit, len(results), trend_path))
 
-with open(trend_path, "a") as f:
-    f.write(json.dumps(row, sort_keys=True) + "\n")
-print("bench_compare: appended %s (%d measurements) to %s"
-      % (commit, len(results), trend_path))
+if regression is not None:
+    if gate:
+        print(regression)
+        sys.exit(1)
+    print(regression + " [--no-gate: not failing]")
 EOF
 fi
 

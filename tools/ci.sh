@@ -49,7 +49,9 @@ print(f"chaos trace: {len(evs)} events, {len(chaos)} chaos instants, "
 EOF
 
 echo "== bench --json sweep (2 domains) vs golden baseline =="
+SWEEP_T0=$(python3 -c 'import time; print(time.time())')
 dune exec bench/main.exe -- --json -j 2 > /dev/null
+SWEEP_WALL=$(python3 -c "import time; print(round(time.time() - $SWEEP_T0, 3))")
 tools/bench_compare.sh BENCH_baseline.json BENCH_results.json
 
 echo "== threaded engine sweep byte-identical at -j 1 and -j 4 =="
@@ -57,6 +59,73 @@ dune exec bench/main.exe -- --json -j 1 --engine threaded > /dev/null
 cmp BENCH_results.json BENCH_baseline.json
 dune exec bench/main.exe -- --json -j 4 --engine threaded > /dev/null
 cmp BENCH_results.json BENCH_baseline.json
+
+echo "== campaign: store sweep, kill-and-resume, byte-identity =="
+BENCHX=_build/default/bench/main.exe
+rm -rf _build/campaign-st1 _build/campaign-st2 _build/campaign-st3
+
+# Cold sharded campaign over 2 worker processes: byte-identical baseline.
+"$BENCHX" --json --store _build/campaign-st1 --workers 2 > _build/campaign-cold.log
+cmp BENCH_results.json BENCH_baseline.json
+grep -q 'campaign: 114 tasks, 0 cached, 114 computed' _build/campaign-cold.log
+
+# Warm rerun: zero recomputes, still byte-identical, measurably faster.
+WARM_T0=$(python3 -c 'import time; print(time.time())')
+"$BENCHX" --json --store _build/campaign-st1 --resume -j 1 > _build/campaign-warm.log
+WARM_WALL=$(python3 -c "import time; print(round(time.time() - $WARM_T0, 3))")
+cmp BENCH_results.json BENCH_baseline.json
+grep -q 'campaign: 114 tasks, 114 cached, 0 computed' _build/campaign-warm.log
+echo "campaign warm rerun: ${WARM_WALL}s (cold sweep: ${SWEEP_WALL}s), 0 recomputes"
+
+# Kill drill: SIGKILL one worker process, then the parent, mid-campaign.
+# The resumed run (4 domains, chaos on) recomputes only the delta and the
+# bytes still match; a second sharded resume finds nothing left to do.
+"$BENCHX" --json --store _build/campaign-st2 --workers 2 \
+  > _build/campaign-killed.log 2>&1 &
+CPID=$!
+sleep 1
+WPID=$(pgrep -P "$CPID" 2>/dev/null | head -1 || true)
+[ -n "$WPID" ] && kill -KILL "$WPID" 2>/dev/null || true
+sleep 0.2
+kill -KILL "$CPID" 2>/dev/null || true
+wait "$CPID" 2>/dev/null || true
+"$BENCHX" --json --store _build/campaign-st2 --resume -j 4 \
+  --chaos crash:0.05,seed:3 --retries 4 > _build/campaign-resume.log
+cmp BENCH_results.json BENCH_baseline.json
+"$BENCHX" --json --store _build/campaign-st2 --resume --workers 2 \
+  > _build/campaign-resume2.log
+cmp BENCH_results.json BENCH_baseline.json
+grep -q ' 114 cached, 0 computed' _build/campaign-resume2.log
+echo "campaign: SIGKILL worker+parent, resumed delta-only, bytes identical"
+
+# Sharded chaos: worker-process SIGKILLs drawn from the pure schedule;
+# every leased task returns to the queue and completes on a respawn.
+"$BENCHX" --json --store _build/campaign-st3 --workers 2 \
+  --chaos crash:0.1,seed:7 --retries 4 > _build/campaign-chaos.log
+cmp BENCH_results.json BENCH_baseline.json
+grep -q 'campaign: 114 tasks, 0 cached, 114 computed' _build/campaign-chaos.log
+echo "campaign: sharded chaos kills recovered, bytes identical"
+
+# Store corruption: truncate one committed entry, bit-flip another; the
+# resume warns with a typed store-corrupt diagnostic, recomputes exactly
+# those two, and the bytes still match.
+python3 - << 'EOF'
+import glob, os
+entries = sorted(glob.glob("_build/campaign-st1/objects/*/*.json"))
+assert len(entries) == 114, len(entries)
+os.truncate(entries[0], 10)
+with open(entries[1], "r+b") as f:
+    data = bytearray(f.read())
+    data[len(data) // 2] ^= 0x40
+    f.seek(0)
+    f.write(data)
+EOF
+"$BENCHX" --json --store _build/campaign-st1 --resume -j 1 \
+  > _build/campaign-corrupt.log 2> _build/campaign-corrupt.err
+cmp BENCH_results.json BENCH_baseline.json
+grep -q 'campaign: 114 tasks, 112 cached, 2 computed, 2 corrupt' _build/campaign-corrupt.log
+test "$(grep -c 'store-corrupt' _build/campaign-corrupt.err)" -eq 2
+echo "campaign: 2 corrupted entries recomputed behind store-corrupt warnings"
 
 echo "== profiled+traced sweep stays byte-identical to the baseline =="
 dune exec bench/main.exe -- --json -j 2 --profile \
@@ -92,12 +161,15 @@ dune exec bin/jumprepc.exe -- report --compare \
 grep -q "No measurement changed" _build/report-compare.md
 grep -q "Table 5 shape" _build/report.md
 
-echo "== bench trend: two synthetic snapshots =="
+echo "== bench trend: two synthetic snapshots + wall-time gate =="
 rm -f _build/ci-trend.jsonl
-TREND_COMMIT=ci-a tools/bench_compare.sh --trend BENCH_baseline.json _build/ci-trend.jsonl
-TREND_COMMIT=ci-b tools/bench_compare.sh --trend BENCH_results.json _build/ci-trend.jsonl
+TREND_COMMIT=ci-a TREND_WALL_S="$SWEEP_WALL" \
+  tools/bench_compare.sh --trend BENCH_baseline.json _build/ci-trend.jsonl
+TREND_COMMIT=ci-b TREND_WALL_S="$SWEEP_WALL" \
+  tools/bench_compare.sh --trend BENCH_results.json _build/ci-trend.jsonl
 # Re-running at the same commit must be a no-op, not a duplicate row.
-TREND_COMMIT=ci-b tools/bench_compare.sh --trend BENCH_results.json _build/ci-trend.jsonl
+TREND_COMMIT=ci-b TREND_WALL_S="$SWEEP_WALL" \
+  tools/bench_compare.sh --trend BENCH_results.json _build/ci-trend.jsonl
 python3 - << 'EOF'
 import json
 rows = [json.loads(l) for l in open("_build/ci-trend.jsonl")]
@@ -105,8 +177,31 @@ assert [r["commit"] for r in rows] == ["ci-a", "ci-b"], rows
 for r in rows:
     assert r["measurements"] == 114 and "risc" in r and "cisc" in r, r
     assert r["engine"] == "threaded", r
+    assert "wall_s" in r, r
 print("trend file has %d rows (same-commit rerun deduplicated)" % len(rows))
 EOF
+
+# Deterministic gate drill on a scratch trend file: three ~10s rows, then
+# a 20%-slower row must fail, a 5%-slower row must pass, and --no-gate
+# must record the row without failing.
+rm -f _build/ci-gate.jsonl
+for w in 10.0 10.1 9.9; do
+  TREND_COMMIT="ci-w$w" TREND_WALL_S="$w" \
+    tools/bench_compare.sh --trend BENCH_results.json _build/ci-gate.jsonl > /dev/null
+done
+if TREND_COMMIT=ci-slow TREND_WALL_S=12.0 \
+     tools/bench_compare.sh --trend BENCH_results.json _build/ci-gate.jsonl \
+     > _build/trend-gate.log; then
+  echo "trend gate: 20% wall-time regression not caught"; exit 1
+fi
+grep -q 'wall-time regression' _build/trend-gate.log
+TREND_COMMIT=ci-near TREND_WALL_S=10.5 \
+  tools/bench_compare.sh --trend BENCH_results.json _build/ci-gate.jsonl > /dev/null
+TREND_COMMIT=ci-escape TREND_WALL_S=30.0 \
+  tools/bench_compare.sh --trend --no-gate BENCH_results.json _build/ci-gate.jsonl \
+  > _build/trend-nogate.log
+grep -q 'not failing' _build/trend-nogate.log
+echo "trend wall-time gate: regression caught, tolerance and --no-gate honored"
 
 echo "== bechamel smoke (time-bounded) =="
 dune exec bench/main.exe -- --bechamel --bechamel-quota 0.05 -t 1 > /dev/null
